@@ -1,0 +1,57 @@
+//! # prsim-baselines
+//!
+//! Every comparison algorithm from the PRSim paper's evaluation (§5),
+//! implemented from scratch:
+//!
+//! | algorithm | paper role | module |
+//! |---|---|---|
+//! | Monte Carlo | classic sampler; also the ground-truth oracle | [`monte_carlo`] |
+//! | Power method | exact all-pairs SimRank (Eq. 14), small graphs | [`power_method()`] |
+//! | SLING | state-of-the-art index (Tian & Xiao) | [`sling`] |
+//! | ProbeSim | state-of-the-art index-free (Liu et al.) | [`probesim`] |
+//! | TSF | one-way-graph index (Shao et al.) | [`tsf`] |
+//! | READS | √c-walk forest index (Jiang et al.) | [`reads`] |
+//! | TopSim | pruned local expansion (Lee et al.) | [`topsim`] |
+//!
+//! All single-source algorithms implement [`SingleSourceSimRank`], the
+//! trait the evaluation harness sweeps over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linearized;
+pub mod monte_carlo;
+pub mod power_method;
+pub mod probesim;
+pub mod reads;
+pub mod sling;
+pub mod topsim;
+pub mod tsf;
+
+pub use linearized::{linearized_simrank, LinearizedResult};
+pub use monte_carlo::{MonteCarlo, MonteCarloConfig};
+pub use power_method::{power_method, PowerMethodResult};
+pub use probesim::{ProbeSim, ProbeSimConfig};
+pub use reads::{Reads, ReadsConfig};
+pub use sling::{Sling, SlingConfig};
+pub use topsim::{TopSim, TopSimConfig};
+pub use tsf::{Tsf, TsfConfig};
+
+use prsim_core::SimRankScores;
+use prsim_graph::NodeId;
+use rand::rngs::StdRng;
+
+/// Common interface of every single-source SimRank algorithm in the suite
+/// (PRSim itself gets an adapter in `prsim-eval`).
+pub trait SingleSourceSimRank {
+    /// Human-readable algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Answers a single-source query for `u`.
+    fn single_source(&self, u: NodeId, rng: &mut StdRng) -> SimRankScores;
+
+    /// Resident bytes of any precomputed index (0 for index-free methods).
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+}

@@ -1,0 +1,169 @@
+//! The *linearized* SimRank variant `S = c·AᵀSA + (1−c)·I` (paper §4,
+//! Eq. 15) — the recurrence a line of prior work [13, 14, 18, 21, 38, 39,
+//! 41] solves because it avoids the element-wise maximum of Eq. 14.
+//!
+//! As the paper notes (citing Kusumoto et al.), the fixed point of this
+//! recurrence is **not** SimRank: it differs whenever walk pairs can meet
+//! more than once. The implementation exists so the suite can quantify
+//! that gap (see the tests and the `linearized_gap` example of use in
+//! EXPERIMENTS.md).
+
+use prsim_graph::{DiGraph, NodeId};
+
+/// Dense fixed point of the linearized recurrence.
+#[derive(Clone, Debug)]
+pub struct LinearizedResult {
+    n: usize,
+    s: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+impl LinearizedResult {
+    /// `s_lin(u, v)`.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        self.s[u as usize * self.n + v as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Iterates `S ← c·AᵀSA + (1−c)·I` to tolerance `tol` (geometric
+/// convergence at rate `c`). `O(n²)` memory — small graphs only.
+pub fn linearized_simrank(g: &DiGraph, c: f64, tol: f64, max_iter: usize) -> LinearizedResult {
+    assert!(c > 0.0 && c < 1.0);
+    let n = g.node_count();
+    let mut s = vec![0.0f64; n * n];
+    for a in 0..n {
+        s[a * n + a] = 1.0;
+    }
+    let mut m = vec![0.0f64; n * n];
+    let mut next = vec![0.0f64; n * n];
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        iterations += 1;
+        for x in 0..n {
+            let row = &s[x * n..(x + 1) * n];
+            let mrow = &mut m[x * n..(x + 1) * n];
+            for b in 0..n {
+                let ins = g.in_neighbors(b as NodeId);
+                mrow[b] = if ins.is_empty() {
+                    0.0
+                } else {
+                    ins.iter().map(|&y| row[y as usize]).sum::<f64>() / ins.len() as f64
+                };
+            }
+        }
+        let mut delta = 0.0f64;
+        for a in 0..n {
+            let ins_a = g.in_neighbors(a as NodeId);
+            for b in 0..n {
+                let idx = a * n + b;
+                let mut val = if ins_a.is_empty() {
+                    0.0
+                } else {
+                    c * ins_a.iter().map(|&x| m[x as usize * n + b]).sum::<f64>()
+                        / ins_a.len() as f64
+                };
+                if a == b {
+                    val += 1.0 - c;
+                }
+                delta = delta.max((val - s[idx]).abs());
+                next[idx] = val;
+            }
+        }
+        std::mem::swap(&mut s, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    LinearizedResult { n, s, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_method::power_method;
+
+    const C: f64 = 0.6;
+
+    #[test]
+    fn satisfies_its_own_fixed_point() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(30, 4.0, 2.0, 3));
+        let res = linearized_simrank(&g, C, 1e-12, 300);
+        for a in 0..30u32 {
+            for b in 0..30u32 {
+                let ia = g.in_neighbors(a);
+                let ib = g.in_neighbors(b);
+                let mut want = if a == b { 1.0 - C } else { 0.0 };
+                if !ia.is_empty() && !ib.is_empty() {
+                    let mut acc = 0.0;
+                    for &x in ia {
+                        for &y in ib {
+                            acc += res.get(x, y);
+                        }
+                    }
+                    want += C * acc / (ia.len() * ib.len()) as f64;
+                }
+                assert!(
+                    (res.get(a, b) - want).abs() < 1e-9,
+                    "fixed point violated at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differs_from_true_simrank() {
+        // Paper §4 / [18]: the linearized similarities are NOT SimRank.
+        // On any graph where walks can revisit (e.g. the bidirectional
+        // star), the diagonal of the linearized fixed point drops below 1
+        // and off-diagonals drift from Eq. (14)'s solution.
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(40, 5.0, 2.0, 7));
+        let lin = linearized_simrank(&g, C, 1e-12, 300);
+        let exact = power_method(&g, C, 1e-12, 300);
+        let mut max_gap: f64 = 0.0;
+        let mut diag_drop = false;
+        for a in 0..40u32 {
+            if lin.get(a, a) < 1.0 - 1e-6 {
+                diag_drop = true;
+            }
+            for b in 0..40u32 {
+                max_gap = max_gap.max((lin.get(a, b) - exact.get(a, b)).abs());
+            }
+        }
+        assert!(diag_drop, "linearized diagonal should fall below 1");
+        assert!(
+            max_gap > 0.05,
+            "linearized and true SimRank should differ measurably, gap = {max_gap}"
+        );
+    }
+
+    #[test]
+    fn closed_form_on_star_out() {
+        // Analytic check of the Eq. (15) fixed point on star_out: the hub
+        // has no in-neighbors, so s_lin(hub,hub) = 1−c, and each leaf
+        // pair satisfies s_lin(i,j) = c·s_lin(hub,hub) = c(1−c). True
+        // SimRank gives s(i,j) = c — a concrete instance of [18]'s
+        // observation that Eq. (15) computes a different measure.
+        let g = prsim_gen::toys::star_out(5);
+        let lin = linearized_simrank(&g, C, 1e-12, 300);
+        assert!((lin.get(0, 0) - (1.0 - C)).abs() < 1e-9);
+        for i in 1..5u32 {
+            for j in (i + 1)..5u32 {
+                assert!(
+                    (lin.get(i, j) - C * (1.0 - C)).abs() < 1e-9,
+                    "s_lin({i},{j}) = {}",
+                    lin.get(i, j)
+                );
+            }
+        }
+        // The gap to true SimRank (= c) is exactly c².
+        let exact = power_method(&g, C, 1e-12, 300);
+        assert!((exact.get(1, 2) - lin.get(1, 2) - C * C).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Classic Monte Carlo SimRank (Fogaras & Rácz) — the paper's baseline
+//! sampler and the suite's large-graph ground-truth oracle.
+//!
+//! `s(u,v)` equals the probability that √c-walks from `u` and `v` meet
+//! (same node, same step, both alive). The single-pair estimator pairs
+//! `n_r` independent walks from each endpoint; the single-source query
+//! runs the pair estimator against every node, costing
+//! `O(n·log(n/δ)/ε²)` — the bound PRSim improves on.
+
+use prsim_core::scores::SimRankScores;
+use prsim_core::walk::{sample_walk, walks_meet, Walk};
+use prsim_graph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::SingleSourceSimRank;
+
+/// Monte Carlo configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloConfig {
+    /// SimRank decay factor `c`.
+    pub c: f64,
+    /// Walk pairs per node pair.
+    pub nr: usize,
+    /// Walk length cap.
+    pub max_len: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            c: 0.6,
+            nr: 1_000,
+            max_len: 64,
+        }
+    }
+}
+
+/// The Monte Carlo single-source algorithm.
+#[derive(Clone, Debug)]
+pub struct MonteCarlo {
+    graph: Arc<DiGraph>,
+    config: MonteCarloConfig,
+}
+
+impl MonteCarlo {
+    /// Creates the sampler over `graph`.
+    pub fn new(graph: Arc<DiGraph>, config: MonteCarloConfig) -> Self {
+        assert!(config.c > 0.0 && config.c < 1.0);
+        assert!(config.nr > 0);
+        MonteCarlo { graph, config }
+    }
+
+    /// Unbiased single-pair estimate of `s(u, v)` from `nr` walk pairs.
+    pub fn single_pair<R: Rng + ?Sized>(&self, u: NodeId, v: NodeId, rng: &mut R) -> f64 {
+        single_pair_simrank(
+            &self.graph,
+            self.config.c,
+            u,
+            v,
+            self.config.nr,
+            self.config.max_len,
+            rng,
+        )
+    }
+}
+
+/// Standalone single-pair Monte Carlo estimate of `s(u,v)` with `nr` walk
+/// pairs — the ground-truth routine (paper §5.1 uses it with `nr` large
+/// enough for error `1e-5` at 99.999% confidence).
+pub fn single_pair_simrank<R: Rng + ?Sized>(
+    g: &DiGraph,
+    c: f64,
+    u: NodeId,
+    v: NodeId,
+    nr: usize,
+    max_len: usize,
+    rng: &mut R,
+) -> f64 {
+    if u == v {
+        return 1.0;
+    }
+    let sqrt_c = c.sqrt();
+    let mut meets = 0usize;
+    for _ in 0..nr {
+        let wu = sample_walk(g, sqrt_c, u, max_len, rng);
+        let wv = sample_walk(g, sqrt_c, v, max_len, rng);
+        if walks_meet(&wu, &wv, 1) {
+            meets += 1;
+        }
+    }
+    meets as f64 / nr as f64
+}
+
+impl SingleSourceSimRank for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "MC"
+    }
+
+    /// Single-source query: `nr` walks from `u`, then `nr` walks from
+    /// every other node, pairing the k-th walks — the classic
+    /// `O(n·nr)`-time algorithm.
+    fn single_source(&self, u: NodeId, rng: &mut StdRng) -> SimRankScores {
+        let g = &*self.graph;
+        let n = g.node_count();
+        let sqrt_c = self.config.c.sqrt();
+        let walks_u: Vec<Walk> = (0..self.config.nr)
+            .map(|_| sample_walk(g, sqrt_c, u, self.config.max_len, rng))
+            .collect();
+
+        let mut map = HashMap::new();
+        for v in 0..n as NodeId {
+            if v == u {
+                continue;
+            }
+            let mut meets = 0usize;
+            for wu in &walks_u {
+                let wv = sample_walk(g, sqrt_c, v, self.config.max_len, rng);
+                if walks_meet(wu, &wv, 1) {
+                    meets += 1;
+                }
+            }
+            if meets > 0 {
+                map.insert(v, meets as f64 / self.config.nr as f64);
+            }
+        }
+        SimRankScores::from_map(u, n, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_method::power_method;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFEED)
+    }
+
+    #[test]
+    fn pair_estimate_matches_exact_on_star_out() {
+        let g = Arc::new(prsim_gen::toys::star_out(6));
+        let mc = MonteCarlo::new(g, MonteCarloConfig { nr: 50_000, ..Default::default() });
+        let mut r = rng();
+        let est = mc.single_pair(1, 2, &mut r);
+        assert!((est - 0.6).abs() < 0.02, "s(1,2) = {est}, want 0.6");
+        assert_eq!(mc.single_pair(3, 3, &mut r), 1.0);
+    }
+
+    #[test]
+    fn single_source_matches_power_method() {
+        let g = Arc::new(prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(
+            50, 4.0, 2.0, 6,
+        )));
+        let exact = power_method(&g, 0.6, 1e-10, 100);
+        let mc = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig { nr: 20_000, ..Default::default() },
+        );
+        let mut r = rng();
+        let scores = mc.single_source(3, &mut r);
+        for v in 0..50u32 {
+            let err = (scores.get(v) - exact.get(3, v)).abs();
+            assert!(err < 0.02, "v={v}: mc {} vs exact {}", scores.get(v), exact.get(3, v));
+        }
+    }
+
+    #[test]
+    fn zero_similarity_across_components() {
+        let g = Arc::new(prsim_gen::toys::two_triangles());
+        let mc = MonteCarlo::new(g, MonteCarloConfig { nr: 5_000, ..Default::default() });
+        let mut r = rng();
+        let scores = mc.single_source(0, &mut r);
+        for v in 3..6 {
+            assert_eq!(scores.get(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let g = Arc::new(prsim_gen::toys::cycle(4));
+        let mc: Box<dyn SingleSourceSimRank> =
+            Box::new(MonteCarlo::new(g, MonteCarloConfig { nr: 100, ..Default::default() }));
+        assert_eq!(mc.name(), "MC");
+        assert_eq!(mc.index_size_bytes(), 0);
+        let s = mc.single_source(1, &mut rng());
+        assert_eq!(s.get(1), 1.0);
+    }
+}

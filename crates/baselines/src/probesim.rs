@@ -1,0 +1,223 @@
+//! ProbeSim (Liu et al., PVLDB 2017) — the state-of-the-art *index-free*
+//! single-source algorithm.
+//!
+//! Per sample: draw one √c-walk `W(u) = (v₀=u, v₁, …)`; for every step
+//! `ℓ ≥ 1` run a **Probe** from `w = v_ℓ`, a deterministic forward
+//! expansion computing, for every node `v`, the probability that a
+//! √c-walk from `v` sits at `w` at step `ℓ` — while excluding, at the
+//! probe layer that corresponds to walk step `ℓ−i`, the node `v_{ℓ-i}`
+//! itself (first-meeting correction: a walk that already coincided with
+//! `W(u)` earlier must not be counted again). Summing probe outputs over
+//! `ℓ` gives an unbiased estimator of `s(u, ·)`; averaging `n_r` samples
+//! drives the error below ε.
+//!
+//! The probe from a high-reverse-PageRank node touches `Θ(n·π(w))`
+//! entries via full out-neighbor scans — the cost PRSim's VBBW prefix
+//! scans beat (paper §4, Figure 7a).
+
+use prsim_core::scores::SimRankScores;
+use prsim_core::walk::{sample_walk, Terminal};
+use prsim_graph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::SingleSourceSimRank;
+
+/// ProbeSim configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeSimConfig {
+    /// SimRank decay factor `c`.
+    pub c: f64,
+    /// Absolute error parameter ε_a; the sample count is `⌈c_mult/ε_a²⌉`.
+    pub eps_a: f64,
+    /// Multiplier in the sample count (the paper's constant is
+    /// `O(log(n/δ))`; the released code uses a small constant).
+    pub c_mult: f64,
+    /// Walk length cap.
+    pub max_len: usize,
+}
+
+impl Default for ProbeSimConfig {
+    fn default() -> Self {
+        ProbeSimConfig {
+            c: 0.6,
+            eps_a: 0.1,
+            c_mult: 3.0,
+            max_len: 64,
+        }
+    }
+}
+
+/// The ProbeSim algorithm (no index).
+#[derive(Clone, Debug)]
+pub struct ProbeSim {
+    graph: Arc<DiGraph>,
+    config: ProbeSimConfig,
+    nr: usize,
+}
+
+impl ProbeSim {
+    /// Creates a ProbeSim instance over `graph`.
+    pub fn new(graph: Arc<DiGraph>, config: ProbeSimConfig) -> Self {
+        assert!(config.c > 0.0 && config.c < 1.0);
+        assert!(config.eps_a > 0.0);
+        let nr = ((config.c_mult / (config.eps_a * config.eps_a)).ceil() as usize).max(1);
+        ProbeSim { graph, config, nr }
+    }
+
+    /// Resolved sample count.
+    pub fn sample_count(&self) -> usize {
+        self.nr
+    }
+
+    /// The Probe procedure: forward-expands from `w` for `steps` layers,
+    /// excluding `walk[steps − 1 − i]`-style aligned nodes, and returns
+    /// the layer-`steps` scores. `walk[j]` is the √c-walk's node at step
+    /// `j` with `walk[steps] == w`.
+    fn probe(&self, walk: &[NodeId], steps: usize) -> HashMap<NodeId, f64> {
+        let g = &*self.graph;
+        let sqrt_c = self.config.c.sqrt();
+        let w = walk[steps];
+        let mut cur: HashMap<NodeId, f64> = HashMap::new();
+        cur.insert(w, 1.0);
+        for i in 0..steps {
+            // Probe layer i+1 corresponds to walk step `steps - (i+1)`.
+            let excluded = walk[steps - (i + 1)];
+            let mut next: HashMap<NodeId, f64> = HashMap::new();
+            // Sorted iteration: bitwise-deterministic float accumulation.
+            let mut frontier: Vec<(NodeId, f64)> = cur.iter().map(|(&x, &s)| (x, s)).collect();
+            frontier.sort_unstable_by_key(|&(x, _)| x);
+            for &(x, score) in &frontier {
+                for &y in g.out_neighbors(x) {
+                    if y == excluded {
+                        continue;
+                    }
+                    *next.entry(y).or_insert(0.0) +=
+                        sqrt_c * score / g.in_degree(y) as f64;
+                }
+            }
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur
+    }
+}
+
+impl SingleSourceSimRank for ProbeSim {
+    fn name(&self) -> &'static str {
+        "ProbeSim"
+    }
+
+    fn single_source(&self, u: NodeId, rng: &mut StdRng) -> SimRankScores {
+        let g = &*self.graph;
+        let n = g.node_count();
+        let sqrt_c = self.config.c.sqrt();
+        let mut acc: HashMap<NodeId, f64> = HashMap::new();
+        for _ in 0..self.nr {
+            let walk = sample_walk(g, sqrt_c, u, self.config.max_len, rng);
+            // Probe every visited step ℓ >= 1. Steps beyond the terminal
+            // are not visited; for a Died terminal the last path entry was
+            // still visited alive.
+            let last_alive = match walk.terminal {
+                Terminal::At { level, .. } => level as usize,
+                Terminal::Died => walk.path.len() - 1,
+            };
+            for l in 1..=last_alive {
+                for (v, score) in self.probe(&walk.path, l) {
+                    if v != u {
+                        *acc.entry(v).or_insert(0.0) += score;
+                    }
+                }
+            }
+        }
+        let map: HashMap<NodeId, f64> = acc
+            .into_iter()
+            .map(|(v, s)| (v, s / self.nr as f64))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        SimRankScores::from_map(u, n, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_method::power_method;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9B0B)
+    }
+
+    fn probesim(g: prsim_graph::DiGraph, eps: f64) -> ProbeSim {
+        ProbeSim::new(
+            Arc::new(g),
+            ProbeSimConfig {
+                eps_a: eps,
+                c_mult: 5.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sample_count_scales_inverse_quadratically() {
+        let a = probesim(prsim_gen::toys::cycle(4), 0.1);
+        let b = probesim(prsim_gen::toys::cycle(4), 0.05);
+        assert_eq!(a.sample_count() * 4, b.sample_count());
+    }
+
+    #[test]
+    fn star_out_query_close_to_c() {
+        let p = probesim(prsim_gen::toys::star_out(6), 0.03);
+        let mut r = rng();
+        let scores = p.single_source(1, &mut r);
+        for v in 2..6u32 {
+            assert!(
+                (scores.get(v) - 0.6).abs() < 0.05,
+                "s(1,{v}) = {}",
+                scores.get(v)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_power_method_on_small_graph() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(40, 4.0, 2.0, 14));
+        let exact = power_method(&g, 0.6, 1e-10, 100);
+        let p = probesim(g, 0.03);
+        let mut r = rng();
+        for u in [0u32, 9] {
+            let scores = p.single_source(u, &mut r);
+            for v in 0..40u32 {
+                let err = (scores.get(v) - exact.get(u, v)).abs();
+                assert!(
+                    err < 0.08,
+                    "u={u} v={v}: probesim {} vs exact {}",
+                    scores.get(v),
+                    exact.get(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_across_components_and_self_one() {
+        let p = probesim(prsim_gen::toys::two_triangles(), 0.1);
+        let mut r = rng();
+        let scores = p.single_source(0, &mut r);
+        assert_eq!(scores.get(0), 1.0);
+        for v in 3..6 {
+            assert_eq!(scores.get(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn index_free() {
+        let p = probesim(prsim_gen::toys::cycle(3), 0.5);
+        assert_eq!(p.index_size_bytes(), 0);
+    }
+}

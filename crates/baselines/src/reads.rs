@@ -1,0 +1,312 @@
+//! READS (Jiang, Fu & Wong, PVLDB 2017) — randomized index of coupled
+//! √c-walks.
+//!
+//! **Index**: `r` samples; sample `k` draws, for every node `x` and step
+//! `i < t`, one shared decision `next_k,i(x)` — terminate (probability
+//! `1−√c`) or move to a uniform in-neighbor. Sharing the decision per
+//! `(k, i, x)` merges walks the moment they coincide (the tree compression
+//! of the READS paper) while keeping walks at *distinct* nodes
+//! independent, so the pairwise meeting probability is exactly SimRank.
+//!
+//! **Query**: follow `u`'s walk in sample `k` to its end `(L, x_L)`; every
+//! node `v` whose sample-`k` walk is alive at step `L` at `x_L` has met
+//! `u`'s walk (merging makes "ever met" equivalent to "together at `u`'s
+//! final step"), found by expanding the per-level preimage lists downward.
+//! Each such `v` scores `1/r`.
+//!
+//! The per-level successor + preimage arrays cost `O(r·t·n)` memory —
+//! READS' documented scalability pain (the paper's Figure 4 shows it
+//! needing 100 GB where PRSim needs 200 MB).
+
+use prsim_core::scores::SimRankScores;
+use prsim_graph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::SingleSourceSimRank;
+
+/// Sentinel: walk terminated (flip) or died (dangling) at this step.
+const STOP: u32 = u32::MAX;
+
+/// READS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadsConfig {
+    /// SimRank decay factor `c`.
+    pub c: f64,
+    /// Number of walk samples per node (`r`).
+    pub r: usize,
+    /// Walk depth cap (`t`).
+    pub t: usize,
+}
+
+impl Default for ReadsConfig {
+    fn default() -> Self {
+        ReadsConfig { c: 0.6, r: 100, t: 10 }
+    }
+}
+
+/// One sample's coupled-walk tables.
+#[derive(Clone, Debug)]
+struct Sample {
+    /// `next[i·n + x]` = successor of `x` at step `i`, or [`STOP`].
+    next: Vec<u32>,
+    /// Per-level preimage CSR: `pre_offsets[i][x]..` indexes `pre_list[i]`.
+    pre_offsets: Vec<Vec<usize>>,
+    pre_list: Vec<Vec<NodeId>>,
+}
+
+impl Sample {
+    fn generate(g: &DiGraph, sqrt_c: f64, t: usize, rng: &mut StdRng) -> Self {
+        let n = g.node_count();
+        let mut next = vec![STOP; t * n];
+        for i in 0..t {
+            for x in 0..n {
+                if rng.gen::<f64>() < sqrt_c {
+                    let ins = g.in_neighbors(x as NodeId);
+                    if !ins.is_empty() {
+                        next[i * n + x] = ins[rng.gen_range(0..ins.len())];
+                    }
+                }
+            }
+        }
+        // Preimage CSR per level.
+        let mut pre_offsets = Vec::with_capacity(t);
+        let mut pre_list = Vec::with_capacity(t);
+        for i in 0..t {
+            let level = &next[i * n..(i + 1) * n];
+            let mut deg = vec![0usize; n];
+            for &tgt in level {
+                if tgt != STOP {
+                    deg[tgt as usize] += 1;
+                }
+            }
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut acc = 0usize;
+            offsets.push(0);
+            for &d in &deg {
+                acc += d;
+                offsets.push(acc);
+            }
+            let mut cursor = offsets[..n].to_vec();
+            let mut list = vec![0 as NodeId; acc];
+            for (x, &tgt) in level.iter().enumerate() {
+                if tgt != STOP {
+                    list[cursor[tgt as usize]] = x as NodeId;
+                    cursor[tgt as usize] += 1;
+                }
+            }
+            pre_offsets.push(offsets);
+            pre_list.push(list);
+        }
+        Sample {
+            next,
+            pre_offsets,
+            pre_list,
+        }
+    }
+
+    /// Nodes `y` with `next_i(y) = x`.
+    fn preimage(&self, i: usize, x: NodeId) -> &[NodeId] {
+        let o = &self.pre_offsets[i];
+        &self.pre_list[i][o[x as usize]..o[x as usize + 1]]
+    }
+}
+
+/// A built READS index.
+#[derive(Clone, Debug)]
+pub struct Reads {
+    graph: Arc<DiGraph>,
+    config: ReadsConfig,
+    samples: Vec<Sample>,
+    /// Preprocessing wall time in seconds.
+    pub preprocess_seconds: f64,
+}
+
+impl Reads {
+    /// Generates the `r` coupled-walk samples.
+    pub fn build(graph: Arc<DiGraph>, config: ReadsConfig, rng: &mut StdRng) -> Self {
+        assert!(config.c > 0.0 && config.c < 1.0);
+        assert!(config.r > 0 && config.t > 0);
+        let start = std::time::Instant::now();
+        let sqrt_c = config.c.sqrt();
+        let samples = (0..config.r)
+            .map(|_| Sample::generate(&graph, sqrt_c, config.t, rng))
+            .collect();
+        let preprocess_seconds = start.elapsed().as_secs_f64();
+        Reads {
+            graph,
+            config,
+            samples,
+            preprocess_seconds,
+        }
+    }
+}
+
+impl SingleSourceSimRank for Reads {
+    fn name(&self) -> &'static str {
+        "READS"
+    }
+
+    fn single_source(&self, u: NodeId, _rng: &mut StdRng) -> SimRankScores {
+        let n = self.graph.node_count();
+        let mut acc: HashMap<NodeId, f64> = HashMap::new();
+        let inv_r = 1.0 / self.config.r as f64;
+        for sample in &self.samples {
+            // Follow u's walk to its final alive step L at node x_L.
+            let mut path = vec![u];
+            let mut x = u;
+            for i in 0..self.config.t {
+                let nx = sample.next[i * n + x as usize];
+                if nx == STOP {
+                    break;
+                }
+                x = nx;
+                path.push(x);
+            }
+            let last = path.len() - 1;
+            if last == 0 {
+                continue; // u's walk never moved: no v can meet it at i ≥ 1
+            }
+            // All v alive at step `last` at node x: expand preimages
+            // downward from (last, x) to level 0.
+            let mut frontier = vec![x];
+            for level in (0..last).rev() {
+                let mut next_frontier = Vec::new();
+                for &node in &frontier {
+                    next_frontier.extend_from_slice(sample.preimage(level, node));
+                }
+                frontier = next_frontier;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            for &v in &frontier {
+                if v != u {
+                    *acc.entry(v).or_insert(0.0) += inv_r;
+                }
+            }
+        }
+        SimRankScores::from_map(u, n, acc)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.samples
+            .iter()
+            .map(|s| {
+                s.next.len() * 4
+                    + s.pre_offsets
+                        .iter()
+                        .map(|o| o.len() * std::mem::size_of::<usize>())
+                        .sum::<usize>()
+                    + s.pre_list.iter().map(|l| l.len() * 4).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_method::power_method;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x2EAD5)
+    }
+
+    fn reads(g: prsim_graph::DiGraph, r: usize, t: usize) -> Reads {
+        Reads::build(Arc::new(g), ReadsConfig { c: 0.6, r, t }, &mut rng())
+    }
+
+    #[test]
+    fn successors_are_in_neighbors() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(50, 4.0, 2.0, 4));
+        let idx = reads(g.clone(), 3, 5);
+        let n = g.node_count();
+        for s in &idx.samples {
+            for i in 0..5 {
+                for x in 0..n {
+                    let nx = s.next[i * n + x];
+                    if nx != STOP {
+                        assert!(g.in_neighbors(x as u32).contains(&nx));
+                        assert!(s.preimage(i, nx).contains(&(x as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn termination_rate_matches_sqrt_c() {
+        let g = prsim_gen::toys::complete(30);
+        let idx = reads(g, 20, 8);
+        let n = 30;
+        let mut stopped = 0usize;
+        let mut total = 0usize;
+        for s in &idx.samples {
+            for &nx in &s.next {
+                total += 1;
+                if nx == STOP {
+                    stopped += 1;
+                }
+            }
+        }
+        let _ = n;
+        let rate = stopped as f64 / total as f64;
+        let want = 1.0 - 0.6f64.sqrt();
+        assert!((rate - want).abs() < 0.02, "stop rate {rate}, want {want}");
+    }
+
+    #[test]
+    fn star_out_close_to_c() {
+        let idx = reads(prsim_gen::toys::star_out(6), 3_000, 10);
+        let mut r = rng();
+        let scores = idx.single_source(1, &mut r);
+        for v in 2..6u32 {
+            assert!(
+                (scores.get(v) - 0.6).abs() < 0.05,
+                "s(1,{v}) = {}",
+                scores.get(v)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_power_method_on_small_graph() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(40, 4.0, 2.0, 14));
+        let exact = power_method(&g, 0.6, 1e-10, 100);
+        let idx = reads(g, 4_000, 12);
+        let mut r = rng();
+        let scores = idx.single_source(2, &mut r);
+        for v in 0..40u32 {
+            let err = (scores.get(v) - exact.get(2, v)).abs();
+            assert!(
+                err < 0.05,
+                "v={v}: reads {} vs exact {}",
+                scores.get(v),
+                exact.get(2, v)
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_zero_similarity() {
+        let idx = reads(prsim_gen::toys::cycle(8), 500, 10);
+        let mut r = rng();
+        let scores = idx.single_source(0, &mut r);
+        for v in 1..8u32 {
+            assert_eq!(scores.get(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn index_size_scales_with_r_and_t() {
+        let small = reads(prsim_gen::toys::cycle(20), 5, 5);
+        let big_r = reads(prsim_gen::toys::cycle(20), 20, 5);
+        let big_t = reads(prsim_gen::toys::cycle(20), 5, 20);
+        assert!(big_r.index_size_bytes() > 3 * small.index_size_bytes());
+        assert!(big_t.index_size_bytes() > 3 * small.index_size_bytes());
+    }
+}

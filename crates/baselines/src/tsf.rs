@@ -1,0 +1,306 @@
+//! TSF — Two-Stage Framework (Shao et al., PVLDB 2015).
+//!
+//! **Index**: `R_g` *one-way graphs*; each samples one in-neighbor
+//! (or none) per node, so every node's reverse walk through a one-way
+//! graph is a deterministic path and the one-way graph is a forest.
+//!
+//! **Query**: for each one-way graph, `R_q` fresh random reverse walks
+//! from `u`; when the fresh walk sits at `x` after `i` steps, every node
+//! `v` whose one-way path also sits at `x` after `i` steps (the depth-`i`
+//! descendants of `x` in the forest) receives `c^i / (R_g·R_q)`.
+//!
+//! Per the published algorithm, walks may meet several times and each
+//! meeting contributes — TSF *overestimates* SimRank (paper §4), which is
+//! visible in the accuracy experiments.
+
+use prsim_core::scores::SimRankScores;
+use prsim_graph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::SingleSourceSimRank;
+
+/// Sentinel for "no parent" in a one-way graph.
+const NONE: u32 = u32::MAX;
+
+/// TSF configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TsfConfig {
+    /// SimRank decay factor `c`.
+    pub c: f64,
+    /// Number of one-way graphs in the index (`R_g`).
+    pub rg: usize,
+    /// Reuses of each one-way graph per query (`R_q`).
+    pub rq: usize,
+    /// Walk depth cap `t`.
+    pub depth: usize,
+}
+
+impl Default for TsfConfig {
+    fn default() -> Self {
+        TsfConfig {
+            c: 0.6,
+            rg: 300,
+            rq: 40,
+            depth: 10,
+        }
+    }
+}
+
+/// One sampled one-way graph stored as parent array + child CSR.
+#[derive(Clone, Debug)]
+struct OneWayGraph {
+    /// `parent[v]` = sampled in-neighbor of `v`, or [`NONE`].
+    parent: Vec<u32>,
+    /// CSR of the reverse relation for descendant enumeration.
+    child_offsets: Vec<usize>,
+    child_list: Vec<NodeId>,
+}
+
+impl OneWayGraph {
+    fn sample(g: &DiGraph, rng: &mut StdRng) -> Self {
+        let n = g.node_count();
+        let mut parent = vec![NONE; n];
+        for v in 0..n {
+            let ins = g.in_neighbors(v as NodeId);
+            if !ins.is_empty() {
+                parent[v] = ins[rng.gen_range(0..ins.len())];
+            }
+        }
+        // Build child CSR.
+        let mut deg = vec![0usize; n];
+        for &p in &parent {
+            if p != NONE {
+                deg[p as usize] += 1;
+            }
+        }
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        child_offsets.push(0);
+        for &d in &deg {
+            acc += d;
+            child_offsets.push(acc);
+        }
+        let mut cursor = child_offsets[..n].to_vec();
+        let mut child_list = vec![0 as NodeId; acc];
+        for (v, &p) in parent.iter().enumerate() {
+            if p != NONE {
+                child_list[cursor[p as usize]] = v as NodeId;
+                cursor[p as usize] += 1;
+            }
+        }
+        OneWayGraph {
+            parent,
+            child_offsets,
+            child_list,
+        }
+    }
+
+    fn children(&self, x: NodeId) -> &[NodeId] {
+        &self.child_list[self.child_offsets[x as usize]..self.child_offsets[x as usize + 1]]
+    }
+
+    /// All nodes whose one-way path reaches `x` after exactly `depth`
+    /// steps (depth-`depth` descendants of `x` in the forest).
+    fn descendants_at_depth(&self, x: NodeId, depth: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        let mut frontier = vec![x];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                next.extend_from_slice(self.children(node));
+            }
+            if next.is_empty() {
+                return;
+            }
+            frontier = next;
+        }
+        *out = frontier;
+    }
+}
+
+/// A built TSF index.
+#[derive(Clone, Debug)]
+pub struct Tsf {
+    graph: Arc<DiGraph>,
+    config: TsfConfig,
+    one_way: Vec<OneWayGraph>,
+    /// Preprocessing wall time in seconds.
+    pub preprocess_seconds: f64,
+}
+
+impl Tsf {
+    /// Samples the `R_g` one-way graphs.
+    pub fn build(graph: Arc<DiGraph>, config: TsfConfig, rng: &mut StdRng) -> Self {
+        assert!(config.c > 0.0 && config.c < 1.0);
+        assert!(config.rg > 0 && config.rq > 0 && config.depth > 0);
+        let start = std::time::Instant::now();
+        let one_way = (0..config.rg)
+            .map(|_| OneWayGraph::sample(&graph, rng))
+            .collect();
+        let preprocess_seconds = start.elapsed().as_secs_f64();
+        Tsf {
+            graph,
+            config,
+            one_way,
+            preprocess_seconds,
+        }
+    }
+}
+
+impl SingleSourceSimRank for Tsf {
+    fn name(&self) -> &'static str {
+        "TSF"
+    }
+
+    fn single_source(&self, u: NodeId, rng: &mut StdRng) -> SimRankScores {
+        let g = &*self.graph;
+        let n = g.node_count();
+        let weight = 1.0 / (self.config.rg * self.config.rq) as f64;
+        let mut acc: HashMap<NodeId, f64> = HashMap::new();
+        let mut buf: Vec<NodeId> = Vec::new();
+        for ow in &self.one_way {
+            for _ in 0..self.config.rq {
+                // Fresh reverse walk from u (no decay; c^i applied at meets).
+                let mut x = u;
+                for i in 1..=self.config.depth {
+                    let ins = g.in_neighbors(x);
+                    if ins.is_empty() {
+                        break;
+                    }
+                    x = ins[rng.gen_range(0..ins.len())];
+                    ow.descendants_at_depth(x, i, &mut buf);
+                    let ci = self.config.c.powi(i as i32);
+                    for &v in &buf {
+                        if v != u {
+                            *acc.entry(v).or_insert(0.0) += ci * weight;
+                        }
+                    }
+                }
+            }
+        }
+        SimRankScores::from_map(u, n, acc)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.one_way
+            .iter()
+            .map(|ow| {
+                ow.parent.len() * 4
+                    + ow.child_offsets.len() * std::mem::size_of::<usize>()
+                    + ow.child_list.len() * 4
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_method::power_method;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x75F)
+    }
+
+    fn tsf(g: prsim_graph::DiGraph, rg: usize, rq: usize) -> Tsf {
+        Tsf::build(
+            Arc::new(g),
+            TsfConfig {
+                rg,
+                rq,
+                ..Default::default()
+            },
+            &mut rng(),
+        )
+    }
+
+    #[test]
+    fn one_way_graph_is_forest_sample() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(50, 4.0, 2.0, 4));
+        let mut r = rng();
+        let ow = OneWayGraph::sample(&g, &mut r);
+        for v in 0..50u32 {
+            let p = ow.parent[v as usize];
+            if p != NONE {
+                assert!(
+                    g.in_neighbors(v).contains(&p),
+                    "parent {p} is not an in-neighbor of {v}"
+                );
+                assert!(ow.children(p).contains(&v));
+            } else {
+                assert!(g.in_neighbors(v).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_depth_zero_is_self() {
+        let g = prsim_gen::toys::star_out(5);
+        let mut r = rng();
+        let ow = OneWayGraph::sample(&g, &mut r);
+        let mut buf = Vec::new();
+        ow.descendants_at_depth(0, 0, &mut buf);
+        assert_eq!(buf, vec![0]);
+        // Depth 1 from the hub: all leaves (each leaf's only in-neighbor
+        // is the hub, so every leaf's parent is the hub).
+        ow.descendants_at_depth(0, 1, &mut buf);
+        let mut got = buf.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn star_out_close_to_c() {
+        let t = tsf(prsim_gen::toys::star_out(6), 200, 10);
+        let mut r = rng();
+        let scores = t.single_source(1, &mut r);
+        for v in 2..6u32 {
+            assert!(
+                (scores.get(v) - 0.6).abs() < 0.05,
+                "s(1,{v}) = {}",
+                scores.get(v)
+            );
+        }
+    }
+
+    #[test]
+    fn overestimates_but_tracks_power_method() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(40, 4.0, 2.0, 14));
+        let exact = power_method(&g, 0.6, 1e-10, 100);
+        let t = tsf(g, 150, 10);
+        let mut r = rng();
+        let scores = t.single_source(2, &mut r);
+        let mut total_err = 0.0;
+        for v in 0..40u32 {
+            total_err += (scores.get(v) - exact.get(2, v)).abs();
+        }
+        // TSF is biased upward (multiple meetings); expect rough
+        // agreement, not ε-accuracy.
+        assert!(
+            total_err / 40.0 < 0.1,
+            "average error {} too large",
+            total_err / 40.0
+        );
+    }
+
+    #[test]
+    fn index_size_scales_with_rg() {
+        let a = tsf(prsim_gen::toys::cycle(20), 10, 2);
+        let b = tsf(prsim_gen::toys::cycle(20), 40, 2);
+        assert!(b.index_size_bytes() > 3 * a.index_size_bytes());
+    }
+
+    #[test]
+    fn cycle_has_zero_similarity() {
+        let t = tsf(prsim_gen::toys::cycle(8), 50, 5);
+        let mut r = rng();
+        let scores = t.single_source(0, &mut r);
+        for v in 1..8u32 {
+            assert_eq!(scores.get(v), 0.0, "cycle walks never meet");
+        }
+    }
+}

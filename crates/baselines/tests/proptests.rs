@@ -1,0 +1,114 @@
+//! Property tests shared across every baseline algorithm: output ranges,
+//! self-similarity, cross-component zeros and seed-determinism.
+
+use proptest::prelude::*;
+use prsim_baselines::{
+    MonteCarlo, MonteCarloConfig, ProbeSim, ProbeSimConfig, Reads, ReadsConfig,
+    SingleSourceSimRank, Sling, SlingConfig, TopSim, TopSimConfig, Tsf, TsfConfig,
+};
+use prsim_graph::DiGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (4usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..80).prop_map(move |edges| {
+            let mut es: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            es.sort_unstable();
+            es.dedup();
+            DiGraph::from_edges(n, &es)
+        })
+    })
+}
+
+/// Builds every baseline with cheap parameters.
+fn all_algorithms(g: Arc<DiGraph>, seed: u64) -> Vec<Box<dyn SingleSourceSimRank>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        Box::new(MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig { nr: 60, ..Default::default() },
+        )),
+        Box::new(ProbeSim::new(
+            Arc::clone(&g),
+            ProbeSimConfig { eps_a: 0.3, c_mult: 2.0, ..Default::default() },
+        )),
+        Box::new(Sling::build(
+            Arc::clone(&g),
+            SlingConfig { eps_a: 0.1, eta_samples: 60, ..Default::default() },
+            &mut rng,
+        )),
+        Box::new(Tsf::build(
+            Arc::clone(&g),
+            TsfConfig { rg: 12, rq: 3, ..Default::default() },
+            &mut rng,
+        )),
+        Box::new(Reads::build(
+            Arc::clone(&g),
+            ReadsConfig { c: 0.6, r: 40, t: 6 },
+            &mut rng,
+        )),
+        Box::new(TopSim::new(
+            Arc::clone(&g),
+            TopSimConfig { depth: 3, degree_threshold: 50, ..Default::default() },
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn outputs_well_formed(g in arb_graph(), seed in 0u64..50) {
+        let n = g.node_count();
+        let g = Arc::new(g);
+        let u = (seed as usize % n) as u32;
+        for algo in all_algorithms(Arc::clone(&g), seed) {
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            let scores = algo.single_source(u, &mut rng);
+            prop_assert_eq!(scores.get(u), 1.0, "{} self-score", algo.name());
+            for (v, s) in scores.iter() {
+                prop_assert!(
+                    s.is_finite() && s >= 0.0,
+                    "{}: ŝ({u},{v}) = {s}", algo.name()
+                );
+                // Sampling noise can overshoot 1 slightly; TSF's multiple
+                // meetings can push a bit higher.
+                prop_assert!(s <= 1.6, "{}: ŝ({u},{v}) = {s}", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed(g in arb_graph(), seed in 0u64..30) {
+        let n = g.node_count();
+        let g = Arc::new(g);
+        let u = (seed as usize % n) as u32;
+        for algo in all_algorithms(Arc::clone(&g), seed) {
+            let a = algo.single_source(u, &mut StdRng::seed_from_u64(7));
+            let b = algo.single_source(u, &mut StdRng::seed_from_u64(7));
+            prop_assert_eq!(
+                a.max_abs_diff(&b), 0.0,
+                "{} not deterministic for fixed seed", algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn no_similarity_across_components(seed in 0u64..20) {
+        // Two disjoint triangles: any score from {0,1,2} into {3,4,5}
+        // must be exactly zero for every algorithm.
+        let g = Arc::new(prsim_gen::toys::two_triangles());
+        for algo in all_algorithms(Arc::clone(&g), seed) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scores = algo.single_source(0, &mut rng);
+            for v in 3..6u32 {
+                prop_assert_eq!(
+                    scores.get(v), 0.0,
+                    "{} leaked similarity across components", algo.name()
+                );
+            }
+        }
+    }
+}

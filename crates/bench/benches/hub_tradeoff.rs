@@ -1,0 +1,42 @@
+//! Ablation bench for the hub count j₀ (paper §3.3): query time as the
+//! index grows from index-free (j₀ = 0) through the paper's √n default to
+//! a full index (j₀ = n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prsim_core::{HubCount, Prsim, PrsimConfig, QueryParams};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hub_tradeoff(c: &mut Criterion) {
+    let n = 20_000usize;
+    let g = chung_lu_undirected(ChungLuConfig::new(n, 10.0, 1.8, 99));
+    let sqrt_n = (n as f64).sqrt() as usize;
+
+    let mut group = c.benchmark_group("hub_tradeoff");
+    group.sample_size(10);
+    for &j0 in &[0usize, sqrt_n, n / 10, n] {
+        let engine = Prsim::build(
+            g.clone(),
+            PrsimConfig {
+                eps: 0.25,
+                hubs: HubCount::Fixed(j0),
+                query: QueryParams::Practical { c_mult: 3.0 },
+                ..Default::default()
+            },
+        )
+        .expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(j0), &engine, |b, engine| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut u = 0u32;
+            b.iter(|| {
+                u = (u + 4871) % n as u32;
+                engine.single_source(u, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hub_tradeoff);
+criterion_main!(benches);

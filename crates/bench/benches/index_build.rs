@@ -1,0 +1,64 @@
+//! Preprocessing benchmark: PRSim index construction (Algorithm 1) across
+//! accuracy targets and hub counts, plus serialization round-trip cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prsim_core::{HubCount, Prsim, PrsimConfig, PrsimIndex};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let g = chung_lu_undirected(ChungLuConfig::new(20_000, 10.0, 2.0, 21));
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for &eps in &[0.25f64, 0.1, 0.05] {
+        group.bench_with_input(BenchmarkId::new("eps", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                Prsim::build(
+                    g.clone(),
+                    PrsimConfig {
+                        eps,
+                        ..Default::default()
+                    },
+                )
+                .expect("valid config")
+            });
+        });
+    }
+    for &j0 in &[100usize, 1_000, 5_000] {
+        group.bench_with_input(BenchmarkId::new("j0", j0), &j0, |b, &j0| {
+            b.iter(|| {
+                Prsim::build(
+                    g.clone(),
+                    PrsimConfig {
+                        eps: 0.1,
+                        hubs: HubCount::Fixed(j0),
+                        ..Default::default()
+                    },
+                )
+                .expect("valid config")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let g = chung_lu_undirected(ChungLuConfig::new(20_000, 10.0, 2.0, 22));
+    let engine = Prsim::build(
+        g,
+        PrsimConfig {
+            eps: 0.1,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let bytes = engine.index().to_bytes();
+    let mut group = c.benchmark_group("index_serialization");
+    group.bench_function("to_bytes", |b| b.iter(|| engine.index().to_bytes()));
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| PrsimIndex::from_bytes(&bytes, engine.graph().node_count()).expect("round trip"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the inner kernels: √c-walk sampling, reverse
+//! PageRank iteration and the counting-sort adjacency ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prsim_core::pagerank::reverse_pagerank;
+use prsim_core::walk::{sample_pair_meets, sample_terminal};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use prsim_graph::ordering::sort_out_by_in_degree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+fn bench_walks(c: &mut Criterion) {
+    let g = chung_lu_undirected(ChungLuConfig::new(50_000, 10.0, 2.0, 1));
+    let mut group = c.benchmark_group("walk");
+    group.bench_function("sample_terminal", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut u = 0u32;
+        b.iter(|| {
+            u = (u + 7919) % 50_000;
+            sample_terminal(&g, SQRT_C, u, 64, &mut rng)
+        });
+    });
+    group.bench_function("sample_pair_meets", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut u = 0u32;
+        b.iter(|| {
+            u = (u + 7919) % 50_000;
+            sample_pair_meets(&g, SQRT_C, u, 64, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reverse_pagerank");
+    for n in [10_000usize, 50_000] {
+        let g = chung_lu_undirected(ChungLuConfig::new(n, 10.0, 2.0, 4));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| reverse_pagerank(g, SQRT_C, 1e-9, 64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_sort_adjacency");
+    for n in [10_000usize, 50_000] {
+        let g = chung_lu_undirected(ChungLuConfig::new(n, 10.0, 2.0, 5));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter_batched(
+                || g.clone(),
+                |mut g| sort_out_by_in_degree(&mut g),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_walks, bench_pagerank, bench_ordering
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! End-to-end single-source query benchmark: PRSim vs every baseline at
+//! roughly matched accuracy settings on one power-law graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prsim_baselines::{
+    ProbeSim, ProbeSimConfig, Reads, ReadsConfig, SingleSourceSimRank, Sling, SlingConfig,
+    TopSim, TopSimConfig, Tsf, TsfConfig,
+};
+use prsim_core::{PrsimConfig, QueryParams};
+use prsim_eval::PrsimAlgo;
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_single_source(c: &mut Criterion) {
+    let n = 20_000usize;
+    let g = Arc::new(chung_lu_undirected(ChungLuConfig::new(n, 10.0, 2.0, 77)));
+    let mut build_rng = StdRng::seed_from_u64(1);
+
+    let prsim = PrsimAlgo::build(
+        (*g).clone(),
+        PrsimConfig {
+            eps: 0.25,
+            query: QueryParams::Practical { c_mult: 3.0 },
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let probesim = ProbeSim::new(
+        Arc::clone(&g),
+        ProbeSimConfig {
+            eps_a: 0.25,
+            c_mult: 3.0,
+            ..Default::default()
+        },
+    );
+    let sling = Sling::build(
+        Arc::clone(&g),
+        SlingConfig {
+            eps_a: 0.25,
+            eta_samples: 200,
+            ..Default::default()
+        },
+        &mut build_rng,
+    );
+    let tsf = Tsf::build(
+        Arc::clone(&g),
+        TsfConfig {
+            rg: 100,
+            rq: 20,
+            ..Default::default()
+        },
+        &mut build_rng,
+    );
+    let reads = Reads::build(
+        Arc::clone(&g),
+        ReadsConfig { c: 0.6, r: 50, t: 5 },
+        &mut build_rng,
+    );
+    let topsim = TopSim::new(
+        Arc::clone(&g),
+        TopSimConfig {
+            depth: 3,
+            degree_threshold: 100,
+            ..Default::default()
+        },
+    );
+
+    let algos: Vec<(&str, &dyn SingleSourceSimRank)> = vec![
+        ("prsim", &prsim),
+        ("probesim", &probesim),
+        ("sling", &sling),
+        ("tsf", &tsf),
+        ("reads", &reads),
+        ("topsim", &topsim),
+    ];
+
+    let mut group = c.benchmark_group("single_source_20k");
+    group.sample_size(10);
+    for (name, algo) in algos {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut u = 0u32;
+            b.iter(|| {
+                u = (u + 4871) % n as u32;
+                algo.single_source(u, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_source);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Table 1: complexity comparison of single-source SimRank algorithms,
+//! plus an empirical verification of the theorem behind PRSim's row.
+//!
+//! The theoretical half is static (it restates the paper's bounds). The
+//! empirical half measures, on a γ-sweep of Chung–Lu graphs, the
+//! reverse-PageRank second moment Σπ(w)² — the quantity Theorem 3.11 says
+//! drives PRSim's query cost — against the measured query cost, verifying
+//! they move together.
+//!
+//! Usage: `cargo run -p prsim-bench --bin table1 --release [-- --scale 1]`
+
+use prsim_bench::parse_scale;
+use prsim_core::pagerank::second_moment;
+use prsim_core::{PrsimConfig, QueryParams};
+use prsim_eval::experiment::pick_query_nodes;
+use prsim_eval::report::{render_table, write_csv};
+use prsim_eval::PrsimAlgo;
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = parse_scale();
+    println!("== Table 1: theoretical comparison (as printed in the paper) ==\n");
+    let theory_headers = ["algorithm", "query time", "query time (power-law)", "index size", "preprocessing"];
+    let theory = vec![
+        vec![
+            "PRSim".to_string(),
+            "O(n log(n/d)/eps^2 * sum pi(w)^2)".to_string(),
+            "O(log(n/d)/eps^2) for gamma>2; +log n factor at gamma=2; sublinear for 1<gamma<2".to_string(),
+            "O(min{n/eps, m})".to_string(),
+            "O(m/eps)".to_string(),
+        ],
+        vec![
+            "TSF".to_string(),
+            "O(n log(n/d)/eps^2)".to_string(),
+            "same (structure-oblivious)".to_string(),
+            "O(n log(n/d)/eps^2)".to_string(),
+            "O(n log(n/d)/eps^2)".to_string(),
+        ],
+        vec![
+            "READS".to_string(),
+            "O(n log(n/d)/eps^2)".to_string(),
+            "same (structure-oblivious)".to_string(),
+            "O(n log(n/d)/eps^2)".to_string(),
+            "O(n log(n/d)/eps^2)".to_string(),
+        ],
+        vec![
+            "ProbeSim".to_string(),
+            "O(n log(n/d)/eps^2)".to_string(),
+            "same (structure-oblivious)".to_string(),
+            "0".to_string(),
+            "0".to_string(),
+        ],
+        vec![
+            "SLING".to_string(),
+            "O(n/eps)".to_string(),
+            "same (structure-oblivious)".to_string(),
+            "O(n/eps)".to_string(),
+            "O(m/eps + n log(n/d)/eps^2)".to_string(),
+        ],
+    ];
+    println!("{}", render_table(&theory_headers, &theory));
+
+    println!("== Table 1 (empirical): sum pi(w)^2 predicts PRSim's query cost ==\n");
+    let n = ((20_000.0 * scale) as usize).max(1_000);
+    let headers = ["gamma", "second_moment", "n*m2", "query_s", "backward_cost"];
+    let mut cells = Vec::new();
+    for gamma in [1.2f64, 1.6, 2.0, 3.0, 5.0, 8.0] {
+        let g = chung_lu_undirected(ChungLuConfig::new(n, 10.0, gamma, 600 + (gamma * 7.0) as u64));
+        let prsim = PrsimAlgo::build(
+            g,
+            PrsimConfig {
+                eps: 0.25,
+                query: QueryParams::Practical { c_mult: 3.0 },
+                ..Default::default()
+            },
+        )
+        .expect("valid config");
+        let m2 = second_moment(prsim.engine().reverse_pagerank());
+        let queries = pick_query_nodes(n, 10, 11);
+        let mut rng = StdRng::seed_from_u64(13);
+        let start = std::time::Instant::now();
+        let mut backward_cost = 0usize;
+        for &u in &queries {
+            let (_, stats) = prsim.engine().try_single_source(u, &mut rng).unwrap();
+            backward_cost += stats.backward_cost;
+        }
+        let t = start.elapsed().as_secs_f64() / queries.len() as f64;
+        eprintln!("[table1] gamma = {gamma}: m2 = {m2:.3e}, query {t:.5}s");
+        cells.push(vec![
+            format!("{gamma}"),
+            format!("{m2:.4e}"),
+            format!("{:.2}", n as f64 * m2),
+            format!("{t:.6}"),
+            format!("{}", backward_cost / queries.len()),
+        ]);
+    }
+    println!("{}", render_table(&headers, &cells));
+    let _ = write_csv("target/table1.csv", &headers, &cells);
+    println!(
+        "\nPaper shape check: the second moment (and hence n*m2, the bound's\n\
+         graph-dependent factor) falls as gamma rises, and the measured\n\
+         query time / backward-walk cost fall with it."
+    );
+}

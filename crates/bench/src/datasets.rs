@@ -1,0 +1,139 @@
+//! Laptop-scale stand-ins for the paper's Table 3 datasets.
+//!
+//! | paper dataset | type | defining trait | stand-in |
+//! |---|---|---|---|
+//! | DBLP-Author (DB) | undirected | moderate γ ≈ 2.2 | Chung–Lu undirected, γ = 2.2, d̄ = 6 |
+//! | LiveJournal (LJ) | directed | γ ≈ 1.9 | Chung–Lu directed, γ = 1.9, d̄ = 14 |
+//! | IT-2004 (IT) | directed | *very skewed* out-degrees (γ ≈ 2.6) | Chung–Lu directed, γ = 2.6, d̄ = 25 |
+//! | Twitter (TW) | directed | *flat* out-degrees (γ ≈ 1.3) | Chung–Lu directed, γ = 1.3, d̄ = 25 |
+//! | UK-Union (UK) | directed | largest | Chung–Lu directed, γ = 2.0, d̄ = 15, 1.5× nodes |
+//!
+//! IT and TW deliberately share `n` and d̄ while differing only in γ —
+//! reproducing the paper's motivating observation (Figure 1) that two
+//! graphs of the same size can have wildly different SimRank hardness.
+
+use prsim_gen::{chung_lu_directed, chung_lu_undirected, ChungLuConfig};
+use prsim_graph::DiGraph;
+
+/// A named benchmark dataset.
+pub struct Dataset {
+    /// Short name matching the paper's abbreviation (e.g. "DB").
+    pub name: &'static str,
+    /// "undirected" or "directed" (Table 3's type column).
+    pub kind: &'static str,
+    /// Target cumulative out-degree exponent γ of the generator.
+    pub gamma: f64,
+    /// The generated graph.
+    pub graph: DiGraph,
+}
+
+/// Base node count of the accuracy datasets at `scale = 1`.
+pub const ACCURACY_BASE_N: usize = 2_000;
+
+/// The five Table 3 stand-ins at accuracy scale (`n ≈ 2000·scale`),
+/// suitable for exact ground truth.
+pub fn accuracy_datasets(scale: f64) -> Vec<Dataset> {
+    let n = |base: usize| ((base as f64 * scale).round() as usize).max(50);
+    vec![
+        Dataset {
+            name: "DB",
+            kind: "undirected",
+            gamma: 2.2,
+            graph: chung_lu_undirected(ChungLuConfig::new(n(ACCURACY_BASE_N), 6.0, 2.2, 101)),
+        },
+        Dataset {
+            name: "LJ",
+            kind: "directed",
+            gamma: 1.9,
+            graph: chung_lu_directed(
+                ChungLuConfig::new(n(ACCURACY_BASE_N), 14.0, 1.9, 102),
+                2.2,
+                202,
+            ),
+        },
+        Dataset {
+            name: "IT",
+            kind: "directed",
+            gamma: 2.6,
+            graph: chung_lu_directed(
+                ChungLuConfig::new(n(ACCURACY_BASE_N), 25.0, 2.6, 103),
+                2.3,
+                203,
+            ),
+        },
+        Dataset {
+            name: "TW",
+            kind: "directed",
+            gamma: 1.3,
+            graph: chung_lu_directed(
+                ChungLuConfig::new(n(ACCURACY_BASE_N), 25.0, 1.3, 104),
+                1.8,
+                204,
+            ),
+        },
+        Dataset {
+            name: "UK",
+            kind: "directed",
+            gamma: 2.0,
+            graph: chung_lu_directed(
+                ChungLuConfig::new(n(3 * ACCURACY_BASE_N / 2), 15.0, 2.0, 105),
+                2.1,
+                205,
+            ),
+        },
+    ]
+}
+
+/// Large IT-like / TW-like pair for Figure 1's degree-distribution plot.
+pub fn figure1_pair(scale: f64) -> (Dataset, Dataset) {
+    let n = ((50_000.0 * scale).round() as usize).max(1_000);
+    (
+        Dataset {
+            name: "IT-like",
+            kind: "directed",
+            gamma: 2.6,
+            graph: chung_lu_directed(ChungLuConfig::new(n, 25.0, 2.6, 301), 2.3, 401),
+        },
+        Dataset {
+            name: "TW-like",
+            kind: "directed",
+            gamma: 1.3,
+            graph: chung_lu_directed(ChungLuConfig::new(n, 25.0, 1.3, 302), 1.8, 402),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prsim_graph::degrees::{degree_sequence, powerlaw_exponent_ccdf_fit, DegreeKind};
+
+    #[test]
+    fn five_datasets_with_expected_shapes() {
+        let ds = accuracy_datasets(0.5);
+        assert_eq!(ds.len(), 5);
+        let names: Vec<_> = ds.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["DB", "LJ", "IT", "TW", "UK"]);
+        for d in &ds {
+            assert!(d.graph.node_count() >= 50);
+            assert!(d.graph.edge_count() > d.graph.node_count());
+        }
+        // UK is the biggest.
+        assert!(ds[4].graph.node_count() > ds[0].graph.node_count());
+    }
+
+    #[test]
+    fn it_is_more_skewed_than_tw() {
+        let (it, tw) = figure1_pair(0.1);
+        let it_deg = degree_sequence(&it.graph, DegreeKind::Out);
+        let tw_deg = degree_sequence(&tw.graph, DegreeKind::Out);
+        let it_gamma = powerlaw_exponent_ccdf_fit(&it_deg, 3).unwrap();
+        let tw_gamma = powerlaw_exponent_ccdf_fit(&tw_deg, 3).unwrap();
+        assert!(
+            it_gamma > tw_gamma + 0.5,
+            "IT γ = {it_gamma:.2} should exceed TW γ = {tw_gamma:.2}"
+        );
+        // Same order of n and m.
+        assert_eq!(it.graph.node_count(), tw.graph.node_count());
+    }
+}

@@ -1,0 +1,50 @@
+//! # prsim-bench
+//!
+//! Harness reproducing every table and figure of the PRSim paper's
+//! evaluation (§5). Each artifact has a dedicated binary in `src/bin/`
+//! (see DESIGN.md §5 for the experiment index); this library holds the
+//! shared plumbing: the laptop-scale stand-in datasets, algorithm
+//! factories with the paper's parameter grids, and the shared-pool sweep
+//! runner.
+//!
+//! ## Datasets
+//!
+//! The paper evaluates on DBLP-Author, LiveJournal, IT-2004, Twitter and
+//! UK-Union (Table 3) — up to 5.5 billion edges on a 196 GB machine. We
+//! substitute synthetic graphs whose *structure* matches what the paper's
+//! analysis says drives SimRank hardness: the cumulative out-degree
+//! power-law exponent γ and the average degree d̄ (see DESIGN.md §3).
+//! Accuracy figures (2–5) run at `n ≈ 2000` so the ground truth can be
+//! **exact** (power method) instead of pooled Monte Carlo — this resolves
+//! errors down to 1e-10, far below what sampling-based truth allows.
+//! Scalability figures (6–7) run on larger graphs without accuracy
+//! metrics, exactly like the paper's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod sweep;
+
+pub use datasets::{accuracy_datasets, Dataset};
+pub use sweep::{run_dataset_sweep, AlgoSpec, SweepRow};
+
+/// Parses a `--scale <f>` argument from `std::env::args`, defaulting to 1.
+pub fn parse_scale() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--scale" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                return v.max(0.01);
+            }
+        }
+    }
+    1.0
+}
+
+/// Returns the first free-standing (non-flag) CLI argument, if any.
+pub fn parse_subcommand() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
+}

@@ -1,0 +1,306 @@
+//! Shared-pool sweep runner for Figures 2–5.
+//!
+//! Faithful to §5.1: for each query node, *every* algorithm configuration
+//! answers the same query; the union of all top-k answers forms the pool;
+//! ground truth is evaluated on the pool; each configuration is scored
+//! against the pooled reference set.
+
+use prsim_baselines::{
+    MonteCarlo, MonteCarloConfig, ProbeSim, ProbeSimConfig, Reads, ReadsConfig,
+    SingleSourceSimRank, Sling, SlingConfig, TopSim, TopSimConfig, Tsf, TsfConfig,
+};
+use prsim_core::{PrsimConfig, QueryParams};
+use prsim_eval::metrics::{avg_error_at_k, precision_at_k};
+use prsim_eval::{GroundTruth, PrsimAlgo};
+use prsim_graph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One algorithm configuration to include in a sweep.
+pub struct AlgoSpec {
+    /// Parameter description, e.g. "eps=0.05".
+    pub params: String,
+    /// The built algorithm.
+    pub algo: Box<dyn SingleSourceSimRank>,
+    /// Preprocessing wall time (0 for index-free methods).
+    pub preprocess_seconds: f64,
+}
+
+/// Builds the paper's §5.2 parameter grids for one dataset, scaled so the
+/// full sweep stays laptop-sized. `heavy` enables the densest settings.
+pub fn paper_grids(graph: &Arc<DiGraph>, heavy: bool, seed: u64) -> Vec<AlgoSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs: Vec<AlgoSpec> = Vec::new();
+
+    // PRSim: ε ∈ {0.5, 0.1, 0.05, (0.01)}; j0 = √n as in the paper.
+    let mut prsim_eps = vec![0.5, 0.1, 0.05];
+    if heavy {
+        prsim_eps.push(0.01);
+    }
+    for &eps in &prsim_eps {
+        let cfg = PrsimConfig {
+            eps,
+            query: QueryParams::Practical { c_mult: 3.0 },
+            ..Default::default()
+        };
+        let algo = PrsimAlgo::build((**graph).clone(), cfg).expect("valid config");
+        specs.push(AlgoSpec {
+            params: format!("eps={eps}"),
+            preprocess_seconds: algo.preprocess_seconds,
+            algo: Box::new(algo),
+        });
+    }
+
+    // ProbeSim: ε_a ∈ {0.5, 0.1, 0.05}.
+    for &eps in &[0.5, 0.1, 0.05] {
+        specs.push(AlgoSpec {
+            params: format!("eps={eps}"),
+            preprocess_seconds: 0.0,
+            algo: Box::new(ProbeSim::new(
+                Arc::clone(graph),
+                ProbeSimConfig {
+                    eps_a: eps,
+                    c_mult: 3.0,
+                    ..Default::default()
+                },
+            )),
+        });
+    }
+
+    // SLING: ε_a ∈ {0.5, 0.1, 0.05}.
+    for &eps in &[0.5, 0.1, 0.05] {
+        let start = std::time::Instant::now();
+        let sling = Sling::build(
+            Arc::clone(graph),
+            SlingConfig {
+                eps_a: eps,
+                eta_samples: if heavy { 2_000 } else { 500 },
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let t = start.elapsed().as_secs_f64();
+        specs.push(AlgoSpec {
+            params: format!("eps={eps}"),
+            preprocess_seconds: t,
+            algo: Box::new(sling),
+        });
+    }
+
+    // TSF: (Rg, Rq) grid.
+    for &(rg, rq) in &[(10usize, 2usize), (100, 20), (300, 40)] {
+        let start = std::time::Instant::now();
+        let tsf = Tsf::build(
+            Arc::clone(graph),
+            TsfConfig {
+                rg,
+                rq,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let t = start.elapsed().as_secs_f64();
+        specs.push(AlgoSpec {
+            params: format!("Rg={rg},Rq={rq}"),
+            preprocess_seconds: t,
+            algo: Box::new(tsf),
+        });
+    }
+
+    // READS: (r, t) grid.
+    for &(r, t) in &[(10usize, 2usize), (50, 5), (100, 10)] {
+        let start = std::time::Instant::now();
+        let reads = Reads::build(Arc::clone(graph), ReadsConfig { c: 0.6, r, t }, &mut rng);
+        let el = start.elapsed().as_secs_f64();
+        specs.push(AlgoSpec {
+            params: format!("r={r},t={t}"),
+            preprocess_seconds: el,
+            algo: Box::new(reads),
+        });
+    }
+
+    // TopSim: (T, 1/h) grid.
+    for &(depth, inv_h) in &[(1usize, 10usize), (3, 100), (3, 1000)] {
+        specs.push(AlgoSpec {
+            params: format!("T={depth},1/h={inv_h}"),
+            preprocess_seconds: 0.0,
+            algo: Box::new(TopSim::new(
+                Arc::clone(graph),
+                TopSimConfig {
+                    depth,
+                    degree_threshold: inv_h,
+                    ..Default::default()
+                },
+            )),
+        });
+    }
+
+    // Monte Carlo reference point (not in the paper's figures; useful
+    // sanity anchor).
+    specs.push(AlgoSpec {
+        params: "nr=400".into(),
+        preprocess_seconds: 0.0,
+        algo: Box::new(MonteCarlo::new(
+            Arc::clone(graph),
+            MonteCarloConfig {
+                nr: 400,
+                ..Default::default()
+            },
+        )),
+    });
+
+    specs
+}
+
+/// Measured sweep point for one algorithm configuration on one dataset.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Parameter description.
+    pub params: String,
+    /// Mean query wall time (seconds).
+    pub query_seconds: f64,
+    /// `AvgError@k` against the shared pool.
+    pub avg_error: f64,
+    /// `Precision@k` against the shared pool.
+    pub precision: f64,
+    /// Index bytes.
+    pub index_bytes: usize,
+    /// Preprocessing seconds.
+    pub preprocess_seconds: f64,
+}
+
+/// Runs the shared-pool sweep: all `specs` answer all `queries`; metrics
+/// are computed against the union pool per query.
+pub fn run_dataset_sweep(
+    dataset: &str,
+    specs: &[AlgoSpec],
+    queries: &[NodeId],
+    truth: &GroundTruth,
+    k: usize,
+    seed: u64,
+) -> Vec<SweepRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut time_acc = vec![0.0f64; specs.len()];
+    let mut err_acc = vec![0.0f64; specs.len()];
+    let mut prec_acc = vec![0.0f64; specs.len()];
+
+    for &u in queries {
+        // Timed answers from every configuration.
+        let mut all_scores = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let start = std::time::Instant::now();
+            let scores = spec.algo.single_source(u, &mut rng);
+            time_acc[i] += start.elapsed().as_secs_f64();
+            all_scores.push(scores);
+        }
+        // Shared pool: union of all top-k answers.
+        let mut pool: Vec<NodeId> = all_scores
+            .iter()
+            .flat_map(|s| s.top_k(k).into_iter().map(|(v, _)| v))
+            .collect();
+        pool.sort_unstable();
+        pool.dedup();
+        let mut reference: Vec<(NodeId, f64)> =
+            pool.into_iter().map(|v| (v, truth.pair(u, v))).collect();
+        reference.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        reference.truncate(k);
+
+        for (i, scores) in all_scores.iter().enumerate() {
+            err_acc[i] += avg_error_at_k(scores, &reference);
+            prec_acc[i] += precision_at_k(scores, &reference, k);
+        }
+    }
+
+    let q = queries.len().max(1) as f64;
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| SweepRow {
+            dataset: dataset.to_string(),
+            algo: spec.algo.name().to_string(),
+            params: spec.params.clone(),
+            query_seconds: time_acc[i] / q,
+            avg_error: err_acc[i] / q,
+            precision: prec_acc[i] / q,
+            index_bytes: spec.algo.index_size_bytes(),
+            preprocess_seconds: spec.preprocess_seconds,
+        })
+        .collect()
+}
+
+/// Converts sweep rows into report cells.
+pub fn sweep_row_cells(r: &SweepRow) -> Vec<String> {
+    vec![
+        r.dataset.clone(),
+        r.algo.clone(),
+        r.params.clone(),
+        format!("{:.6}", r.query_seconds),
+        format!("{:.6}", r.avg_error),
+        format!("{:.3}", r.precision),
+        prsim_eval::report::human_bytes(r.index_bytes),
+        format!("{:.3}", r.preprocess_seconds),
+    ]
+}
+
+/// Headers matching [`sweep_row_cells`].
+pub const SWEEP_HEADERS: [&str; 8] = [
+    "dataset",
+    "algorithm",
+    "params",
+    "query_s",
+    "avg_err@k",
+    "prec@k",
+    "index",
+    "preproc_s",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_end_to_end() {
+        let g = Arc::new(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(80, 5.0, 2.0, 9),
+        ));
+        let truth = GroundTruth::exact(&g, 0.6);
+        // Two cheap configs only.
+        let mut specs = Vec::new();
+        specs.push(AlgoSpec {
+            params: "eps=0.2".into(),
+            preprocess_seconds: 0.0,
+            algo: Box::new(ProbeSim::new(
+                Arc::clone(&g),
+                ProbeSimConfig {
+                    eps_a: 0.2,
+                    ..Default::default()
+                },
+            )),
+        });
+        let prsim = PrsimAlgo::build((*g).clone(), PrsimConfig::default()).unwrap();
+        specs.push(AlgoSpec {
+            params: "eps=0.05".into(),
+            preprocess_seconds: prsim.preprocess_seconds,
+            algo: Box::new(prsim),
+        });
+
+        let rows = run_dataset_sweep("toy", &specs, &[0, 5, 11], &truth, 10, 77);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.query_seconds > 0.0);
+            assert!(r.avg_error < 0.2, "{} error {}", r.algo, r.avg_error);
+            assert!(r.precision > 0.3);
+        }
+        // PRSim row carries an index.
+        assert!(rows[1].index_bytes > 0);
+    }
+}

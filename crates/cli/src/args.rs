@@ -1,0 +1,112 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed positional arguments and `--key value` options.
+pub struct Args {
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+    #[allow(dead_code)]
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Splits `argv` into positionals, `--key value` options and bare
+    /// `--flag`s (an option whose next token is another `--` token or
+    /// missing counts as a flag).
+    pub fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                match argv.get(i + 1) {
+                    Some(val) if !val.starts_with("--") => {
+                        options.insert(key.to_string(), val.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        flags.push(key.to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                positional.push(tok.clone());
+                i += 1;
+            }
+        }
+        Args {
+            positional,
+            options,
+            flags,
+        }
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --{key}")),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| format!("invalid value {raw:?} for --{key}"))
+    }
+
+    /// Whether a bare `--flag` was present. (Not yet used by a shipped
+    /// subcommand; exercised by tests and kept for option growth.)
+    #[allow(dead_code)]
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positional_options_flags() {
+        let a = args(&["file.txt", "--eps", "0.1", "--verbose", "--out", "x.bin"]);
+        assert_eq!(a.positional, vec!["file.txt"]);
+        assert_eq!(a.require("eps").unwrap(), "0.1");
+        assert_eq!(a.get("out"), Some("x.bin"));
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn typed_parsing() {
+        let a = args(&["--n", "100", "--gamma", "2.5"]);
+        assert_eq!(a.get_parsed("n", 0usize).unwrap(), 100);
+        assert_eq!(a.require_parsed::<f64>("gamma").unwrap(), 2.5);
+        assert_eq!(a.get_parsed("missing", 7u32).unwrap(), 7);
+        assert!(a.get_parsed::<usize>("gamma", 0).is_err());
+        assert!(a.require_parsed::<usize>("absent").is_err());
+    }
+}

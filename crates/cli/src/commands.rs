@@ -1,0 +1,306 @@
+//! Subcommand implementations.
+
+use prsim_core::pagerank::reverse_pagerank;
+use prsim_core::{HubCount, Prsim, PrsimConfig, PrsimIndex, QueryParams};
+use prsim_gen::{
+    barabasi_albert, chung_lu_directed, chung_lu_undirected, erdos_renyi_directed,
+    planted_partition, ChungLuConfig,
+};
+use prsim_graph::degrees::{degree_stats, powerlaw_exponent_ccdf_fit, DegreeKind};
+use prsim_graph::io::{
+    read_binary_file, read_edge_list_file, write_binary_file, write_edge_list_file,
+};
+use prsim_graph::DiGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+prsim — sublinear single-source SimRank (SIGMOD 2019 reproduction)
+
+USAGE:
+  prsim generate <chung-lu|chung-lu-directed|ba|er|sbm> [opts] --out FILE
+      common: --seed N (default 42)
+      chung-lu[-directed]: --n N --avg-degree D --gamma G [--gamma-in G2]
+      ba:  --n N --m-attach M
+      er:  --n N --avg-degree D
+      sbm: --communities K --size S --p-in P --p-out Q
+  prsim convert IN OUT              (.bin = binary, else edge-list text)
+  prsim stats GRAPH
+  prsim build GRAPH --index FILE [--eps E] [--hubs N|sqrt] [--sorted-out FILE]
+  prsim query GRAPH --source U [--index FILE] [--eps E] [--top K] [--seed N]
+  prsim topk GRAPH --source U [--k K] [--eps E] [--seed N]
+  prsim pair GRAPH --u A --v B [--samples N] [--seed N]
+";
+
+fn load_graph(path: &str) -> Result<DiGraph, String> {
+    let result = if path.ends_with(".bin") {
+        read_binary_file(path)
+    } else {
+        read_edge_list_file(path)
+    };
+    result.map_err(|e| format!("cannot read graph {path}: {e}"))
+}
+
+fn save_graph(g: &DiGraph, path: &str) -> Result<(), String> {
+    let result = if path.ends_with(".bin") {
+        write_binary_file(g, path)
+    } else {
+        write_edge_list_file(g, path)
+    };
+    result.map_err(|e| format!("cannot write graph {path}: {e}"))
+}
+
+/// `prsim generate` — synthesize a graph.
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let model = args
+        .positional
+        .first()
+        .ok_or("missing model (chung-lu | chung-lu-directed | ba | er | sbm)")?;
+    let out = args.require("out")?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let g = match model.as_str() {
+        "chung-lu" | "chung-lu-directed" => {
+            let n: usize = args.require_parsed("n")?;
+            let d: f64 = args.get_parsed("avg-degree", 10.0)?;
+            let gamma: f64 = args.get_parsed("gamma", 2.0)?;
+            let cfg = ChungLuConfig::new(n, d, gamma, seed);
+            if model == "chung-lu" {
+                chung_lu_undirected(cfg)
+            } else {
+                let gamma_in: f64 = args.get_parsed("gamma-in", gamma)?;
+                chung_lu_directed(cfg, gamma_in, seed.wrapping_add(1))
+            }
+        }
+        "ba" => {
+            let n: usize = args.require_parsed("n")?;
+            let m: usize = args.get_parsed("m-attach", 4)?;
+            barabasi_albert(n, m, seed)
+        }
+        "er" => {
+            let n: usize = args.require_parsed("n")?;
+            let d: f64 = args.get_parsed("avg-degree", 10.0)?;
+            erdos_renyi_directed(n, d / (n as f64 - 1.0).max(1.0), seed)
+        }
+        "sbm" => {
+            let communities: usize = args.require_parsed("communities")?;
+            let size: usize = args.require_parsed("size")?;
+            let p_in: f64 = args.get_parsed("p-in", 0.2)?;
+            let p_out: f64 = args.get_parsed("p-out", 0.01)?;
+            planted_partition(communities, size, p_in, p_out, seed)
+        }
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    save_graph(&g, out)?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.node_count(),
+        g.edge_count()
+    );
+    Ok(())
+}
+
+/// `prsim convert` — transcode between text and binary graph files.
+pub fn convert(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let [input, output] = args.positional.as_slice() else {
+        return Err("usage: prsim convert IN OUT".into());
+    };
+    let g = load_graph(input)?;
+    save_graph(&g, output)?;
+    println!(
+        "converted {input} -> {output} ({} nodes, {} edges)",
+        g.node_count(),
+        g.edge_count()
+    );
+    Ok(())
+}
+
+/// `prsim stats` — size / degree / power-law report.
+pub fn stats(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let path = args.positional.first().ok_or("usage: prsim stats GRAPH")?;
+    let g = load_graph(path)?;
+    let gs = prsim_graph::graph_stats(&g);
+    println!("graph      : {path}");
+    println!("nodes      : {}", gs.nodes);
+    println!("edges      : {}", gs.edges);
+    println!("avg degree : {:.3}", g.avg_degree());
+    println!("density    : {:.3e}", gs.density);
+    println!("reciprocity: {:.3}", gs.reciprocity);
+    println!(
+        "sources/sinks/isolated : {}/{}/{}",
+        gs.sources, gs.sinks, gs.isolated
+    );
+    for (kind, label) in [(DegreeKind::Out, "out"), (DegreeKind::In, "in")] {
+        let s = degree_stats(&g, kind);
+        let degs = prsim_graph::degrees::degree_sequence(&g, kind);
+        let gamma = powerlaw_exponent_ccdf_fit(&degs, 3)
+            .map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "{label:>3}-degree : min {} max {} mean {:.2} zeros {} gamma(fit) {}",
+            s.min, s.max, s.mean, s.zeros, gamma
+        );
+    }
+    Ok(())
+}
+
+fn config_from(args: &Args) -> Result<PrsimConfig, String> {
+    let eps: f64 = args.get_parsed("eps", 0.05)?;
+    let hubs = match args.get("hubs") {
+        None | Some("sqrt") => HubCount::SqrtN,
+        Some(raw) => HubCount::Fixed(
+            raw.parse()
+                .map_err(|_| format!("invalid value {raw:?} for --hubs"))?,
+        ),
+    };
+    Ok(PrsimConfig {
+        eps,
+        hubs,
+        query: QueryParams::Practical { c_mult: 3.0 },
+        ..Default::default()
+    })
+}
+
+/// `prsim build` — preprocess a graph and persist the index (plus,
+/// optionally, the counting-sorted graph the index is valid for).
+pub fn build(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: prsim build GRAPH --index FILE")?;
+    let index_path = args.require("index")?;
+    let g = load_graph(path)?;
+    let config = config_from(&args)?;
+    let start = std::time::Instant::now();
+    let engine = Prsim::build(g, config).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    std::fs::write(index_path, engine.index().to_bytes())
+        .map_err(|e| format!("cannot write index {index_path}: {e}"))?;
+    if let Some(sorted_out) = args.get("sorted-out") {
+        save_graph(engine.graph(), sorted_out)?;
+    }
+    println!(
+        "built index in {elapsed:.3}s: {} hubs, {} entries, {} bytes -> {index_path}",
+        engine.index().hub_count(),
+        engine.index().entry_count(),
+        engine.index().size_bytes()
+    );
+    Ok(())
+}
+
+/// `prsim query` — single-source top-k.
+pub fn query(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: prsim query GRAPH --source U")?;
+    let source: u32 = args.require_parsed("source")?;
+    let top: usize = args.get_parsed("top", 10)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let config = config_from(&args)?;
+
+    let mut g = load_graph(path)?;
+    let engine = match args.get("index") {
+        Some(index_path) => {
+            if !g.is_out_sorted_by_in_degree() {
+                prsim_graph::ordering::sort_out_by_in_degree(&mut g);
+            }
+            let bytes = std::fs::read(index_path)
+                .map_err(|e| format!("cannot read index {index_path}: {e}"))?;
+            let index =
+                PrsimIndex::from_bytes(&bytes, g.node_count()).map_err(|e| e.to_string())?;
+            let pi = reverse_pagerank(&g, config.sqrt_c(), 1e-12, config.max_level);
+            Prsim::from_parts(g, pi, index, config).map_err(|e| e.to_string())?
+        }
+        None => Prsim::build(g, config).map_err(|e| e.to_string())?,
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let (scores, stats) = engine
+        .try_single_source(source, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "query node {source}: {:.4}s, {} walks ({} died, {} pair-met), {} backward walks",
+        elapsed, stats.walks, stats.died, stats.pair_met, stats.backward_walks
+    );
+    for (rank, (v, s)) in scores.top_k(top).into_iter().enumerate() {
+        println!("{:>3}. {:>8}  {:.6}", rank + 1, v, s);
+    }
+    Ok(())
+}
+
+/// `prsim topk` — adaptive top-k query.
+pub fn topk(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: prsim topk GRAPH --source U [--k K]")?;
+    let source: u32 = args.require_parsed("source")?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let config = config_from(&args)?;
+    let g = load_graph(path)?;
+    let engine = Prsim::build(g, config).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let res = engine
+        .top_k_adaptive(source, k, prsim_core::TopKParams::default(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "top-{k} of node {source}: {:.4}s, {} samples, converged = {}",
+        start.elapsed().as_secs_f64(),
+        res.samples_used,
+        res.converged
+    );
+    for (rank, (v, s)) in res.entries.into_iter().enumerate() {
+        println!("{:>3}. {:>8}  {:.6}", rank + 1, v, s);
+    }
+    Ok(())
+}
+
+/// `prsim pair` — single-pair Monte-Carlo estimate via the engine.
+pub fn pair(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: prsim pair GRAPH --u A --v B")?;
+    let u: u32 = args.require_parsed("u")?;
+    let v: u32 = args.require_parsed("v")?;
+    let samples: usize = args.get_parsed("samples", 10_000)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let g = load_graph(path)?;
+    let config = PrsimConfig {
+        hubs: HubCount::Fixed(0),
+        query: QueryParams::Explicit { dr: samples, fr: 1 },
+        ..Default::default()
+    };
+    let engine = Prsim::build(g, config).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = engine.single_pair(u, v, &mut rng).map_err(|e| e.to_string())?;
+    println!("s({u},{v}) ≈ {s:.6}  ({samples} walk pairs)");
+    Ok(())
+}
+
+/// Checks a path is writable before heavy work (fail fast for scripts).
+#[allow(dead_code)]
+fn ensure_parent_exists(path: &str) -> Result<(), String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            return Err(format!("directory {} does not exist", parent.display()));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,207 @@
+//! End-to-end tests of the `prsim` binary: generate → stats → build →
+//! query → pair workflows through the real CLI surface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn prsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prsim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prsim_cli_test_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).to_string()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).to_string()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = prsim(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = prsim(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("prsim generate"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = prsim(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn generate_stats_round_trip() {
+    let dir = tmpdir("gen");
+    let graph = dir.join("g.bin");
+    let out = prsim(&[
+        "generate", "chung-lu", "--n", "500", "--avg-degree", "6", "--gamma", "2.0",
+        "--seed", "7", "--out", graph.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("500 nodes"));
+
+    let out = prsim(&["stats", graph.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("nodes      : 500"));
+    assert!(text.contains("out-degree"));
+}
+
+#[test]
+fn convert_text_binary() {
+    let dir = tmpdir("convert");
+    let txt = dir.join("g.txt");
+    let bin = dir.join("g.bin");
+    std::fs::write(&txt, "0 1\n1 2\n2 0\n").unwrap();
+    let out = prsim(&["convert", txt.to_str().unwrap(), bin.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = prsim(&["stats", bin.to_str().unwrap()]);
+    assert!(stdout(&out).contains("edges      : 3"));
+}
+
+#[test]
+fn build_then_query_with_index() {
+    let dir = tmpdir("build_query");
+    let graph = dir.join("g.bin");
+    let sorted = dir.join("g_sorted.bin");
+    let index = dir.join("g.prsimix");
+    assert!(prsim(&[
+        "generate", "chung-lu", "--n", "400", "--seed", "3",
+        "--out", graph.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    let out = prsim(&[
+        "build", graph.to_str().unwrap(),
+        "--index", index.to_str().unwrap(),
+        "--eps", "0.1",
+        "--sorted-out", sorted.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("built index"));
+    assert!(index.exists() && sorted.exists());
+
+    // Query against the persisted index + sorted graph.
+    let out = prsim(&[
+        "query", sorted.to_str().unwrap(),
+        "--index", index.to_str().unwrap(),
+        "--source", "0", "--top", "5", "--eps", "0.1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("query node 0"));
+    assert!(text.lines().filter(|l| l.contains('.')).count() >= 2);
+
+    // Index-free query works too.
+    let out = prsim(&[
+        "query", graph.to_str().unwrap(), "--source", "1", "--top", "3",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn topk_command_works() {
+    let dir = tmpdir("topk");
+    let graph = dir.join("g.bin");
+    assert!(prsim(&[
+        "generate", "chung-lu", "--n", "300", "--seed", "5",
+        "--out", graph.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = prsim(&[
+        "topk", graph.to_str().unwrap(), "--source", "0", "--k", "5", "--eps", "0.1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("top-5 of node 0"));
+    assert!(text.contains("samples"));
+}
+
+#[test]
+fn pair_estimates_known_value() {
+    let dir = tmpdir("pair");
+    let graph = dir.join("star.txt");
+    // star_out over 6 nodes: s(1,2) = c = 0.6.
+    let mut text = String::new();
+    for leaf in 1..6 {
+        text.push_str(&format!("0 {leaf}\n"));
+    }
+    std::fs::write(&graph, text).unwrap();
+    let out = prsim(&[
+        "pair", graph.to_str().unwrap(),
+        "--u", "1", "--v", "2", "--samples", "40000", "--seed", "1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let line = stdout(&out);
+    let value: f64 = line
+        .split('≈')
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("cannot parse output {line:?}"));
+    assert!((value - 0.6).abs() < 0.02, "s(1,2) = {value}");
+}
+
+#[test]
+fn query_rejects_out_of_range_source() {
+    let dir = tmpdir("range");
+    let graph = dir.join("g.txt");
+    std::fs::write(&graph, "0 1\n1 0\n").unwrap();
+    let out = prsim(&["query", graph.to_str().unwrap(), "--source", "99"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("out of range"));
+}
+
+#[test]
+fn generate_all_models() {
+    let dir = tmpdir("models");
+    for (model, extra) in [
+        ("chung-lu-directed", vec!["--n", "200", "--gamma", "1.8", "--gamma-in", "2.4"]),
+        ("ba", vec!["--n", "200", "--m-attach", "3"]),
+        ("er", vec!["--n", "200", "--avg-degree", "5"]),
+        ("sbm", vec!["--communities", "5", "--size", "20", "--p-in", "0.3", "--p-out", "0.01"]),
+    ] {
+        let path = dir.join(format!("{model}.bin"));
+        let mut args = vec!["generate", model];
+        args.extend(extra);
+        args.extend(["--out", path.to_str().unwrap()]);
+        let out = prsim(&args);
+        assert!(out.status.success(), "{model}: {}", stderr(&out));
+        assert!(prsim(&["stats", path.to_str().unwrap()]).status.success());
+    }
+}
+
+#[test]
+fn corrupt_index_is_reported_not_panicked() {
+    let dir = tmpdir("corrupt");
+    let graph = dir.join("g.txt");
+    std::fs::write(&graph, "0 1\n1 2\n2 0\n").unwrap();
+    let index = dir.join("bad.prsimix");
+    std::fs::write(&index, b"not an index at all").unwrap();
+    let out = prsim(&[
+        "query", graph.to_str().unwrap(),
+        "--index", index.to_str().unwrap(),
+        "--source", "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("corrupt"), "{}", stderr(&out));
+}

@@ -1,0 +1,220 @@
+//! Level-wise backward search (the inner loop of paper Algorithm 1).
+//!
+//! Given a target node `w`, the search computes deterministic estimates
+//! `ψ_ℓ(v, w)` of the ℓ-hop RPPR `π_ℓ(v, w)` for every source `v` and
+//! level `ℓ`, with per-entry error below the residue threshold `r_max`
+//! (Lemma 3.1 / Lofgren et al. \[27\]).
+//!
+//! Mechanics: node `v` holds a *residue* `r_ℓ(v,w)` — unconverted
+//! `h_ℓ(v,w)` hitting-probability mass. Pushing `v` at level `ℓ` converts
+//! `(1−√c)·r` into the *reserve* `ψ_ℓ(v,w)` (the walk terminates at `v`)
+//! and forwards `√c·r/d_in(z)` to every out-neighbor `z` at level `ℓ+1`
+//! (the walk from `z` steps to `v`). Residues at or below `r_max` are
+//! abandoned, bounding both work and error. Because pushes from level `ℓ`
+//! only feed level `ℓ+1`, a single pass per level suffices and the search
+//! ends at the first level with no residue above threshold.
+
+use prsim_graph::{DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// Output of a backward search from one target node.
+#[derive(Clone, Debug)]
+pub struct BackwardSearchResult {
+    /// `levels[ℓ]` lists `(v, ψ_ℓ(v,w))` with `ψ > 0`, sorted by `v`.
+    pub levels: Vec<Vec<(NodeId, f64)>>,
+    /// Number of residue pushes performed (cost instrumentation).
+    pub pushes: usize,
+    /// Total edge traversals performed (cost instrumentation).
+    pub edge_traversals: usize,
+}
+
+impl BackwardSearchResult {
+    /// Reserve `ψ_ℓ(v, w)` (0.0 when absent).
+    pub fn reserve(&self, level: usize, v: NodeId) -> f64 {
+        self.levels
+            .get(level)
+            .and_then(|lv| {
+                lv.binary_search_by_key(&v, |&(node, _)| node)
+                    .ok()
+                    .map(|i| lv[i].1)
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Total number of stored `(v, ℓ)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+/// Runs the backward search from target `w` with residue threshold
+/// `r_max`, exploring at most `max_level` levels.
+///
+/// Every stored reserve satisfies `|ψ_ℓ(v,w) − π_ℓ(v,w)| < r_max·(1−√c)⁻¹`
+/// in the worst case and `< r_max` under the paper's accounting
+/// (Lemma 3.1); the property tests check against the exact oracle.
+pub fn backward_search(
+    g: &DiGraph,
+    sqrt_c: f64,
+    w: NodeId,
+    r_max: f64,
+    max_level: usize,
+) -> BackwardSearchResult {
+    let alpha = 1.0 - sqrt_c;
+    let mut result = BackwardSearchResult {
+        levels: Vec::new(),
+        pushes: 0,
+        edge_traversals: 0,
+    };
+
+    let mut residue: HashMap<NodeId, f64> = HashMap::new();
+    residue.insert(w, 1.0);
+
+    for _level in 0..=max_level {
+        let mut reserves: Vec<(NodeId, f64)> = Vec::new();
+        let mut next: HashMap<NodeId, f64> = HashMap::new();
+        let mut any_pushed = false;
+
+        // Process nodes in id order: float accumulation into `next` then
+        // becomes deterministic, so repeated builds (and parallel builds)
+        // produce bit-identical indexes.
+        let mut frontier: Vec<(NodeId, f64)> = residue.iter().map(|(&v, &r)| (v, r)).collect();
+        frontier.sort_unstable_by_key(|&(v, _)| v);
+
+        for &(v, r) in &frontier {
+            if r <= r_max {
+                continue; // abandoned residue: bounded error
+            }
+            any_pushed = true;
+            result.pushes += 1;
+            reserves.push((v, alpha * r));
+            for &z in g.out_neighbors(v) {
+                result.edge_traversals += 1;
+                let din = g.in_degree(z) as f64;
+                debug_assert!(din >= 1.0, "out-neighbor must have an in-edge");
+                *next.entry(z).or_insert(0.0) += sqrt_c * r / din;
+            }
+        }
+
+        reserves.sort_unstable_by_key(|&(v, _)| v);
+        result.levels.push(reserves);
+
+        if !any_pushed {
+            result.levels.pop(); // last level produced nothing
+            break;
+        }
+        residue = next;
+    }
+
+    // Drop trailing empty levels for compactness.
+    while result.levels.last().is_some_and(Vec::is_empty) {
+        result.levels.pop();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::exact_lhop_rppr_to;
+
+    const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+    #[test]
+    fn tiny_threshold_recovers_exact_values_on_path() {
+        let g = prsim_gen::toys::path(4); // walks flow 3 -> 2 -> 1 -> 0
+        let res = backward_search(&g, SQRT_C, 0, 1e-12, 32);
+        let alpha = 1.0 - SQRT_C;
+        assert!((res.reserve(0, 0) - alpha).abs() < 1e-9);
+        assert!((res.reserve(1, 1) - alpha * SQRT_C).abs() < 1e-9);
+        assert!((res.reserve(2, 2) - alpha * SQRT_C.powi(2)).abs() < 1e-9);
+        assert!((res.reserve(3, 3) - alpha * SQRT_C.powi(3)).abs() < 1e-9);
+        // Nothing beyond the path end.
+        assert!(res.levels.len() <= 4);
+    }
+
+    #[test]
+    fn reserves_close_to_exact_on_random_graph() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(150, 5.0, 2.0, 4));
+        let r_max = 1e-4;
+        for w in [0u32, 3, 75] {
+            let res = backward_search(&g, SQRT_C, w, r_max, 64);
+            let exact = exact_lhop_rppr_to(&g, SQRT_C, w, res.levels.len().max(1));
+            for (l, level) in res.levels.iter().enumerate() {
+                for &(v, psi) in level {
+                    let truth = exact[l][v as usize];
+                    // ψ never exceeds π and the deficit is bounded by the
+                    // abandoned residue mass; empirically well under r_max
+                    // scaled by the level count.
+                    assert!(psi <= truth + 1e-12, "ψ {psi} > π {truth}");
+                    assert!(
+                        truth - psi < 50.0 * r_max,
+                        "level {l}, node {v}: ψ={psi}, π={truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_threshold_costs_less() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(400, 8.0, 2.0, 7));
+        let cheap = backward_search(&g, SQRT_C, 0, 1e-2, 64);
+        let costly = backward_search(&g, SQRT_C, 0, 1e-5, 64);
+        assert!(cheap.pushes < costly.pushes);
+        assert!(cheap.entry_count() <= costly.entry_count());
+    }
+
+    #[test]
+    fn level_zero_always_contains_target() {
+        let g = prsim_gen::toys::cycle(5);
+        let res = backward_search(&g, SQRT_C, 2, 1e-3, 64);
+        let alpha = 1.0 - SQRT_C;
+        assert!((res.reserve(0, 2) - alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dangling_target_has_only_level_zero_when_unreachable() {
+        // star_out: hub 0 -> leaves; target = leaf 1. Walks from any v can
+        // reach 1 only if 1 is on an in-path... in-neighbors of 1 = {0};
+        // backward search pushes along out-edges of 1: none. So only the
+        // self reserve exists.
+        let g = prsim_gen::toys::star_out(4);
+        let res = backward_search(&g, SQRT_C, 1, 1e-9, 64);
+        assert_eq!(res.levels.len(), 1);
+        assert_eq!(res.levels[0].len(), 1);
+        assert_eq!(res.levels[0][0].0, 1);
+    }
+
+    #[test]
+    fn respects_max_level() {
+        let g = prsim_gen::toys::cycle(4);
+        let res = backward_search(&g, SQRT_C, 0, 1e-15, 5);
+        assert!(res.levels.len() <= 6);
+    }
+
+    #[test]
+    fn monotone_error_in_threshold() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(200, 6.0, 2.5, 9));
+        let exact = exact_lhop_rppr_to(&g, SQRT_C, 5, 20);
+        let mut prev_err = f64::INFINITY;
+        for r_max in [1e-2, 1e-3, 1e-4, 1e-5] {
+            let res = backward_search(&g, SQRT_C, 5, r_max, 20);
+            // Max error over the exact table's support.
+            let mut err: f64 = 0.0;
+            for l in 0..exact.len() {
+                for v in 0..exact[l].len() {
+                    let truth = exact[l][v];
+                    if truth > 0.0 {
+                        err = err.max((truth - res.reserve(l, v as u32)).abs());
+                    }
+                }
+            }
+            assert!(
+                err <= prev_err + 1e-12,
+                "error should shrink with r_max: {err} > {prev_err}"
+            );
+            prev_err = err;
+        }
+    }
+}

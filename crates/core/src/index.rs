@@ -1,0 +1,380 @@
+//! The PRSim hub index (paper Algorithm 1).
+//!
+//! The index stores, for each of the `j₀` nodes with the largest reverse
+//! PageRank ("hubs"), the level-wise backward-search reserves
+//! `L_ℓ(w) = {(v, ψ_ℓ(v,w)) : ψ_ℓ(v,w) > r_max}`. At query time,
+//! Algorithm 4 reads `π_ℓ(v, ·)` for hub terminals straight from these
+//! lists instead of running backward walks, which is what caps the query
+//! cost contribution of high-π nodes.
+//!
+//! Hub construction is embarrassingly parallel (one backward search per
+//! hub); [`PrsimIndex::build`] fans the searches out over
+//! `build_threads` workers.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use prsim_graph::{DiGraph, NodeId};
+
+use crate::backward::backward_search;
+use crate::PrsimError;
+
+/// Magic bytes identifying the serialized index format, version 2.
+/// (v2 dropped the node count from the header: the deserializer takes it
+/// from the caller's graph, so corrupted headers can never trigger
+/// attacker-sized allocations.)
+const MAGIC: &[u8; 8] = b"PRSIMIX2";
+
+/// Sentinel marking non-hub nodes in the position table.
+const NOT_A_HUB: u32 = u32::MAX;
+
+/// Per-hub backward-search result: `lists[level]` = `(v, ψ_ℓ(v, hub))`.
+type HubLists = Vec<Vec<(NodeId, f64)>>;
+
+/// Immutable hub index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrsimIndex {
+    /// Hub node ids in descending reverse-PageRank order.
+    hubs: Vec<NodeId>,
+    /// `hub_pos[v] = rank of v among hubs`, or [`NOT_A_HUB`].
+    hub_pos: Vec<u32>,
+    /// `lists[hub_rank][level]` = `(v, ψ_ℓ(v, hub))` entries sorted by `v`.
+    lists: Vec<Vec<Vec<(NodeId, f64)>>>,
+}
+
+impl PrsimIndex {
+    /// Builds the index for the given hubs (descending-π node ids).
+    ///
+    /// `r_max` is the backward-search residue threshold (Algorithm 1 line
+    /// 8: `(1−√c)²ε/12`); only reserves above `r_max` are stored (line 15).
+    pub fn build(
+        g: &DiGraph,
+        hubs: Vec<NodeId>,
+        sqrt_c: f64,
+        r_max: f64,
+        max_level: usize,
+        build_threads: usize,
+    ) -> Self {
+        let n = g.node_count();
+        let mut hub_pos = vec![NOT_A_HUB; n];
+        for (rank, &w) in hubs.iter().enumerate() {
+            hub_pos[w as usize] = rank as u32;
+        }
+
+        let threads = build_threads.max(1).min(hubs.len().max(1));
+        let mut lists: Vec<HubLists> = Vec::with_capacity(hubs.len());
+        if threads <= 1 || hubs.len() < 4 {
+            for &w in &hubs {
+                lists.push(Self::search_one(g, w, sqrt_c, r_max, max_level));
+            }
+        } else {
+            let mut slots: Vec<Option<HubLists>> = vec![None; hubs.len()];
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots_mutex = std::sync::Mutex::new(&mut slots);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= hubs.len() {
+                            break;
+                        }
+                        let result = Self::search_one(g, hubs[i], sqrt_c, r_max, max_level);
+                        slots_mutex.lock().expect("no panics hold this lock")[i] = Some(result);
+                    });
+                }
+            })
+            .expect("index build worker panicked");
+            lists.extend(slots.into_iter().map(|s| s.expect("all hubs processed")));
+        }
+
+        PrsimIndex {
+            hubs,
+            hub_pos,
+            lists,
+        }
+    }
+
+    fn search_one(
+        g: &DiGraph,
+        w: NodeId,
+        sqrt_c: f64,
+        r_max: f64,
+        max_level: usize,
+    ) -> HubLists {
+        let res = backward_search(g, sqrt_c, w, r_max, max_level);
+        res.levels
+            .into_iter()
+            .map(|level| {
+                level
+                    .into_iter()
+                    .filter(|&(_, psi)| psi > r_max)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Creates an empty (index-free) instance for a graph with `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        PrsimIndex {
+            hubs: Vec::new(),
+            hub_pos: vec![NOT_A_HUB; n],
+            lists: Vec::new(),
+        }
+    }
+
+    /// Number of hubs `j₀`.
+    #[inline]
+    pub fn hub_count(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// The hub node ids in descending reverse-PageRank order.
+    #[inline]
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+
+    /// Whether `w` is an indexed hub.
+    #[inline]
+    pub fn contains(&self, w: NodeId) -> bool {
+        self.hub_pos
+            .get(w as usize)
+            .is_some_and(|&p| p != NOT_A_HUB)
+    }
+
+    /// The reserve list `L_ℓ(w)`, or `None` when `w` is not a hub or has
+    /// no entries at that level.
+    pub fn level_list(&self, w: NodeId, level: usize) -> Option<&[(NodeId, f64)]> {
+        let pos = *self.hub_pos.get(w as usize)?;
+        if pos == NOT_A_HUB {
+            return None;
+        }
+        self.lists[pos as usize]
+            .get(level)
+            .map(|v| v.as_slice())
+            .filter(|v| !v.is_empty())
+    }
+
+    /// Total number of stored `(v, ψ)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.lists
+            .iter()
+            .flat_map(|levels| levels.iter().map(Vec::len))
+            .sum()
+    }
+
+    /// Approximate resident size of the index payload in bytes
+    /// (12 bytes per entry + list/hub overheads).
+    pub fn size_bytes(&self) -> usize {
+        let entries = self.entry_count() * (4 + 8);
+        let level_overhead: usize = self
+            .lists
+            .iter()
+            .map(|levels| levels.len() * std::mem::size_of::<Vec<(NodeId, f64)>>())
+            .sum();
+        entries + level_overhead + self.hubs.len() * 4 + self.hub_pos.len() * 4
+    }
+
+    /// Serializes the index into a compact binary buffer. Deserialize
+    /// with [`PrsimIndex::from_bytes`], passing the graph's node count.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(self.hubs.len() as u64);
+        for &h in &self.hubs {
+            buf.put_u32_le(h);
+        }
+        for levels in &self.lists {
+            buf.put_u32_le(levels.len() as u32);
+            for level in levels {
+                buf.put_u64_le(level.len() as u64);
+                for &(v, psi) in level {
+                    buf.put_u32_le(v);
+                    buf.put_f64_le(psi);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes an index produced by [`PrsimIndex::to_bytes`]; `n` is
+    /// the node count of the graph the index belongs to. Every allocation
+    /// is bounded by the payload size or by `n`, so corrupt input yields
+    /// `Err`, never a panic or an attacker-sized allocation.
+    pub fn from_bytes(mut data: &[u8], n: usize) -> Result<Self, PrsimError> {
+        let corrupt = |msg: &str| PrsimError::CorruptIndex(msg.to_string());
+        if data.len() < 16 {
+            return Err(corrupt("header truncated"));
+        }
+        let mut magic = [0u8; 8];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let j0 = data.get_u64_le() as usize;
+        if j0 > n || data.remaining() < j0.saturating_mul(4) {
+            return Err(corrupt("hub table truncated or hub count exceeds n"));
+        }
+        let mut hubs = Vec::with_capacity(j0);
+        let mut hub_pos = vec![NOT_A_HUB; n];
+        for rank in 0..j0 {
+            let h = data.get_u32_le();
+            if h as usize >= n || hub_pos[h as usize] != NOT_A_HUB {
+                return Err(corrupt("hub id out of range or duplicated"));
+            }
+            hubs.push(h);
+            hub_pos[h as usize] = rank as u32;
+        }
+        let mut lists = Vec::with_capacity(j0);
+        for _ in 0..j0 {
+            if data.remaining() < 4 {
+                return Err(corrupt("level count truncated"));
+            }
+            let levels = data.get_u32_le() as usize;
+            if levels > data.remaining() {
+                return Err(corrupt("level count exceeds payload"));
+            }
+            let mut per_hub = Vec::with_capacity(levels);
+            for _ in 0..levels {
+                if data.remaining() < 8 {
+                    return Err(corrupt("entry count truncated"));
+                }
+                let cnt = data.get_u64_le() as usize;
+                if cnt.checked_mul(12).is_none_or(|need| data.remaining() < need) {
+                    return Err(corrupt("entries truncated"));
+                }
+                let mut level = Vec::with_capacity(cnt);
+                for _ in 0..cnt {
+                    let v = data.get_u32_le();
+                    if v as usize >= n {
+                        return Err(corrupt("entry node id out of range"));
+                    }
+                    let psi = data.get_f64_le();
+                    if !psi.is_finite() || psi < 0.0 {
+                        return Err(corrupt("entry reserve not a finite nonnegative value"));
+                    }
+                    level.push((v, psi));
+                }
+                per_hub.push(level);
+            }
+            lists.push(per_hub);
+        }
+        Ok(PrsimIndex {
+            hubs,
+            hub_pos,
+            lists,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::{rank_by_pagerank, reverse_pagerank};
+    use prsim_graph::ordering::sort_out_by_in_degree;
+
+    const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+    fn graph() -> DiGraph {
+        let mut g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(200, 6.0, 2.0, 5));
+        sort_out_by_in_degree(&mut g);
+        g
+    }
+
+    fn build(g: &DiGraph, j0: usize, threads: usize) -> PrsimIndex {
+        let pi = reverse_pagerank(g, SQRT_C, 1e-10, 64);
+        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(j0).collect();
+        PrsimIndex::build(g, hubs, SQRT_C, 1e-4, 64, threads)
+    }
+
+    #[test]
+    fn contains_exactly_the_hubs() {
+        let g = graph();
+        let idx = build(&g, 20, 1);
+        assert_eq!(idx.hub_count(), 20);
+        let hubs: std::collections::HashSet<_> = idx.hubs().iter().copied().collect();
+        for v in g.nodes() {
+            assert_eq!(idx.contains(v), hubs.contains(&v));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let g = graph();
+        let a = build(&g, 24, 1);
+        let b = build(&g, 24, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn level_lists_match_direct_backward_search() {
+        let g = graph();
+        let idx = build(&g, 8, 2);
+        let r_max = 1e-4;
+        for &w in idx.hubs() {
+            let direct = crate::backward::backward_search(&g, SQRT_C, w, r_max, 64);
+            for (l, level) in direct.levels.iter().enumerate() {
+                let expect: Vec<(NodeId, f64)> = level
+                    .iter()
+                    .copied()
+                    .filter(|&(_, psi)| psi > r_max)
+                    .collect();
+                let got = idx.level_list(w, l).unwrap_or(&[]);
+                assert_eq!(got, expect.as_slice(), "hub {w} level {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_contains_nothing() {
+        let idx = PrsimIndex::empty(10);
+        assert_eq!(idx.hub_count(), 0);
+        assert_eq!(idx.entry_count(), 0);
+        assert!(!idx.contains(3));
+        assert!(idx.level_list(3, 0).is_none());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let g = graph();
+        let idx = build(&g, 16, 2);
+        let bytes = idx.to_bytes();
+        let back = PrsimIndex::from_bytes(&bytes, g.node_count()).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn serialization_rejects_corruption() {
+        let g = graph();
+        let idx = build(&g, 4, 1);
+        let bytes = idx.to_bytes().to_vec();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(PrsimIndex::from_bytes(&bad, g.node_count()).is_err());
+        // Truncations at every prefix boundary we care about.
+        for cut in [5usize, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                PrsimIndex::from_bytes(&bytes[..cut], g.node_count()).is_err(),
+                "cut {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn size_grows_with_hub_count() {
+        let g = graph();
+        let small = build(&g, 4, 1);
+        let large = build(&g, 64, 1);
+        assert!(large.entry_count() > small.entry_count());
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn smaller_r_max_stores_more() {
+        let g = graph();
+        let pi = reverse_pagerank(&g, SQRT_C, 1e-10, 64);
+        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(10).collect();
+        let coarse = PrsimIndex::build(&g, hubs.clone(), SQRT_C, 1e-2, 64, 1);
+        let fine = PrsimIndex::build(&g, hubs, SQRT_C, 1e-5, 64, 1);
+        assert!(fine.entry_count() > coarse.entry_count());
+    }
+}

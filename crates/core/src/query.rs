@@ -1,0 +1,544 @@
+//! The PRSim engine: preprocessing + the query algorithm (paper Alg. 4).
+//!
+//! [`Prsim::build`] performs the whole of Algorithm 1 — counting-sort of
+//! the out-adjacency, reverse-PageRank computation, hub selection and the
+//! per-hub backward searches. [`Prsim::single_source`] then answers
+//! queries:
+//!
+//! 1. sample `n_r = d_r·f_r` √c-walks from the query node `u`; a walk
+//!    terminating at `w` after `ℓ` steps, followed by a pair of walks from
+//!    `w` that do **not** meet, contributes `1/n_r` to the joint estimator
+//!    `η̂π_ℓ(u,w)` of `η(w)·π_ℓ(u,w)` (§3.2);
+//! 2. for such non-meeting samples whose `w` is *not* a hub, run one
+//!    Variance Bounded Backward Walk to level `ℓ` and fold the estimates
+//!    `π̂_ℓ(v,w)` into the current round's `ŝ_B` (§3.4);
+//! 3. take the median of the `f_r` round estimators `ŝ_B^i` (median
+//!    trick), and for every `(w, ℓ)` with `η̂π_ℓ(u,w)` above threshold and
+//!    `w` a hub, accumulate `ŝ_I` from the index lists (§3.3);
+//! 4. return `ŝ = ŝ_I + ŝ_B`, with `ŝ(u,u) = 1`.
+//!
+//! Note on the paper's listing: lines 11–13 render flat, but Lemma 3.7's
+//! proof samples `(w, ℓ)` with probability `π_ℓ(u,w)·η(w)`, so the
+//! backward-walk update must be *nested inside* the no-meet branch; that
+//! is what we implement (see DESIGN.md §3).
+
+use prsim_graph::ordering::sort_out_by_in_degree;
+use prsim_graph::{DiGraph, NodeId};
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::config::PrsimConfig;
+use crate::index::PrsimIndex;
+use crate::pagerank::{rank_by_pagerank, reverse_pagerank};
+use crate::scores::SimRankScores;
+use crate::vbbw::variance_bounded_backward_walk;
+use crate::walk::{sample_pair_meets, sample_terminal, Terminal};
+use crate::PrsimError;
+
+/// Instrumentation counters for one single-source query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// √c-walks sampled from the query node.
+    pub walks: usize,
+    /// Walks that died (dangling) and contributed nothing.
+    pub died: usize,
+    /// Walks whose follow-up pair met (η rejection).
+    pub pair_met: usize,
+    /// Backward walks executed (non-hub terminals).
+    pub backward_walks: usize,
+    /// Total neighbor visits inside backward walks.
+    pub backward_cost: usize,
+    /// Index entries scanned while assembling `ŝ_I`.
+    pub index_entries: usize,
+}
+
+/// A built PRSim engine, ready to answer single-source queries.
+#[derive(Clone, Debug)]
+pub struct Prsim {
+    graph: DiGraph,
+    pi: Vec<f64>,
+    index: PrsimIndex,
+    config: PrsimConfig,
+    dr: usize,
+    fr: usize,
+}
+
+impl Prsim {
+    /// Runs the full preprocessing pipeline of Algorithm 1 and returns a
+    /// query-ready engine. The graph is consumed because its out-adjacency
+    /// is re-permuted (counting-sorted by target in-degree).
+    pub fn build(mut graph: DiGraph, config: PrsimConfig) -> Result<Self, PrsimError> {
+        config.validate()?;
+        if !graph.is_out_sorted_by_in_degree() {
+            sort_out_by_in_degree(&mut graph);
+        }
+        let sqrt_c = config.sqrt_c();
+        let pi = reverse_pagerank(&graph, sqrt_c, 1e-12, config.max_level);
+        let j0 = config
+            .hubs
+            .resolve(graph.node_count(), graph.avg_degree(), config.eps);
+        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(j0).collect();
+        let index = PrsimIndex::build(
+            &graph,
+            hubs,
+            sqrt_c,
+            config.r_max(),
+            config.max_level,
+            config.build_threads,
+        );
+        Self::from_parts(graph, pi, index, config)
+    }
+
+    /// Assembles an engine from precomputed parts (e.g. a deserialized
+    /// index). The graph must already be out-sorted by in-degree.
+    pub fn from_parts(
+        graph: DiGraph,
+        pi: Vec<f64>,
+        index: PrsimIndex,
+        config: PrsimConfig,
+    ) -> Result<Self, PrsimError> {
+        config.validate()?;
+        if !graph.is_out_sorted_by_in_degree() {
+            return Err(PrsimError::InvalidConfig(
+                "graph must be out-sorted by in-degree (run sort_out_by_in_degree)".into(),
+            ));
+        }
+        if pi.len() != graph.node_count() {
+            return Err(PrsimError::InvalidConfig(format!(
+                "reverse-PageRank vector has {} entries for {} nodes",
+                pi.len(),
+                graph.node_count()
+            )));
+        }
+        let (dr, fr) = config
+            .query
+            .resolve(graph.node_count(), config.c, config.eps, config.delta);
+        Ok(Prsim {
+            graph,
+            pi,
+            index,
+            config,
+            dr,
+            fr,
+        })
+    }
+
+    /// The underlying (out-sorted) graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The reverse-PageRank vector `π` computed during preprocessing.
+    pub fn reverse_pagerank(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// The hub index.
+    pub fn index(&self) -> &PrsimIndex {
+        &self.index
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &PrsimConfig {
+        &self.config
+    }
+
+    /// Resolved per-round sample count `d_r` and round count `f_r`.
+    pub fn sample_counts(&self) -> (usize, usize) {
+        (self.dr, self.fr)
+    }
+
+    /// Answers a single-pair query `ŝ(u, v)` via the √c-walk meeting
+    /// probability, using `d_r·f_r` walk pairs (the classic Monte-Carlo
+    /// estimator over the engine's graph and decay factor).
+    pub fn single_pair<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        rng: &mut R,
+    ) -> Result<f64, PrsimError> {
+        let n = self.graph.node_count();
+        for node in [u, v] {
+            if node as usize >= n {
+                return Err(PrsimError::NodeOutOfRange { node, n });
+            }
+        }
+        if u == v {
+            return Ok(1.0);
+        }
+        let sqrt_c = self.config.sqrt_c();
+        let nr = self.dr * self.fr;
+        let mut meets = 0usize;
+        for _ in 0..nr {
+            let wu = crate::walk::sample_walk(&self.graph, sqrt_c, u, self.config.max_level, rng);
+            let wv = crate::walk::sample_walk(&self.graph, sqrt_c, v, self.config.max_level, rng);
+            if crate::walk::walks_meet(&wu, &wv, 1) {
+                meets += 1;
+            }
+        }
+        Ok(meets as f64 / nr as f64)
+    }
+
+    /// Answers a single-source SimRank query for `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`; use [`Prsim::try_single_source`] for a checked
+    /// variant.
+    pub fn single_source<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> SimRankScores {
+        self.try_single_source(u, rng)
+            .expect("query node out of range")
+            .0
+    }
+
+    /// Single-source query with an explicit per-round sample count
+    /// (`f_r = 1`), used by the adaptive top-k driver.
+    pub fn single_source_with_samples<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        samples: usize,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        self.run_query(u, samples.max(1), 1, rng)
+    }
+
+    /// Runs `queries` in parallel over `threads` workers. Each query gets
+    /// an RNG seeded `base_seed + query index`, so results are identical
+    /// to serial execution and independent of scheduling.
+    pub fn batch_single_source(
+        &self,
+        queries: &[NodeId],
+        threads: usize,
+        base_seed: u64,
+    ) -> Result<Vec<SimRankScores>, PrsimError> {
+        for &u in queries {
+            if u as usize >= self.graph.node_count() {
+                return Err(PrsimError::NodeOutOfRange {
+                    node: u,
+                    n: self.graph.node_count(),
+                });
+            }
+        }
+        let threads = threads.max(1).min(queries.len().max(1));
+        if threads <= 1 {
+            return queries
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed + i as u64);
+                    self.try_single_source(u, &mut rng).map(|(s, _)| s)
+                })
+                .collect();
+        }
+        let mut slots: Vec<Option<SimRankScores>> = vec![None; queries.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed + i as u64);
+                    let result = self
+                        .try_single_source(queries[i], &mut rng)
+                        .map(|(s, _)| s)
+                        .expect("node range pre-checked");
+                    slots_mutex.lock().expect("no poisoned lock")[i] = Some(result);
+                });
+            }
+        })
+        .expect("batch query worker panicked");
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all queries processed"))
+            .collect())
+    }
+
+    /// Checked single-source query returning instrumentation counters.
+    pub fn try_single_source<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        self.run_query(u, self.dr, self.fr, rng)
+    }
+
+    fn run_query<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        dr: usize,
+        fr: usize,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        let n = self.graph.node_count();
+        if u as usize >= n {
+            return Err(PrsimError::NodeOutOfRange { node: u, n });
+        }
+        let sqrt_c = self.config.sqrt_c();
+        let alpha = 1.0 - sqrt_c;
+        let alpha2 = alpha * alpha;
+        let max_level = self.config.max_level;
+        let nr = dr * fr;
+        let mut stats = QueryStats::default();
+
+        // η̂π_ℓ(u, w) keyed by (w, ℓ); only non-zero entries stored.
+        let mut etapi: HashMap<(NodeId, u32), f64> = HashMap::new();
+        // Per-round backward estimators ŝ_B^i.
+        let mut rounds: Vec<HashMap<NodeId, f64>> = vec![HashMap::new(); fr];
+
+        for round in rounds.iter_mut() {
+            for _ in 0..dr {
+                stats.walks += 1;
+                let (w, level) = match sample_terminal(&self.graph, sqrt_c, u, max_level, rng) {
+                    Terminal::At { node, level } => (node, level),
+                    Terminal::Died => {
+                        stats.died += 1;
+                        continue;
+                    }
+                };
+                if sample_pair_meets(&self.graph, sqrt_c, w, max_level, rng) {
+                    stats.pair_met += 1;
+                    continue;
+                }
+                *etapi.entry((w, level)).or_insert(0.0) += 1.0 / nr as f64;
+                if !self.index.contains(w) {
+                    stats.backward_walks += 1;
+                    let est = variance_bounded_backward_walk(
+                        &self.graph,
+                        sqrt_c,
+                        w,
+                        level as usize,
+                        rng,
+                    );
+                    stats.backward_cost += est.cost;
+                    for (v, pi_hat) in est.estimates {
+                        *round.entry(v).or_insert(0.0) += pi_hat / (alpha2 * dr as f64);
+                    }
+                }
+            }
+        }
+
+        // Median trick over the f_r rounds.
+        let mut scores = SimRankScores::new(u, n);
+        if fr == 1 {
+            for (v, s) in rounds.pop().expect("fr >= 1") {
+                scores.add(v, s);
+            }
+        } else {
+            let mut touched: HashMap<NodeId, Vec<f64>> = HashMap::new();
+            for round in &rounds {
+                for (&v, &s) in round {
+                    touched.entry(v).or_default().push(s);
+                }
+            }
+            for (v, mut vals) in touched {
+                // Untouched rounds contribute an implicit 0.
+                while vals.len() < fr {
+                    vals.push(0.0);
+                }
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+                let med = if vals.len() % 2 == 1 {
+                    vals[vals.len() / 2]
+                } else {
+                    0.5 * (vals[vals.len() / 2 - 1] + vals[vals.len() / 2])
+                };
+                if med != 0.0 {
+                    scores.add(v, med);
+                }
+            }
+        }
+
+        // Index part ŝ_I: threshold η̂π at ε/c₁ = ε(1−√c)²/12 (Alg. 4 line 16).
+        // Sorted iteration keeps float accumulation deterministic.
+        let threshold = self.config.eps * alpha2 / 12.0;
+        let mut etapi_sorted: Vec<(&(NodeId, u32), &f64)> = etapi.iter().collect();
+        etapi_sorted.sort_unstable_by_key(|&(k, _)| *k);
+        for (&(w, level), &ep) in etapi_sorted {
+            if ep <= threshold || !self.index.contains(w) {
+                continue;
+            }
+            if let Some(list) = self.index.level_list(w, level as usize) {
+                stats.index_entries += list.len();
+                for &(v, psi) in list {
+                    scores.add(v, ep * psi / alpha2);
+                }
+            }
+        }
+
+        scores.set(u, 1.0);
+        Ok((scores, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HubCount, QueryParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(eps: f64) -> PrsimConfig {
+        PrsimConfig {
+            eps,
+            query: QueryParams::Practical { c_mult: 5.0 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn build_sorts_graph_and_selects_hubs() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(300, 6.0, 2.0, 5));
+        let engine = Prsim::build(g, cfg(0.1)).unwrap();
+        assert!(engine.graph().is_out_sorted_by_in_degree());
+        // SqrtN policy: j0 = ceil(sqrt(300)) = 18.
+        assert_eq!(engine.index().hub_count(), 18);
+        // Hubs really are the top-π nodes.
+        let order = crate::pagerank::rank_by_pagerank(engine.reverse_pagerank());
+        assert_eq!(engine.index().hubs(), &order[..18]);
+    }
+
+    #[test]
+    fn self_score_is_one_and_range_checked() {
+        let g = prsim_gen::toys::cycle(6);
+        let engine = Prsim::build(g, cfg(0.2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = engine.single_source(2, &mut rng);
+        assert_eq!(s.get(2), 1.0);
+        assert!(engine.try_single_source(6, &mut rng).is_err());
+    }
+
+    #[test]
+    fn scores_lie_in_unit_interval() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(200, 6.0, 2.0, 9));
+        let engine = Prsim::build(g, cfg(0.1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for u in [0u32, 10, 100] {
+            let s = engine.single_source(u, &mut rng);
+            for (v, val) in s.iter() {
+                assert!(
+                    (0.0..=1.0 + 0.35).contains(&val),
+                    "s({u},{v}) = {val} implausible"
+                );
+                assert!(val >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_have_zero_similarity() {
+        let g = prsim_gen::toys::two_triangles();
+        let engine = Prsim::build(g, cfg(0.05)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = engine.single_source(0, &mut rng);
+        for v in 3..6 {
+            assert_eq!(s.get(v), 0.0, "cross-component similarity must be 0");
+        }
+    }
+
+    #[test]
+    fn index_free_and_full_index_agree() {
+        // j0 = 0 (pure backward walks) and j0 = n (pure index) must both
+        // approximate the same function.
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(120, 5.0, 2.0, 17));
+        let mk = |hubs| {
+            PrsimConfig {
+                hubs,
+                eps: 0.05,
+                query: QueryParams::Explicit { dr: 4000, fr: 1 },
+                ..Default::default()
+            }
+        };
+        let free = Prsim::build(g.clone(), mk(HubCount::Fixed(0))).unwrap();
+        let full = Prsim::build(g, mk(HubCount::Fixed(usize::MAX))).unwrap();
+        assert_eq!(free.index().hub_count(), 0);
+        assert_eq!(full.index().hub_count(), 120);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = free.single_source(5, &mut rng);
+        let b = full.single_source(5, &mut rng);
+        let diff = a.max_abs_diff(&b);
+        assert!(diff < 0.12, "index-free vs full-index diff {diff}");
+    }
+
+    #[test]
+    fn median_trick_rounds_produce_sane_output() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(100, 5.0, 2.0, 23));
+        let config = PrsimConfig {
+            query: QueryParams::Explicit { dr: 500, fr: 5 },
+            ..cfg(0.1)
+        };
+        let engine = Prsim::build(g, config).unwrap();
+        assert_eq!(engine.sample_counts(), (500, 5));
+        let mut rng = StdRng::seed_from_u64(4);
+        let (s, stats) = engine.try_single_source(0, &mut rng).unwrap();
+        assert_eq!(stats.walks, 2500);
+        assert_eq!(s.get(0), 1.0);
+        for (_, val) in s.iter() {
+            assert!(val >= 0.0 && val.is_finite());
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_walk() {
+        let g = prsim_gen::chung_lu_directed(
+            prsim_gen::ChungLuConfig::new(150, 5.0, 1.8, 3),
+            2.2,
+            7,
+        );
+        let engine = Prsim::build(g, cfg(0.1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let (_, stats) = engine.try_single_source(3, &mut rng).unwrap();
+        let (dr, fr) = engine.sample_counts();
+        assert_eq!(stats.walks, dr * fr);
+        assert!(stats.died + stats.pair_met <= stats.walks);
+        assert!(stats.backward_walks <= stats.walks - stats.died - stats.pair_met);
+    }
+
+    #[test]
+    fn batch_matches_serial_and_is_schedule_independent() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(120, 5.0, 2.0, 31));
+        let engine = Prsim::build(g, cfg(0.1)).unwrap();
+        let queries = [0u32, 7, 33, 99, 45, 12, 80];
+        let serial = engine.batch_single_source(&queries, 1, 1234).unwrap();
+        let parallel = engine.batch_single_source(&queries, 4, 1234).unwrap();
+        assert_eq!(serial.len(), queries.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        // Out-of-range rejected before any work.
+        assert!(engine.batch_single_source(&[0, 500], 2, 0).is_err());
+    }
+
+    #[test]
+    fn single_pair_matches_known_values() {
+        let g = prsim_gen::toys::star_out(6);
+        let engine = Prsim::build(
+            g,
+            PrsimConfig {
+                query: QueryParams::Explicit { dr: 50_000, fr: 1 },
+                ..cfg(0.05)
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        assert_eq!(engine.single_pair(2, 2, &mut rng).unwrap(), 1.0);
+        let s = engine.single_pair(1, 2, &mut rng).unwrap();
+        assert!((s - 0.6).abs() < 0.02, "s(1,2) = {s}, want 0.6");
+        assert!(engine.single_pair(1, 99, &mut rng).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let g = prsim_gen::toys::cycle(4); // unsorted
+        let idx = PrsimIndex::empty(4);
+        let err = Prsim::from_parts(g, vec![0.25; 4], idx, cfg(0.1));
+        assert!(err.is_err(), "unsorted graph must be rejected");
+
+        let mut g = prsim_gen::toys::cycle(4);
+        prsim_graph::ordering::sort_out_by_in_degree(&mut g);
+        let idx = PrsimIndex::empty(4);
+        let err = Prsim::from_parts(g, vec![0.25; 3], idx, cfg(0.1));
+        assert!(err.is_err(), "wrong-length π must be rejected");
+    }
+}

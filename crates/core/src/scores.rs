@@ -1,0 +1,183 @@
+//! Sparse single-source SimRank result vectors.
+
+use prsim_graph::NodeId;
+use std::collections::HashMap;
+
+/// Result of a single-source SimRank query: sparse scores `ŝ(u, ·)`.
+///
+/// Only nodes with non-zero estimates are stored; `get` returns 0.0 for
+/// the rest, matching the semantics of all algorithms in the suite (they
+/// return "all non-zero estimates", paper Algorithm 4 line 19).
+#[derive(Clone, Debug)]
+pub struct SimRankScores {
+    source: NodeId,
+    n: usize,
+    scores: HashMap<NodeId, f64>,
+}
+
+impl SimRankScores {
+    /// Creates a score vector for `source` over a graph with `n` nodes;
+    /// `s(u,u) = 1` is inserted automatically.
+    pub fn new(source: NodeId, n: usize) -> Self {
+        let mut scores = HashMap::new();
+        scores.insert(source, 1.0);
+        SimRankScores { source, n, scores }
+    }
+
+    /// Creates a score vector from raw parts (used by the baselines).
+    pub fn from_map(source: NodeId, n: usize, mut scores: HashMap<NodeId, f64>) -> Self {
+        scores.insert(source, 1.0);
+        SimRankScores { source, n, scores }
+    }
+
+    /// The query node `u`.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Number of nodes in the underlying graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// `ŝ(u, v)`; 0.0 for nodes without a stored estimate.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.scores.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Adds `delta` to `ŝ(u, v)`.
+    #[inline]
+    pub fn add(&mut self, v: NodeId, delta: f64) {
+        *self.scores.entry(v).or_insert(0.0) += delta;
+    }
+
+    /// Overwrites `ŝ(u, v)`.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, value: f64) {
+        self.scores.insert(v, value);
+    }
+
+    /// Number of stored (non-zero) entries, including the source.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when only the trivial self-score is stored.
+    pub fn is_empty(&self) -> bool {
+        self.scores.len() <= 1
+    }
+
+    /// Iterates over stored `(v, ŝ(u,v))` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.scores.iter().map(|(&v, &s)| (v, s))
+    }
+
+    /// The `k` highest-scoring nodes **excluding the source** (whose score
+    /// is trivially 1), sorted by descending score with node-id
+    /// tie-breaking — the ranking used for Precision@k and pooling.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let mut entries: Vec<(NodeId, f64)> = self
+            .scores
+            .iter()
+            .filter(|&(&v, _)| v != self.source)
+            .map(|(&v, &s)| (v, s))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        entries.truncate(k);
+        entries
+    }
+
+    /// Materializes the dense score vector of length `n`.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        for (&v, &s) in &self.scores {
+            out[v as usize] = s;
+        }
+        out
+    }
+
+    /// Largest absolute difference against another score vector over all
+    /// `n` nodes (used by the accuracy tests).
+    pub fn max_abs_diff(&self, other: &SimRankScores) -> f64 {
+        let mut worst: f64 = 0.0;
+        for v in 0..self.n as NodeId {
+            worst = worst.max((self.get(v) - other.get(v)).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_score_is_one() {
+        let s = SimRankScores::new(3, 10);
+        assert_eq!(s.get(3), 1.0);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.source(), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn add_and_set() {
+        let mut s = SimRankScores::new(0, 5);
+        s.add(1, 0.25);
+        s.add(1, 0.25);
+        s.set(2, 0.9);
+        assert_eq!(s.get(1), 0.5);
+        assert_eq!(s.get(2), 0.9);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn top_k_excludes_source_and_sorts() {
+        let mut s = SimRankScores::new(0, 6);
+        s.set(1, 0.3);
+        s.set(2, 0.7);
+        s.set(3, 0.7);
+        s.set(4, 0.1);
+        let top = s.top_k(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 2); // tie broken by node id
+        assert_eq!(top[1].0, 3);
+        assert_eq!(top[2].0, 1);
+        assert!(s.top_k(100).len() == 4);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let mut s = SimRankScores::new(1, 4);
+        s.set(3, 0.5);
+        assert_eq!(s.to_dense(), vec![0.0, 1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let mut a = SimRankScores::new(0, 4);
+        let mut b = SimRankScores::new(0, 4);
+        a.set(2, 0.8);
+        b.set(2, 0.6);
+        b.set(3, 0.1);
+        assert!((a.max_abs_diff(&b) - 0.2).abs() < 1e-12);
+        assert!((b.max_abs_diff(&a) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_map_inserts_self() {
+        let mut m = HashMap::new();
+        m.insert(2u32, 0.4);
+        let s = SimRankScores::from_map(1, 5, m);
+        assert_eq!(s.get(1), 1.0);
+        assert_eq!(s.get(2), 0.4);
+    }
+}

@@ -1,0 +1,365 @@
+//! Backward walks: randomized, unbiased ℓ-hop RPPR estimators.
+//!
+//! Paper §3.4. Both algorithms estimate `π_ℓ(v, w)` for **all** `v`
+//! simultaneously in `O(n·π(w))` expected time, exploiting the out-lists
+//! sorted by in-degree (they only scan the prefix of each list that can
+//! receive mass):
+//!
+//! * [`simple_backward_walk`] — Algorithm 2. Unbiased, optimal expected
+//!   cost, but the estimator can reach `(1−√c)·n` on the two-level gadget
+//!   (`prsim_gen::toys::two_level_gadget`) and its variance is
+//!   unbounded, so no concentration bound applies.
+//! * [`variance_bounded_backward_walk`] — Algorithm 3. Same unbiasedness
+//!   and cost, plus `Var[π̂_ℓ(v,w)] ≤ π_ℓ(v,w)` (Lemma 3.5), which lets
+//!   Algorithm 4 apply Chebyshev + the median trick.
+
+use prsim_graph::{DiGraph, NodeId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Sparse estimates produced by one backward walk.
+#[derive(Clone, Debug, Default)]
+pub struct BackwardWalkOutput {
+    /// Non-zero estimates `(v, π̂_ℓ(v,w))`.
+    pub estimates: Vec<(NodeId, f64)>,
+    /// Number of neighbor visits performed (cost instrumentation).
+    pub cost: usize,
+}
+
+impl BackwardWalkOutput {
+    /// Estimate for `v` (0.0 when absent).
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.estimates
+            .iter()
+            .find(|&&(node, _)| node == v)
+            .map(|&(_, x)| x)
+            .unwrap_or(0.0)
+    }
+}
+
+fn assert_sorted(g: &DiGraph) {
+    assert!(
+        g.is_out_sorted_by_in_degree(),
+        "backward walks require out-adjacency sorted by in-degree \
+         (call prsim_graph::ordering::sort_out_by_in_degree first)"
+    );
+}
+
+/// Algorithm 2: the simple backward walk (unbounded variance).
+///
+/// From each node `x` holding estimate mass at level `i`, draw
+/// `r ~ U(0,1)` and add the full mass to every out-neighbor `y` with
+/// `d_in(y) ≤ √c / r` — an inclusion event of probability
+/// `min(1, √c/d_in(y))` giving expectation `√c·mass/d_in(y)`, matching
+/// the RPPR recurrence.
+pub fn simple_backward_walk<R: Rng + ?Sized>(
+    g: &DiGraph,
+    sqrt_c: f64,
+    w: NodeId,
+    level: usize,
+    rng: &mut R,
+) -> BackwardWalkOutput {
+    assert_sorted(g);
+    let alpha = 1.0 - sqrt_c;
+    let mut cur: HashMap<NodeId, f64> = HashMap::new();
+    cur.insert(w, alpha);
+    let mut cost = 1usize;
+
+    for _ in 0..level {
+        let mut next: HashMap<NodeId, f64> = HashMap::new();
+        // Deterministic frontier order: RNG consumption (and therefore the
+        // whole estimate) is reproducible for a fixed seed.
+        let mut frontier: Vec<(NodeId, f64)> = cur.iter().map(|(&x, &m)| (x, m)).collect();
+        frontier.sort_unstable_by_key(|&(x, _)| x);
+        for &(x, mass) in &frontier {
+            cost += 1;
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let bound = sqrt_c / r;
+            for &y in g.out_neighbors(x) {
+                if g.in_degree(y) as f64 > bound {
+                    break; // sorted: nothing further qualifies
+                }
+                cost += 1;
+                *next.entry(y).or_insert(0.0) += mass;
+            }
+        }
+        cur = next;
+        if cur.is_empty() {
+            break;
+        }
+    }
+
+    let mut estimates: Vec<(NodeId, f64)> = cur.into_iter().collect();
+    estimates.sort_unstable_by_key(|&(v, _)| v);
+    BackwardWalkOutput { estimates, cost }
+}
+
+/// Algorithm 3: the Variance Bounded Backward Walk.
+///
+/// With probability `√c` the mass at `x` is propagated in two phases over
+/// the in-degree-sorted out-list:
+///
+/// 1. **deterministic**: every `y` with `d_in(y) ≤ mass/(1−√c)` receives
+///    `mass/d_in(y)` (each such increment is at least `1−√c`);
+/// 2. **sampled tail**: draw `r ~ U(0,1)`; every `y` with
+///    `mass/(1−√c) < d_in(y) ≤ mass/(r(1−√c))` receives exactly `1−√c`.
+///
+/// Both phases give expectation `√c·mass/d_in(y)` per neighbor, keeping
+/// the estimator unbiased (Lemma 3.3) while capping increments, which is
+/// what bounds the variance by the true value (Lemma 3.5).
+pub fn variance_bounded_backward_walk<R: Rng + ?Sized>(
+    g: &DiGraph,
+    sqrt_c: f64,
+    w: NodeId,
+    level: usize,
+    rng: &mut R,
+) -> BackwardWalkOutput {
+    assert_sorted(g);
+    let alpha = 1.0 - sqrt_c;
+    let mut cur: HashMap<NodeId, f64> = HashMap::new();
+    cur.insert(w, alpha);
+    let mut cost = 1usize;
+
+    for _ in 0..level {
+        let mut next: HashMap<NodeId, f64> = HashMap::new();
+        // Deterministic frontier order (see simple_backward_walk).
+        let mut frontier: Vec<(NodeId, f64)> = cur.iter().map(|(&x, &m)| (x, m)).collect();
+        frontier.sort_unstable_by_key(|&(x, _)| x);
+        for &(x, mass) in &frontier {
+            cost += 1;
+            if rng.gen::<f64>() >= sqrt_c {
+                continue; // the walk mass at x stops here
+            }
+            let neigh = g.out_neighbors(x);
+            let det_bound = mass / alpha;
+            let mut idx = 0usize;
+            while idx < neigh.len() {
+                let y = neigh[idx];
+                if g.in_degree(y) as f64 > det_bound {
+                    break;
+                }
+                cost += 1;
+                *next.entry(y).or_insert(0.0) += mass / g.in_degree(y) as f64;
+                idx += 1;
+            }
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let tail_bound = mass / (r * alpha);
+            while idx < neigh.len() {
+                let y = neigh[idx];
+                if g.in_degree(y) as f64 > tail_bound {
+                    break;
+                }
+                cost += 1;
+                *next.entry(y).or_insert(0.0) += alpha;
+                idx += 1;
+            }
+        }
+        cur = next;
+        if cur.is_empty() {
+            break;
+        }
+    }
+
+    let mut estimates: Vec<(NodeId, f64)> = cur.into_iter().collect();
+    estimates.sort_unstable_by_key(|&(v, _)| v);
+    BackwardWalkOutput { estimates, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::exact_lhop_rppr_to;
+    use prsim_graph::ordering::sort_out_by_in_degree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+    fn sorted(mut g: prsim_graph::DiGraph) -> prsim_graph::DiGraph {
+        sort_out_by_in_degree(&mut g);
+        g
+    }
+
+    /// Mean of `trials` estimates of π̂_ℓ(v,w) for every v with truth > 0.
+    fn empirical_mean(
+        g: &prsim_graph::DiGraph,
+        w: NodeId,
+        level: usize,
+        trials: usize,
+        vbbw: bool,
+        seed: u64,
+    ) -> HashMap<NodeId, f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc: HashMap<NodeId, f64> = HashMap::new();
+        for _ in 0..trials {
+            let out = if vbbw {
+                variance_bounded_backward_walk(g, SQRT_C, w, level, &mut rng)
+            } else {
+                simple_backward_walk(g, SQRT_C, w, level, &mut rng)
+            };
+            for (v, x) in out.estimates {
+                *acc.entry(v).or_insert(0.0) += x;
+            }
+        }
+        acc.values_mut().for_each(|x| *x /= trials as f64);
+        acc
+    }
+
+    #[test]
+    fn level_zero_is_exact() {
+        let g = sorted(prsim_gen::toys::cycle(4));
+        let mut rng = StdRng::seed_from_u64(0);
+        for f in [simple_backward_walk::<StdRng>, variance_bounded_backward_walk::<StdRng>] {
+            let out = f(&g, SQRT_C, 2, 0, &mut rng);
+            assert_eq!(out.estimates.len(), 1);
+            assert_eq!(out.estimates[0].0, 2);
+            assert!((out.estimates[0].1 - (1.0 - SQRT_C)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn both_walks_unbiased_on_random_graph() {
+        let g = sorted(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(60, 4.0, 2.0, 6),
+        ));
+        let w = 0u32;
+        for level in [1usize, 2, 3] {
+            let exact = exact_lhop_rppr_to(&g, SQRT_C, w, level);
+            for (vbbw, seed) in [(true, 1u64), (false, 2u64)] {
+                let mean = empirical_mean(&g, w, level, 60_000, vbbw, seed);
+                for v in 0..g.node_count() as u32 {
+                    let truth = exact[level][v as usize];
+                    let est = mean.get(&v).copied().unwrap_or(0.0);
+                    // ~5σ of the empirical mean (Var ≤ truth for VBBW;
+                    // similar magnitude here for the simple walk).
+                    let tol = 5.0 * (truth.max(1e-4) / 60_000.0).sqrt() + 0.05 * truth;
+                    assert!(
+                        (est - truth).abs() < tol,
+                        "vbbw={vbbw} level={level} v={v}: est {est:.5} vs {truth:.5}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vbbw_variance_bounded_by_truth() {
+        // Lemma 3.5: Var[π̂] ≤ E[π̂²] ≤ π.
+        let g = sorted(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(60, 4.0, 2.0, 12),
+        ));
+        let w = 1u32;
+        let level = 2usize;
+        let trials = 60_000;
+        let exact = exact_lhop_rppr_to(&g, SQRT_C, w, level);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sq: HashMap<NodeId, f64> = HashMap::new();
+        for _ in 0..trials {
+            let out = variance_bounded_backward_walk(&g, SQRT_C, w, level, &mut rng);
+            for (v, x) in out.estimates {
+                *sq.entry(v).or_insert(0.0) += x * x;
+            }
+        }
+        for (v, total) in sq {
+            let second_moment = total / trials as f64;
+            let truth = exact[level][v as usize];
+            // Statistical slack: 15% + small absolute.
+            assert!(
+                second_moment <= truth * 1.15 + 1e-3,
+                "v={v}: E[π̂²] = {second_moment:.6} exceeds π = {truth:.6}"
+            );
+        }
+    }
+
+    #[test]
+    fn gadget_shows_unbounded_values_and_vbbw_variance_bound() {
+        // Paper §3.4: on the two-level gadget all k middle nodes receive
+        // π̂₁ = 1−√c simultaneously (one shared r at the source), so the
+        // sink estimate π̂₂(v,w) is a sum of up to k copies of (1−√c) —
+        // values far above the true π₂ occur regularly, which is why no
+        // sub-gaussian tail bound applies to Algorithm 2. The VBBW second
+        // moment, in contrast, must respect Lemma 3.5's E[π̂²] ≤ π.
+        let k = 64usize;
+        let g = sorted(prsim_gen::toys::two_level_gadget(k));
+        let w = 0u32; // gadget source
+        let v = 1u32; // gadget sink
+        let alpha = 1.0 - SQRT_C;
+        let trials = 20_000;
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth = exact_lhop_rppr_to(&g, SQRT_C, w, 2)[2][v as usize];
+        let mut max_simple: f64 = 0.0;
+        let mut sq_vbbw = 0.0;
+        for _ in 0..trials {
+            let s = simple_backward_walk(&g, SQRT_C, w, 2, &mut rng).get(v);
+            max_simple = max_simple.max(s);
+            let b = variance_bounded_backward_walk(&g, SQRT_C, w, 2, &mut rng).get(v);
+            sq_vbbw += b * b;
+        }
+        let second_moment_vbbw = sq_vbbw / trials as f64;
+
+        // π₂(v,w) = (1−√c)·c ≈ 0.135, yet Algorithm 2 regularly outputs
+        // multiples of (1−√c): accumulations of 3α or more.
+        assert!(
+            max_simple >= 3.0 * alpha,
+            "expected multi-α accumulation from Algorithm 2, max was {max_simple} (α = {alpha})"
+        );
+        assert!(
+            max_simple > 2.0 * truth,
+            "Algorithm 2 max {max_simple} should exceed the true value {truth} by far"
+        );
+        // Lemma 3.5 for VBBW, with statistical slack.
+        assert!(
+            second_moment_vbbw <= truth * 1.2 + 1e-3,
+            "VBBW E[π̂²] = {second_moment_vbbw} exceeds Lemma 3.5 bound π = {truth}"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_pagerank_not_n() {
+        // Backward-walk cost on w is O(n·π(w)): a low-π leaf must be far
+        // cheaper than the global hub.
+        let g = sorted(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(3_000, 10.0, 1.6, 21),
+        ));
+        let pi = crate::pagerank::reverse_pagerank(&g, SQRT_C, 1e-10, 64);
+        let order = crate::pagerank::rank_by_pagerank(&pi);
+        let hub = order[0];
+        let leaf = *order.last().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let avg_cost = |w: NodeId, rng: &mut StdRng| {
+            let mut total = 0usize;
+            for _ in 0..200 {
+                total += variance_bounded_backward_walk(&g, SQRT_C, w, 8, rng).cost;
+            }
+            total as f64 / 200.0
+        };
+        let hub_cost = avg_cost(hub, &mut rng);
+        let leaf_cost = avg_cost(leaf, &mut rng);
+        assert!(
+            hub_cost > 3.0 * leaf_cost,
+            "hub cost {hub_cost} should dwarf leaf cost {leaf_cost}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by in-degree")]
+    fn unsorted_graph_rejected() {
+        let g = prsim_gen::toys::cycle(3); // not sorted
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = variance_bounded_backward_walk(&g, SQRT_C, 0, 2, &mut rng);
+    }
+
+    #[test]
+    fn estimates_nonnegative_and_sorted() {
+        let g = sorted(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(100, 5.0, 2.0, 2),
+        ));
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let out = variance_bounded_backward_walk(&g, SQRT_C, 4, 3, &mut rng);
+            assert!(out.estimates.iter().all(|&(_, x)| x >= 0.0));
+            assert!(out.estimates.windows(2).all(|p| p[0].0 < p[1].0));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Sweep runner: evaluates one algorithm configuration over a set of
+//! query nodes, producing the tradeoff points plotted in Figures 2–5.
+
+use prsim_baselines::SingleSourceSimRank;
+use prsim_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::ground_truth::GroundTruth;
+use crate::metrics::{avg_error_at_k, precision_at_k};
+use crate::pooling::build_pool;
+
+/// Evaluation settings shared by one sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalSettings {
+    /// Top-k size for pooling, `AvgError@k` and `Precision@k` (the paper
+    /// uses k = 50).
+    pub k: usize,
+    /// RNG seed for query-time randomness.
+    pub seed: u64,
+}
+
+impl Default for EvalSettings {
+    fn default() -> Self {
+        EvalSettings { k: 50, seed: 0x5EED }
+    }
+}
+
+/// Measured tradeoff point of one algorithm configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct AlgoEvaluation {
+    /// Algorithm name.
+    pub name: String,
+    /// Free-form parameter description (e.g. "eps=0.05").
+    pub params: String,
+    /// Mean single-source query wall time (seconds).
+    pub query_seconds: f64,
+    /// Mean `AvgError@k` over the query set.
+    pub avg_error_at_k: f64,
+    /// Mean `Precision@k` over the query set.
+    pub precision_at_k: f64,
+    /// Index size in bytes (0 for index-free algorithms).
+    pub index_bytes: usize,
+    /// Preprocessing time in seconds (0 for index-free algorithms).
+    pub preprocess_seconds: f64,
+    /// Number of query nodes evaluated.
+    pub queries: usize,
+}
+
+/// Evaluates `algo` on `queries`: per query, builds a pooled reference set
+/// with the algorithm's own answers (callers wanting a shared pool across
+/// algorithms should use [`build_pool`] directly) and averages the
+/// metrics. Query time excludes pooling and ground-truth work.
+pub fn evaluate_algorithm(
+    algo: &dyn SingleSourceSimRank,
+    params: impl Into<String>,
+    preprocess_seconds: f64,
+    queries: &[NodeId],
+    truth: &GroundTruth,
+    settings: EvalSettings,
+) -> AlgoEvaluation {
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let mut total_time = 0.0;
+    let mut total_err = 0.0;
+    let mut total_prec = 0.0;
+
+    for &u in queries {
+        // Timed query run.
+        let start = std::time::Instant::now();
+        let scores = algo.single_source(u, &mut rng);
+        total_time += start.elapsed().as_secs_f64();
+
+        // Untimed pooling run (reuses the scores just computed).
+        let algos: Vec<&dyn SingleSourceSimRank> = vec![algo];
+        let (pool, _) = build_pool(&algos, u, settings.k, truth, &mut rng);
+        total_err += avg_error_at_k(&scores, &pool.truth_top_k);
+        total_prec += precision_at_k(&scores, &pool.truth_top_k, settings.k);
+    }
+
+    let q = queries.len().max(1) as f64;
+    AlgoEvaluation {
+        name: algo.name().to_string(),
+        params: params.into(),
+        query_seconds: total_time / q,
+        avg_error_at_k: total_err / q,
+        precision_at_k: total_prec / q,
+        index_bytes: algo.index_size_bytes(),
+        preprocess_seconds,
+        queries: queries.len(),
+    }
+}
+
+/// Picks `count` deterministic query nodes spread over `0..n`.
+pub fn pick_query_nodes(n: usize, count: usize, seed: u64) -> Vec<NodeId> {
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+    all.shuffle(&mut rng);
+    all.truncate(count.min(n));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prsim_baselines::{MonteCarlo, MonteCarloConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn evaluation_reports_sane_numbers() {
+        let g = Arc::new(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(60, 4.0, 2.0, 6),
+        ));
+        let truth = GroundTruth::exact(&g, 0.6);
+        let mc = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 2_000, ..Default::default() });
+        let queries = pick_query_nodes(60, 5, 1);
+        let eval = evaluate_algorithm(
+            &mc,
+            "nr=2000",
+            0.0,
+            &queries,
+            &truth,
+            EvalSettings { k: 10, seed: 4 },
+        );
+        assert_eq!(eval.name, "MC");
+        assert_eq!(eval.queries, 5);
+        assert!(eval.query_seconds > 0.0);
+        assert!(eval.avg_error_at_k < 0.05, "error {}", eval.avg_error_at_k);
+        assert!(eval.precision_at_k > 0.5);
+        assert_eq!(eval.index_bytes, 0);
+    }
+
+    #[test]
+    fn query_nodes_deterministic_and_unique() {
+        let a = pick_query_nodes(100, 10, 7);
+        let b = pick_query_nodes(100, 10, 7);
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), 10);
+        assert!(pick_query_nodes(5, 10, 1).len() == 5);
+    }
+}

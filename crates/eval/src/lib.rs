@@ -1,0 +1,33 @@
+//! # prsim-eval
+//!
+//! Evaluation harness reproducing the PRSim paper's experimental
+//! methodology (§5.1):
+//!
+//! * [`adapter`] — wraps the PRSim engine in the common
+//!   [`prsim_baselines::SingleSourceSimRank`] trait.
+//! * [`ground_truth`] — exact (power-method) or high-precision Monte-Carlo
+//!   single-pair oracles.
+//! * [`pooling`] — the pooling protocol for evaluating single-source
+//!   accuracy on graphs too large for exact ground truth.
+//! * [`metrics`] — `AvgError@k` and `Precision@k`.
+//! * [`experiment`] — sweep runner measuring query time, accuracy, index
+//!   size and preprocessing time per algorithm/parameter point.
+//! * [`report`] — plain-text tables and CSV series for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod experiment;
+pub mod ground_truth;
+pub mod metrics;
+pub mod pooling;
+pub mod report;
+pub mod stability;
+
+pub use adapter::PrsimAlgo;
+pub use experiment::{evaluate_algorithm, AlgoEvaluation, EvalSettings};
+pub use ground_truth::GroundTruth;
+pub use metrics::{avg_error_at_k, precision_at_k};
+pub use pooling::{build_pool, PoolResult};
+pub use stability::{measure_stability, StabilityReport};

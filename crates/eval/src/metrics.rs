@@ -1,0 +1,83 @@
+//! Accuracy metrics: `AvgError@k` and `Precision@k` (paper §5.1).
+
+use prsim_core::SimRankScores;
+use prsim_graph::NodeId;
+
+/// `AvgError@k`: mean absolute error of the algorithm's estimates over the
+/// pooled ground-truth top-k set `V_k = [(v_i, s(u, v_i))]`.
+pub fn avg_error_at_k(scores: &SimRankScores, truth_top_k: &[(NodeId, f64)]) -> f64 {
+    if truth_top_k.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = truth_top_k
+        .iter()
+        .map(|&(v, s)| (scores.get(v) - s).abs())
+        .sum();
+    total / truth_top_k.len() as f64
+}
+
+/// `Precision@k`: fraction of the ground-truth top-k contained in the
+/// algorithm's top-k.
+pub fn precision_at_k(scores: &SimRankScores, truth_top_k: &[(NodeId, f64)], k: usize) -> f64 {
+    if k == 0 || truth_top_k.is_empty() {
+        return 1.0;
+    }
+    let algo_top: std::collections::HashSet<NodeId> =
+        scores.top_k(k).into_iter().map(|(v, _)| v).collect();
+    let hits = truth_top_k
+        .iter()
+        .take(k)
+        .filter(|&&(v, _)| algo_top.contains(&v))
+        .count();
+    hits as f64 / k.min(truth_top_k.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(pairs: &[(u32, f64)]) -> SimRankScores {
+        let mut s = SimRankScores::new(0, 100);
+        for &(v, x) in pairs {
+            s.set(v, x);
+        }
+        s
+    }
+
+    #[test]
+    fn avg_error_exact_match_is_zero() {
+        let s = scores(&[(1, 0.5), (2, 0.25)]);
+        let truth = vec![(1u32, 0.5), (2, 0.25)];
+        assert_eq!(avg_error_at_k(&s, &truth), 0.0);
+    }
+
+    #[test]
+    fn avg_error_counts_missing_nodes() {
+        let s = scores(&[(1, 0.5)]);
+        let truth = vec![(1u32, 0.5), (9, 0.3)];
+        assert!((avg_error_at_k(&s, &truth) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_full_and_partial() {
+        let s = scores(&[(1, 0.9), (2, 0.8), (3, 0.7), (4, 0.6)]);
+        let truth = vec![(1u32, 0.95), (2, 0.85), (5, 0.75)];
+        assert!((precision_at_k(&s, &truth, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&s, &truth[..2], 2), 1.0);
+    }
+
+    #[test]
+    fn precision_k_larger_than_truth() {
+        let s = scores(&[(1, 0.9)]);
+        let truth = vec![(1u32, 0.9)];
+        assert_eq!(precision_at_k(&s, &truth, 5), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let s = scores(&[]);
+        assert_eq!(avg_error_at_k(&s, &[]), 0.0);
+        assert_eq!(precision_at_k(&s, &[], 10), 1.0);
+        assert_eq!(precision_at_k(&s, &[(1, 0.5)], 0), 1.0);
+    }
+}

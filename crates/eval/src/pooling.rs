@@ -1,0 +1,112 @@
+//! The pooling protocol (paper §5.1, extending ProbeSim's idea).
+//!
+//! Exact single-source ground truth needs `O(n²)` space, so on large
+//! graphs the paper instead: runs every algorithm under evaluation, pools
+//! the union of their top-k answers, obtains ground-truth values *only
+//! for pool members* via the high-precision Monte-Carlo oracle, and takes
+//! the best `k` of the pool as the reference set `V_k`.
+
+use prsim_baselines::SingleSourceSimRank;
+use prsim_core::SimRankScores;
+use prsim_graph::NodeId;
+use rand::rngs::StdRng;
+
+use crate::ground_truth::GroundTruth;
+
+/// The pooled reference set for one query node.
+#[derive(Clone, Debug)]
+pub struct PoolResult {
+    /// Query node.
+    pub source: NodeId,
+    /// Pool members with ground-truth values, descending, truncated to k.
+    pub truth_top_k: Vec<(NodeId, f64)>,
+    /// Total distinct pool members before truncation.
+    pub pool_size: usize,
+}
+
+/// Builds the pooled ground-truth top-k for `source` from the given
+/// algorithms' answers (also returns each algorithm's scores so callers
+/// don't recompute them).
+pub fn build_pool(
+    algorithms: &[&dyn SingleSourceSimRank],
+    source: NodeId,
+    k: usize,
+    truth: &GroundTruth,
+    rng: &mut StdRng,
+) -> (PoolResult, Vec<SimRankScores>) {
+    let mut pool: Vec<NodeId> = Vec::new();
+    let mut all_scores = Vec::with_capacity(algorithms.len());
+    for algo in algorithms {
+        let scores = algo.single_source(source, rng);
+        pool.extend(scores.top_k(k).into_iter().map(|(v, _)| v));
+        all_scores.push(scores);
+    }
+    pool.sort_unstable();
+    pool.dedup();
+    let pool_size = pool.len();
+
+    let mut truth_entries: Vec<(NodeId, f64)> = pool
+        .into_iter()
+        .map(|v| (v, truth.pair(source, v)))
+        .collect();
+    truth_entries.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    truth_entries.truncate(k);
+
+    (
+        PoolResult {
+            source,
+            truth_top_k: truth_entries,
+            pool_size,
+        },
+        all_scores,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prsim_baselines::{MonteCarlo, MonteCarloConfig};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_contains_truthful_top_k() {
+        let g = Arc::new(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(60, 4.0, 2.0, 6),
+        ));
+        let truth = GroundTruth::exact(&g, 0.6);
+        let mc = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 3_000, ..Default::default() });
+        let algos: Vec<&dyn SingleSourceSimRank> = vec![&mc];
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pool, scores) = build_pool(&algos, 0, 10, &truth, &mut rng);
+        assert_eq!(scores.len(), 1);
+        assert!(pool.truth_top_k.len() <= 10);
+        assert!(pool.pool_size >= pool.truth_top_k.len());
+        // Descending truth values, no source node.
+        assert!(pool
+            .truth_top_k
+            .windows(2)
+            .all(|w| w[0].1 >= w[1].1));
+        assert!(pool.truth_top_k.iter().all(|&(v, _)| v != 0));
+    }
+
+    #[test]
+    fn union_pool_from_two_algorithms() {
+        let g = Arc::new(prsim_gen::toys::star_out(8));
+        let truth = GroundTruth::exact(&g, 0.6);
+        let a = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 500, ..Default::default() });
+        let b = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 200, ..Default::default() });
+        let algos: Vec<&dyn SingleSourceSimRank> = vec![&a, &b];
+        let mut rng = StdRng::seed_from_u64(3);
+        let (pool, _) = build_pool(&algos, 1, 4, &truth, &mut rng);
+        // All leaves have truth 0.6 with respect to leaf 1.
+        for &(v, s) in &pool.truth_top_k {
+            assert!(v >= 2);
+            assert!((s - 0.6).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text tables and CSV series for the figure/table binaries.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::experiment::AlgoEvaluation;
+
+/// Renders rows as an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    };
+    fmt_row(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(&mut out, row);
+    }
+    out
+}
+
+/// Formats an [`AlgoEvaluation`] as a standard report row.
+pub fn eval_row(e: &AlgoEvaluation) -> Vec<String> {
+    vec![
+        e.name.clone(),
+        e.params.clone(),
+        format!("{:.6}", e.query_seconds),
+        format!("{:.6}", e.avg_error_at_k),
+        format!("{:.3}", e.precision_at_k),
+        human_bytes(e.index_bytes),
+        format!("{:.3}", e.preprocess_seconds),
+    ]
+}
+
+/// Standard headers matching [`eval_row`].
+pub const EVAL_HEADERS: [&str; 7] = [
+    "algorithm",
+    "params",
+    "query_s",
+    "avg_err@k",
+    "prec@k",
+    "index",
+    "preproc_s",
+];
+
+/// Human-readable byte size.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut val = bytes as f64;
+    let mut unit = 0;
+    while val >= 1024.0 && unit < UNITS.len() - 1 {
+        val /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{val:.1}{}", UNITS[unit])
+    }
+}
+
+/// Writes rows as CSV (no quoting — callers must keep cells comma-free).
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "long_header"],
+            &[
+                vec!["xx".into(), "1".into()],
+                vec!["y".into(), "22222222222222".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(human_bytes(0), "0B");
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("prsim_eval_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "x,y\n1,2\n3,4\n");
+    }
+}

@@ -1,0 +1,134 @@
+//! Estimator stability measurement.
+//!
+//! Randomized single-source algorithms return different score vectors per
+//! run; this module quantifies that spread (per-node standard deviation
+//! over repeated runs and worst-case run-to-run divergence), which is the
+//! empirical counterpart of the paper's variance analysis (Lemma 3.5 /
+//! Lemma 3.7) and backs the noise caveats in EXPERIMENTS.md.
+
+use prsim_baselines::SingleSourceSimRank;
+use prsim_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Spread statistics of repeated single-source runs.
+#[derive(Clone, Debug)]
+pub struct StabilityReport {
+    /// Query node.
+    pub source: NodeId,
+    /// Number of repetitions measured.
+    pub runs: usize,
+    /// Largest per-node standard deviation across runs.
+    pub max_std: f64,
+    /// Mean per-node standard deviation (over nodes touched by any run).
+    pub mean_std: f64,
+    /// Largest absolute difference between any two runs at any node.
+    pub max_divergence: f64,
+}
+
+/// Runs `algo` on `source` `runs` times with distinct seeds and measures
+/// the per-node spread of the estimates.
+pub fn measure_stability(
+    algo: &dyn SingleSourceSimRank,
+    source: NodeId,
+    runs: usize,
+    base_seed: u64,
+) -> StabilityReport {
+    assert!(runs >= 2, "need at least two runs to measure spread");
+    // Welford-style accumulation per node.
+    let mut count: HashMap<NodeId, usize> = HashMap::new();
+    let mut sum: HashMap<NodeId, f64> = HashMap::new();
+    let mut sum_sq: HashMap<NodeId, f64> = HashMap::new();
+    let mut min_v: HashMap<NodeId, f64> = HashMap::new();
+    let mut max_v: HashMap<NodeId, f64> = HashMap::new();
+
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(base_seed + run as u64);
+        let scores = algo.single_source(source, &mut rng);
+        for (v, s) in scores.iter() {
+            *count.entry(v).or_insert(0) += 1;
+            *sum.entry(v).or_insert(0.0) += s;
+            *sum_sq.entry(v).or_insert(0.0) += s * s;
+            let mn = min_v.entry(v).or_insert(s);
+            *mn = mn.min(s);
+            let mx = max_v.entry(v).or_insert(s);
+            *mx = mx.max(s);
+        }
+    }
+
+    let mut max_std: f64 = 0.0;
+    let mut total_std = 0.0;
+    let mut max_divergence: f64 = 0.0;
+    let nodes = sum.len().max(1);
+    for (&v, &s) in &sum {
+        // Runs that never touched v contributed an implicit 0.
+        let n = runs as f64;
+        let mean = s / n;
+        let var = (sum_sq[&v] / n - mean * mean).max(0.0);
+        let std = var.sqrt();
+        max_std = max_std.max(std);
+        total_std += std;
+        let lo = if count[&v] < runs { 0.0 } else { min_v[&v] };
+        max_divergence = max_divergence.max(max_v[&v] - lo);
+    }
+
+    StabilityReport {
+        source,
+        runs,
+        max_std,
+        mean_std: total_std / nodes as f64,
+        max_divergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrsimAlgo;
+    use prsim_core::{PrsimConfig, QueryParams};
+
+    fn engine(dr: usize) -> PrsimAlgo {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(100, 5.0, 2.0, 44));
+        PrsimAlgo::build(
+            g,
+            PrsimConfig {
+                query: QueryParams::Explicit { dr, fr: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spread_shrinks_with_more_samples() {
+        let coarse = measure_stability(&engine(200), 0, 6, 9);
+        let fine = measure_stability(&engine(8_000), 0, 6, 9);
+        assert!(coarse.max_std > 0.0);
+        assert!(
+            fine.max_std < coarse.max_std,
+            "fine {:.4} vs coarse {:.4}",
+            fine.max_std,
+            coarse.max_std
+        );
+        assert!(fine.max_divergence <= coarse.max_divergence * 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_sources_have_zero_spread() {
+        // On a cycle every estimate is 0 or 1 (self) regardless of seed.
+        let g = prsim_gen::toys::cycle(8);
+        let algo = PrsimAlgo::build(g, PrsimConfig::default()).unwrap();
+        let rep = measure_stability(&algo, 2, 4, 1);
+        assert_eq!(rep.max_std, 0.0);
+        assert_eq!(rep.max_divergence, 0.0);
+        assert_eq!(rep.runs, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two runs")]
+    fn rejects_single_run() {
+        let algo = engine(100);
+        let _ = measure_stability(&algo, 0, 1, 0);
+    }
+}

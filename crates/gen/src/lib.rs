@@ -1,0 +1,44 @@
+//! # prsim-gen
+//!
+//! Synthetic graph generators for the PRSim suite.
+//!
+//! The paper's synthetic experiments (Figures 6 and 7) need two families:
+//!
+//! * **Power-law graphs with a prescribed cumulative out-degree exponent γ
+//!   and average degree d̄** — the paper uses the hyperbolic graph
+//!   generator; we substitute the Chung–Lu expected-degree model
+//!   ([`chung_lu`]), which directly controls both dials (γ, d̄) that the
+//!   paper's theory says matter, plus Barabási–Albert ([`ba`]) as a second
+//!   power-law family (γ = 2).
+//! * **Erdős–Rényi graphs** ([`erdos_renyi`]) with varying density for the
+//!   non-power-law experiments.
+//!
+//! All generators take an explicit `u64` seed and are fully deterministic
+//! for a given seed, so every figure in EXPERIMENTS.md is reproducible
+//! bit-for-bit.
+//!
+//! [`toys`] provides the small fixed graphs used across the test suites,
+//! including the paper's §3.4 two-level gadget on which the *simple*
+//! backward walk has unbounded estimates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod chung_lu;
+pub mod erdos_renyi;
+pub mod sbm;
+pub mod toys;
+
+pub use ba::barabasi_albert;
+pub use chung_lu::{chung_lu_directed, chung_lu_undirected, ChungLuConfig};
+pub use erdos_renyi::{erdos_renyi_directed, erdos_renyi_undirected};
+pub use sbm::{community_of, planted_partition};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates the deterministic RNG used by every generator in this crate.
+pub(crate) fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,149 @@
+//! Small deterministic fixture graphs shared by the test suites.
+
+use prsim_graph::{DiGraph, GraphBuilder, NodeId};
+
+/// Directed path `0 → 1 → … → n-1`.
+pub fn path(n: usize) -> DiGraph {
+    let edges: Vec<_> = (1..n as NodeId).map(|v| (v - 1, v)).collect();
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0`.
+pub fn cycle(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    let edges: Vec<_> = (0..n as NodeId).map(|v| (v, (v + 1) % n as NodeId)).collect();
+    DiGraph::from_edges(n, &edges)
+}
+
+/// In-star: every leaf `1..n` points at the hub `0`.
+pub fn star_in(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n as NodeId).map(|v| (v, 0)).collect();
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Out-star: the hub `0` points at every leaf `1..n`.
+pub fn star_out(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n as NodeId).map(|v| (0, v)).collect();
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Complete directed graph (all ordered pairs, no self loops).
+pub fn complete(n: usize) -> DiGraph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+/// The paper's §3.4 gadget: nodes `w, v, x_1 … x_k` with edges
+/// `w → x_i` and `x_i → v` for every `i`.
+///
+/// On this graph the *simple* backward walk (Algorithm 2) started at `w`
+/// produces estimates of `π̂_2(v, w)` as large as `(1−√c)·k`, demonstrating
+/// the unbounded-variance problem the Variance Bounded Backward Walk fixes.
+///
+/// Node ids: `w = 0`, `v = 1`, `x_i = 1 + i` for `i = 1..=k`.
+pub fn two_level_gadget(k: usize) -> DiGraph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::new();
+    for i in 0..k as NodeId {
+        let x = 2 + i;
+        b.add_edge(0, x);
+        b.add_edge(x, 1);
+    }
+    b.build()
+}
+
+/// Two disjoint directed triangles — a minimal multi-component fixture.
+pub fn two_triangles() -> DiGraph {
+    DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+}
+
+/// The 8-node example graph from the original SimRank paper (Jeh & Widom),
+/// a small "university" web graph. Node names (for reference):
+/// 0 = Univ, 1 = ProfA, 2 = ProfB, 3 = StudentA, 4 = StudentB.
+pub fn jeh_widom_university() -> DiGraph {
+    DiGraph::from_edges(
+        5,
+        &[
+            (0, 1), // Univ -> ProfA
+            (0, 2), // Univ -> ProfB
+            (1, 3), // ProfA -> StudentA
+            (2, 4), // ProfB -> StudentB
+            (3, 0), // StudentA -> Univ
+            (4, 2), // StudentB -> ProfB
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.edge_count(), 5);
+        for u in g.nodes() {
+            assert_eq!(g.out_degree(u), 1);
+            assert_eq!(g.in_degree(u), 1);
+        }
+    }
+
+    #[test]
+    fn stars() {
+        let g = star_in(6);
+        assert_eq!(g.in_degree(0), 5);
+        assert_eq!(g.out_degree(0), 0);
+        let g = star_out(6);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.edge_count(), 12);
+        for u in g.nodes() {
+            assert_eq!(g.out_degree(u), 3);
+            assert_eq!(g.in_degree(u), 3);
+        }
+    }
+
+    #[test]
+    fn gadget_shape() {
+        let g = two_level_gadget(10);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.out_degree(0), 10);
+        assert_eq!(g.in_degree(1), 10);
+        for i in 0..10u32 {
+            let x = 2 + i;
+            assert_eq!(g.in_neighbors(x), &[0]);
+            assert_eq!(g.out_neighbors(x), &[1]);
+        }
+    }
+
+    #[test]
+    fn university_shape() {
+        let g = jeh_widom_university();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.in_degree(2), 2); // ProfB referenced by Univ and StudentB
+    }
+}

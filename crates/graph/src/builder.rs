@@ -1,0 +1,171 @@
+//! Incremental construction of [`DiGraph`] from edge streams.
+
+use crate::csr::{DiGraph, NodeId};
+
+/// Collects edges and produces a [`DiGraph`].
+///
+/// The builder grows the node universe automatically: adding edge `(u, v)`
+/// extends `n` to `max(u, v) + 1`. Construction options control whether
+/// self loops and parallel (duplicate) edges survive into the final graph —
+/// the SimRank literature conventionally works on simple graphs, so both
+/// are dropped by default.
+///
+/// ```
+/// use prsim_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(0, 1); // duplicate: dropped by default
+/// b.add_edge(2, 2); // self loop: dropped by default
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    edges: Vec<(NodeId, NodeId)>,
+    n: usize,
+    keep_self_loops: bool,
+    keep_parallel_edges: bool,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder that drops self loops and parallel edges.
+    pub fn new() -> Self {
+        GraphBuilder {
+            edges: Vec::new(),
+            n: 0,
+            keep_self_loops: false,
+            keep_parallel_edges: false,
+        }
+    }
+
+    /// Creates a builder with capacity for `edges` edges.
+    pub fn with_capacity(edges: usize) -> Self {
+        let mut b = Self::new();
+        b.edges.reserve(edges);
+        b
+    }
+
+    /// Keep self loops `(u, u)` in the final graph.
+    pub fn keep_self_loops(mut self, keep: bool) -> Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Keep parallel (duplicate) edges in the final graph.
+    pub fn keep_parallel_edges(mut self, keep: bool) -> Self {
+        self.keep_parallel_edges = keep;
+        self
+    }
+
+    /// Adds a directed edge `u → v`, growing the node universe as needed.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.n = self.n.max(u as usize + 1).max(v as usize + 1);
+        self.edges.push((u, v));
+    }
+
+    /// Adds both directions `u → v` and `v → u` (undirected edge).
+    ///
+    /// The paper treats undirected datasets (DBLP-Author) as symmetric
+    /// directed graphs, which is what this models.
+    #[inline]
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        if u != v {
+            self.add_edge(v, u);
+        }
+    }
+
+    /// Ensures the node universe contains `0..n` even without edges.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Number of edges currently buffered (before dedup).
+    pub fn buffered_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into a CSR graph.
+    pub fn build(mut self) -> DiGraph {
+        if !self.keep_self_loops {
+            self.edges.retain(|&(u, v)| u != v);
+        }
+        if !self.keep_parallel_edges {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        DiGraph::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_node_universe() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(7, 3);
+        let g = b.build();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn default_drops_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn opt_in_keeps_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new().keep_self_loops(true).keep_parallel_edges(true);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn undirected_adds_both_directions_once_for_loops() {
+        let mut b = GraphBuilder::new().keep_self_loops(true);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(2, 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3); // 0->1, 1->0, 2->2
+        assert_eq!(g.in_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn ensure_nodes_creates_isolated_nodes() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_nodes(10);
+        let g = b.build();
+        assert_eq!(g.node_count(), 10);
+        assert!(g.out_neighbors(9).is_empty());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Degree distributions and power-law exponent estimation.
+//!
+//! The paper's hardness analysis (Theorem 3.12, Conjecture 1) is driven by
+//! the *cumulative* power-law exponent γ of the out-degree distribution:
+//! `P_o(k) ~ k^{-γ}` where `P_o(k)` is the fraction of nodes with
+//! out-degree at least `k`. This module computes the complementary
+//! cumulative distribution (Figure 1) and two standard estimators of γ:
+//!
+//! * a log–log least-squares fit of the CCDF (what eyeballing Figure 1
+//!   corresponds to), and
+//! * the Hill maximum-likelihood estimator of the tail exponent, which for
+//!   a density exponent α gives the cumulative exponent γ = α − 1.
+
+use crate::csr::{DiGraph, NodeId};
+
+/// Which degree orientation a statistic refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegreeKind {
+    /// Out-degrees `d_out(v)`; the paper's γ.
+    Out,
+    /// In-degrees `d_in(v)`; the paper's γ'.
+    In,
+}
+
+/// Summary statistics of one degree orientation of a graph.
+#[derive(Clone, Debug)]
+pub struct DegreeStats {
+    /// Which orientation was measured.
+    pub kind: DegreeKind,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`m / n`).
+    pub mean: f64,
+    /// Number of nodes with degree zero.
+    pub zeros: usize,
+}
+
+/// Returns the degree sequence for the requested orientation.
+pub fn degree_sequence(g: &DiGraph, kind: DegreeKind) -> Vec<usize> {
+    (0..g.node_count() as NodeId)
+        .map(|v| match kind {
+            DegreeKind::Out => g.out_degree(v),
+            DegreeKind::In => g.in_degree(v),
+        })
+        .collect()
+}
+
+/// Computes summary statistics of the degree distribution.
+pub fn degree_stats(g: &DiGraph, kind: DegreeKind) -> DegreeStats {
+    let seq = degree_sequence(g, kind);
+    let n = seq.len().max(1);
+    DegreeStats {
+        kind,
+        min: seq.iter().copied().min().unwrap_or(0),
+        max: seq.iter().copied().max().unwrap_or(0),
+        mean: seq.iter().sum::<usize>() as f64 / n as f64,
+        zeros: seq.iter().filter(|&&d| d == 0).count(),
+    }
+}
+
+/// Complementary cumulative degree distribution.
+///
+/// Returns `(k, count_of_nodes_with_degree >= k)` for every distinct degree
+/// `k >= 1` present in the graph, ascending in `k`. This is the quantity
+/// plotted (as fractions) in the paper's Figure 1.
+pub fn ccdf(degrees: &[usize]) -> Vec<(usize, usize)> {
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return Vec::new();
+    }
+    let mut hist = vec![0usize; max + 1];
+    for &d in degrees {
+        hist[d] += 1;
+    }
+    let mut out = Vec::new();
+    let mut at_least = 0usize;
+    // Walk degrees descending, accumulate, then reverse.
+    let mut rev = Vec::new();
+    for k in (1..=max).rev() {
+        at_least += hist[k];
+        if hist[k] > 0 || k == 1 || k == max {
+            rev.push((k, at_least));
+        }
+    }
+    out.extend(rev.into_iter().rev());
+    out
+}
+
+/// Estimates the cumulative power-law exponent γ by ordinary least squares
+/// on the log–log CCDF, using only degrees `k >= k_min`.
+///
+/// Returns `None` when fewer than two distinct degrees survive the cut.
+pub fn powerlaw_exponent_ccdf_fit(degrees: &[usize], k_min: usize) -> Option<f64> {
+    let n = degrees.len();
+    if n == 0 {
+        return None;
+    }
+    let points: Vec<(f64, f64)> = ccdf(degrees)
+        .into_iter()
+        .filter(|&(k, c)| k >= k_min.max(1) && c > 0)
+        .map(|(k, c)| ((k as f64).ln(), (c as f64 / n as f64).ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let len = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = len * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (len * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+/// Hill maximum-likelihood estimator of the *cumulative* tail exponent γ.
+///
+/// The Hill estimator targets the density exponent α of
+/// `p(k) ~ k^{-α}`; for a pure power law the cumulative exponent is
+/// `γ = α − 1`, which is what we return. Only degrees `>= k_min` enter the
+/// estimate, and the Clauset–Shalizi–Newman continuity correction
+/// (`k_min − ½` in the denominator) is applied because degrees are
+/// discrete. Returns `None` if no degree passes the cut.
+pub fn powerlaw_exponent_hill(degrees: &[usize], k_min: usize) -> Option<f64> {
+    let k_min = k_min.max(1) as f64;
+    let shift = (k_min - 0.5).max(0.5);
+    let logs: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d as f64 >= k_min)
+        .map(|&d| (d as f64 / shift).ln())
+        .collect();
+    if logs.is_empty() {
+        return None;
+    }
+    let mean_log: f64 = logs.iter().sum::<f64>() / logs.len() as f64;
+    if mean_log <= 0.0 {
+        return None;
+    }
+    let alpha = 1.0 + 1.0 / mean_log;
+    Some(alpha - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccdf_of_uniform_degrees() {
+        // degrees [2,2,2]: P(k>=1)=3, P(k>=2)=3.
+        let c = ccdf(&[2, 2, 2]);
+        assert_eq!(c.first(), Some(&(1, 3)));
+        assert_eq!(c.last(), Some(&(2, 3)));
+    }
+
+    #[test]
+    fn ccdf_empty_and_zero() {
+        assert!(ccdf(&[]).is_empty());
+        assert!(ccdf(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn ccdf_monotone_nonincreasing() {
+        let degs = vec![1, 1, 1, 2, 3, 3, 7, 10, 10, 50];
+        let c = ccdf(&degs);
+        assert!(c.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 >= w[1].1));
+        // P(k >= 1) counts all nonzero-degree nodes.
+        assert_eq!(c[0], (1, 10));
+    }
+
+    #[test]
+    fn exponent_fit_recovers_synthetic_power_law() {
+        // Build a degree multiset following P(deg >= k) = k^{-2} exactly:
+        // put floor(n/k^2) - floor(n/(k+1)^2) nodes at degree k.
+        let n = 100_000usize;
+        let gamma = 2.0f64;
+        let mut degrees = Vec::new();
+        let mut k = 1usize;
+        loop {
+            let at_k = (n as f64 / (k as f64).powf(gamma)).floor() as usize;
+            let at_k1 = (n as f64 / ((k + 1) as f64).powf(gamma)).floor() as usize;
+            let cnt = at_k.saturating_sub(at_k1);
+            if at_k == 0 {
+                break;
+            }
+            degrees.extend(std::iter::repeat_n(k, cnt));
+            k += 1;
+            if k > 2_000 {
+                break;
+            }
+        }
+        let est = powerlaw_exponent_ccdf_fit(&degrees, 1).unwrap();
+        assert!((est - gamma).abs() < 0.3, "ccdf fit estimate {est} too far from {gamma}");
+        let hill = powerlaw_exponent_hill(&degrees, 10).unwrap();
+        assert!((hill - gamma).abs() < 0.3, "hill estimate {hill} too far from {gamma}");
+    }
+
+    #[test]
+    fn exponent_estimators_handle_degenerate_input() {
+        assert!(powerlaw_exponent_ccdf_fit(&[], 1).is_none());
+        // Constant degrees: flat CCDF, slope 0 (not a power law, but defined).
+        let flat = powerlaw_exponent_ccdf_fit(&[3, 3, 3], 1).unwrap();
+        assert!(flat.abs() < 1e-9);
+        assert!(powerlaw_exponent_hill(&[], 1).is_none());
+    }
+
+    #[test]
+    fn degree_stats_both_kinds() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (3, 2)]);
+        let out = degree_stats(&g, DegreeKind::Out);
+        assert_eq!(out.max, 2);
+        assert_eq!(out.zeros, 1); // node 2
+        assert!((out.mean - 1.0).abs() < 1e-12);
+        let inn = degree_stats(&g, DegreeKind::In);
+        assert_eq!(inn.max, 3); // node 2
+        assert_eq!(inn.zeros, 2); // nodes 0, 3
+    }
+
+    #[test]
+    fn degree_sequence_matches_graph() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 2), (2, 1)]);
+        assert_eq!(degree_sequence(&g, DegreeKind::Out), vec![2, 0, 1]);
+        assert_eq!(degree_sequence(&g, DegreeKind::In), vec![0, 2, 1]);
+    }
+}

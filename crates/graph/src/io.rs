@@ -1,0 +1,284 @@
+//! Graph file formats.
+//!
+//! Two formats are supported:
+//!
+//! * **Edge-list text** — one `source target` pair per line, whitespace
+//!   separated; `#`- and `%`-prefixed lines are comments. This matches the
+//!   SNAP / LAW dataset formats referenced by the paper (Table 3 sources).
+//! * **Compact binary** — a little-endian dump of the CSR arrays with a
+//!   magic header, for fast reload of generated benchmark graphs.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::{DiGraph, NodeId};
+use crate::GraphBuilder;
+use crate::GraphError;
+
+/// Magic bytes identifying the binary graph format, version 1.
+const MAGIC: &[u8; 8] = b"PRSIMG1\0";
+
+/// Reads an edge-list text stream into a graph.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Node ids
+/// must fit in `u32`. Self loops and duplicate edges are dropped, matching
+/// the preprocessing applied to the paper's datasets.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DiGraph, GraphError> {
+    let mut b = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u = parse_node(it.next(), lineno + 1, "missing source")?;
+        let v = parse_node(it.next(), lineno + 1, "missing target")?;
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+fn parse_node(tok: Option<&str>, line: usize, what: &str) -> Result<NodeId, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: what.to_string(),
+    })?;
+    let raw: u64 = tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid node id {tok:?}"),
+    })?;
+    if raw >= u32::MAX as u64 {
+        return Err(GraphError::NodeIdOverflow(raw));
+    }
+    Ok(raw as NodeId)
+}
+
+/// Reads an edge-list text file (see [`read_edge_list`]).
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, GraphError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes the graph as edge-list text, one `source target` line per edge.
+pub fn write_edge_list<W: Write>(g: &DiGraph, mut w: W) -> Result<(), GraphError> {
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Writes the graph as edge-list text to `path`.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &DiGraph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, BufWriter::new(File::create(path)?))
+}
+
+/// Serializes the graph into the compact binary format.
+pub fn to_binary(g: &DiGraph) -> Bytes {
+    let (out_offsets, out_targets, in_offsets, in_sources, sorted) = g.raw_parts();
+    let n = out_offsets.len() - 1;
+    let m = out_targets.len();
+    let mut buf = BytesMut::with_capacity(24 + 8 * (2 * n + 2) + 4 * 2 * m);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    buf.put_u8(u8::from(sorted));
+    for &o in out_offsets {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in out_targets {
+        buf.put_u32_le(t);
+    }
+    for &o in in_offsets {
+        buf.put_u64_le(o as u64);
+    }
+    for &s in in_sources {
+        buf.put_u32_le(s);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the compact binary format.
+pub fn from_binary(mut data: &[u8]) -> Result<DiGraph, GraphError> {
+    if data.len() < MAGIC.len() + 17 {
+        return Err(GraphError::Corrupt("header truncated".into()));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    let sorted = data.get_u8() != 0;
+
+    let need = 8 * (2 * (n + 1)) + 4 * (2 * m);
+    if data.remaining() < need {
+        return Err(GraphError::Corrupt(format!(
+            "payload truncated: need {need} bytes, have {}",
+            data.remaining()
+        )));
+    }
+
+    let read_offsets = |data: &mut &[u8]| -> Result<Vec<usize>, GraphError> {
+        let mut v = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            v.push(data.get_u64_le() as usize);
+        }
+        if v.first() != Some(&0) || v.last() != Some(&m) {
+            return Err(GraphError::Corrupt("offset array endpoints invalid".into()));
+        }
+        if v.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::Corrupt("offset array not monotone".into()));
+        }
+        Ok(v)
+    };
+    let read_nodes = |data: &mut &[u8]| -> Result<Vec<NodeId>, GraphError> {
+        let mut v = Vec::with_capacity(m);
+        for _ in 0..m {
+            let id = data.get_u32_le();
+            if id as usize >= n {
+                return Err(GraphError::Corrupt(format!("node id {id} out of range")));
+            }
+            v.push(id);
+        }
+        Ok(v)
+    };
+
+    let out_offsets = read_offsets(&mut data)?;
+    let out_targets = read_nodes(&mut data)?;
+    let in_offsets = read_offsets(&mut data)?;
+    let in_sources = read_nodes(&mut data)?;
+
+    Ok(DiGraph::from_raw_parts(
+        out_offsets,
+        out_targets,
+        in_offsets,
+        in_sources,
+        sorted,
+    ))
+}
+
+/// Writes the binary format to `path`.
+pub fn write_binary_file<P: AsRef<Path>>(g: &DiGraph, path: P) -> Result<(), GraphError> {
+    let mut f = BufWriter::new(File::create(path)?);
+    f.write_all(&to_binary(g))?;
+    Ok(())
+}
+
+/// Reads the binary format from `path`.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, GraphError> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    from_binary(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::sort_out_by_in_degree;
+
+    fn sample() -> DiGraph {
+        // Built via sorted edge list so text round-trips (which re-sort
+        // edges through GraphBuilder) compare equal structurally.
+        DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0)])
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let text = "# comment\n% other comment\n\n0 1\n 1 2 \n";
+        let g = read_edge_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let text = "0 x\n";
+        let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let text = "7\n";
+        let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn edge_list_rejects_huge_ids() {
+        let text = format!("0 {}\n", u64::from(u32::MAX));
+        let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, GraphError::NodeIdOverflow(_)));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let bytes = to_binary(&g);
+        let g2 = from_binary(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_sort_flag() {
+        let mut g = sample();
+        sort_out_by_in_degree(&mut g);
+        let g2 = from_binary(&to_binary(&g)).unwrap();
+        assert!(g2.is_out_sorted_by_in_degree());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let g = sample();
+        let mut bytes = to_binary(&g).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(from_binary(&bytes), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let bytes = to_binary(&g);
+        for cut in [4usize, 20, bytes.len() - 3] {
+            assert!(
+                from_binary(&bytes[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_node() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        let mut bytes = to_binary(&g).to_vec();
+        // Patch the single out-target (directly after header + 3 offsets).
+        let pos = 8 + 8 + 8 + 1 + 8 * 3;
+        bytes[pos..pos + 4].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(from_binary(&bytes), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir().join("prsim_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+
+        let txt = dir.join("g.txt");
+        write_edge_list_file(&g, &txt).unwrap();
+        assert_eq!(read_edge_list_file(&txt).unwrap(), g);
+
+        let bin = dir.join("g.bin");
+        write_binary_file(&g, &bin).unwrap();
+        assert_eq!(read_binary_file(&bin).unwrap(), g);
+    }
+}

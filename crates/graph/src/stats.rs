@@ -1,0 +1,147 @@
+//! Whole-graph structural statistics.
+//!
+//! Beyond per-orientation degree summaries ([`crate::degrees`]), the
+//! experiment reports want a handful of global numbers: density,
+//! reciprocity (fraction of edges whose reverse also exists — 1.0 for the
+//! symmetric "undirected" datasets), dangling-node counts in each
+//! orientation, and a full degree histogram.
+
+use std::collections::HashSet;
+
+use crate::csr::{DiGraph, NodeId};
+use crate::degrees::{degree_sequence, DegreeKind};
+
+/// Global structural summary of a directed graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count `n`.
+    pub nodes: usize,
+    /// Edge count `m`.
+    pub edges: usize,
+    /// `m / (n(n-1))` — fraction of possible directed edges present.
+    pub density: f64,
+    /// Fraction of edges `(u,v)` with `(v,u)` also present (1.0 means the
+    /// graph is symmetric / effectively undirected).
+    pub reciprocity: f64,
+    /// Nodes with no in-neighbors (√c-walks die here).
+    pub sources: usize,
+    /// Nodes with no out-neighbors (backward searches stop here).
+    pub sinks: usize,
+    /// Nodes with neither in- nor out-edges.
+    pub isolated: usize,
+}
+
+/// Computes the global summary in `O(n + m log d)`.
+pub fn graph_stats(g: &DiGraph) -> GraphStats {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let density = if n >= 2 {
+        m as f64 / (n as f64 * (n as f64 - 1.0))
+    } else {
+        0.0
+    };
+
+    let mut reciprocated = 0usize;
+    if m > 0 {
+        let edge_set: HashSet<(NodeId, NodeId)> = g.edges().collect();
+        reciprocated = edge_set
+            .iter()
+            .filter(|&&(u, v)| edge_set.contains(&(v, u)))
+            .count();
+    }
+
+    let mut sources = 0usize;
+    let mut sinks = 0usize;
+    let mut isolated = 0usize;
+    for v in g.nodes() {
+        let no_in = g.in_degree(v) == 0;
+        let no_out = g.out_degree(v) == 0;
+        sources += usize::from(no_in && !no_out);
+        sinks += usize::from(no_out && !no_in);
+        isolated += usize::from(no_in && no_out);
+    }
+
+    GraphStats {
+        nodes: n,
+        edges: m,
+        density,
+        reciprocity: if m == 0 {
+            0.0
+        } else {
+            reciprocated as f64 / m as f64
+        },
+        sources,
+        sinks,
+        isolated,
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &DiGraph, kind: DegreeKind) -> Vec<usize> {
+    let seq = degree_sequence(g, kind);
+    let max = seq.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in seq {
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_graph_has_reciprocity_one() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.reciprocity, 1.0);
+        assert_eq!(s.sources, 0);
+        assert_eq!(s.sinks, 0);
+    }
+
+    #[test]
+    fn dag_has_zero_reciprocity_and_counts_endpoints() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.sources, 1); // node 0
+        assert_eq!(s.sinks, 1); // node 3
+        assert_eq!(s.isolated, 0);
+        assert!((s.density - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let g = DiGraph::from_edges(4, &[(0, 1)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.isolated, 2); // nodes 2, 3
+        assert_eq!(s.sources, 1); // node 0
+        assert_eq!(s.sinks, 1); // node 1
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 2)]);
+        let h = degree_histogram(&g, DegreeKind::In);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[3], 1); // node 2 has in-degree 3
+        assert_eq!(h[0], 3); // nodes 0, 3 and 4
+    }
+
+    #[test]
+    fn partial_reciprocity() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let s = graph_stats(&g);
+        assert!((s.reciprocity - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

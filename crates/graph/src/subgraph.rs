@@ -1,0 +1,142 @@
+//! Subgraph extraction utilities.
+//!
+//! Dataset preprocessing in the SimRank literature routinely restricts a
+//! crawl to its largest weakly-connected component and renumbers node ids
+//! densely; these helpers provide that with explicit id mappings.
+
+use crate::csr::{DiGraph, NodeId};
+use crate::traversal::weakly_connected_components;
+
+/// A subgraph together with the mapping back to the original node ids.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The extracted graph over dense ids `0..k`.
+    pub graph: DiGraph,
+    /// `original_id[new] = old` for every new node id.
+    pub original_id: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Maps an original node id into the subgraph, if present.
+    pub fn to_new(&self, old: NodeId) -> Option<NodeId> {
+        // original_id is sorted (construction preserves id order), so a
+        // binary search suffices.
+        self.original_id
+            .binary_search(&old)
+            .ok()
+            .map(|i| i as NodeId)
+    }
+}
+
+/// Extracts the subgraph induced by `keep` (any iterable of original node
+/// ids; duplicates ignored). Edges with both endpoints in `keep` survive,
+/// renumbered densely in ascending original-id order.
+pub fn induced_subgraph(g: &DiGraph, keep: impl IntoIterator<Item = NodeId>) -> Subgraph {
+    let mut ids: Vec<NodeId> = keep.into_iter().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.retain(|&v| (v as usize) < g.node_count());
+
+    let mut new_id = vec![u32::MAX; g.node_count()];
+    for (new, &old) in ids.iter().enumerate() {
+        new_id[old as usize] = new as u32;
+    }
+
+    let mut edges = Vec::new();
+    for &old in &ids {
+        let from = new_id[old as usize];
+        for &t in g.out_neighbors(old) {
+            let to = new_id[t as usize];
+            if to != u32::MAX {
+                edges.push((from, to));
+            }
+        }
+    }
+    Subgraph {
+        graph: DiGraph::from_edges(ids.len(), &edges),
+        original_id: ids,
+    }
+}
+
+/// Extracts the largest weakly-connected component (ties broken by the
+/// smallest contained node id).
+pub fn largest_wcc(g: &DiGraph) -> Subgraph {
+    let (labels, k) = weakly_connected_components(g);
+    if k == 0 {
+        return Subgraph {
+            graph: DiGraph::from_edges(0, &[]),
+            original_id: Vec::new(),
+        };
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .expect("k > 0");
+    let keep = labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == best)
+        .map(|(v, _)| v as NodeId);
+    induced_subgraph(g, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sub = induced_subgraph(&g, [1u32, 2, 3]);
+        assert_eq!(sub.graph.node_count(), 3);
+        let mut edges: Vec<_> = sub.graph.edges().collect();
+        edges.sort_unstable();
+        // old 1->2, 2->3 become new 0->1, 1->2.
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(sub.original_id, vec![1, 2, 3]);
+        assert_eq!(sub.to_new(2), Some(1));
+        assert_eq!(sub.to_new(0), None);
+    }
+
+    #[test]
+    fn induced_ignores_duplicates_and_out_of_range() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]);
+        let sub = induced_subgraph(&g, [1u32, 1, 0, 99]);
+        assert_eq!(sub.graph.node_count(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn largest_wcc_picks_biggest() {
+        // Component A: 0-1-2 (3 nodes), component B: 3-4 (2 nodes).
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let sub = largest_wcc(&g);
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.original_id, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_wcc_of_empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        let sub = largest_wcc(&g);
+        assert_eq!(sub.graph.node_count(), 0);
+    }
+
+    #[test]
+    fn wcc_of_connected_graph_is_identity() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sub = largest_wcc(&g);
+        assert_eq!(sub.graph.node_count(), 4);
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = sub.graph.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,127 @@
+//! Basic traversals: BFS and weakly-connected components.
+//!
+//! These are support utilities for the generators (connectivity checks) and
+//! for tests; none of the SimRank algorithms need more than adjacency
+//! access.
+
+use std::collections::VecDeque;
+
+use crate::csr::{DiGraph, NodeId};
+
+/// Direction in which a traversal follows edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges `u → v`.
+    Forward,
+    /// Follow in-edges (i.e. walk the transpose).
+    Backward,
+    /// Treat edges as undirected.
+    Both,
+}
+
+/// Breadth-first search from `source`; returns `dist[v]` as `Some(hops)`
+/// for reachable nodes and `None` otherwise.
+pub fn bfs(g: &DiGraph, source: NodeId, dir: Direction) -> Vec<Option<u32>> {
+    let n = g.node_count();
+    let mut dist = vec![None; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source as usize] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize].expect("queued nodes have distances");
+        let push = |v: NodeId, dist: &mut Vec<Option<u32>>, queue: &mut VecDeque<NodeId>| {
+            if dist[v as usize].is_none() {
+                dist[v as usize] = Some(d + 1);
+                queue.push_back(v);
+            }
+        };
+        if matches!(dir, Direction::Forward | Direction::Both) {
+            for &v in g.out_neighbors(u) {
+                push(v, &mut dist, &mut queue);
+            }
+        }
+        if matches!(dir, Direction::Backward | Direction::Both) {
+            for &v in g.in_neighbors(u) {
+                push(v, &mut dist, &mut queue);
+            }
+        }
+    }
+    dist
+}
+
+/// Labels every node with a weakly-connected-component id in `0..k`,
+/// returning `(labels, k)`. Components are numbered by first-seen node.
+pub fn weakly_connected_components(g: &DiGraph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for s in 0..n as NodeId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        label[s as usize] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// Number of nodes reachable from `source` (inclusive) following `dir`.
+pub fn reachable_count(g: &DiGraph, source: NodeId, dir: Direction) -> usize {
+    bfs(g, source, dir).iter().filter(|d| d.is_some()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = bfs(&g, 0, Direction::Forward);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        let back = bfs(&g, 0, Direction::Backward);
+        assert_eq!(back, vec![Some(0), None, None, None]);
+        let both = bfs(&g, 3, Direction::Both);
+        assert_eq!(both, vec![Some(3), Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn components_counts() {
+        // Two components: {0,1,2} (directed chain) and {3,4}.
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let (labels, k) = weakly_connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_components() {
+        let g = DiGraph::from_edges(3, &[]);
+        let (_, k) = weakly_connected_components(&g);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn reachable_counts() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert_eq!(reachable_count(&g, 0, Direction::Forward), 3);
+        assert_eq!(reachable_count(&g, 2, Direction::Backward), 3);
+        assert_eq!(reachable_count(&g, 3, Direction::Both), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use prsim_graph::io::{from_binary, read_edge_list, to_binary, write_edge_list};
+use prsim_graph::ordering::{prefix_len_by_in_degree, sort_out_by_in_degree};
+use prsim_graph::{DiGraph, GraphBuilder};
+use std::io::BufReader;
+
+/// Random edge lists over up to 40 nodes.
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..200).prop_map(move |es| (n, es))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_edge_multiset((n, edges) in arb_edges()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let mut got: Vec<_> = g.edges().collect();
+        let mut want = edges.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // out/in degree sums both equal m.
+        let out_sum: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, edges.len());
+        prop_assert_eq!(in_sum, edges.len());
+    }
+
+    #[test]
+    fn in_and_out_adjacency_agree((n, edges) in arb_edges()) {
+        let g = DiGraph::from_edges(n, &edges);
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                let hits = g.in_neighbors(v).iter().filter(|&&x| x == u).count();
+                let expect = g.out_neighbors(u).iter().filter(|&&x| x == v).count();
+                prop_assert_eq!(hits, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn counting_sort_orders_and_preserves((n, edges) in arb_edges()) {
+        let g0 = DiGraph::from_edges(n, &edges);
+        let mut g = g0.clone();
+        sort_out_by_in_degree(&mut g);
+        for u in g.nodes() {
+            let mut prev = 0usize;
+            let mut sorted: Vec<u32> = g.out_neighbors(u).to_vec();
+            for &y in &sorted {
+                let d = g.in_degree(y);
+                prop_assert!(d >= prev);
+                prev = d;
+            }
+            // Same multiset per node.
+            let mut orig: Vec<u32> = g0.out_neighbors(u).to_vec();
+            sorted.sort_unstable();
+            orig.sort_unstable();
+            prop_assert_eq!(sorted, orig);
+        }
+    }
+
+    #[test]
+    fn prefix_len_matches_linear_scan((n, edges) in arb_edges(), bound in 0.0f64..10.0) {
+        let mut g = DiGraph::from_edges(n, &edges);
+        sort_out_by_in_degree(&mut g);
+        for u in g.nodes() {
+            let fast = prefix_len_by_in_degree(&g, u, bound);
+            let slow = g
+                .out_neighbors(u)
+                .iter()
+                .filter(|&&y| (g.in_degree(y) as f64) <= bound)
+                .count();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn binary_round_trip((n, edges) in arb_edges()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let g2 = from_binary(&to_binary(&g)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_round_trip((n, edges) in arb_edges()) {
+        // Text format does not store isolated trailing nodes; compare via
+        // the builder (dedup'd) on both sides.
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let _ = n;
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(BufReader::new(&buf[..])).unwrap();
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = g2.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn transpose_involution((n, edges) in arb_edges()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let tt = g.transpose().transpose();
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = tt.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        prop_assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Link prediction with SimRank — the social-network use case from the
+//! paper's introduction (Liben-Nowell & Kleinberg).
+//!
+//! Protocol: generate a community-structured social network (planted
+//! partition), hide a random 10% of its edges, and ask PRSim to rank
+//! candidate partners for a set of test users. A hidden edge counts as a
+//! hit when its endpoint appears in the user's top-k candidates. We
+//! compare against the (index-free) ProbeSim baseline and raw
+//! common-neighbor counts.
+//!
+//! Run with: `cargo run --example link_prediction --release`
+
+use prsim::baselines::{ProbeSim, ProbeSimConfig, SingleSourceSimRank};
+use prsim::core::{Prsim, PrsimConfig, QueryParams};
+use prsim::gen::planted_partition;
+use prsim::graph::{DiGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+const K: usize = 20;
+
+fn main() {
+    // 100 communities of 40 users; dense inside, sparse across.
+    let full = planted_partition(100, 40, 0.25, 0.002, 1234);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Hide 10% of undirected edges (both directions).
+    let mut undirected: Vec<(NodeId, NodeId)> = full.edges().filter(|&(u, v)| u < v).collect();
+    undirected.shuffle(&mut rng);
+    let hidden_count = undirected.len() / 10;
+    let (hidden, kept) = undirected.split_at(hidden_count);
+    let hidden_set: HashSet<(NodeId, NodeId)> = hidden.iter().copied().collect();
+
+    let mut builder = GraphBuilder::new();
+    builder.ensure_nodes(full.node_count());
+    for &(u, v) in kept {
+        builder.add_undirected_edge(u, v);
+    }
+    let observed: DiGraph = builder.build();
+    println!(
+        "social network: {} nodes, {} observed edges, {} hidden edges",
+        observed.node_count(),
+        observed.edge_count() / 2,
+        hidden.len()
+    );
+
+    // Test users: endpoints of hidden edges.
+    let mut test_users: Vec<NodeId> = hidden.iter().flat_map(|&(u, v)| [u, v]).collect();
+    test_users.sort_unstable();
+    test_users.dedup();
+    test_users.truncate(40);
+
+    // Rankers. PRSim gets enough samples to resolve community-level scores.
+    let engine = Prsim::build(
+        observed.clone(),
+        PrsimConfig {
+            eps: 0.02,
+            query: QueryParams::Practical { c_mult: 5.0 },
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let probesim = ProbeSim::new(
+        std::sync::Arc::new(observed.clone()),
+        ProbeSimConfig { eps_a: 0.05, c_mult: 3.0, ..Default::default() },
+    );
+
+    let mut hits_prsim = 0usize;
+    let mut hits_probesim = 0usize;
+    let mut hits_cn = 0usize;
+    let mut total = 0usize;
+    let mut prsim_query_s = 0.0;
+
+    for &u in &test_users {
+        let truth: HashSet<NodeId> = hidden_set
+            .iter()
+            .filter_map(|&(a, b)| (a == u).then_some(b).or((b == u).then_some(a)))
+            .collect();
+        if truth.is_empty() {
+            continue;
+        }
+        total += truth.len();
+
+        let neighbors: HashSet<NodeId> = observed.out_neighbors(u).iter().copied().collect();
+        let is_candidate = |v: NodeId| v != u && !neighbors.contains(&v);
+
+        // PRSim ranking.
+        let t = std::time::Instant::now();
+        let scores = engine.single_source(u, &mut rng);
+        prsim_query_s += t.elapsed().as_secs_f64();
+        let top: Vec<NodeId> = scores
+            .top_k(K + neighbors.len())
+            .into_iter()
+            .map(|(v, _)| v)
+            .filter(|&v| is_candidate(v))
+            .take(K)
+            .collect();
+        hits_prsim += top.iter().filter(|v| truth.contains(v)).count();
+
+        // ProbeSim ranking.
+        let scores = probesim.single_source(u, &mut rng);
+        let top: Vec<NodeId> = scores
+            .top_k(K + neighbors.len())
+            .into_iter()
+            .map(|(v, _)| v)
+            .filter(|&v| is_candidate(v))
+            .take(K)
+            .collect();
+        hits_probesim += top.iter().filter(|v| truth.contains(v)).count();
+
+        // Common-neighbor baseline.
+        let mut counts: std::collections::HashMap<NodeId, usize> = Default::default();
+        for &w in observed.out_neighbors(u) {
+            for &v in observed.out_neighbors(w) {
+                if is_candidate(v) {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut cn: Vec<(NodeId, usize)> = counts.into_iter().collect();
+        cn.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits_cn += cn.iter().take(K).filter(|(v, _)| truth.contains(v)).count();
+    }
+
+    println!("\nhidden-edge recovery in top-{K} (over {total} hidden endpoints):");
+    println!("  PRSim            : {hits_prsim:>4} hits ({:.1} ms/query)", 1e3 * prsim_query_s / test_users.len() as f64);
+    println!("  ProbeSim         : {hits_probesim:>4} hits");
+    println!("  common neighbors : {hits_cn:>4} hits");
+    assert!(
+        hits_prsim * 3 >= hits_cn,
+        "PRSim should be competitive with common neighbors on community graphs"
+    );
+    println!("\nOn community-structured networks SimRank recovers hidden partners\nabout as well as common-neighbor counting while also producing a\ncalibrated similarity score, in milliseconds per query via PRSim.");
+}

@@ -1,0 +1,36 @@
+//! # prsim
+//!
+//! Umbrella crate for the PRSim suite — a from-scratch Rust reproduction of
+//! *"PRSim: Sublinear Time SimRank Computation on Large Power-Law Graphs"*
+//! (Wei et al., SIGMOD 2019).
+//!
+//! This crate re-exports the public API of every member crate so examples
+//! and downstream users can depend on a single package:
+//!
+//! * [`graph`] — CSR directed-graph substrate ([`prsim_graph`]).
+//! * [`gen`] — synthetic graph generators ([`prsim_gen`]).
+//! * [`core`] — the PRSim algorithm itself ([`prsim_core`]).
+//! * [`baselines`] — Monte Carlo, power method, SLING, ProbeSim, TSF,
+//!   READS and TopSim ([`prsim_baselines`]).
+//! * [`eval`] — pooling, metrics and experiment harness ([`prsim_eval`]).
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use prsim::gen::{chung_lu_undirected, ChungLuConfig};
+//! use prsim::core::{Prsim, PrsimConfig};
+//!
+//! let graph = chung_lu_undirected(ChungLuConfig::new(1_000, 8.0, 2.5, 42));
+//! let engine = Prsim::build(graph, PrsimConfig::default()).unwrap();
+//! let scores = engine.single_source(0, &mut rand::thread_rng());
+//! let top = scores.top_k(5);
+//! assert!(!top.is_empty());
+//! ```
+
+pub use prsim_baselines as baselines;
+pub use prsim_core as core;
+pub use prsim_eval as eval;
+pub use prsim_gen as gen;
+pub use prsim_graph as graph;

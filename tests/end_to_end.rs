@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: every algorithm in the suite must agree
+//! with the exact power method within its accuracy budget, end to end.
+
+use prsim::baselines::{
+    power_method, MonteCarlo, MonteCarloConfig, ProbeSim, ProbeSimConfig, Reads, ReadsConfig,
+    SingleSourceSimRank, Sling, SlingConfig, Tsf, TsfConfig,
+};
+use prsim::core::{HubCount, Prsim, PrsimConfig, QueryParams};
+use prsim::gen::{chung_lu_directed, chung_lu_undirected, ChungLuConfig};
+use prsim::graph::DiGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn test_graph() -> DiGraph {
+    chung_lu_undirected(ChungLuConfig::new(80, 5.0, 2.0, 31))
+}
+
+fn directed_test_graph() -> DiGraph {
+    chung_lu_directed(ChungLuConfig::new(80, 5.0, 1.9, 32), 2.3, 33)
+}
+
+/// Max |ŝ − s| over all nodes for a few query sources.
+fn max_error(
+    algo: &dyn SingleSourceSimRank,
+    exact: &prsim::baselines::PowerMethodResult,
+    sources: &[u32],
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst: f64 = 0.0;
+    for &u in sources {
+        let scores = algo.single_source(u, &mut rng);
+        for v in 0..exact.node_count() as u32 {
+            worst = worst.max((scores.get(v) - exact.get(u, v)).abs());
+        }
+    }
+    worst
+}
+
+#[test]
+fn prsim_matches_exact_simrank() {
+    for (name, g) in [("undirected", test_graph()), ("directed", directed_test_graph())] {
+        let exact = power_method(&g, 0.6, 1e-10, 200);
+        let engine = Prsim::build(
+            g,
+            PrsimConfig {
+                eps: 0.05,
+                query: QueryParams::Explicit { dr: 20_000, fr: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for u in [0u32, 11, 40, 79] {
+            let scores = engine.single_source(u, &mut rng);
+            for v in 0..80u32 {
+                let err = (scores.get(v) - exact.get(u, v)).abs();
+                assert!(
+                    err < 0.05,
+                    "{name}: |ŝ({u},{v}) − s| = {err:.4} (ŝ = {}, s = {})",
+                    scores.get(v),
+                    exact.get(u, v)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prsim_error_shrinks_with_more_samples() {
+    let g = test_graph();
+    let exact = power_method(&g, 0.6, 1e-10, 200);
+    let sources = [0u32, 25, 60];
+    let mut errors = Vec::new();
+    for dr in [200usize, 2_000, 20_000] {
+        let engine = Prsim::build(
+            g.clone(),
+            PrsimConfig {
+                eps: 0.05,
+                query: QueryParams::Explicit { dr, fr: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = 0.0;
+        for &u in &sources {
+            let scores = engine.single_source(u, &mut rng);
+            for v in 0..80u32 {
+                total += (scores.get(v) - exact.get(u, v)).abs();
+            }
+        }
+        errors.push(total);
+    }
+    assert!(
+        errors[2] < errors[0] * 0.5,
+        "100x samples should cut total error: {errors:?}"
+    );
+}
+
+#[test]
+fn every_algorithm_agrees_with_power_method() {
+    let g = Arc::new(test_graph());
+    let exact = power_method(&g, 0.6, 1e-10, 200);
+    let sources = [3u32, 42];
+    let mut build_rng = StdRng::seed_from_u64(70);
+
+    let mc = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 10_000, ..Default::default() });
+    assert!(max_error(&mc, &exact, &sources, 1) < 0.04, "MC");
+
+    let probesim = ProbeSim::new(
+        Arc::clone(&g),
+        ProbeSimConfig { eps_a: 0.02, c_mult: 5.0, ..Default::default() },
+    );
+    assert!(max_error(&probesim, &exact, &sources, 2) < 0.06, "ProbeSim");
+
+    let sling = Sling::build(
+        Arc::clone(&g),
+        SlingConfig { eps_a: 0.005, eta_samples: 20_000, ..Default::default() },
+        &mut build_rng,
+    );
+    assert!(max_error(&sling, &exact, &sources, 3) < 0.06, "SLING");
+
+    let reads = Reads::build(
+        Arc::clone(&g),
+        ReadsConfig { c: 0.6, r: 8_000, t: 12 },
+        &mut build_rng,
+    );
+    assert!(max_error(&reads, &exact, &sources, 4) < 0.05, "READS");
+
+    // TSF overestimates by design; allow a looser budget.
+    let tsf = Tsf::build(
+        Arc::clone(&g),
+        TsfConfig { rg: 300, rq: 20, ..Default::default() },
+        &mut build_rng,
+    );
+    assert!(max_error(&tsf, &exact, &sources, 5) < 0.12, "TSF");
+}
+
+#[test]
+fn hub_count_sweep_is_consistent() {
+    // The same query must be (approximately) answerable at any j0: the
+    // index only moves work between ŝ_I and ŝ_B.
+    let g = test_graph();
+    let exact = power_method(&g, 0.6, 1e-10, 200);
+    for j0 in [HubCount::Fixed(0), HubCount::SqrtN, HubCount::Fixed(80)] {
+        let engine = Prsim::build(
+            g.clone(),
+            PrsimConfig {
+                eps: 0.05,
+                hubs: j0,
+                query: QueryParams::Explicit { dr: 10_000, fr: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let scores = engine.single_source(7, &mut rng);
+        for v in 0..80u32 {
+            let err = (scores.get(v) - exact.get(7, v)).abs();
+            assert!(err < 0.06, "j0={j0:?} v={v}: err {err:.4}");
+        }
+    }
+}
+
+#[test]
+fn median_trick_improves_worst_case() {
+    // With fr rounds the estimator medians out heavy-tailed rounds; just
+    // verify fr > 1 still matches the exact values.
+    let g = test_graph();
+    let exact = power_method(&g, 0.6, 1e-10, 200);
+    let engine = Prsim::build(
+        g,
+        PrsimConfig {
+            eps: 0.05,
+            query: QueryParams::Explicit { dr: 4_000, fr: 5 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let scores = engine.single_source(3, &mut rng);
+    for v in 0..80u32 {
+        let err = (scores.get(v) - exact.get(3, v)).abs();
+        assert!(err < 0.06, "v={v}: err {err:.4}");
+    }
+}
+
+#[test]
+fn adaptive_top_k_matches_exact_ranking() {
+    // The adaptive top-k must recover the power method's top-k set up to
+    // near-ties (scores within 2ε of the k-th exact score are acceptable
+    // swaps for a randomized ε-approximation).
+    let g = test_graph();
+    let exact = power_method(&g, 0.6, 1e-10, 200);
+    let engine = Prsim::build(
+        g,
+        PrsimConfig {
+            eps: 0.02,
+            query: QueryParams::Practical { c_mult: 3.0 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let k = 8;
+    for u in [0u32, 23, 61] {
+        let res = engine
+            .top_k_adaptive(u, k, prsim::core::TopKParams::default(), &mut rng)
+            .unwrap();
+        // Exact reference ranking (excluding u).
+        let mut truth: Vec<(u32, f64)> = (0..80u32)
+            .filter(|&v| v != u)
+            .map(|v| (v, exact.get(u, v)))
+            .collect();
+        truth.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let kth = truth.get(k - 1).map(|&(_, s)| s).unwrap_or(0.0);
+        for &(v, _) in &res.entries {
+            let s = exact.get(u, v);
+            assert!(
+                s >= kth - 0.04,
+                "u={u}: node {v} (exact s={s:.4}) is far below the k-th score {kth:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let g = test_graph();
+    let engine = Prsim::build(g, PrsimConfig::default()).unwrap();
+    let a = engine.single_source(5, &mut StdRng::seed_from_u64(99));
+    let b = engine.single_source(5, &mut StdRng::seed_from_u64(99));
+    assert_eq!(a.max_abs_diff(&b), 0.0);
+    let c = engine.single_source(5, &mut StdRng::seed_from_u64(100));
+    assert!(c.max_abs_diff(&a) > 0.0, "different seeds should differ");
+}
+
+#[test]
+fn index_round_trip_preserves_answers() {
+    let g = test_graph();
+    let config = PrsimConfig::default();
+    let engine = Prsim::build(g, config.clone()).unwrap();
+    let bytes = engine.index().to_bytes();
+    let index = prsim::core::PrsimIndex::from_bytes(&bytes, engine.graph().node_count()).unwrap();
+    let pi = engine.reverse_pagerank().to_vec();
+    let reloaded = Prsim::from_parts(engine.graph().clone(), pi, index, config).unwrap();
+    let a = engine.single_source(9, &mut StdRng::seed_from_u64(1));
+    let b = reloaded.single_source(9, &mut StdRng::seed_from_u64(1));
+    assert_eq!(a.max_abs_diff(&b), 0.0);
+}

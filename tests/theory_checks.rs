@@ -1,0 +1,188 @@
+//! Integration tests validating the paper's *theoretical claims* on real
+//! executions: identity Eq. (4), the η·π joint estimator of §3.2, the
+//! cost claims of Lemma 3.4 / Theorem 3.11, and the index-size claims of
+//! Lemma 3.2 / Theorem 3.12.
+
+use prsim::core::pagerank::{
+    exact_lhop_rppr_from, rank_by_pagerank, reverse_pagerank, second_moment,
+};
+use prsim::core::walk::{estimate_eta, sample_pair_meets, sample_terminal, Terminal};
+use prsim::core::{HubCount, Prsim, PrsimConfig, QueryParams};
+use prsim::gen::{chung_lu_undirected, ChungLuConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+#[test]
+fn eta_pi_joint_estimator_is_unbiased() {
+    // §3.2: the probability that a √c-walk from u ends at w at level ℓ
+    // AND two follow-up walks from w do not meet equals η(w)·π_ℓ(u,w).
+    let g = chung_lu_undirected(ChungLuConfig::new(60, 4.0, 2.0, 17));
+    let u = 3u32;
+    let mut rng = StdRng::seed_from_u64(5);
+    let trials = 400_000usize;
+    let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+    for _ in 0..trials {
+        if let Terminal::At { node, level } = sample_terminal(&g, SQRT_C, u, 64, &mut rng) {
+            if !sample_pair_meets(&g, SQRT_C, node, 64, &mut rng) {
+                *counts.entry((node, level)).or_insert(0) += 1;
+            }
+        }
+    }
+    // Reference: exact π_ℓ(u,w) times MC-estimated η(w).
+    let pi_from = exact_lhop_rppr_from(&g, SQRT_C, u, 20);
+    let mut eta_cache: HashMap<u32, f64> = HashMap::new();
+    for (&(w, l), &cnt) in counts.iter().filter(|&(_, &c)| c > 1_000) {
+        let eta = *eta_cache
+            .entry(w)
+            .or_insert_with(|| estimate_eta(&g, SQRT_C, w, 100_000, 64, &mut rng));
+        let pi_l = pi_from[l as usize].get(&w).copied().unwrap_or(0.0);
+        let want = eta * pi_l;
+        let got = cnt as f64 / trials as f64;
+        assert!(
+            (got - want).abs() < 0.15 * want + 1e-3,
+            "η·π mismatch at (w={w}, ℓ={l}): got {got:.5}, want {want:.5}"
+        );
+    }
+}
+
+#[test]
+fn second_moment_falls_with_gamma() {
+    // Theorem 3.12's driver: Σπ(w)² must shrink as the out-degree
+    // power-law exponent γ grows (hardness ∝ 1/γ, Conjecture 1).
+    let n = 5_000;
+    let mut prev = f64::INFINITY;
+    for gamma in [1.2f64, 2.0, 4.0] {
+        let g = chung_lu_undirected(ChungLuConfig::new(n, 10.0, gamma, 23));
+        let pi = reverse_pagerank(&g, SQRT_C, 1e-10, 64);
+        let m2 = second_moment(&pi);
+        assert!(
+            m2 < prev,
+            "second moment should fall with gamma: {m2} at gamma={gamma} (prev {prev})"
+        );
+        prev = m2;
+    }
+}
+
+#[test]
+fn backward_cost_tracks_second_moment() {
+    // Theorem 3.11: average backward-walk cost scales with n·Σπ(w)².
+    let n = 5_000;
+    let mut costs = Vec::new();
+    let mut moments = Vec::new();
+    for gamma in [1.2f64, 3.0] {
+        let g = chung_lu_undirected(ChungLuConfig::new(n, 10.0, gamma, 29));
+        let engine = Prsim::build(
+            g,
+            PrsimConfig {
+                eps: 0.25,
+                hubs: HubCount::Fixed(0), // pure backward-walk cost
+                query: QueryParams::Explicit { dr: 300, fr: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        moments.push(second_moment(engine.reverse_pagerank()));
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut cost = 0usize;
+        for u in [0u32, 100, 2_000, 4_999] {
+            let (_, stats) = engine.try_single_source(u, &mut rng).unwrap();
+            cost += stats.backward_cost;
+        }
+        costs.push(cost as f64);
+    }
+    // γ = 1.2 is the harder instance on both axes.
+    assert!(moments[0] > 2.0 * moments[1], "moments: {moments:?}");
+    assert!(costs[0] > 1.5 * costs[1], "costs: {costs:?}");
+}
+
+#[test]
+fn hub_indexing_reduces_backward_work() {
+    // §3.3: indexing the top-π hubs removes exactly the most expensive
+    // backward walks from the query path.
+    let g = chung_lu_undirected(ChungLuConfig::new(3_000, 10.0, 1.6, 37));
+    let mk = |j0| {
+        Prsim::build(
+            g.clone(),
+            PrsimConfig {
+                eps: 0.25,
+                hubs: HubCount::Fixed(j0),
+                query: QueryParams::Explicit { dr: 500, fr: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let free = mk(0);
+    let indexed = mk(100);
+    let mut cost_free = 0usize;
+    let mut cost_indexed = 0usize;
+    for (engine, cost) in [(&free, &mut cost_free), (&indexed, &mut cost_indexed)] {
+        let mut rng = StdRng::seed_from_u64(41);
+        for u in [5u32, 500, 1_500, 2_500] {
+            let (_, stats) = engine.try_single_source(u, &mut rng).unwrap();
+            *cost += stats.backward_cost;
+        }
+    }
+    assert!(
+        cost_indexed * 2 < cost_free,
+        "100 hubs should cut backward cost sharply: {cost_indexed} vs {cost_free}"
+    );
+}
+
+#[test]
+fn index_size_grows_with_hub_pagerank_mass() {
+    // Lemma 3.2: index size is O(n/ε · Σ_{j≤j0} π(w_j)) — doubling j0
+    // adds at most proportionally to the added PageRank mass.
+    let g = chung_lu_undirected(ChungLuConfig::new(2_000, 8.0, 2.0, 43));
+    let pi = reverse_pagerank(&g, SQRT_C, 1e-10, 64);
+    let order = rank_by_pagerank(&pi);
+    let mass = |j0: usize| -> f64 { order[..j0].iter().map(|&w| pi[w as usize]).sum() };
+    let build = |j0: usize| {
+        Prsim::build(
+            g.clone(),
+            PrsimConfig {
+                eps: 0.1,
+                hubs: HubCount::Fixed(j0),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .index()
+        .entry_count()
+    };
+    let (e1, e2) = (build(50), build(400));
+    let (m1, m2) = (mass(50), mass(400));
+    assert!(e2 > e1);
+    // Entries per unit of PageRank mass should be of the same order.
+    let r1 = e1 as f64 / m1;
+    let r2 = e2 as f64 / m2;
+    assert!(
+        r2 < 4.0 * r1 && r1 < 4.0 * r2,
+        "entries per π-mass should be stable: {r1:.0} vs {r2:.0}"
+    );
+}
+
+#[test]
+fn walk_length_distribution_is_geometric() {
+    // √c-walk survival: P(len ≥ L) = c^{L/2} on graphs without dangling
+    // nodes; the expected terminal level is √c/(1−√c).
+    let g = prsim::gen::toys::complete(50);
+    let mut rng = StdRng::seed_from_u64(47);
+    let trials = 200_000;
+    let mut total_level = 0u64;
+    for _ in 0..trials {
+        match sample_terminal(&g, SQRT_C, 0, 256, &mut rng) {
+            Terminal::At { level, .. } => total_level += level as u64,
+            Terminal::Died => panic!("complete graph has no dangling nodes"),
+        }
+    }
+    let mean = total_level as f64 / trials as f64;
+    let want = SQRT_C / (1.0 - SQRT_C);
+    assert!(
+        (mean - want).abs() < 0.05,
+        "mean walk length {mean:.3}, want {want:.3}"
+    );
+}
