@@ -49,9 +49,9 @@ pub fn linearized_simrank(g: &DiGraph, c: f64, tol: f64, max_iter: usize) -> Lin
         for x in 0..n {
             let row = &s[x * n..(x + 1) * n];
             let mrow = &mut m[x * n..(x + 1) * n];
-            for b in 0..n {
+            for (b, slot) in mrow.iter_mut().enumerate() {
                 let ins = g.in_neighbors(b as NodeId);
-                mrow[b] = if ins.is_empty() {
+                *slot = if ins.is_empty() {
                     0.0
                 } else {
                     ins.iter().map(|&y| row[y as usize]).sum::<f64>() / ins.len() as f64

@@ -143,7 +143,13 @@ mod tests {
     #[test]
     fn pair_estimate_matches_exact_on_star_out() {
         let g = Arc::new(prsim_gen::toys::star_out(6));
-        let mc = MonteCarlo::new(g, MonteCarloConfig { nr: 50_000, ..Default::default() });
+        let mc = MonteCarlo::new(
+            g,
+            MonteCarloConfig {
+                nr: 50_000,
+                ..Default::default()
+            },
+        );
         let mut r = rng();
         let est = mc.single_pair(1, 2, &mut r);
         assert!((est - 0.6).abs() < 0.02, "s(1,2) = {est}, want 0.6");
@@ -152,26 +158,40 @@ mod tests {
 
     #[test]
     fn single_source_matches_power_method() {
-        let g = Arc::new(prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(
-            50, 4.0, 2.0, 6,
-        )));
+        let g = Arc::new(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(50, 4.0, 2.0, 6),
+        ));
         let exact = power_method(&g, 0.6, 1e-10, 100);
         let mc = MonteCarlo::new(
             Arc::clone(&g),
-            MonteCarloConfig { nr: 20_000, ..Default::default() },
+            MonteCarloConfig {
+                nr: 20_000,
+                ..Default::default()
+            },
         );
         let mut r = rng();
         let scores = mc.single_source(3, &mut r);
         for v in 0..50u32 {
             let err = (scores.get(v) - exact.get(3, v)).abs();
-            assert!(err < 0.02, "v={v}: mc {} vs exact {}", scores.get(v), exact.get(3, v));
+            assert!(
+                err < 0.02,
+                "v={v}: mc {} vs exact {}",
+                scores.get(v),
+                exact.get(3, v)
+            );
         }
     }
 
     #[test]
     fn zero_similarity_across_components() {
         let g = Arc::new(prsim_gen::toys::two_triangles());
-        let mc = MonteCarlo::new(g, MonteCarloConfig { nr: 5_000, ..Default::default() });
+        let mc = MonteCarlo::new(
+            g,
+            MonteCarloConfig {
+                nr: 5_000,
+                ..Default::default()
+            },
+        );
         let mut r = rng();
         let scores = mc.single_source(0, &mut r);
         for v in 3..6 {
@@ -182,8 +202,13 @@ mod tests {
     #[test]
     fn trait_object_usable() {
         let g = Arc::new(prsim_gen::toys::cycle(4));
-        let mc: Box<dyn SingleSourceSimRank> =
-            Box::new(MonteCarlo::new(g, MonteCarloConfig { nr: 100, ..Default::default() }));
+        let mc: Box<dyn SingleSourceSimRank> = Box::new(MonteCarlo::new(
+            g,
+            MonteCarloConfig {
+                nr: 100,
+                ..Default::default()
+            },
+        ));
         assert_eq!(mc.name(), "MC");
         assert_eq!(mc.index_size_bytes(), 0);
         let s = mc.single_source(1, &mut rng());

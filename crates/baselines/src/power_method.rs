@@ -81,9 +81,9 @@ pub fn power_method(g: &DiGraph, c: f64, tol: f64, max_iter: usize) -> PowerMeth
         for x in 0..n {
             let row = &s[x * n..(x + 1) * n];
             let mrow = &mut m[x * n..(x + 1) * n];
-            for b in 0..n {
+            for (b, slot) in mrow.iter_mut().enumerate() {
                 let ins = g.in_neighbors(b as NodeId);
-                mrow[b] = if ins.is_empty() {
+                *slot = if ins.is_empty() {
                     0.0
                 } else {
                     let sum: f64 = ins.iter().map(|&y| row[y as usize]).sum();
@@ -154,7 +154,11 @@ mod tests {
         for i in 1..5u32 {
             for j in 1..5u32 {
                 if i != j {
-                    assert!((res.get(i, j) - C).abs() < 1e-10, "s({i},{j}) = {}", res.get(i, j));
+                    assert!(
+                        (res.get(i, j) - C).abs() < 1e-10,
+                        "s({i},{j}) = {}",
+                        res.get(i, j)
+                    );
                 }
             }
         }

@@ -93,8 +93,7 @@ impl ProbeSim {
                     if y == excluded {
                         continue;
                     }
-                    *next.entry(y).or_insert(0.0) +=
-                        sqrt_c * score / g.in_degree(y) as f64;
+                    *next.entry(y).or_insert(0.0) += sqrt_c * score / g.in_degree(y) as f64;
                 }
             }
             cur = next;

@@ -43,7 +43,11 @@ pub struct ReadsConfig {
 
 impl Default for ReadsConfig {
     fn default() -> Self {
-        ReadsConfig { c: 0.6, r: 100, t: 10 }
+        ReadsConfig {
+            c: 0.6,
+            r: 100,
+            t: 10,
+        }
     }
 }
 

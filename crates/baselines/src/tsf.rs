@@ -63,10 +63,10 @@ impl OneWayGraph {
     fn sample(g: &DiGraph, rng: &mut StdRng) -> Self {
         let n = g.node_count();
         let mut parent = vec![NONE; n];
-        for v in 0..n {
+        for (v, slot) in parent.iter_mut().enumerate() {
             let ins = g.in_neighbors(v as NodeId);
             if !ins.is_empty() {
-                parent[v] = ins[rng.gen_range(0..ins.len())];
+                *slot = ins[rng.gen_range(0..ins.len())];
             }
         }
         // Build child CSR.

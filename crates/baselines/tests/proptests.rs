@@ -28,30 +28,53 @@ fn all_algorithms(g: Arc<DiGraph>, seed: u64) -> Vec<Box<dyn SingleSourceSimRank
     vec![
         Box::new(MonteCarlo::new(
             Arc::clone(&g),
-            MonteCarloConfig { nr: 60, ..Default::default() },
+            MonteCarloConfig {
+                nr: 60,
+                ..Default::default()
+            },
         )),
         Box::new(ProbeSim::new(
             Arc::clone(&g),
-            ProbeSimConfig { eps_a: 0.3, c_mult: 2.0, ..Default::default() },
+            ProbeSimConfig {
+                eps_a: 0.3,
+                c_mult: 2.0,
+                ..Default::default()
+            },
         )),
         Box::new(Sling::build(
             Arc::clone(&g),
-            SlingConfig { eps_a: 0.1, eta_samples: 60, ..Default::default() },
+            SlingConfig {
+                eps_a: 0.1,
+                eta_samples: 60,
+                ..Default::default()
+            },
             &mut rng,
         )),
         Box::new(Tsf::build(
             Arc::clone(&g),
-            TsfConfig { rg: 12, rq: 3, ..Default::default() },
+            TsfConfig {
+                rg: 12,
+                rq: 3,
+                ..Default::default()
+            },
             &mut rng,
         )),
         Box::new(Reads::build(
             Arc::clone(&g),
-            ReadsConfig { c: 0.6, r: 40, t: 6 },
+            ReadsConfig {
+                c: 0.6,
+                r: 40,
+                t: 6,
+            },
             &mut rng,
         )),
         Box::new(TopSim::new(
             Arc::clone(&g),
-            TopSimConfig { depth: 3, degree_threshold: 50, ..Default::default() },
+            TopSimConfig {
+                depth: 3,
+                degree_threshold: 50,
+                ..Default::default()
+            },
         )),
     ]
 }

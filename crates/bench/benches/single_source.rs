@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prsim_baselines::{
-    ProbeSim, ProbeSimConfig, Reads, ReadsConfig, SingleSourceSimRank, Sling, SlingConfig,
-    TopSim, TopSimConfig, Tsf, TsfConfig,
+    ProbeSim, ProbeSimConfig, Reads, ReadsConfig, SingleSourceSimRank, Sling, SlingConfig, TopSim,
+    TopSimConfig, Tsf, TsfConfig,
 };
 use prsim_core::{PrsimConfig, QueryParams};
 use prsim_eval::PrsimAlgo;
@@ -55,7 +55,11 @@ fn bench_single_source(c: &mut Criterion) {
     );
     let reads = Reads::build(
         Arc::clone(&g),
-        ReadsConfig { c: 0.6, r: 50, t: 5 },
+        ReadsConfig {
+            c: 0.6,
+            r: 50,
+            t: 5,
+        },
         &mut build_rng,
     );
     let topsim = TopSim::new(

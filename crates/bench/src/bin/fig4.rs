@@ -13,7 +13,14 @@ fn main() {
     let scale = parse_scale();
     let heavy = std::env::args().any(|a| a == "--heavy");
     println!("== Figure 4: AvgError@50 vs index size (scale {scale}) ==\n");
-    let headers = ["dataset", "algorithm", "params", "index", "index_bytes", "avg_err@50"];
+    let headers = [
+        "dataset",
+        "algorithm",
+        "params",
+        "index",
+        "index_bytes",
+        "avg_err@50",
+    ];
     let mut cells = Vec::new();
     for ds in accuracy_datasets(scale) {
         let g = Arc::new(ds.graph);

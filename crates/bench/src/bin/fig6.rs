@@ -42,7 +42,12 @@ fn mean_query_time(algo: &dyn SingleSourceSimRank, queries: &[u32], seed: u64) -
 fn part_a(scale: f64) {
     let n = ((20_000.0 * scale) as usize).max(1_000);
     println!("== Figure 6(a): query time vs gamma (n = {n}, d-bar = 10) ==\n");
-    let headers = ["gamma", "prsim_query_s", "probesim_query_s", "second_moment"];
+    let headers = [
+        "gamma",
+        "prsim_query_s",
+        "probesim_query_s",
+        "second_moment",
+    ];
     let mut cells = Vec::new();
     for gamma in [1.0f64, 1.5, 2.0, 3.0, 4.0, 6.0, 9.0] {
         let g = Arc::new(chung_lu_undirected(ChungLuConfig::new(

@@ -53,7 +53,14 @@ fn mean_query_time(algo: &dyn SingleSourceSimRank, queries: &[u32], seed: u64) -
 
 fn part_a(scale: f64) {
     println!("== Figure 7(a): query time vs average degree, ER graphs (n = {N}) ==\n");
-    let headers = ["avg_degree", "prsim_s", "probesim_s", "sling_s", "tsf_s", "reads_s"];
+    let headers = [
+        "avg_degree",
+        "prsim_s",
+        "probesim_s",
+        "sling_s",
+        "tsf_s",
+        "reads_s",
+    ];
     let mut cells = Vec::new();
     for d in degrees(scale) {
         let p = d as f64 / (N as f64 - 1.0);

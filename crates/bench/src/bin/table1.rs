@@ -22,12 +22,19 @@ use rand::SeedableRng;
 fn main() {
     let scale = parse_scale();
     println!("== Table 1: theoretical comparison (as printed in the paper) ==\n");
-    let theory_headers = ["algorithm", "query time", "query time (power-law)", "index size", "preprocessing"];
+    let theory_headers = [
+        "algorithm",
+        "query time",
+        "query time (power-law)",
+        "index size",
+        "preprocessing",
+    ];
     let theory = vec![
         vec![
             "PRSim".to_string(),
             "O(n log(n/d)/eps^2 * sum pi(w)^2)".to_string(),
-            "O(log(n/d)/eps^2) for gamma>2; +log n factor at gamma=2; sublinear for 1<gamma<2".to_string(),
+            "O(log(n/d)/eps^2) for gamma>2; +log n factor at gamma=2; sublinear for 1<gamma<2"
+                .to_string(),
             "O(min{n/eps, m})".to_string(),
             "O(m/eps)".to_string(),
         ],
@@ -67,7 +74,12 @@ fn main() {
     let headers = ["gamma", "second_moment", "n*m2", "query_s", "backward_cost"];
     let mut cells = Vec::new();
     for gamma in [1.2f64, 1.6, 2.0, 3.0, 5.0, 8.0] {
-        let g = chung_lu_undirected(ChungLuConfig::new(n, 10.0, gamma, 600 + (gamma * 7.0) as u64));
+        let g = chung_lu_undirected(ChungLuConfig::new(
+            n,
+            10.0,
+            gamma,
+            600 + (gamma * 7.0) as u64,
+        ));
         let prsim = PrsimAlgo::build(
             g,
             PrsimConfig {

@@ -10,7 +10,15 @@ use prsim_graph::degrees::{degree_sequence, powerlaw_exponent_ccdf_fit, DegreeKi
 fn main() {
     let scale = parse_scale();
     println!("== Table 3: data sets (stand-ins at scale {scale}) ==\n");
-    let headers = ["name", "type", "n", "m", "fitted_gamma", "paper_n", "paper_m"];
+    let headers = [
+        "name",
+        "type",
+        "n",
+        "m",
+        "fitted_gamma",
+        "paper_n",
+        "paper_m",
+    ];
     let paper: [(&str, &str, &str); 5] = [
         ("DB", "5,425,963", "17,298,033"),
         ("LJ", "4,847,571", "68,993,773"),

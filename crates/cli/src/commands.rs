@@ -289,7 +289,9 @@ pub fn pair(argv: &[String]) -> Result<(), String> {
     };
     let engine = Prsim::build(g, config).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let s = engine.single_pair(u, v, &mut rng).map_err(|e| e.to_string())?;
+    let s = engine
+        .single_pair(u, v, &mut rng)
+        .map_err(|e| e.to_string())?;
     println!("s({u},{v}) ≈ {s:.6}  ({samples} walk pairs)");
     Ok(())
 }

@@ -51,8 +51,18 @@ fn generate_stats_round_trip() {
     let dir = tmpdir("gen");
     let graph = dir.join("g.bin");
     let out = prsim(&[
-        "generate", "chung-lu", "--n", "500", "--avg-degree", "6", "--gamma", "2.0",
-        "--seed", "7", "--out", graph.to_str().unwrap(),
+        "generate",
+        "chung-lu",
+        "--n",
+        "500",
+        "--avg-degree",
+        "6",
+        "--gamma",
+        "2.0",
+        "--seed",
+        "7",
+        "--out",
+        graph.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("500 nodes"));
@@ -83,17 +93,27 @@ fn build_then_query_with_index() {
     let sorted = dir.join("g_sorted.bin");
     let index = dir.join("g.prsimix");
     assert!(prsim(&[
-        "generate", "chung-lu", "--n", "400", "--seed", "3",
-        "--out", graph.to_str().unwrap(),
+        "generate",
+        "chung-lu",
+        "--n",
+        "400",
+        "--seed",
+        "3",
+        "--out",
+        graph.to_str().unwrap(),
     ])
     .status
     .success());
 
     let out = prsim(&[
-        "build", graph.to_str().unwrap(),
-        "--index", index.to_str().unwrap(),
-        "--eps", "0.1",
-        "--sorted-out", sorted.to_str().unwrap(),
+        "build",
+        graph.to_str().unwrap(),
+        "--index",
+        index.to_str().unwrap(),
+        "--eps",
+        "0.1",
+        "--sorted-out",
+        sorted.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("built index"));
@@ -101,9 +121,16 @@ fn build_then_query_with_index() {
 
     // Query against the persisted index + sorted graph.
     let out = prsim(&[
-        "query", sorted.to_str().unwrap(),
-        "--index", index.to_str().unwrap(),
-        "--source", "0", "--top", "5", "--eps", "0.1",
+        "query",
+        sorted.to_str().unwrap(),
+        "--index",
+        index.to_str().unwrap(),
+        "--source",
+        "0",
+        "--top",
+        "5",
+        "--eps",
+        "0.1",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -112,7 +139,12 @@ fn build_then_query_with_index() {
 
     // Index-free query works too.
     let out = prsim(&[
-        "query", graph.to_str().unwrap(), "--source", "1", "--top", "3",
+        "query",
+        graph.to_str().unwrap(),
+        "--source",
+        "1",
+        "--top",
+        "3",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 }
@@ -122,13 +154,26 @@ fn topk_command_works() {
     let dir = tmpdir("topk");
     let graph = dir.join("g.bin");
     assert!(prsim(&[
-        "generate", "chung-lu", "--n", "300", "--seed", "5",
-        "--out", graph.to_str().unwrap(),
+        "generate",
+        "chung-lu",
+        "--n",
+        "300",
+        "--seed",
+        "5",
+        "--out",
+        graph.to_str().unwrap(),
     ])
     .status
     .success());
     let out = prsim(&[
-        "topk", graph.to_str().unwrap(), "--source", "0", "--k", "5", "--eps", "0.1",
+        "topk",
+        graph.to_str().unwrap(),
+        "--source",
+        "0",
+        "--k",
+        "5",
+        "--eps",
+        "0.1",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -147,8 +192,16 @@ fn pair_estimates_known_value() {
     }
     std::fs::write(&graph, text).unwrap();
     let out = prsim(&[
-        "pair", graph.to_str().unwrap(),
-        "--u", "1", "--v", "2", "--samples", "40000", "--seed", "1",
+        "pair",
+        graph.to_str().unwrap(),
+        "--u",
+        "1",
+        "--v",
+        "2",
+        "--samples",
+        "40000",
+        "--seed",
+        "1",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let line = stdout(&out);
@@ -175,10 +228,25 @@ fn query_rejects_out_of_range_source() {
 fn generate_all_models() {
     let dir = tmpdir("models");
     for (model, extra) in [
-        ("chung-lu-directed", vec!["--n", "200", "--gamma", "1.8", "--gamma-in", "2.4"]),
+        (
+            "chung-lu-directed",
+            vec!["--n", "200", "--gamma", "1.8", "--gamma-in", "2.4"],
+        ),
         ("ba", vec!["--n", "200", "--m-attach", "3"]),
         ("er", vec!["--n", "200", "--avg-degree", "5"]),
-        ("sbm", vec!["--communities", "5", "--size", "20", "--p-in", "0.3", "--p-out", "0.01"]),
+        (
+            "sbm",
+            vec![
+                "--communities",
+                "5",
+                "--size",
+                "20",
+                "--p-in",
+                "0.3",
+                "--p-out",
+                "0.01",
+            ],
+        ),
     ] {
         let path = dir.join(format!("{model}.bin"));
         let mut args = vec!["generate", model];
@@ -198,9 +266,12 @@ fn corrupt_index_is_reported_not_panicked() {
     let index = dir.join("bad.prsimix");
     std::fs::write(&index, b"not an index at all").unwrap();
     let out = prsim(&[
-        "query", graph.to_str().unwrap(),
-        "--index", index.to_str().unwrap(),
-        "--source", "0",
+        "query",
+        graph.to_str().unwrap(),
+        "--index",
+        index.to_str().unwrap(),
+        "--source",
+        "0",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("corrupt"), "{}", stderr(&out));

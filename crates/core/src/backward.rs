@@ -202,9 +202,8 @@ mod tests {
             let res = backward_search(&g, SQRT_C, 5, r_max, 20);
             // Max error over the exact table's support.
             let mut err: f64 = 0.0;
-            for l in 0..exact.len() {
-                for v in 0..exact[l].len() {
-                    let truth = exact[l][v];
+            for (l, level) in exact.iter().enumerate() {
+                for (v, &truth) in level.iter().enumerate() {
                     if truth > 0.0 {
                         err = err.max((truth - res.reserve(l, v as u32)).abs());
                     }

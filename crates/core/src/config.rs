@@ -181,12 +181,48 @@ mod tests {
     #[test]
     fn rejects_bad_ranges() {
         for (field, cfg) in [
-            ("c=0", PrsimConfig { c: 0.0, ..Default::default() }),
-            ("c=1", PrsimConfig { c: 1.0, ..Default::default() }),
-            ("eps=0", PrsimConfig { eps: 0.0, ..Default::default() }),
-            ("delta=0", PrsimConfig { delta: 0.0, ..Default::default() }),
-            ("max_level=0", PrsimConfig { max_level: 0, ..Default::default() }),
-            ("threads=0", PrsimConfig { build_threads: 0, ..Default::default() }),
+            (
+                "c=0",
+                PrsimConfig {
+                    c: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "c=1",
+                PrsimConfig {
+                    c: 1.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "eps=0",
+                PrsimConfig {
+                    eps: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "delta=0",
+                PrsimConfig {
+                    delta: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "max_level=0",
+                PrsimConfig {
+                    max_level: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "threads=0",
+                PrsimConfig {
+                    build_threads: 0,
+                    ..Default::default()
+                },
+            ),
         ] {
             assert!(cfg.validate().is_err(), "{field} accepted");
         }
@@ -201,7 +237,10 @@ mod tests {
         let j0 = HubCount::TheoremBound { gamma: 2.0 }.resolve(1000, 5.0, 0.1);
         assert_eq!(j0, 250);
         // γ <= 1 means index-free.
-        assert_eq!(HubCount::TheoremBound { gamma: 1.0 }.resolve(1000, 5.0, 0.1), 0);
+        assert_eq!(
+            HubCount::TheoremBound { gamma: 1.0 }.resolve(1000, 5.0, 0.1),
+            0
+        );
     }
 
     #[test]
@@ -221,7 +260,11 @@ mod tests {
 
     #[test]
     fn r_max_matches_formula() {
-        let cfg = PrsimConfig { c: 0.6, eps: 0.12, ..Default::default() };
+        let cfg = PrsimConfig {
+            c: 0.6,
+            eps: 0.12,
+            ..Default::default()
+        };
         let want = (1.0 - 0.6f64.sqrt()).powi(2) * 0.12 / 12.0;
         assert!((cfg.r_max() - want).abs() < 1e-15);
     }

@@ -53,7 +53,7 @@ impl DynamicPrsim {
             n: graph.node_count(),
             config,
             engine: None,
-            pending: usize::MAX.min(1), // force initial build on first query
+            pending: 1, // any nonzero value forces the initial build on first query
             batch,
             rebuilds: 0,
         })
@@ -159,8 +159,8 @@ mod tests {
         // Apply some edits.
         dyn_engine.insert_edge(0, 79);
         dyn_engine.insert_edge(79, 0);
-        let (&(du, dv), _) = (g0.edges().collect::<Vec<_>>().first().map(|e| (e, ())))
-            .expect("graph has edges");
+        let (&(du, dv), _) =
+            (g0.edges().collect::<Vec<_>>().first().map(|e| (e, ()))).expect("graph has edges");
         dyn_engine.delete_edge(du, dv);
 
         // Fresh engine over the same final edge set.

@@ -69,9 +69,9 @@ impl PrsimIndex {
             let mut slots: Vec<Option<HubLists>> = vec![None; hubs.len()];
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots_mutex = std::sync::Mutex::new(&mut slots);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| loop {
+                    scope.spawn(|| loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= hubs.len() {
                             break;
@@ -80,8 +80,7 @@ impl PrsimIndex {
                         slots_mutex.lock().expect("no panics hold this lock")[i] = Some(result);
                     });
                 }
-            })
-            .expect("index build worker panicked");
+            });
             lists.extend(slots.into_iter().map(|s| s.expect("all hubs processed")));
         }
 
@@ -92,22 +91,11 @@ impl PrsimIndex {
         }
     }
 
-    fn search_one(
-        g: &DiGraph,
-        w: NodeId,
-        sqrt_c: f64,
-        r_max: f64,
-        max_level: usize,
-    ) -> HubLists {
+    fn search_one(g: &DiGraph, w: NodeId, sqrt_c: f64, r_max: f64, max_level: usize) -> HubLists {
         let res = backward_search(g, sqrt_c, w, r_max, max_level);
         res.levels
             .into_iter()
-            .map(|level| {
-                level
-                    .into_iter()
-                    .filter(|&(_, psi)| psi > r_max)
-                    .collect()
-            })
+            .map(|level| level.into_iter().filter(|&(_, psi)| psi > r_max).collect())
             .collect()
     }
 
@@ -238,7 +226,10 @@ impl PrsimIndex {
                     return Err(corrupt("entry count truncated"));
                 }
                 let cnt = data.get_u64_le() as usize;
-                if cnt.checked_mul(12).is_none_or(|need| data.remaining() < need) {
+                if cnt
+                    .checked_mul(12)
+                    .is_none_or(|need| data.remaining() < need)
+                {
                     return Err(corrupt("entries truncated"));
                 }
                 let mut level = Vec::with_capacity(cnt);

@@ -105,7 +105,7 @@ pub fn exact_lhop_rppr_to(g: &DiGraph, sqrt_c: f64, w: NodeId, levels: usize) ->
     out.push(h.iter().map(|&x| alpha * x).collect::<Vec<_>>());
     for _ in 0..levels {
         let mut nh = vec![0.0; n];
-        for y in 0..n {
+        for (y, slot) in nh.iter_mut().enumerate() {
             let din = g.in_degree(y as NodeId);
             if din == 0 {
                 continue;
@@ -114,7 +114,7 @@ pub fn exact_lhop_rppr_to(g: &DiGraph, sqrt_c: f64, w: NodeId, levels: usize) ->
             for &x in g.in_neighbors(y as NodeId) {
                 acc += h[x as usize];
             }
-            nh[y] = sqrt_c * acc / din as f64;
+            *slot = sqrt_c * acc / din as f64;
         }
         h = nh;
         out.push(h.iter().map(|&x| alpha * x).collect::<Vec<_>>());
@@ -187,7 +187,10 @@ mod tests {
         let g = prsim_gen::toys::cycle(6);
         let pi = reverse_pagerank(&g, SQRT_C, 1e-12, 200);
         for &x in &pi {
-            assert!((x - 1.0 / 6.0).abs() < 1e-9, "cycle should be uniform, got {x}");
+            assert!(
+                (x - 1.0 / 6.0).abs() < 1e-9,
+                "cycle should be uniform, got {x}"
+            );
         }
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
@@ -198,16 +201,19 @@ mod tests {
         let g = prsim_gen::toys::star_in(5);
         let pi = reverse_pagerank(&g, SQRT_C, 1e-12, 200);
         let total: f64 = pi.iter().sum();
-        assert!(total < 1.0, "dangling death should lose mass, total = {total}");
+        assert!(
+            total < 1.0,
+            "dangling death should lose mass, total = {total}"
+        );
         // Exact: walk from hub: terminates at hub w.p. 1-√c, else moves to
         // a leaf and terminates there w.p. 1-√c (or dies).
         // π(hub) = (1/5)(1-√c). π(leaf ℓ) = (1/5)[(1-√c)          (start there)
         //   + √c·(1/4)·(1-√c)]                                     (from hub)
         let alpha = 1.0 - SQRT_C;
         assert!((pi[0] - alpha / 5.0).abs() < 1e-9);
-        for leaf in 1..5 {
-            let want = (alpha + SQRT_C * alpha / 4.0) / 5.0;
-            assert!((pi[leaf] - want).abs() < 1e-9);
+        let want = (alpha + SQRT_C * alpha / 4.0) / 5.0;
+        for &leaf_pi in &pi[1..5] {
+            assert!((leaf_pi - want).abs() < 1e-9);
         }
     }
 
@@ -272,21 +278,15 @@ mod tests {
             for l in 0..=levels {
                 let f = from[l].get(&w).copied().unwrap_or(0.0);
                 let t = to[l][3];
-                assert!(
-                    (f - t).abs() < 1e-12,
-                    "π_{l}(3,{w}) mismatch: {f} vs {t}"
-                );
+                assert!((f - t).abs() < 1e-12, "π_{l}(3,{w}) mismatch: {f} vs {t}");
             }
         }
     }
 
     #[test]
     fn forward_levels_sum_to_at_most_one() {
-        let g = prsim_gen::chung_lu_directed(
-            prsim_gen::ChungLuConfig::new(100, 5.0, 1.8, 2),
-            2.2,
-            3,
-        );
+        let g =
+            prsim_gen::chung_lu_directed(prsim_gen::ChungLuConfig::new(100, 5.0, 1.8, 2), 2.2, 3);
         let from = exact_lhop_rppr_from(&g, SQRT_C, 10, 100);
         let total: f64 = from.iter().flat_map(|m| m.values()).sum();
         assert!(total <= 1.0 + 1e-9, "probability mass {total} exceeds 1");

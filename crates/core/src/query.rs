@@ -233,9 +233,9 @@ impl Prsim {
         let mut slots: Vec<Option<SimRankScores>> = vec![None; queries.len()];
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots_mutex = std::sync::Mutex::new(&mut slots);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= queries.len() {
                         break;
@@ -248,8 +248,7 @@ impl Prsim {
                     slots_mutex.lock().expect("no poisoned lock")[i] = Some(result);
                 });
             }
-        })
-        .expect("batch query worker panicked");
+        });
         Ok(slots
             .into_iter()
             .map(|s| s.expect("all queries processed"))
@@ -305,13 +304,8 @@ impl Prsim {
                 *etapi.entry((w, level)).or_insert(0.0) += 1.0 / nr as f64;
                 if !self.index.contains(w) {
                     stats.backward_walks += 1;
-                    let est = variance_bounded_backward_walk(
-                        &self.graph,
-                        sqrt_c,
-                        w,
-                        level as usize,
-                        rng,
-                    );
+                    let est =
+                        variance_bounded_backward_walk(&self.graph, sqrt_c, w, level as usize, rng);
                     stats.backward_cost += est.cost;
                     for (v, pi_hat) in est.estimates {
                         *round.entry(v).or_insert(0.0) += pi_hat / (alpha2 * dr as f64);
@@ -442,13 +436,11 @@ mod tests {
         // j0 = 0 (pure backward walks) and j0 = n (pure index) must both
         // approximate the same function.
         let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(120, 5.0, 2.0, 17));
-        let mk = |hubs| {
-            PrsimConfig {
-                hubs,
-                eps: 0.05,
-                query: QueryParams::Explicit { dr: 4000, fr: 1 },
-                ..Default::default()
-            }
+        let mk = |hubs| PrsimConfig {
+            hubs,
+            eps: 0.05,
+            query: QueryParams::Explicit { dr: 4000, fr: 1 },
+            ..Default::default()
         };
         let free = Prsim::build(g.clone(), mk(HubCount::Fixed(0))).unwrap();
         let full = Prsim::build(g, mk(HubCount::Fixed(usize::MAX))).unwrap();
@@ -481,11 +473,8 @@ mod tests {
 
     #[test]
     fn stats_account_for_every_walk() {
-        let g = prsim_gen::chung_lu_directed(
-            prsim_gen::ChungLuConfig::new(150, 5.0, 1.8, 3),
-            2.2,
-            7,
-        );
+        let g =
+            prsim_gen::chung_lu_directed(prsim_gen::ChungLuConfig::new(150, 5.0, 1.8, 3), 2.2, 7);
         let engine = Prsim::build(g, cfg(0.1)).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let (_, stats) = engine.try_single_source(3, &mut rng).unwrap();

@@ -154,8 +154,7 @@ mod tests {
             .top_k_adaptive(1, 6, TopKParams::default(), &mut rng)
             .unwrap();
         assert!(res.converged);
-        let nodes: std::collections::HashSet<u32> =
-            res.entries.iter().map(|&(v, _)| v).collect();
+        let nodes: std::collections::HashSet<u32> = res.entries.iter().map(|&(v, _)| v).collect();
         for leaf in 2..8u32 {
             assert!(nodes.contains(&leaf), "missing leaf {leaf}");
         }
@@ -172,7 +171,10 @@ mod tests {
             .top_k_adaptive(
                 0,
                 3,
-                TopKParams { initial_samples: 0, ..Default::default() },
+                TopKParams {
+                    initial_samples: 0,
+                    ..Default::default()
+                },
                 &mut rng
             )
             .is_err());
@@ -180,7 +182,10 @@ mod tests {
             .top_k_adaptive(
                 0,
                 3,
-                TopKParams { growth: 1, ..Default::default() },
+                TopKParams {
+                    growth: 1,
+                    ..Default::default()
+                },
                 &mut rng
             )
             .is_err());

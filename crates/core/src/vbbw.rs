@@ -209,7 +209,10 @@ mod tests {
     fn level_zero_is_exact() {
         let g = sorted(prsim_gen::toys::cycle(4));
         let mut rng = StdRng::seed_from_u64(0);
-        for f in [simple_backward_walk::<StdRng>, variance_bounded_backward_walk::<StdRng>] {
+        for f in [
+            simple_backward_walk::<StdRng>,
+            variance_bounded_backward_walk::<StdRng>,
+        ] {
             let out = f(&g, SQRT_C, 2, 0, &mut rng);
             assert_eq!(out.estimates.len(), 1);
             assert_eq!(out.estimates[0].0, 2);

@@ -235,14 +235,15 @@ mod tests {
         let mut r = rng();
         let trials = 200_000;
         let mut died = 0usize;
-        let mut level_counts = vec![0usize; 10];
+        let mut level_counts = [0usize; 10];
         for _ in 0..trials {
             match sample_terminal(&g, SQRT_C, 0, 64, &mut r) {
                 Terminal::At { node, level } => {
                     if (level as usize) < level_counts.len() {
                         level_counts[level as usize] += 1;
                         // Deterministic position on the cycle.
-                        let want = ((n as i64 - level as i64 % n as i64) % n as i64) as u32 % n as u32;
+                        let want =
+                            ((n as i64 - level as i64 % n as i64) % n as i64) as u32 % n as u32;
                         assert_eq!(node, want, "level {level}");
                     }
                 }
@@ -250,9 +251,9 @@ mod tests {
             }
         }
         assert_eq!(died, 0, "no dangling nodes on a cycle");
-        for l in 0..6 {
+        for (l, &count) in level_counts.iter().enumerate().take(6) {
             let want = SQRT_C.powi(l as i32) * (1.0 - SQRT_C);
-            let got = level_counts[l] as f64 / trials as f64;
+            let got = count as f64 / trials as f64;
             assert!(
                 (got - want).abs() < 0.01,
                 "level {l}: got {got:.4}, want {want:.4}"
@@ -294,14 +295,26 @@ mod tests {
 
     #[test]
     fn meeting_requires_same_step() {
-        let w1 = Walk { path: vec![0, 1, 2], terminal: Terminal::Died };
-        let w2 = Walk { path: vec![3, 2, 1], terminal: Terminal::Died };
+        let w1 = Walk {
+            path: vec![0, 1, 2],
+            terminal: Terminal::Died,
+        };
+        let w2 = Walk {
+            path: vec![3, 2, 1],
+            terminal: Terminal::Died,
+        };
         // They cross but never occupy the same node at the same step.
         assert!(!walks_meet(&w1, &w2, 1));
-        let w3 = Walk { path: vec![3, 1], terminal: Terminal::Died };
+        let w3 = Walk {
+            path: vec![3, 1],
+            terminal: Terminal::Died,
+        };
         assert!(walks_meet(&w1, &w3, 1));
         // Step 0 ignored when min_step = 1.
-        let w4 = Walk { path: vec![0, 5], terminal: Terminal::Died };
+        let w4 = Walk {
+            path: vec![0, 5],
+            terminal: Terminal::Died,
+        };
         assert!(!walks_meet(&w1, &w4, 1));
         assert!(walks_meet(&w1, &w4, 0));
     }
@@ -322,7 +335,10 @@ mod tests {
         // pick among 3 leaves; meeting prob = c/3.
         let eta_hub = estimate_eta(&g, SQRT_C, 0, 100_000, 64, &mut r);
         let want = 1.0 - 0.6 / 3.0;
-        assert!((eta_hub - want).abs() < 0.01, "eta {eta_hub:.4}, want {want:.4}");
+        assert!(
+            (eta_hub - want).abs() < 0.01,
+            "eta {eta_hub:.4}, want {want:.4}"
+        );
     }
 
     #[test]

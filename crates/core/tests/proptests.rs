@@ -16,14 +16,13 @@ const SQRT_C: f64 = 0.774_596_669_241_483_4;
 /// Random directed graphs over 3..30 nodes with some edges.
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
     (3usize..30).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 1..120)
-            .prop_map(move |edges| {
-                let filtered: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
-                let mut all = filtered;
-                all.sort_unstable();
-                all.dedup();
-                DiGraph::from_edges(n, &all)
-            })
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..120).prop_map(move |edges| {
+            let filtered: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let mut all = filtered;
+            all.sort_unstable();
+            all.dedup();
+            DiGraph::from_edges(n, &all)
+        })
     })
 }
 

@@ -23,7 +23,10 @@ pub struct EvalSettings {
 
 impl Default for EvalSettings {
     fn default() -> Self {
-        EvalSettings { k: 50, seed: 0x5EED }
+        EvalSettings {
+            k: 50,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -113,7 +116,13 @@ mod tests {
             prsim_gen::ChungLuConfig::new(60, 4.0, 2.0, 6),
         ));
         let truth = GroundTruth::exact(&g, 0.6);
-        let mc = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 2_000, ..Default::default() });
+        let mc = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig {
+                nr: 2_000,
+                ..Default::default()
+            },
+        );
         let queries = pick_query_nodes(60, 5, 1);
         let eval = evaluate_algorithm(
             &mc,

@@ -79,7 +79,13 @@ mod tests {
             prsim_gen::ChungLuConfig::new(60, 4.0, 2.0, 6),
         ));
         let truth = GroundTruth::exact(&g, 0.6);
-        let mc = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 3_000, ..Default::default() });
+        let mc = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig {
+                nr: 3_000,
+                ..Default::default()
+            },
+        );
         let algos: Vec<&dyn SingleSourceSimRank> = vec![&mc];
         let mut rng = StdRng::seed_from_u64(2);
         let (pool, scores) = build_pool(&algos, 0, 10, &truth, &mut rng);
@@ -87,10 +93,7 @@ mod tests {
         assert!(pool.truth_top_k.len() <= 10);
         assert!(pool.pool_size >= pool.truth_top_k.len());
         // Descending truth values, no source node.
-        assert!(pool
-            .truth_top_k
-            .windows(2)
-            .all(|w| w[0].1 >= w[1].1));
+        assert!(pool.truth_top_k.windows(2).all(|w| w[0].1 >= w[1].1));
         assert!(pool.truth_top_k.iter().all(|&(v, _)| v != 0));
     }
 
@@ -98,8 +101,20 @@ mod tests {
     fn union_pool_from_two_algorithms() {
         let g = Arc::new(prsim_gen::toys::star_out(8));
         let truth = GroundTruth::exact(&g, 0.6);
-        let a = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 500, ..Default::default() });
-        let b = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 200, ..Default::default() });
+        let a = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig {
+                nr: 500,
+                ..Default::default()
+            },
+        );
+        let b = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig {
+                nr: 200,
+                ..Default::default()
+            },
+        );
         let algos: Vec<&dyn SingleSourceSimRank> = vec![&a, &b];
         let mut rng = StdRng::seed_from_u64(3);
         let (pool, _) = build_pool(&algos, 1, 4, &truth, &mut rng);

@@ -166,12 +166,12 @@ pub fn chung_lu_directed(cfg: ChungLuConfig, gamma_in: f64, seed_perm: u64) -> D
     builder.ensure_nodes(cfg.n);
     // For each source i (out-weight a[i]), skip-sample targets over the
     // descending in-weight ranks; perm maps rank -> node id.
-    for i in 0..cfg.n {
-        if a[i] <= 0.0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai <= 0.0 {
             continue;
         }
         let mut rank = 0usize;
-        let mut p_bound = (a[i] * bw[0] / total).min(1.0);
+        let mut p_bound = (ai * bw[0] / total).min(1.0);
         while rank < cfg.n && p_bound > 0.0 {
             let r: f64 = rng.gen_range(f64::EPSILON..1.0);
             let skip = if p_bound >= 1.0 {
@@ -183,7 +183,7 @@ pub fn chung_lu_directed(cfg: ChungLuConfig, gamma_in: f64, seed_perm: u64) -> D
             if rank >= cfg.n {
                 break;
             }
-            let p_actual = (a[i] * bw[rank] / total).min(1.0);
+            let p_actual = (ai * bw[rank] / total).min(1.0);
             if rng.gen::<f64>() < p_actual / p_bound {
                 let tgt = perm[rank];
                 if tgt != i as u32 {

@@ -11,7 +11,9 @@ pub fn path(n: usize) -> DiGraph {
 /// Directed cycle `0 → 1 → … → n-1 → 0`.
 pub fn cycle(n: usize) -> DiGraph {
     assert!(n >= 1);
-    let edges: Vec<_> = (0..n as NodeId).map(|v| (v, (v + 1) % n as NodeId)).collect();
+    let edges: Vec<_> = (0..n as NodeId)
+        .map(|v| (v, (v + 1) % n as NodeId))
+        .collect();
     DiGraph::from_edges(n, &edges)
 }
 

@@ -134,7 +134,9 @@ mod tests {
 
     #[test]
     fn opt_in_keeps_self_loops_and_duplicates() {
-        let mut b = GraphBuilder::new().keep_self_loops(true).keep_parallel_edges(true);
+        let mut b = GraphBuilder::new()
+            .keep_self_loops(true)
+            .keep_parallel_edges(true);
         b.add_edge(0, 1);
         b.add_edge(0, 1);
         b.add_edge(1, 1);

@@ -130,9 +130,8 @@ impl DiGraph {
 
     /// Iterator over all edges as `(source, target)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| {
-            self.out_neighbors(u).iter().map(move |&v| (u, v))
-        })
+        self.nodes()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Whether [`crate::ordering::sort_out_by_in_degree`] has run on this
@@ -174,9 +173,7 @@ impl DiGraph {
         self.out_sorted_by_in_degree = flag;
     }
 
-    pub(crate) fn raw_parts(
-        &self,
-    ) -> (&[usize], &[NodeId], &[usize], &[NodeId], bool) {
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[NodeId], &[usize], &[NodeId], bool) {
         (
             &self.out_offsets,
             &self.out_targets,

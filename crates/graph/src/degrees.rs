@@ -194,9 +194,15 @@ mod tests {
             }
         }
         let est = powerlaw_exponent_ccdf_fit(&degrees, 1).unwrap();
-        assert!((est - gamma).abs() < 0.3, "ccdf fit estimate {est} too far from {gamma}");
+        assert!(
+            (est - gamma).abs() < 0.3,
+            "ccdf fit estimate {est} too far from {gamma}"
+        );
         let hill = powerlaw_exponent_hill(&degrees, 10).unwrap();
-        assert!((hill - gamma).abs() < 0.3, "hill estimate {hill} too far from {gamma}");
+        assert!(
+            (hill - gamma).abs() < 0.3,
+            "hill estimate {hill} too far from {gamma}"
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NodeIdOverflow(id) => {
-                write!(f, "node id {id} exceeds the supported maximum (u32::MAX - 1)")
+                write!(
+                    f,
+                    "node id {id} exceeds the supported maximum (u32::MAX - 1)"
+                )
             }
             GraphError::Io(e) => write!(f, "io error: {e}"),
             GraphError::Parse { line, message } => {

@@ -18,7 +18,10 @@ fn main() {
 
     // --- Offline: build and persist -------------------------------------
     let graph = chung_lu_undirected(ChungLuConfig::new(20_000, 10.0, 2.0, 2024));
-    let config = PrsimConfig { eps: 0.05, ..Default::default() };
+    let config = PrsimConfig {
+        eps: 0.05,
+        ..Default::default()
+    };
     let t = std::time::Instant::now();
     let engine = Prsim::build(graph, config.clone()).expect("valid config");
     println!("offline build: {:.3}s", t.elapsed().as_secs_f64());
@@ -40,7 +43,10 @@ fn main() {
     let index = PrsimIndex::from_bytes(&index_bytes, graph.node_count()).expect("decode index");
     let pi = prsim::core::pagerank::reverse_pagerank(&graph, config.sqrt_c(), 1e-12, 64);
     let served = Prsim::from_parts(graph, pi, index, config).expect("assemble engine");
-    println!("reload: {:.3}s (no backward searches)", t.elapsed().as_secs_f64());
+    println!(
+        "reload: {:.3}s (no backward searches)",
+        t.elapsed().as_secs_f64()
+    );
 
     // Same query on both engines: identical index, same seeds, same answer.
     let mut rng1 = StdRng::seed_from_u64(5);

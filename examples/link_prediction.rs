@@ -64,7 +64,11 @@ fn main() {
     .expect("valid config");
     let probesim = ProbeSim::new(
         std::sync::Arc::new(observed.clone()),
-        ProbeSimConfig { eps_a: 0.05, c_mult: 3.0, ..Default::default() },
+        ProbeSimConfig {
+            eps_a: 0.05,
+            c_mult: 3.0,
+            ..Default::default()
+        },
     );
 
     let mut hits_prsim = 0usize;
@@ -125,7 +129,10 @@ fn main() {
     }
 
     println!("\nhidden-edge recovery in top-{K} (over {total} hidden endpoints):");
-    println!("  PRSim            : {hits_prsim:>4} hits ({:.1} ms/query)", 1e3 * prsim_query_s / test_users.len() as f64);
+    println!(
+        "  PRSim            : {hits_prsim:>4} hits ({:.1} ms/query)",
+        1e3 * prsim_query_s / test_users.len() as f64
+    );
     println!("  ProbeSim         : {hits_probesim:>4} hits");
     println!("  common neighbors : {hits_cn:>4} hits");
     assert!(

@@ -48,8 +48,14 @@ fn main() {
     );
 
     // PRSim engine over the full web.
-    let engine = Prsim::build(web, PrsimConfig { eps: 0.05, ..Default::default() })
-        .expect("valid config");
+    let engine = Prsim::build(
+        web,
+        PrsimConfig {
+            eps: 0.05,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
     let mut rng = StdRng::seed_from_u64(31);
 
     // Known spam seeds: the first few farm members.

@@ -40,7 +40,10 @@ fn max_error(
 
 #[test]
 fn prsim_matches_exact_simrank() {
-    for (name, g) in [("undirected", test_graph()), ("directed", directed_test_graph())] {
+    for (name, g) in [
+        ("undirected", test_graph()),
+        ("directed", directed_test_graph()),
+    ] {
         let exact = power_method(&g, 0.6, 1e-10, 200);
         let engine = Prsim::build(
             g,
@@ -106,25 +109,43 @@ fn every_algorithm_agrees_with_power_method() {
     let sources = [3u32, 42];
     let mut build_rng = StdRng::seed_from_u64(70);
 
-    let mc = MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { nr: 10_000, ..Default::default() });
+    let mc = MonteCarlo::new(
+        Arc::clone(&g),
+        MonteCarloConfig {
+            nr: 10_000,
+            ..Default::default()
+        },
+    );
     assert!(max_error(&mc, &exact, &sources, 1) < 0.04, "MC");
 
     let probesim = ProbeSim::new(
         Arc::clone(&g),
-        ProbeSimConfig { eps_a: 0.02, c_mult: 5.0, ..Default::default() },
+        ProbeSimConfig {
+            eps_a: 0.02,
+            c_mult: 5.0,
+            ..Default::default()
+        },
     );
     assert!(max_error(&probesim, &exact, &sources, 2) < 0.06, "ProbeSim");
 
     let sling = Sling::build(
         Arc::clone(&g),
-        SlingConfig { eps_a: 0.005, eta_samples: 20_000, ..Default::default() },
+        SlingConfig {
+            eps_a: 0.005,
+            eta_samples: 20_000,
+            ..Default::default()
+        },
         &mut build_rng,
     );
     assert!(max_error(&sling, &exact, &sources, 3) < 0.06, "SLING");
 
     let reads = Reads::build(
         Arc::clone(&g),
-        ReadsConfig { c: 0.6, r: 8_000, t: 12 },
+        ReadsConfig {
+            c: 0.6,
+            r: 8_000,
+            t: 12,
+        },
         &mut build_rng,
     );
     assert!(max_error(&reads, &exact, &sources, 4) < 0.05, "READS");
@@ -132,7 +153,11 @@ fn every_algorithm_agrees_with_power_method() {
     // TSF overestimates by design; allow a looser budget.
     let tsf = Tsf::build(
         Arc::clone(&g),
-        TsfConfig { rg: 300, rq: 20, ..Default::default() },
+        TsfConfig {
+            rg: 300,
+            rq: 20,
+            ..Default::default()
+        },
         &mut build_rng,
     );
     assert!(max_error(&tsf, &exact, &sources, 5) < 0.12, "TSF");

@@ -1,0 +1,250 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `criterion_group!` / `criterion_main!` — with a
+//! simple mean-of-samples timer instead of criterion's statistical
+//! machinery. Output is one `name ... mean ns/iter` line per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` sizes its input batches. The stub runs one input
+/// per measured call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; the real crate batches many per allocation.
+    SmallInput,
+    /// Large setup output; the real crate allocates one at a time.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding one warm-up call first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+        }
+        self.last_mean_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_mean_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured calls per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let samples = self.sample_size;
+        run_one(&id.to_string(), samples, f);
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the measured-call count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        last_mean_ns: 0.0,
+    };
+    f(&mut b);
+    println!(
+        "bench: {label:<48} {:>14.1} ns/iter ({samples} samples)",
+        b.last_mean_ns
+    );
+}
+
+/// Declares a group of benchmark functions, with an optional explicit
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.bench_function("f", |b| b.iter(|| black_box(2) * 2));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9), &9, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(simple, trivial_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = trivial_bench, trivial_bench
+    }
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn group_macros_expand_and_run() {
+        simple();
+        configured();
+    }
+}

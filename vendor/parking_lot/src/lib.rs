@@ -1,0 +1,100 @@
+//! Minimal offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's non-poisoning API:
+//! `lock()` returns the guard directly instead of a `Result`. Poisoned
+//! locks are recovered transparently, matching parking_lot's behavior of
+//! not propagating panics through lock acquisition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires the lock if free, without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.inner.try_lock().ok()
+    }
+
+    /// Mutably borrows the inner value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn contended_increments_all_land() {
+        let m = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn lock_survives_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

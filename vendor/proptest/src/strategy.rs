@@ -1,0 +1,192 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real crate there is no value tree and no shrinking; a
+/// strategy simply draws a fresh value per case.
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying up to 100 draws.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.sample_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.source.sample_value(rng)).sample_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..100 {
+            let v = self.source.sample_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: 100 consecutive rejections", self.whence);
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + Copy,
+{
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident / $v:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(S0 / V0 / 0);
+impl_strategy_for_tuple!(S0 / V0 / 0, S1 / V1 / 1);
+impl_strategy_for_tuple!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2);
+impl_strategy_for_tuple!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2, S3 / V3 / 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = (2usize..10).prop_flat_map(|n| {
+            crate::collection::vec((0..n as u32, 0..n as u32), 0..20).prop_map(move |es| (n, es))
+        });
+        for _ in 0..200 {
+            let (n, edges) = strat.sample_value(&mut rng);
+            assert!((2..10).contains(&n));
+            assert!(edges.len() < 20);
+            for (u, v) in edges {
+                assert!((u as usize) < n && (v as usize) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn just_and_filter_work() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(Just(41).sample_value(&mut rng), 41);
+        let evens = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(evens.sample_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = 0.0f64..10.0;
+        for _ in 0..1000 {
+            let x = s.sample_value(&mut rng);
+            assert!((0.0..10.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Derive-macro half of the vendored `serde` stand-in.
+//!
+//! Emits an empty `impl ::serde::Serialize` for the annotated type.
+//! Supports plain (non-generic) structs and enums, which is all the
+//! workspace derives today.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input.clone())
+        .unwrap_or_else(|| panic!("#[derive(Serialize)] stub: no struct/enum name in {input}"));
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    None
+}
