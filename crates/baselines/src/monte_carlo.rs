@@ -8,7 +8,7 @@
 //! `O(n·log(n/δ)/ε²)` — the bound PRSim improves on.
 
 use prsim_core::scores::SimRankScores;
-use prsim_core::walk::{sample_walk, walks_meet, Walk};
+use prsim_core::walk::{sample_walk, sample_walks_meet, walks_meet, Walk};
 use prsim_graph::{DiGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -69,7 +69,8 @@ impl MonteCarlo {
 
 /// Standalone single-pair Monte Carlo estimate of `s(u,v)` with `nr` walk
 /// pairs — the ground-truth routine (paper §5.1 uses it with `nr` large
-/// enough for error `1e-5` at 99.999% confidence).
+/// enough for error `1e-5` at 99.999% confidence). Runs the two walks in
+/// lockstep via [`sample_walks_meet`], so no path is ever materialized.
 pub fn single_pair_simrank<R: Rng + ?Sized>(
     g: &DiGraph,
     c: f64,
@@ -85,9 +86,7 @@ pub fn single_pair_simrank<R: Rng + ?Sized>(
     let sqrt_c = c.sqrt();
     let mut meets = 0usize;
     for _ in 0..nr {
-        let wu = sample_walk(g, sqrt_c, u, max_len, rng);
-        let wv = sample_walk(g, sqrt_c, v, max_len, rng);
-        if walks_meet(&wu, &wv, 1) {
+        if sample_walks_meet(g, sqrt_c, u, v, max_len, rng) {
             meets += 1;
         }
     }

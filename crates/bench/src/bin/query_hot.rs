@@ -1,0 +1,541 @@
+//! `query_hot` — the single-source hot-path benchmark behind
+//! `BENCH_query.json`.
+//!
+//! Measures, on the Chung-Lu benchmark family (the same generator family
+//! as the paper stand-ins in [`prsim_bench::datasets`]), per graph size:
+//!
+//! * engine build time,
+//! * single-source latency (p50 / p95 / mean over a seeded query set) and
+//!   the derived queries-per-second,
+//! * batch throughput of [`Prsim::batch_single_source`] at 1, 2 and 4
+//!   threads.
+//!
+//! Everything is seeded, so two runs on the same machine measure the same
+//! work — the JSON is machine-comparable, not machine-portable.
+//!
+//! ```text
+//! query_hot [--smoke] [--out PATH] [--check PATH] [--queries N]
+//! ```
+//!
+//! * default: run the full family (5k / 20k / 100k nodes) and write
+//!   `BENCH_query.json` in the current directory;
+//! * `--smoke`: run only the 5k graph (seconds, for CI);
+//! * `--check PATH`: after running, compare the measured single-source
+//!   p50 against the same-named dataset inside the committed JSON at
+//!   `PATH`; exit non-zero when either file is malformed or the fresh
+//!   p50 regresses by more than 3x.
+
+use prsim_core::{HubCount, Prsim, PrsimConfig, QueryParams, QueryWorkspace, SimRankScores};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use prsim_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Latency tolerance of `--check`: fail when fresh p50 exceeds 3x the
+/// committed p50 for the same dataset.
+const CHECK_TOLERANCE: f64 = 3.0;
+
+struct DatasetSpec {
+    name: &'static str,
+    n: usize,
+    avg_degree: f64,
+    gamma: f64,
+    seed: u64,
+}
+
+const FAMILY: &[DatasetSpec] = &[
+    DatasetSpec {
+        name: "chung_lu_5k",
+        n: 5_000,
+        avg_degree: 8.0,
+        gamma: 2.0,
+        seed: 42,
+    },
+    DatasetSpec {
+        name: "chung_lu_20k",
+        n: 20_000,
+        avg_degree: 8.0,
+        gamma: 2.0,
+        seed: 43,
+    },
+    DatasetSpec {
+        name: "chung_lu_100k",
+        n: 100_000,
+        avg_degree: 8.0,
+        gamma: 2.0,
+        seed: 44,
+    },
+];
+
+struct BatchPoint {
+    threads: usize,
+    qps: f64,
+}
+
+struct BenchRow {
+    name: String,
+    n: usize,
+    m: usize,
+    build_ms: f64,
+    p50_us: f64,
+    p95_us: f64,
+    mean_us: f64,
+    qps: f64,
+    alloc_qps: f64,
+    batch: Vec<BatchPoint>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn bench_config() -> PrsimConfig {
+    PrsimConfig {
+        eps: 0.1,
+        hubs: HubCount::SqrtN,
+        query: QueryParams::Practical { c_mult: 5.0 },
+        ..Default::default()
+    }
+}
+
+/// Consumes the scores enough that the optimizer cannot elide the query.
+fn sink(scores: &SimRankScores) -> f64 {
+    scores.get(scores.source()) + scores.len() as f64
+}
+
+fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
+    let graph = chung_lu_undirected(ChungLuConfig::new(
+        spec.n,
+        spec.avg_degree,
+        spec.gamma,
+        spec.seed,
+    ));
+    let n = graph.node_count();
+    let m = graph.edge_count();
+
+    let t0 = Instant::now();
+    let engine = Prsim::build(graph, bench_config()).expect("bench config is valid");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Seeded query set: uniform random sources, fixed across runs.
+    let mut pick = StdRng::seed_from_u64(spec.seed ^ 0x9E37);
+    let sources: Vec<NodeId> = (0..queries)
+        .map(|_| pick.gen_range(0..n as NodeId))
+        .collect();
+
+    // Warmup (touches the index + graph pages, grows the workspace).
+    let mut guard = 0.0;
+    let mut ws = QueryWorkspace::new();
+    for (i, &u) in sources.iter().take(10).enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xDEAD + i as u64);
+        guard += sink(&engine.single_source_with_workspace(u, &mut ws, &mut rng));
+    }
+
+    // Serial latency distribution on the workspace-reused hot path —
+    // the steady state of a query server.
+    let mut lat_us: Vec<f64> = Vec::with_capacity(sources.len());
+    let serial_start = Instant::now();
+    for (i, &u) in sources.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
+        let t = Instant::now();
+        let scores = engine.single_source_with_workspace(u, &mut ws, &mut rng);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        guard += sink(&scores);
+    }
+    let serial_secs = serial_start.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean_us = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
+
+    // Secondary: the allocating entry point (fresh transient workspace
+    // per query), i.e. what a naive caller pays.
+    let alloc_start = Instant::now();
+    for (i, &u) in sources.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
+        guard += sink(&engine.single_source(u, &mut rng));
+    }
+    let alloc_qps = sources.len() as f64 / alloc_start.elapsed().as_secs_f64();
+
+    // Batch throughput at 1 / 2 / 4 threads.
+    let mut batch = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let t = Instant::now();
+        let results = engine
+            .batch_single_source(&sources, threads, 77)
+            .expect("sources pre-checked");
+        let secs = t.elapsed().as_secs_f64();
+        guard += results.iter().map(sink).sum::<f64>();
+        batch.push(BatchPoint {
+            threads,
+            qps: sources.len() as f64 / secs,
+        });
+    }
+
+    assert!(guard.is_finite());
+    BenchRow {
+        name: spec.name.to_string(),
+        n,
+        m,
+        build_ms,
+        p50_us: percentile(&lat_us, 0.50),
+        p95_us: percentile(&lat_us, 0.95),
+        mean_us,
+        qps: sources.len() as f64 / serial_secs,
+        alloc_qps,
+        batch,
+    }
+}
+
+/// `pre_pr` baseline block of an existing benchmark file, re-emitted on
+/// regeneration so the committed pre-PR record survives `--out`
+/// overwrites.
+fn preserved_pre_pr(out_path: &str) -> Option<String> {
+    let existing = std::fs::read_to_string(out_path).ok()?;
+    let value = mini_json::parse(&existing).ok()?;
+    value.get("pre_pr").map(mini_json::render)
+}
+
+fn render_json(rows: &[BenchRow], queries: usize, pre_pr: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"query_hot\",\n");
+    out.push_str("  \"unit_note\": \"latencies in microseconds, build in milliseconds; seeded and machine-comparable\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"eps\": 0.1, \"c\": 0.6, \"query\": \"practical c_mult=5\", \"hubs\": \"sqrt_n\", \"queries_per_dataset\": {queries}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"machine\": {{\"cpu_cores\": {}}},\n",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    ));
+    if let Some(block) = pre_pr {
+        out.push_str(&format!("  \"pre_pr\": {block},\n"));
+    }
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"single_source\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"mean_us\": {:.1}, \"qps\": {:.1}, \"alloc_qps\": {:.1}}}, \"batch\": [",
+            r.name, r.n, r.m, r.build_ms, r.p50_us, r.p95_us, r.mean_us, r.qps, r.alloc_qps
+        ));
+        for (j, b) in r.batch.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"threads\": {}, \"qps\": {:.1}}}",
+                b.threads, b.qps
+            ));
+            if j + 1 < r.batch.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_query.json".to_string());
+    let check_path = arg_value(&args, "--check");
+    let queries: usize = arg_value(&args, "--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 60 } else { 200 });
+
+    let specs: Vec<&DatasetSpec> = if smoke {
+        FAMILY.iter().take(1).collect()
+    } else {
+        FAMILY.iter().collect()
+    };
+
+    let mut rows = Vec::new();
+    for spec in specs {
+        eprintln!("running {} (n = {}) ...", spec.name, spec.n);
+        let row = run_dataset(spec, queries);
+        eprintln!(
+            "  build {:.1} ms | p50 {:.0} us | p95 {:.0} us | {:.0} qps serial | {:.0} qps @4t",
+            row.build_ms,
+            row.p50_us,
+            row.p95_us,
+            row.qps,
+            row.batch.last().map(|b| b.qps).unwrap_or(0.0),
+        );
+        rows.push(row);
+    }
+
+    let pre_pr = preserved_pre_pr(&out_path);
+    let json = render_json(&rows, queries, pre_pr.as_deref());
+    // Self-check: what we write must parse.
+    mini_json::parse(&json).expect("query_hot produced malformed JSON");
+
+    if let Some(path) = check_path {
+        check_against_baseline(&rows, &path);
+    } else {
+        std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+        eprintln!("wrote {out_path}");
+    }
+}
+
+/// `--check`: compare measured p50 against the committed baseline JSON.
+fn check_against_baseline(rows: &[BenchRow], path: &str) {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let value = mini_json::parse(&committed)
+        .unwrap_or_else(|e| panic!("committed baseline {path} is malformed JSON: {e}"));
+    let results = value
+        .get("results")
+        .and_then(mini_json::Value::as_array)
+        .expect("committed baseline lacks a results array");
+
+    let mut failures = 0usize;
+    for row in rows {
+        let committed_p50 = results
+            .iter()
+            .find(|r| r.get("name").and_then(mini_json::Value::as_str) == Some(&row.name))
+            .and_then(|r| r.get("single_source"))
+            .and_then(|s| s.get("p50_us"))
+            .and_then(mini_json::Value::as_f64);
+        match committed_p50 {
+            None => {
+                eprintln!("FAIL: baseline has no p50_us entry for {}", row.name);
+                failures += 1;
+            }
+            Some(base) if row.p50_us > base * CHECK_TOLERANCE => {
+                eprintln!(
+                    "FAIL: {} p50 regressed {:.0} us -> {:.0} us (> {CHECK_TOLERANCE}x)",
+                    row.name, base, row.p50_us
+                );
+                failures += 1;
+            }
+            Some(base) => {
+                eprintln!(
+                    "OK: {} p50 {:.0} us vs committed {:.0} us",
+                    row.name, row.p50_us, base
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// A deliberately small JSON reader: enough to validate the benchmark
+/// artifact's structure and pull numbers back out for `--check`. Not a
+/// general-purpose parser (no unicode escapes, no exotic numbers).
+mod mini_json {
+    use std::collections::BTreeMap;
+
+    /// Parsed JSON value.
+    #[derive(Debug)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(map) => map.get(key),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Serializes a value back to compact JSON (used to re-emit preserved
+    /// blocks verbatim-enough when regenerating the benchmark file).
+    pub fn render(value: &Value) -> String {
+        match value {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    format!("{}", *x as i64)
+                } else {
+                    format!("{x}")
+                }
+            }
+            Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Value::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Obj(map) => {
+                let inner: Vec<String> = map
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {}", render(v)))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        if b.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", ch as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|x| x.is_finite())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *b.get(*pos).ok_or("dangling escape")?;
+                    *pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            map.insert(key, parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}

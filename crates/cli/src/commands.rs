@@ -206,6 +206,10 @@ pub fn query(argv: &[String]) -> Result<(), String> {
     let source: u32 = args.require_parsed("source")?;
     let top: usize = args.get_parsed("top", 10)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
+    let repeat: usize = args.get_parsed("repeat", 1)?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
     let config = config_from(&args)?;
 
     let mut g = load_graph(path)?;
@@ -224,16 +228,35 @@ pub fn query(argv: &[String]) -> Result<(), String> {
         None => Prsim::build(g, config).map_err(|e| e.to_string())?,
     };
 
+    // One workspace reused across repeats: repeat > 1 measures the warm
+    // steady-state latency a query server would see (results are
+    // bit-identical to a fresh workspace either way).
+    let mut ws = prsim_core::QueryWorkspace::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let start = std::time::Instant::now();
     let (scores, stats) = engine
-        .try_single_source(source, &mut rng)
+        .try_single_source_with_workspace(source, &mut ws, &mut rng)
         .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
     println!(
         "query node {source}: {:.4}s, {} walks ({} died, {} pair-met), {} backward walks",
         elapsed, stats.walks, stats.died, stats.pair_met, stats.backward_walks
     );
+    if repeat > 1 {
+        let start = std::time::Instant::now();
+        for i in 1..repeat {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let _ = engine
+                .try_single_source_with_workspace(source, &mut ws, &mut rng)
+                .map_err(|e| e.to_string())?;
+        }
+        let warm = start.elapsed().as_secs_f64() / (repeat - 1) as f64;
+        println!(
+            "warm repeats: {:.0} us/query over {} runs",
+            warm * 1e6,
+            repeat - 1
+        );
+    }
     for (rank, (v, s)) in scores.top_k(top).into_iter().enumerate() {
         println!("{:>3}. {:>8}  {:.6}", rank + 1, v, s);
     }

@@ -72,6 +72,7 @@ pub mod scores;
 pub mod topk;
 pub mod vbbw;
 pub mod walk;
+pub mod workspace;
 
 pub use config::{HubCount, PrsimConfig, QueryParams};
 pub use dynamic::DynamicPrsim;
@@ -79,6 +80,7 @@ pub use index::PrsimIndex;
 pub use query::Prsim;
 pub use scores::SimRankScores;
 pub use topk::{TopKParams, TopKResult};
+pub use workspace::QueryWorkspace;
 
 /// Errors produced while building or querying a PRSim engine.
 #[derive(Debug)]

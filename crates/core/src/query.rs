@@ -21,18 +21,34 @@
 //! proof samples `(w, ℓ)` with probability `π_ℓ(u,w)·η(w)`, so the
 //! backward-walk update must be *nested inside* the no-meet branch; that
 //! is what we implement (see DESIGN.md §3).
+//!
+//! ## Hot-path layout
+//!
+//! The whole query runs on a caller-owned [`QueryWorkspace`] of dense
+//! epoch-stamped scratch buffers (see [`crate::workspace`]): per-round
+//! `ŝ_B` accumulation, backward-walk frontiers, hub-membership memos and
+//! final score assembly are all `O(1)` array probes with `O(touched)`
+//! clearing — no hashing, no per-query allocation after warmup. Terminal
+//! observations are aggregated into `η̂π_ℓ(u,w)` by sorting a flat
+//! `(w, ℓ)` vector instead of a hash map, which also supplies the sorted
+//! iteration order the deterministic `ŝ_I` accumulation needs. Results
+//! are **bit-identical** between a fresh and a reused workspace, so the
+//! allocating entry points simply construct a transient one.
 
 use prsim_graph::ordering::sort_out_by_in_degree;
 use prsim_graph::{DiGraph, NodeId};
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 use crate::config::PrsimConfig;
 use crate::index::PrsimIndex;
 use crate::pagerank::{rank_by_pagerank, reverse_pagerank};
 use crate::scores::SimRankScores;
-use crate::vbbw::variance_bounded_backward_walk;
-use crate::walk::{sample_pair_meets, sample_terminal, Terminal};
+use crate::vbbw::variance_bounded_backward_walk_with_workspace;
+use crate::walk::{
+    sample_pairs_meet_interleaved, sample_terminals_interleaved, sample_walks_meet_with_table,
+    GeomLenTable,
+};
+use crate::workspace::{DenseScratch, QueryWorkspace};
 use crate::PrsimError;
 
 /// Instrumentation counters for one single-source query.
@@ -59,6 +75,8 @@ pub struct Prsim {
     pi: Vec<f64>,
     index: PrsimIndex,
     config: PrsimConfig,
+    /// Survival table for geometric walk-length draws (one per engine).
+    geom: GeomLenTable,
     dr: usize,
     fr: usize,
 }
@@ -113,11 +131,13 @@ impl Prsim {
         let (dr, fr) = config
             .query
             .resolve(graph.node_count(), config.c, config.eps, config.delta);
+        let geom = GeomLenTable::new(config.sqrt_c(), config.max_level);
         Ok(Prsim {
             graph,
             pi,
             index,
             config,
+            geom,
             dr,
             fr,
         })
@@ -166,17 +186,15 @@ impl Prsim {
         if u == v {
             return Ok(1.0);
         }
-        let sqrt_c = self.config.sqrt_c();
         let nr = self.dr * self.fr;
+        let inv_nr = 1.0 / nr as f64;
         let mut meets = 0usize;
         for _ in 0..nr {
-            let wu = crate::walk::sample_walk(&self.graph, sqrt_c, u, self.config.max_level, rng);
-            let wv = crate::walk::sample_walk(&self.graph, sqrt_c, v, self.config.max_level, rng);
-            if crate::walk::walks_meet(&wu, &wv, 1) {
+            if sample_walks_meet_with_table(&self.graph, &self.geom, u, v, rng) {
                 meets += 1;
             }
         }
-        Ok(meets as f64 / nr as f64)
+        Ok(meets as f64 * inv_nr)
     }
 
     /// Answers a single-source SimRank query for `u`.
@@ -191,6 +209,25 @@ impl Prsim {
             .0
     }
 
+    /// [`Prsim::single_source`] against a caller-owned scratch workspace:
+    /// no per-query allocation after the workspace has warmed up, and
+    /// results bit-identical to the allocating entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`; use [`Prsim::try_single_source_with_workspace`]
+    /// for a checked variant.
+    pub fn single_source_with_workspace<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        ws: &mut QueryWorkspace,
+        rng: &mut R,
+    ) -> SimRankScores {
+        self.try_single_source_with_workspace(u, ws, rng)
+            .expect("query node out of range")
+            .0
+    }
+
     /// Single-source query with an explicit per-round sample count
     /// (`f_r = 1`), used by the adaptive top-k driver.
     pub fn single_source_with_samples<R: Rng + ?Sized>(
@@ -199,12 +236,29 @@ impl Prsim {
         samples: usize,
         rng: &mut R,
     ) -> Result<(SimRankScores, QueryStats), PrsimError> {
-        self.run_query(u, samples.max(1), 1, rng)
+        let mut ws = QueryWorkspace::new();
+        self.run_query(u, samples.max(1), 1, &mut ws, rng)
+    }
+
+    /// [`Prsim::single_source_with_samples`] against a caller-owned
+    /// scratch workspace.
+    pub fn single_source_with_samples_with_workspace<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        samples: usize,
+        ws: &mut QueryWorkspace,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        self.run_query(u, samples.max(1), 1, ws, rng)
     }
 
     /// Runs `queries` in parallel over `threads` workers. Each query gets
-    /// an RNG seeded `base_seed + query index`, so results are identical
-    /// to serial execution and independent of scheduling.
+    /// an RNG seeded `base_seed + query index` and workspace reuse is
+    /// bit-identical to fresh workspaces, so results are identical to
+    /// serial execution and independent of scheduling.
+    ///
+    /// Lock-free: each worker owns a disjoint `&mut` chunk of the output
+    /// plus its own [`QueryWorkspace`]; no result ever crosses a mutex.
     pub fn batch_single_source(
         &self,
         queries: &[NodeId],
@@ -219,36 +273,44 @@ impl Prsim {
                 });
             }
         }
-        let threads = threads.max(1).min(queries.len().max(1));
-        if threads <= 1 {
-            return queries
-                .iter()
-                .enumerate()
-                .map(|(i, &u)| {
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed + i as u64);
-                    self.try_single_source(u, &mut rng).map(|(s, _)| s)
-                })
-                .collect();
+        if queries.is_empty() {
+            return Ok(Vec::new());
         }
+        let threads = threads.max(1).min(queries.len());
         let mut slots: Vec<Option<SimRankScores>> = vec![None; queries.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots_mutex = std::sync::Mutex::new(&mut slots);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed + i as u64);
-                    let result = self
-                        .try_single_source(queries[i], &mut rng)
+        if threads <= 1 {
+            let mut ws = QueryWorkspace::new();
+            for (i, (&u, slot)) in queries.iter().zip(slots.iter_mut()).enumerate() {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed + i as u64);
+                *slot = Some(
+                    self.try_single_source_with_workspace(u, &mut ws, &mut rng)
                         .map(|(s, _)| s)
-                        .expect("node range pre-checked");
-                    slots_mutex.lock().expect("no poisoned lock")[i] = Some(result);
-                });
+                        .expect("node range pre-checked"),
+                );
             }
-        });
+        } else {
+            let chunk = queries.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, (q_chunk, s_chunk)) in queries
+                    .chunks(chunk)
+                    .zip(slots.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        let mut ws = QueryWorkspace::new();
+                        for (j, (&u, slot)) in q_chunk.iter().zip(s_chunk.iter_mut()).enumerate() {
+                            let i = t * chunk + j;
+                            let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed + i as u64);
+                            *slot = Some(
+                                self.try_single_source_with_workspace(u, &mut ws, &mut rng)
+                                    .map(|(s, _)| s)
+                                    .expect("node range pre-checked"),
+                            );
+                        }
+                    });
+                }
+            });
+        }
         Ok(slots
             .into_iter()
             .map(|s| s.expect("all queries processed"))
@@ -261,7 +323,18 @@ impl Prsim {
         u: NodeId,
         rng: &mut R,
     ) -> Result<(SimRankScores, QueryStats), PrsimError> {
-        self.run_query(u, self.dr, self.fr, rng)
+        let mut ws = QueryWorkspace::new();
+        self.run_query(u, self.dr, self.fr, &mut ws, rng)
+    }
+
+    /// Checked single-source query against a caller-owned workspace.
+    pub fn try_single_source_with_workspace<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        ws: &mut QueryWorkspace,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        self.run_query(u, self.dr, self.fr, ws, rng)
     }
 
     fn run_query<R: Rng + ?Sized>(
@@ -269,6 +342,7 @@ impl Prsim {
         u: NodeId,
         dr: usize,
         fr: usize,
+        ws: &mut QueryWorkspace,
         rng: &mut R,
     ) -> Result<(SimRankScores, QueryStats), PrsimError> {
         let n = self.graph.node_count();
@@ -278,90 +352,143 @@ impl Prsim {
         let sqrt_c = self.config.sqrt_c();
         let alpha = 1.0 - sqrt_c;
         let alpha2 = alpha * alpha;
-        let max_level = self.config.max_level;
         let nr = dr * fr;
+        let inv_nr = 1.0 / nr as f64;
+        let backward_scale = 1.0 / (alpha2 * dr as f64);
         let mut stats = QueryStats::default();
 
-        // η̂π_ℓ(u, w) keyed by (w, ℓ); only non-zero entries stored.
-        let mut etapi: HashMap<(NodeId, u32), f64> = HashMap::new();
-        // Per-round backward estimators ŝ_B^i.
-        let mut rounds: Vec<HashMap<NodeId, f64>> = vec![HashMap::new(); fr];
+        let QueryWorkspace {
+            backward,
+            round,
+            acc,
+            hub_memo,
+            terminals,
+            term_buf,
+            pair_buf,
+            met_buf,
+            round_entries,
+            median_buf,
+        } = ws;
+        let index = &self.index;
+        hub_memo.begin(n);
+        terminals.clear();
+        round_entries.clear();
+        if fr > 1 {
+            acc.begin(n);
+        }
 
-        for round in rounds.iter_mut() {
-            for _ in 0..dr {
-                stats.walks += 1;
-                let (w, level) = match sample_terminal(&self.graph, sqrt_c, u, max_level, rng) {
-                    Terminal::At { node, level } => (node, level),
-                    Terminal::Died => {
-                        stats.died += 1;
-                        continue;
-                    }
-                };
-                if sample_pair_meets(&self.graph, sqrt_c, w, max_level, rng) {
+        for _ in 0..fr {
+            // Per-round backward estimator ŝ_B^i on dense scratch. With a
+            // single round ŝ_B is the final backward part, so accumulate
+            // straight into `acc` and skip the merge.
+            let round: &mut DenseScratch = if fr == 1 { &mut *acc } else { &mut *round };
+            round.begin(n);
+
+            // Phase 1: the round's √c-walk terminals, interleaved so the
+            // walks' dependent random loads overlap.
+            term_buf.clear();
+            stats.walks += dr;
+            stats.died +=
+                sample_terminals_interleaved(&self.graph, &self.geom, u, dr, term_buf, rng);
+
+            // Phase 2: η rejection — one walk pair per surviving terminal.
+            pair_buf.clear();
+            pair_buf.extend(term_buf.iter().map(|&(w, _)| (w, w)));
+            sample_pairs_meet_interleaved(&self.graph, &self.geom, pair_buf, met_buf, rng);
+
+            // Phase 3: fold accepted samples into η̂π and ŝ_B.
+            for (&(w, level), &met) in term_buf.iter().zip(met_buf.iter()) {
+                if met {
                     stats.pair_met += 1;
                     continue;
                 }
-                *etapi.entry((w, level)).or_insert(0.0) += 1.0 / nr as f64;
-                if !self.index.contains(w) {
+                // η̂π_ℓ(u, w) observation; aggregated after the rounds.
+                terminals.push((w, level));
+                if !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                     stats.backward_walks += 1;
-                    let est =
-                        variance_bounded_backward_walk(&self.graph, sqrt_c, w, level as usize, rng);
-                    stats.backward_cost += est.cost;
-                    for (v, pi_hat) in est.estimates {
-                        *round.entry(v).or_insert(0.0) += pi_hat / (alpha2 * dr as f64);
+                    let est = variance_bounded_backward_walk_with_workspace(
+                        &self.graph,
+                        sqrt_c,
+                        w,
+                        level as usize,
+                        backward,
+                        rng,
+                    );
+                    stats.backward_cost += est.cost();
+                    for (v, pi_hat) in est.iter() {
+                        round.add(v, pi_hat * backward_scale);
                     }
+                }
+            }
+            if fr > 1 {
+                // No per-round sort: round_entries is sorted globally by
+                // node id below, and the median pass re-sorts each node's
+                // values anyway.
+                for (v, s) in round.iter() {
+                    round_entries.push((v, s));
                 }
             }
         }
 
         // Median trick over the f_r rounds.
-        let mut scores = SimRankScores::new(u, n);
-        if fr == 1 {
-            for (v, s) in rounds.pop().expect("fr >= 1") {
-                scores.add(v, s);
-            }
-        } else {
-            let mut touched: HashMap<NodeId, Vec<f64>> = HashMap::new();
-            for round in &rounds {
-                for (&v, &s) in round {
-                    touched.entry(v).or_default().push(s);
+        if fr > 1 {
+            // Group per node; the value order within a node is irrelevant
+            // because the median sorts them anyway.
+            round_entries.sort_unstable_by_key(|&(v, _)| v);
+            let mut i = 0usize;
+            while i < round_entries.len() {
+                let v = round_entries[i].0;
+                median_buf.clear();
+                while i < round_entries.len() && round_entries[i].0 == v {
+                    median_buf.push(round_entries[i].1);
+                    i += 1;
                 }
-            }
-            for (v, mut vals) in touched {
                 // Untouched rounds contribute an implicit 0.
-                while vals.len() < fr {
-                    vals.push(0.0);
-                }
-                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
-                let med = if vals.len() % 2 == 1 {
-                    vals[vals.len() / 2]
+                median_buf.resize(fr, 0.0);
+                median_buf.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+                let mid = median_buf.len() / 2;
+                let med = if median_buf.len() % 2 == 1 {
+                    median_buf[mid]
                 } else {
-                    0.5 * (vals[vals.len() / 2 - 1] + vals[vals.len() / 2])
+                    0.5 * (median_buf[mid - 1] + median_buf[mid])
                 };
                 if med != 0.0 {
-                    scores.add(v, med);
+                    acc.add(v, med);
                 }
             }
         }
 
-        // Index part ŝ_I: threshold η̂π at ε/c₁ = ε(1−√c)²/12 (Alg. 4 line 16).
-        // Sorted iteration keeps float accumulation deterministic.
+        // Index part ŝ_I: threshold η̂π at ε/c₁ = ε(1−√c)²/12 (Alg. 4 line
+        // 16). Sorting the flat observation list both aggregates the
+        // per-(w, ℓ) counts and fixes the deterministic accumulation order
+        // the old sorted-hash-map iteration provided.
         let threshold = self.config.eps * alpha2 / 12.0;
-        let mut etapi_sorted: Vec<(&(NodeId, u32), &f64)> = etapi.iter().collect();
-        etapi_sorted.sort_unstable_by_key(|&(k, _)| *k);
-        for (&(w, level), &ep) in etapi_sorted {
-            if ep <= threshold || !self.index.contains(w) {
+        terminals.sort_unstable();
+        let mut i = 0usize;
+        while i < terminals.len() {
+            let key = terminals[i];
+            let start = i;
+            while i < terminals.len() && terminals[i] == key {
+                i += 1;
+            }
+            let ep = (i - start) as f64 * inv_nr;
+            let (w, level) = key;
+            if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                 continue;
             }
-            if let Some(list) = self.index.level_list(w, level as usize) {
+            if let Some(list) = index.level_list(w, level as usize) {
                 stats.index_entries += list.len();
+                let scale = ep / alpha2;
                 for &(v, psi) in list {
-                    scores.add(v, ep * psi / alpha2);
+                    acc.add(v, scale * psi);
                 }
             }
         }
 
-        scores.set(u, 1.0);
+        // Sorted touched list -> from_pairs takes the fast path (one
+        // sized copy, no sort, no hashing).
+        acc.sort_touched();
+        let scores = SimRankScores::from_pairs(u, n, acc.len(), acc.iter());
         Ok((scores, stats))
     }
 }

@@ -8,26 +8,77 @@ use std::collections::HashMap;
 /// Only nodes with non-zero estimates are stored; `get` returns 0.0 for
 /// the rest, matching the semantics of all algorithms in the suite (they
 /// return "all non-zero estimates", paper Algorithm 4 line 19).
+///
+/// Internally an id-sorted `Vec<(NodeId, f64)>`: the query engine
+/// produces its entries already sorted from dense scratch, so
+/// construction is one `memcpy`-shaped pass (no hashing), `get` is a
+/// binary search, and iteration is a cache-friendly slice walk. The
+/// mutating [`SimRankScores::add`] / [`SimRankScores::set`] keep working
+/// (binary search + ordered insert) but are `O(len)` worst case — they
+/// exist for tests and small fix-ups, not for bulk assembly; bulk callers
+/// use [`SimRankScores::from_map`] or [`SimRankScores::from_pairs`].
 #[derive(Clone, Debug)]
 pub struct SimRankScores {
     source: NodeId,
     n: usize,
-    scores: HashMap<NodeId, f64>,
+    /// `(v, ŝ(u,v))` sorted by `v`, unique, always containing the source.
+    entries: Vec<(NodeId, f64)>,
 }
 
 impl SimRankScores {
     /// Creates a score vector for `source` over a graph with `n` nodes;
     /// `s(u,u) = 1` is inserted automatically.
     pub fn new(source: NodeId, n: usize) -> Self {
-        let mut scores = HashMap::new();
-        scores.insert(source, 1.0);
-        SimRankScores { source, n, scores }
+        SimRankScores {
+            source,
+            n,
+            entries: vec![(source, 1.0)],
+        }
     }
 
     /// Creates a score vector from raw parts (used by the baselines).
-    pub fn from_map(source: NodeId, n: usize, mut scores: HashMap<NodeId, f64>) -> Self {
-        scores.insert(source, 1.0);
-        SimRankScores { source, n, scores }
+    pub fn from_map(source: NodeId, n: usize, scores: HashMap<NodeId, f64>) -> Self {
+        let mut entries: Vec<(NodeId, f64)> = scores.into_iter().collect();
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        let mut out = SimRankScores { source, n, entries };
+        out.upsert_source();
+        out
+    }
+
+    /// Bulk constructor from an iterator of `(v, ŝ(u,v))` pairs with a
+    /// known entry count — one sized allocation. Already-sorted unique
+    /// input (what the query engine's dense scratch produces) is taken
+    /// as-is; anything else is sorted, with later duplicates overwriting
+    /// earlier ones. `s(u,u) = 1` is enforced last.
+    pub fn from_pairs<I>(source: NodeId, n: usize, count: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, f64)>,
+    {
+        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(count + 1);
+        entries.extend(pairs);
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            // Stable sort keeps duplicate keys in insertion order, so
+            // "previous keeps the last value" below overwrites correctly.
+            entries.sort_by_key(|&(v, _)| v);
+            entries.dedup_by(|cur, prev| {
+                if cur.0 == prev.0 {
+                    prev.1 = cur.1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        let mut out = SimRankScores { source, n, entries };
+        out.upsert_source();
+        out
+    }
+
+    fn upsert_source(&mut self) {
+        match self.entries.binary_search_by_key(&self.source, |&(v, _)| v) {
+            Ok(i) => self.entries[i].1 = 1.0,
+            Err(i) => self.entries.insert(i, (self.source, 1.0)),
+        }
     }
 
     /// The query node `u`.
@@ -45,35 +96,43 @@ impl SimRankScores {
     /// `ŝ(u, v)`; 0.0 for nodes without a stored estimate.
     #[inline]
     pub fn get(&self, v: NodeId) -> f64 {
-        self.scores.get(&v).copied().unwrap_or(0.0)
+        self.entries
+            .binary_search_by_key(&v, |&(node, _)| node)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
     }
 
-    /// Adds `delta` to `ŝ(u, v)`.
-    #[inline]
+    /// Adds `delta` to `ŝ(u, v)`. `O(len)` worst case (ordered insert).
     pub fn add(&mut self, v: NodeId, delta: f64) {
-        *self.scores.entry(v).or_insert(0.0) += delta;
+        match self.entries.binary_search_by_key(&v, |&(node, _)| node) {
+            Ok(i) => self.entries[i].1 += delta,
+            Err(i) => self.entries.insert(i, (v, delta)),
+        }
     }
 
-    /// Overwrites `ŝ(u, v)`.
-    #[inline]
+    /// Overwrites `ŝ(u, v)`. `O(len)` worst case (ordered insert).
     pub fn set(&mut self, v: NodeId, value: f64) {
-        self.scores.insert(v, value);
+        match self.entries.binary_search_by_key(&v, |&(node, _)| node) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (v, value)),
+        }
     }
 
     /// Number of stored (non-zero) entries, including the source.
     #[inline]
     pub fn len(&self) -> usize {
-        self.scores.len()
+        self.entries.len()
     }
 
     /// True when only the trivial self-score is stored.
     pub fn is_empty(&self) -> bool {
-        self.scores.len() <= 1
+        self.entries.len() <= 1
     }
 
-    /// Iterates over stored `(v, ŝ(u,v))` pairs in unspecified order.
+    /// Iterates over stored `(v, ŝ(u,v))` pairs in ascending node-id
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.scores.iter().map(|(&v, &s)| (v, s))
+        self.entries.iter().copied()
     }
 
     /// The `k` highest-scoring nodes **excluding the source** (whose score
@@ -81,10 +140,10 @@ impl SimRankScores {
     /// tie-breaking — the ranking used for Precision@k and pooling.
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
         let mut entries: Vec<(NodeId, f64)> = self
-            .scores
+            .entries
             .iter()
-            .filter(|&(&v, _)| v != self.source)
-            .map(|(&v, &s)| (v, s))
+            .copied()
+            .filter(|&(v, _)| v != self.source)
             .collect();
         entries.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -98,18 +157,42 @@ impl SimRankScores {
     /// Materializes the dense score vector of length `n`.
     pub fn to_dense(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.n];
-        for (&v, &s) in &self.scores {
+        for &(v, s) in &self.entries {
             out[v as usize] = s;
         }
         out
     }
 
     /// Largest absolute difference against another score vector over all
-    /// `n` nodes (used by the accuracy tests).
+    /// `n` nodes (used by the accuracy tests). A merge walk over the two
+    /// sorted entry lists: `O(len_a + len_b)`, independent of `n`.
     pub fn max_abs_diff(&self, other: &SimRankScores) -> f64 {
+        let a = &self.entries;
+        let b = &other.entries;
         let mut worst: f64 = 0.0;
-        for v in 0..self.n as NodeId {
-            worst = worst.max((self.get(v) - other.get(v)).abs());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Equal => {
+                    worst = worst.max((a[i].1 - b[j].1).abs());
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    worst = worst.max(a[i].1.abs());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    worst = worst.max(b[j].1.abs());
+                    j += 1;
+                }
+            }
+        }
+        for &(_, s) in &a[i..] {
+            worst = worst.max(s.abs());
+        }
+        for &(_, s) in &b[j..] {
+            worst = worst.max(s.abs());
         }
         worst
     }
@@ -170,6 +253,18 @@ mod tests {
         b.set(3, 0.1);
         assert!((a.max_abs_diff(&b) - 0.2).abs() < 1e-12);
         assert!((b.max_abs_diff(&a) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pairs_sizes_and_inserts_self() {
+        let s = SimRankScores::from_pairs(1, 6, 3, vec![(2, 0.4), (3, 0.2), (5, 0.1)]);
+        assert_eq!(s.get(1), 1.0);
+        assert_eq!(s.get(2), 0.4);
+        assert_eq!(s.get(5), 0.1);
+        assert_eq!(s.len(), 4);
+        // Source score stays 1.0 even when the pairs carry a stale value.
+        let s = SimRankScores::from_pairs(0, 3, 1, vec![(0, 0.5)]);
+        assert_eq!(s.get(0), 1.0);
     }
 
     #[test]

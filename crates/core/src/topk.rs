@@ -69,9 +69,13 @@ impl Prsim {
         let mut samples = params.initial_samples;
         let mut samples_used = 0usize;
         let mut prev_set: Option<Vec<NodeId>> = None;
+        // One workspace across all adaptive rounds: the doubling rounds
+        // re-touch mostly the same scratch entries.
+        let mut ws = crate::workspace::QueryWorkspace::new();
 
         loop {
-            let (scores, stats) = self.single_source_with_samples(u, samples, rng)?;
+            let (scores, stats) =
+                self.single_source_with_samples_with_workspace(u, samples, &mut ws, rng)?;
             samples_used += stats.walks;
             let top = scores.top_k(k);
             let set: Vec<NodeId> = {

@@ -12,28 +12,88 @@
 //! * [`variance_bounded_backward_walk`] — Algorithm 3. Same unbiasedness
 //!   and cost, plus `Var[π̂_ℓ(v,w)] ≤ π_ℓ(v,w)` (Lemma 3.5), which lets
 //!   Algorithm 4 apply Chebyshev + the median trick.
+//!
+//! Both algorithms run on [`BackwardWorkspace`] reusable frontiers
+//! (coalesced sorted vectors — see [`crate::workspace`]) instead of
+//! per-level hash maps. The frontier is always iterated in ascending
+//! node-id order, which fixes RNG-consumption order: for a fixed seed
+//! the `*_with_workspace` variants, the allocating wrappers, and the old
+//! hash-map implementation all produce bit-identical estimates. The inner
+//! loops read the graph's cached flat in-degree array
+//! ([`DiGraph::in_degrees`]) rather than recomputing offset differences.
 
 use prsim_graph::{DiGraph, NodeId};
 use rand::Rng;
-use std::collections::HashMap;
+
+use crate::workspace::BackwardWorkspace;
 
 /// Sparse estimates produced by one backward walk.
 #[derive(Clone, Debug, Default)]
 pub struct BackwardWalkOutput {
-    /// Non-zero estimates `(v, π̂_ℓ(v,w))`.
+    /// Non-zero estimates `(v, π̂_ℓ(v,w))`, sorted by node id.
     pub estimates: Vec<(NodeId, f64)>,
     /// Number of neighbor visits performed (cost instrumentation).
     pub cost: usize,
 }
 
 impl BackwardWalkOutput {
-    /// Estimate for `v` (0.0 when absent).
+    /// Estimate for `v` (0.0 when absent). Binary search over the
+    /// id-sorted estimate list.
     pub fn get(&self, v: NodeId) -> f64 {
         self.estimates
-            .iter()
-            .find(|&&(node, _)| node == v)
-            .map(|&(_, x)| x)
+            .binary_search_by_key(&v, |&(node, _)| node)
+            .map(|i| self.estimates[i].1)
             .unwrap_or(0.0)
+    }
+}
+
+/// Borrowed view of one backward walk's estimates, live inside a
+/// [`BackwardWorkspace`] until its next use. Entries are sorted by node
+/// id.
+pub struct BackwardEstimates<'a> {
+    entries: &'a [(NodeId, f64)],
+    cost: usize,
+}
+
+impl BackwardEstimates<'_> {
+    /// Number of neighbor visits performed (cost instrumentation).
+    #[inline]
+    pub fn cost(&self) -> usize {
+        self.cost
+    }
+
+    /// Number of non-zero estimates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when every estimate is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimate for `v` (0.0 when absent). Binary search.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.entries
+            .binary_search_by_key(&v, |&(node, _)| node)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterates `(v, π̂_ℓ(v,w))` pairs in ascending node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Copies the estimates out into an owned [`BackwardWalkOutput`].
+    pub fn to_output(&self) -> BackwardWalkOutput {
+        BackwardWalkOutput {
+            estimates: self.entries.to_vec(),
+            cost: self.cost,
+        }
     }
 }
 
@@ -52,6 +112,8 @@ fn assert_sorted(g: &DiGraph) {
 /// `d_in(y) ≤ √c / r` — an inclusion event of probability
 /// `min(1, √c/d_in(y))` giving expectation `√c·mass/d_in(y)`, matching
 /// the RPPR recurrence.
+///
+/// Allocating wrapper over [`simple_backward_walk_with_workspace`].
 pub fn simple_backward_walk<R: Rng + ?Sized>(
     g: &DiGraph,
     sqrt_c: f64,
@@ -59,39 +121,54 @@ pub fn simple_backward_walk<R: Rng + ?Sized>(
     level: usize,
     rng: &mut R,
 ) -> BackwardWalkOutput {
+    let mut ws = BackwardWorkspace::new();
+    simple_backward_walk_with_workspace(g, sqrt_c, w, level, &mut ws, rng).to_output()
+}
+
+/// Workspace-reusing form of [`simple_backward_walk`]: no per-call
+/// allocation once `ws` has grown to the graph size.
+pub fn simple_backward_walk_with_workspace<'ws, R: Rng + ?Sized>(
+    g: &DiGraph,
+    sqrt_c: f64,
+    w: NodeId,
+    level: usize,
+    ws: &'ws mut BackwardWorkspace,
+    rng: &mut R,
+) -> BackwardEstimates<'ws> {
     assert_sorted(g);
     let alpha = 1.0 - sqrt_c;
-    let mut cur: HashMap<NodeId, f64> = HashMap::new();
-    cur.insert(w, alpha);
+    let in_deg = g.in_degrees();
+    ws.cur.clear();
+    ws.cur.push((w, alpha));
+    ws.next.clear();
     let mut cost = 1usize;
 
     for _ in 0..level {
-        let mut next: HashMap<NodeId, f64> = HashMap::new();
-        // Deterministic frontier order: RNG consumption (and therefore the
+        // `cur` is sorted and unique: RNG consumption (and therefore the
         // whole estimate) is reproducible for a fixed seed.
-        let mut frontier: Vec<(NodeId, f64)> = cur.iter().map(|(&x, &m)| (x, m)).collect();
-        frontier.sort_unstable_by_key(|&(x, _)| x);
-        for &(x, mass) in &frontier {
+        for i in 0..ws.cur.len() {
+            let (x, mass) = ws.cur[i];
             cost += 1;
             let r: f64 = rng.gen_range(f64::EPSILON..1.0);
             let bound = sqrt_c / r;
             for &y in g.out_neighbors(x) {
-                if g.in_degree(y) as f64 > bound {
+                if in_deg[y as usize] as f64 > bound {
                     break; // sorted: nothing further qualifies
                 }
                 cost += 1;
-                *next.entry(y).or_insert(0.0) += mass;
+                ws.next.push((y, mass));
             }
         }
-        cur = next;
-        if cur.is_empty() {
+        ws.coalesce_next_into_cur();
+        if ws.cur.is_empty() {
             break;
         }
     }
 
-    let mut estimates: Vec<(NodeId, f64)> = cur.into_iter().collect();
-    estimates.sort_unstable_by_key(|&(v, _)| v);
-    BackwardWalkOutput { estimates, cost }
+    BackwardEstimates {
+        entries: &ws.cur,
+        cost,
+    }
 }
 
 /// Algorithm 3: the Variance Bounded Backward Walk.
@@ -107,6 +184,9 @@ pub fn simple_backward_walk<R: Rng + ?Sized>(
 /// Both phases give expectation `√c·mass/d_in(y)` per neighbor, keeping
 /// the estimator unbiased (Lemma 3.3) while capping increments, which is
 /// what bounds the variance by the true value (Lemma 3.5).
+///
+/// Allocating wrapper over
+/// [`variance_bounded_backward_walk_with_workspace`].
 pub fn variance_bounded_backward_walk<R: Rng + ?Sized>(
     g: &DiGraph,
     sqrt_c: f64,
@@ -114,18 +194,33 @@ pub fn variance_bounded_backward_walk<R: Rng + ?Sized>(
     level: usize,
     rng: &mut R,
 ) -> BackwardWalkOutput {
+    let mut ws = BackwardWorkspace::new();
+    variance_bounded_backward_walk_with_workspace(g, sqrt_c, w, level, &mut ws, rng).to_output()
+}
+
+/// Workspace-reusing form of [`variance_bounded_backward_walk`]: no
+/// per-call allocation once `ws` has grown to the graph size. This is the
+/// form the query engine drives, one call per non-hub terminal.
+pub fn variance_bounded_backward_walk_with_workspace<'ws, R: Rng + ?Sized>(
+    g: &DiGraph,
+    sqrt_c: f64,
+    w: NodeId,
+    level: usize,
+    ws: &'ws mut BackwardWorkspace,
+    rng: &mut R,
+) -> BackwardEstimates<'ws> {
     assert_sorted(g);
     let alpha = 1.0 - sqrt_c;
-    let mut cur: HashMap<NodeId, f64> = HashMap::new();
-    cur.insert(w, alpha);
+    let in_deg = g.in_degrees();
+    ws.cur.clear();
+    ws.cur.push((w, alpha));
+    ws.next.clear();
     let mut cost = 1usize;
 
     for _ in 0..level {
-        let mut next: HashMap<NodeId, f64> = HashMap::new();
         // Deterministic frontier order (see simple_backward_walk).
-        let mut frontier: Vec<(NodeId, f64)> = cur.iter().map(|(&x, &m)| (x, m)).collect();
-        frontier.sort_unstable_by_key(|&(x, _)| x);
-        for &(x, mass) in &frontier {
+        for i in 0..ws.cur.len() {
+            let (x, mass) = ws.cur[i];
             cost += 1;
             if rng.gen::<f64>() >= sqrt_c {
                 continue; // the walk mass at x stops here
@@ -135,34 +230,36 @@ pub fn variance_bounded_backward_walk<R: Rng + ?Sized>(
             let mut idx = 0usize;
             while idx < neigh.len() {
                 let y = neigh[idx];
-                if g.in_degree(y) as f64 > det_bound {
+                let d = in_deg[y as usize] as f64;
+                if d > det_bound {
                     break;
                 }
                 cost += 1;
-                *next.entry(y).or_insert(0.0) += mass / g.in_degree(y) as f64;
+                ws.next.push((y, mass / d));
                 idx += 1;
             }
             let r: f64 = rng.gen_range(f64::EPSILON..1.0);
             let tail_bound = mass / (r * alpha);
             while idx < neigh.len() {
                 let y = neigh[idx];
-                if g.in_degree(y) as f64 > tail_bound {
+                if in_deg[y as usize] as f64 > tail_bound {
                     break;
                 }
                 cost += 1;
-                *next.entry(y).or_insert(0.0) += alpha;
+                ws.next.push((y, alpha));
                 idx += 1;
             }
         }
-        cur = next;
-        if cur.is_empty() {
+        ws.coalesce_next_into_cur();
+        if ws.cur.is_empty() {
             break;
         }
     }
 
-    let mut estimates: Vec<(NodeId, f64)> = cur.into_iter().collect();
-    estimates.sort_unstable_by_key(|&(v, _)| v);
-    BackwardWalkOutput { estimates, cost }
+    BackwardEstimates {
+        entries: &ws.cur,
+        cost,
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +269,7 @@ mod tests {
     use prsim_graph::ordering::sort_out_by_in_degree;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashMap;
 
     const SQRT_C: f64 = 0.774_596_669_241_483_4;
 
@@ -218,6 +316,49 @@ mod tests {
             assert_eq!(out.estimates[0].0, 2);
             assert!((out.estimates[0].1 - (1.0 - SQRT_C)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh() {
+        // The same seed must yield the same estimates whether the
+        // workspace is fresh per call or reused across calls — and the
+        // borrowed view must agree with the allocating wrapper.
+        let g = sorted(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(120, 5.0, 2.0, 9),
+        ));
+        let mut reused = BackwardWorkspace::new();
+        for (trial, w) in [3u32, 17, 3, 80, 0].into_iter().enumerate() {
+            let seed = 100 + trial as u64;
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let fresh = variance_bounded_backward_walk(&g, SQRT_C, w, 4, &mut rng_a);
+            let via_ws = variance_bounded_backward_walk_with_workspace(
+                &g,
+                SQRT_C,
+                w,
+                4,
+                &mut reused,
+                &mut rng_b,
+            );
+            assert_eq!(via_ws.cost(), fresh.cost);
+            assert_eq!(via_ws.len(), fresh.estimates.len());
+            let collected: Vec<(NodeId, f64)> = via_ws.iter().collect();
+            assert_eq!(collected, fresh.estimates, "trial {trial} diverged");
+        }
+    }
+
+    #[test]
+    fn output_get_uses_sorted_order() {
+        let out = BackwardWalkOutput {
+            estimates: vec![(2, 0.5), (7, 0.25), (9, 0.125)],
+            cost: 0,
+        };
+        assert_eq!(out.get(2), 0.5);
+        assert_eq!(out.get(7), 0.25);
+        assert_eq!(out.get(9), 0.125);
+        assert_eq!(out.get(0), 0.0);
+        assert_eq!(out.get(8), 0.0);
+        assert_eq!(out.get(100), 0.0);
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! Reusable dense scratch buffers for the query hot path.
+//!
+//! The dense structures here ([`DenseScratch`], [`StampedFlags`])
+//! implement the same **epoch-stamping invariant**: a dense per-node
+//! value buffer is paired with per-node generation stamps and a
+//! monotonically increasing `epoch` counter. An entry is *live* if and
+//! only if its stamp equals the current epoch; everything else is stale
+//! garbage from earlier generations and is treated as absent. Starting a
+//! new generation ([`DenseScratch::begin`]) therefore costs `O(touched)`
+//! — just clearing the touched list and bumping the epoch — instead of
+//! `O(n)` for zeroing the whole array, while reads and writes stay
+//! `O(1)` with no hashing. When the epoch counter would wrap, the stamps
+//! are zeroed once and the counter restarts, so a stale stamp can never
+//! collide with a live epoch. (The backward-walk frontiers in
+//! [`BackwardWorkspace`] are deliberately *not* dense: they hold a
+//! handful of nodes per level, where reused coalesced vectors beat
+//! n-sized arrays — see its docs.)
+//!
+//! The invariant has a corollary the engine relies on for determinism:
+//! **a reused scratch behaves bit-identically to a fresh one**. Stale
+//! values are unreachable (the stamp check masks them), the touched list
+//! is rebuilt from scratch each generation, and accumulation order is
+//! decided by the caller — so `Prsim` queries produce the same bits
+//! whether a [`QueryWorkspace`] is fresh or has served a thousand
+//! queries. `query::tests` and `tests/determinism.rs` assert this.
+//!
+//! [`QueryWorkspace`] bundles all scratch the single-source query needs:
+//! the two backward-walk frontiers, the per-round `ŝ_B` accumulator, the
+//! final score accumulator, a stamped memo of `index.contains(w)`
+//! verdicts, and reusable vectors for terminal observations and the
+//! median trick.
+
+use prsim_graph::NodeId;
+
+/// One dense slot: generation stamp + value, interleaved so a probe
+/// costs a single cache line instead of one miss in a stamp array plus
+/// one in a value array.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    stamp: u32,
+    value: f64,
+}
+
+/// A dense epoch-stamped `NodeId -> f64` accumulator map.
+///
+/// Semantically a `HashMap<NodeId, f64>` restricted to keys `< n`, but
+/// with `O(1)` unhashed access, `O(touched)` clearing and allocation-free
+/// reuse across generations. See the module docs for the stamping
+/// invariant.
+#[derive(Clone, Debug, Default)]
+pub struct DenseScratch {
+    slots: Vec<Slot>,
+    touched: Vec<NodeId>,
+    /// Scratch for the radix sort in [`Self::sort_touched`].
+    sort_buf: Vec<NodeId>,
+    epoch: u32,
+}
+
+impl DenseScratch {
+    /// Creates an empty scratch; buffers grow on first [`Self::begin`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new generation over `n` nodes: all entries become absent.
+    /// `O(touched)` unless the buffers must grow (first use or larger
+    /// graph) or the epoch counter wraps.
+    pub fn begin(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, Slot::default());
+        }
+        if self.epoch == u32::MAX {
+            self.slots.iter_mut().for_each(|s| s.stamp = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Adds `delta` to the entry for `v`, creating it when absent.
+    #[inline]
+    pub fn add(&mut self, v: NodeId, delta: f64) {
+        let slot = &mut self.slots[v as usize];
+        if slot.stamp == self.epoch {
+            slot.value += delta;
+        } else {
+            slot.stamp = self.epoch;
+            slot.value = delta;
+            self.touched.push(v);
+        }
+    }
+
+    /// Current value for `v` (0.0 when absent).
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        match self.slots.get(v as usize) {
+            Some(slot) if slot.stamp == self.epoch => slot.value,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of live entries in this generation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// True when no entry is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// The nodes touched this generation, in insertion order (or sorted
+    /// order after [`Self::sort_touched`]).
+    #[inline]
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Sorts the touched list by node id — used to fix the frontier
+    /// iteration order (and hence RNG consumption) deterministically, and
+    /// to hand sorted entries to [`crate::SimRankScores`]. LSD radix sort
+    /// above a small cutoff (node ids cluster far below `u32::MAX`, so
+    /// 2–3 byte passes beat comparison sorting), `sort_unstable` below.
+    pub fn sort_touched(&mut self) {
+        radix_sort_ids(&mut self.touched, &mut self.sort_buf);
+    }
+
+    /// Iterates live `(v, value)` pairs in touched-list order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.touched
+            .iter()
+            .map(move |&v| (v, self.slots[v as usize].value))
+    }
+
+    #[cfg(test)]
+    fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+}
+
+/// LSD radix sort of node ids in 11-bit digits, using `tmp` as the
+/// ping-pong buffer. Stable (irrelevant for ids, but cheap) and
+/// `O(passes · len)` with `passes = ⌈significant bits / 11⌉` of the
+/// maximum id — two passes for any graph under 4M nodes.
+fn radix_sort_ids(data: &mut Vec<NodeId>, tmp: &mut Vec<NodeId>) {
+    const CUTOFF: usize = 96;
+    const BITS: u32 = 11;
+    const BUCKETS: usize = 1 << BITS;
+    if data.len() <= CUTOFF {
+        data.sort_unstable();
+        return;
+    }
+    let max = *data.iter().max().expect("len > cutoff");
+    tmp.clear();
+    tmp.resize(data.len(), 0);
+    let mut shift = 0u32;
+    // `shift < 32` guards the u32 shift itself: ids >= 2^22 need a third
+    // pass whose *termination check* would otherwise shift by 33.
+    while shift < 32 && (max >> shift) > 0 {
+        let mut counts = [0usize; BUCKETS + 1];
+        for &x in data.iter() {
+            counts[((x >> shift) as usize & (BUCKETS - 1)) + 1] += 1;
+        }
+        for i in 1..=BUCKETS {
+            counts[i] += counts[i - 1];
+        }
+        for &x in data.iter() {
+            let d = (x >> shift) as usize & (BUCKETS - 1);
+            tmp[counts[d]] = x;
+            counts[d] += 1;
+        }
+        std::mem::swap(data, tmp);
+        shift += BITS;
+    }
+}
+
+/// A dense epoch-stamped memo of per-node boolean verdicts (used to cache
+/// `index.contains(w)` across the samples of one query). Stamp and flag
+/// share one word per node — `slot >> 1` is the stamp, `slot & 1` the
+/// verdict — so a probe is a single load.
+#[derive(Clone, Debug, Default)]
+pub struct StampedFlags {
+    slots: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampedFlags {
+    const MAX_EPOCH: u32 = u32::MAX >> 1;
+
+    /// Starts a new generation over `n` nodes: all memos become absent.
+    pub fn begin(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, 0);
+        }
+        if self.epoch == Self::MAX_EPOCH {
+            self.slots.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Returns the memoized verdict for `v`, computing it with `f` on the
+    /// first lookup of this generation.
+    #[inline]
+    pub fn get_or_insert_with<F: FnOnce() -> bool>(&mut self, v: NodeId, f: F) -> bool {
+        let slot = &mut self.slots[v as usize];
+        if *slot >> 1 != self.epoch {
+            *slot = (self.epoch << 1) | f() as u32;
+        }
+        *slot & 1 == 1
+    }
+}
+
+/// Scratch for one backward walk: the current and next level frontiers.
+///
+/// Backward-walk frontiers hold a handful of nodes per level (the
+/// expected total cost is `O(n·π(w))`, a few neighbor visits for a
+/// typical non-hub `w`), so they are represented as reused *coalesced
+/// sorted vectors* rather than n-sized dense arrays: appends and the
+/// per-level sort-and-merge stay L1-resident, where an n-sized scratch
+/// would pay a cache miss per probe. `cur` is always sorted by node id
+/// with unique keys — that fixes the RNG-consumption order — and
+/// coalescing sums duplicate appends left-to-right (chronologically),
+/// which keeps the float accumulation order, and therefore every
+/// estimate, bit-identical to a dense per-node accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct BackwardWorkspace {
+    /// Current frontier: sorted by node id, unique.
+    pub(crate) cur: Vec<(NodeId, f64)>,
+    /// Next-level append log; coalesced into `cur` at each level end.
+    pub(crate) next: Vec<(NodeId, f64)>,
+}
+
+impl BackwardWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts the append log and merges duplicate node ids (summing their
+    /// deltas in append order), leaving the result in `cur`.
+    pub(crate) fn coalesce_next_into_cur(&mut self) {
+        // Stable sort: equal ids keep append (chronological) order.
+        self.next.sort_by_key(|&(v, _)| v);
+        self.cur.clear();
+        for &(v, delta) in &self.next {
+            match self.cur.last_mut() {
+                Some(last) if last.0 == v => last.1 += delta,
+                _ => self.cur.push((v, delta)),
+            }
+        }
+        self.next.clear();
+    }
+}
+
+/// All scratch state one thread needs to answer single-source queries
+/// without per-query allocation.
+///
+/// Create once (per thread), pass to the `*_with_workspace` query
+/// variants, reuse forever. Results are bit-identical to using a fresh
+/// workspace per query (see the module docs), so reuse is purely a
+/// performance decision.
+#[derive(Clone, Debug, Default)]
+pub struct QueryWorkspace {
+    /// Backward-walk frontiers (Algorithms 2/3).
+    pub(crate) backward: BackwardWorkspace,
+    /// Per-round `ŝ_B` accumulator (Algorithm 4 line 13).
+    pub(crate) round: DenseScratch,
+    /// Final score accumulator (`ŝ_I + ŝ_B` assembly).
+    pub(crate) acc: DenseScratch,
+    /// Memoized `index.contains(w)` verdicts for this query.
+    pub(crate) hub_memo: StampedFlags,
+    /// Raw `(w, ℓ)` terminal observations; sorted + run-length counted
+    /// into `η̂π` at the end of the sampling phase.
+    pub(crate) terminals: Vec<(NodeId, u32)>,
+    /// One round's terminal draws (interleaved sampling output).
+    pub(crate) term_buf: Vec<(NodeId, u32)>,
+    /// Pair-walk start nodes for the η rejection test.
+    pub(crate) pair_buf: Vec<(NodeId, NodeId)>,
+    /// Pair-meeting verdicts aligned with `pair_buf`.
+    pub(crate) met_buf: Vec<bool>,
+    /// Flattened `(v, ŝ_B^i(v))` entries across rounds (median trick).
+    pub(crate) round_entries: Vec<(NodeId, f64)>,
+    /// Per-node value buffer for the median computation.
+    pub(crate) median_buf: Vec<f64>,
+}
+
+impl QueryWorkspace {
+    /// Creates an empty workspace; buffers grow to the graph size on the
+    /// first query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_until_added_and_cleared_by_begin() {
+        let mut s = DenseScratch::new();
+        s.begin(4);
+        assert_eq!(s.get(2), 0.0);
+        assert!(s.is_empty());
+        s.add(2, 1.5);
+        s.add(2, 0.5);
+        s.add(0, 1.0);
+        assert_eq!(s.get(2), 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.touched(), &[2, 0]);
+        s.sort_touched();
+        assert_eq!(s.touched(), &[0, 2]);
+
+        s.begin(4);
+        assert_eq!(s.get(2), 0.0, "stale value must be masked by the stamp");
+        assert!(s.is_empty());
+        s.add(2, 7.0);
+        assert_eq!(s.get(2), 7.0, "stale value must not leak into a new add");
+    }
+
+    #[test]
+    fn grows_to_larger_graphs() {
+        let mut s = DenseScratch::new();
+        s.begin(2);
+        s.add(1, 1.0);
+        s.begin(10);
+        assert_eq!(s.get(9), 0.0);
+        s.add(9, 3.0);
+        assert_eq!(s.get(9), 3.0);
+        assert_eq!(s.get(1), 0.0);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let mut s = DenseScratch::new();
+        s.begin(3);
+        s.add(1, 42.0);
+        // Force the counter to the wrap point; the stale stamp at node 1
+        // (u32::MAX after the next begin would collide) must be cleared.
+        s.force_epoch(u32::MAX);
+        s.begin(3);
+        assert_eq!(s.get(1), 0.0, "wrapped epoch must not resurrect entries");
+        s.add(2, 1.0);
+        assert_eq!(s.get(2), 1.0);
+    }
+
+    #[test]
+    fn iter_yields_touched_pairs() {
+        let mut s = DenseScratch::new();
+        s.begin(5);
+        s.add(3, 0.25);
+        s.add(1, 0.75);
+        s.sort_touched();
+        let pairs: Vec<(NodeId, f64)> = s.iter().collect();
+        assert_eq!(pairs, vec![(1, 0.75), (3, 0.25)]);
+    }
+
+    #[test]
+    fn radix_sort_matches_std_sort() {
+        // Deterministic pseudo-random ids spanning several byte digits,
+        // above and below the radix cutoff.
+        for len in [3usize, 95, 96, 97, 1000, 6000] {
+            let mut data: Vec<NodeId> = (0..len)
+                .map(|i| {
+                    let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    // Full u32 range: exercises all three digit passes and
+                    // the shift-bound guard (ids >= 2^22).
+                    (x >> 13) as NodeId
+                })
+                .collect();
+            let mut want = data.clone();
+            want.sort_unstable();
+            let mut tmp = Vec::new();
+            radix_sort_ids(&mut data, &mut tmp);
+            assert_eq!(data, want, "len {len}");
+        }
+        let mut empty: Vec<NodeId> = Vec::new();
+        radix_sort_ids(&mut empty, &mut Vec::new());
+        assert!(empty.is_empty());
+        // All-zero ids: the while loop never runs, already sorted.
+        let mut zeros = vec![0 as NodeId; 200];
+        radix_sort_ids(&mut zeros, &mut Vec::new());
+        assert_eq!(zeros, vec![0; 200]);
+    }
+
+    #[test]
+    fn stamped_flags_memoize_per_generation() {
+        let mut f = StampedFlags::default();
+        f.begin(3);
+        let mut calls = 0;
+        assert!(f.get_or_insert_with(1, || {
+            calls += 1;
+            true
+        }));
+        assert!(f.get_or_insert_with(1, || {
+            calls += 1;
+            false // must not be called, let alone believed
+        }));
+        assert_eq!(calls, 1);
+        f.begin(3);
+        assert!(!f.get_or_insert_with(1, || false), "new generation re-asks");
+    }
+}

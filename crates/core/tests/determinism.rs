@@ -1,0 +1,153 @@
+//! Determinism guarantees of the dense-scratch query engine:
+//!
+//! 1. workspace-reused queries are bit-identical to fresh-workspace
+//!    queries (the epoch-stamping invariant of `prsim_core::workspace`);
+//! 2. the lock-free chunked `batch_single_source` exactly matches serial
+//!    execution for every thread count;
+//! 3. the geometric-length walk sampler matches the per-step reference
+//!    sampler's terminal distribution (the heavy statistical version
+//!    lives in `walk::tests`; here we pin the moments on a cycle).
+
+use prsim_core::walk::{sample_terminal, sample_terminal_per_step, Terminal};
+use prsim_core::{Prsim, PrsimConfig, QueryParams, QueryWorkspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine(seed: u64) -> Prsim {
+    let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(300, 6.0, 2.0, seed));
+    Prsim::build(
+        g,
+        PrsimConfig {
+            eps: 0.1,
+            query: QueryParams::Practical { c_mult: 5.0 },
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn workspace_reuse_is_bit_identical_to_fresh() {
+    let e = engine(11);
+    let queries = [0u32, 42, 7, 42, 199, 0, 250];
+    let mut reused = QueryWorkspace::new();
+    for (i, &u) in queries.iter().enumerate() {
+        let seed = 5000 + i as u64;
+        // Fresh workspace (the plain entry point allocates one).
+        let (fresh, fresh_stats) = e
+            .try_single_source(u, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        // Workspace that has already served every previous query.
+        let (warm, warm_stats) = e
+            .try_single_source_with_workspace(u, &mut reused, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(fresh_stats.walks, warm_stats.walks);
+        assert_eq!(fresh_stats.backward_walks, warm_stats.backward_walks);
+        assert_eq!(fresh_stats.backward_cost, warm_stats.backward_cost);
+        assert_eq!(fresh_stats.index_entries, warm_stats.index_entries);
+        assert_eq!(fresh.len(), warm.len(), "query {i} (u = {u}): entry counts");
+        // Bit-identical: every stored score matches exactly, both ways.
+        for (v, s) in fresh.iter() {
+            assert!(
+                warm.get(v) == s,
+                "query {i} (u = {u}): s({u},{v}) fresh {s:e} vs warm {:e}",
+                warm.get(v)
+            );
+        }
+        assert_eq!(fresh.max_abs_diff(&warm), 0.0);
+    }
+}
+
+#[test]
+fn median_rounds_are_workspace_invariant_too() {
+    // fr > 1 exercises the round-entries + median-buffer scratch.
+    let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(150, 5.0, 2.0, 23));
+    let e = Prsim::build(
+        g,
+        PrsimConfig {
+            eps: 0.1,
+            query: QueryParams::Explicit { dr: 400, fr: 5 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut reused = QueryWorkspace::new();
+    for (i, u) in [3u32, 77, 3, 149].into_iter().enumerate() {
+        let seed = 900 + i as u64;
+        let (fresh, _) = e
+            .try_single_source(u, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let (warm, _) = e
+            .try_single_source_with_workspace(u, &mut reused, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(fresh.max_abs_diff(&warm), 0.0, "fr=5 query {i} diverged");
+    }
+}
+
+#[test]
+fn batch_matches_serial_for_every_thread_count() {
+    let e = engine(31);
+    let queries = [0u32, 7, 33, 99, 45, 12, 80, 211, 5, 298, 150];
+    let base_seed = 4242;
+    let serial = e.batch_single_source(&queries, 1, base_seed).unwrap();
+    for threads in 2..=8usize {
+        let parallel = e.batch_single_source(&queries, threads, base_seed).unwrap();
+        assert_eq!(parallel.len(), queries.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                a.max_abs_diff(b),
+                0.0,
+                "threads = {threads}, query {i} diverged from serial"
+            );
+            assert_eq!(a.len(), b.len());
+        }
+    }
+    // More threads than queries must also be exact (chunks of size 1).
+    let oversub = e.batch_single_source(&queries, 64, base_seed).unwrap();
+    for (a, b) in serial.iter().zip(&oversub) {
+        assert_eq!(a.max_abs_diff(b), 0.0);
+    }
+}
+
+#[test]
+fn geometric_sampler_moments_match_per_step_on_cycle() {
+    // Level distribution on a cycle is pure geometric; compare the mean
+    // and survival tail of the two samplers (full per-level histogram
+    // comparison lives next to the samplers in walk::tests).
+    let g = prsim_gen::toys::cycle(7);
+    let sqrt_c = 0.6f64.sqrt();
+    let trials = 80_000;
+    let mut rngs = (StdRng::seed_from_u64(0xFACE), StdRng::seed_from_u64(0xCAFE));
+    let (mut geo_sum, mut ref_sum) = (0.0f64, 0.0f64);
+    let (mut geo_tail, mut ref_tail) = (0usize, 0usize);
+    for _ in 0..trials {
+        if let Terminal::At { level, .. } = sample_terminal(&g, sqrt_c, 0, 64, &mut rngs.0) {
+            geo_sum += level as f64;
+            if level >= 4 {
+                geo_tail += 1;
+            }
+        }
+        if let Terminal::At { level, .. } = sample_terminal_per_step(&g, sqrt_c, 0, 64, &mut rngs.1)
+        {
+            ref_sum += level as f64;
+            if level >= 4 {
+                ref_tail += 1;
+            }
+        }
+    }
+    let (geo_mean, ref_mean) = (geo_sum / trials as f64, ref_sum / trials as f64);
+    let want_mean = sqrt_c / (1.0 - sqrt_c); // E[Geom] = √c/(1−√c)
+    assert!(
+        (geo_mean - ref_mean).abs() < 0.05,
+        "mean level: geometric {geo_mean:.3} vs per-step {ref_mean:.3}"
+    );
+    assert!((geo_mean - want_mean).abs() < 0.05);
+    let (gt, rt) = (
+        geo_tail as f64 / trials as f64,
+        ref_tail as f64 / trials as f64,
+    );
+    assert!(
+        (gt - rt).abs() < 0.01,
+        "P(level >= 4): geometric {gt:.4} vs per-step {rt:.4}"
+    );
+}

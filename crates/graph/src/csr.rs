@@ -30,8 +30,22 @@ pub struct DiGraph {
     in_offsets: Vec<usize>,
     /// Concatenated in-neighbor lists.
     in_sources: Vec<NodeId>,
+    /// Flat per-node in-degree cache (`in_offsets[u+1] - in_offsets[u]`),
+    /// kept so the backward-walk inner loops read one `u32` instead of two
+    /// `usize` offsets per neighbor probe.
+    in_degrees: Vec<u32>,
     /// Whether every out list is sorted by ascending in-degree of the target.
     out_sorted_by_in_degree: bool,
+}
+
+/// Per-node list lengths implied by a CSR offset array.
+fn degrees_from_offsets(offsets: &[usize]) -> Vec<u32> {
+    offsets
+        .windows(2)
+        .map(|w| {
+            u32::try_from(w[1] - w[0]).expect("per-node degree must fit in u32 (NodeId width)")
+        })
+        .collect()
 }
 
 impl DiGraph {
@@ -67,11 +81,13 @@ impl DiGraph {
             in_cursor[v as usize] += 1;
         }
 
+        let in_degrees = degrees_from_offsets(&in_offsets);
         DiGraph {
             out_offsets,
             out_targets,
             in_offsets,
             in_sources,
+            in_degrees,
             out_sorted_by_in_degree: false,
         }
     }
@@ -119,7 +135,14 @@ impl DiGraph {
     /// In-degree of `u`.
     #[inline]
     pub fn in_degree(&self, u: NodeId) -> usize {
-        self.in_offsets[u as usize + 1] - self.in_offsets[u as usize]
+        self.in_degrees[u as usize] as usize
+    }
+
+    /// The flat in-degree array (`in_degrees()[u] == in_degree(u)`),
+    /// cached at construction so hot loops avoid the offset subtraction.
+    #[inline]
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degrees
     }
 
     /// Iterator over all node ids `0..n`.
@@ -153,6 +176,7 @@ impl DiGraph {
             out_targets: self.in_sources.clone(),
             in_offsets: self.out_offsets.clone(),
             in_sources: self.out_targets.clone(),
+            in_degrees: degrees_from_offsets(&self.out_offsets),
             out_sorted_by_in_degree: false,
         }
     }
@@ -163,6 +187,7 @@ impl DiGraph {
             + self.in_offsets.len() * std::mem::size_of::<usize>()
             + self.out_targets.len() * std::mem::size_of::<NodeId>()
             + self.in_sources.len() * std::mem::size_of::<NodeId>()
+            + self.in_degrees.len() * std::mem::size_of::<u32>()
     }
 
     pub(crate) fn out_adjacency_mut(&mut self) -> (&[usize], &mut [NodeId]) {
@@ -190,11 +215,13 @@ impl DiGraph {
         in_sources: Vec<NodeId>,
         out_sorted_by_in_degree: bool,
     ) -> Self {
+        let in_degrees = degrees_from_offsets(&in_offsets);
         DiGraph {
             out_offsets,
             out_targets,
             in_offsets,
             in_sources,
+            in_degrees,
             out_sorted_by_in_degree,
         }
     }
@@ -315,5 +342,20 @@ mod tests {
     fn memory_bytes_positive() {
         let g = triangle();
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn in_degree_cache_matches_adjacency() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (2, 1), (3, 1), (1, 1), (0, 4)]);
+        assert_eq!(g.in_degrees().len(), 5);
+        for u in g.nodes() {
+            assert_eq!(g.in_degrees()[u as usize] as usize, g.in_neighbors(u).len());
+            assert_eq!(g.in_degree(u), g.in_neighbors(u).len());
+        }
+        // Survives transpose (where in-degrees become the old out-degrees).
+        let t = g.transpose();
+        for u in t.nodes() {
+            assert_eq!(t.in_degrees()[u as usize] as usize, g.out_degree(u));
+        }
     }
 }
