@@ -1,0 +1,398 @@
+//! `dynamic_hot` — the dynamic-graph hot-path benchmark behind
+//! `BENCH_dynamic.json`.
+//!
+//! Measures, on the same Chung-Lu family as `query_hot`, per graph size:
+//!
+//! * **incremental** update throughput of [`DynamicPrsim`] in
+//!   `Incremental` mode (updates/sec over a seeded insert/delete stream),
+//!   plus repair statistics (`mean_repair_fraction` = dirty hubs / hub
+//!   count per single-edge update, PageRank refinement iterations,
+//!   rebuilds, compactions);
+//! * **query freshness**: the latency from an update arriving to a fully
+//!   fresh single-source answer (apply + query, p50/p95);
+//! * **rebuild** baseline: the same engine in `RebuildOnBatch {{ batch: 1 }}`
+//!   mode — the paper's literal contract — and the derived `speedup`.
+//!
+//! Everything is seeded, so two runs on the same machine measure the same
+//! work — the JSON is machine-comparable, not machine-portable.
+//!
+//! ```text
+//! dynamic_hot [--smoke] [--out PATH] [--check PATH] [--updates N]
+//! ```
+//!
+//! * default: run the full family (5k / 20k / 100k nodes) and write
+//!   `BENCH_dynamic.json` in the current directory;
+//! * `--smoke`: run only the 5k graph (seconds, for CI);
+//! * `--check PATH`: after running, compare measured incremental
+//!   updates/sec against the same-named dataset inside the committed JSON
+//!   at `PATH`; exit non-zero when either file is malformed or throughput
+//!   regresses by more than 3x.
+
+use prsim_bench::hot::{hot_bench_config, percentile, HOT_C_MULT};
+use prsim_bench::json as mini_json;
+use prsim_core::{DynamicParams, DynamicPrsim, UpdateMode};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use prsim_graph::{EdgeUpdate, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Throughput tolerance of `--check`: fail when fresh incremental
+/// updates/sec drops below 1/3 of the committed value.
+const CHECK_TOLERANCE: f64 = 3.0;
+
+struct DatasetSpec {
+    name: &'static str,
+    n: usize,
+    avg_degree: f64,
+    gamma: f64,
+    seed: u64,
+    /// Rebuild-mode updates measured (each costs a full build).
+    rebuild_updates: usize,
+}
+
+const FAMILY: &[DatasetSpec] = &[
+    DatasetSpec {
+        name: "chung_lu_5k",
+        n: 5_000,
+        avg_degree: 8.0,
+        gamma: 2.0,
+        seed: 42,
+        rebuild_updates: 10,
+    },
+    DatasetSpec {
+        name: "chung_lu_20k",
+        n: 20_000,
+        avg_degree: 8.0,
+        gamma: 2.0,
+        seed: 43,
+        rebuild_updates: 6,
+    },
+    DatasetSpec {
+        name: "chung_lu_100k",
+        n: 100_000,
+        avg_degree: 8.0,
+        gamma: 2.0,
+        seed: 44,
+        rebuild_updates: 4,
+    },
+];
+
+struct BenchRow {
+    name: String,
+    n: usize,
+    m: usize,
+    build_ms: f64,
+    inc_updates_per_sec: f64,
+    inc_applied: usize,
+    mean_repair_fraction: f64,
+    max_repair_fraction: f64,
+    mean_pr_iterations: f64,
+    rebuilds: usize,
+    compactions: usize,
+    freshness_p50_ms: f64,
+    freshness_p95_ms: f64,
+    reb_updates_per_sec: f64,
+    reb_applied: usize,
+    speedup: f64,
+}
+
+/// Seeded single-edge update stream: alternating deletes of live edges
+/// and inserts of fresh non-edges, every one guaranteed to apply.
+struct StreamGen {
+    live: Vec<(NodeId, NodeId)>,
+    live_set: BTreeSet<(NodeId, NodeId)>,
+    n: NodeId,
+    rng: StdRng,
+    step: usize,
+}
+
+impl StreamGen {
+    fn new(edges: Vec<(NodeId, NodeId)>, n: usize, seed: u64) -> Self {
+        let live_set = edges.iter().copied().collect();
+        StreamGen {
+            live: edges,
+            live_set,
+            n: n as NodeId,
+            rng: StdRng::seed_from_u64(seed),
+            step: 0,
+        }
+    }
+
+    fn next(&mut self) -> EdgeUpdate {
+        self.step += 1;
+        if self.step % 2 == 0 && !self.live.is_empty() {
+            let i = self.rng.gen_range(0..self.live.len());
+            let (u, v) = self.live.swap_remove(i);
+            self.live_set.remove(&(u, v));
+            EdgeUpdate::Delete(u, v)
+        } else {
+            loop {
+                let u = self.rng.gen_range(0..self.n);
+                let v = self.rng.gen_range(0..self.n);
+                if u != v && !self.live_set.contains(&(u, v)) {
+                    self.live.push((u, v));
+                    self.live_set.insert((u, v));
+                    return EdgeUpdate::Insert(u, v);
+                }
+            }
+        }
+    }
+}
+
+fn run_dataset(spec: &DatasetSpec, updates: usize) -> BenchRow {
+    let graph = chung_lu_undirected(ChungLuConfig::new(
+        spec.n,
+        spec.avg_degree,
+        spec.gamma,
+        spec.seed,
+    ));
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+
+    // Incremental engine.
+    let t0 = Instant::now();
+    let mut inc = DynamicPrsim::new(
+        &graph,
+        hot_bench_config(),
+        UpdateMode::Incremental(DynamicParams::default()),
+    )
+    .expect("bench config is valid");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Phase 1: update throughput.
+    let mut gen = StreamGen::new(edges.clone(), n, spec.seed ^ 0xD15C);
+    let mut repair_fractions: Vec<f64> = Vec::with_capacity(updates);
+    let mut pr_iters = 0usize;
+    let mut rebuilds_during = 0usize;
+    let thru_start = Instant::now();
+    for _ in 0..updates {
+        let up = gen.next();
+        let stats = inc.apply(up).expect("stream updates are in range");
+        assert!(stats.applied, "generated stream must always apply");
+        pr_iters += stats.pr_iterations;
+        if stats.rebuilt {
+            rebuilds_during += 1;
+        } else {
+            repair_fractions.push(stats.repair_fraction);
+        }
+    }
+    let thru_secs = thru_start.elapsed().as_secs_f64();
+    let inc_updates_per_sec = updates as f64 / thru_secs;
+    let mean_repair_fraction =
+        repair_fractions.iter().sum::<f64>() / repair_fractions.len().max(1) as f64;
+    let max_repair_fraction = repair_fractions.iter().copied().fold(0.0, f64::max);
+
+    // Phase 2: query freshness (update arrival -> fresh answer).
+    let probes = (updates / 4).clamp(5, 20);
+    let mut freshness_ms: Vec<f64> = Vec::with_capacity(probes);
+    let mut guard = 0.0f64;
+    for i in 0..probes {
+        let up = gen.next();
+        let t = Instant::now();
+        let stats = inc.apply(up).expect("stream updates are in range");
+        let mut rng = StdRng::seed_from_u64(0xF2E5 + i as u64);
+        let u = rng.gen_range(0..inc.node_count() as NodeId);
+        let (scores, _) = inc.single_source(u, &mut rng).expect("u in range");
+        freshness_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        guard += scores.get(u) + stats.repair_fraction;
+    }
+    freshness_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let totals = inc.totals();
+
+    // Phase 3: rebuild-per-batch baseline (batch = 1, the paper's k = 1
+    // point: every update is followed by a full rebuild before the next
+    // answer is fresh).
+    let mut reb = DynamicPrsim::new(
+        &graph,
+        hot_bench_config(),
+        UpdateMode::RebuildOnBatch { batch: 1 },
+    )
+    .expect("bench config is valid");
+    let mut gen2 = StreamGen::new(edges, n, spec.seed ^ 0xD15C);
+    let reb_start = Instant::now();
+    for _ in 0..spec.rebuild_updates {
+        let up = gen2.next();
+        let stats = reb.apply(up).expect("stream updates are in range");
+        assert!(stats.applied);
+        reb.refresh().expect("rebuild succeeds");
+    }
+    let reb_secs = reb_start.elapsed().as_secs_f64();
+    let reb_updates_per_sec = spec.rebuild_updates as f64 / reb_secs;
+
+    assert!(guard.is_finite());
+    BenchRow {
+        name: spec.name.to_string(),
+        n,
+        m,
+        build_ms,
+        inc_updates_per_sec,
+        inc_applied: updates,
+        mean_repair_fraction,
+        max_repair_fraction,
+        mean_pr_iterations: pr_iters as f64 / updates.max(1) as f64,
+        rebuilds: rebuilds_during,
+        compactions: totals.compactions,
+        freshness_p50_ms: percentile(&freshness_ms, 0.50),
+        freshness_p95_ms: percentile(&freshness_ms, 0.95),
+        reb_updates_per_sec,
+        reb_applied: spec.rebuild_updates,
+        speedup: inc_updates_per_sec / reb_updates_per_sec,
+    }
+}
+
+/// `pre_pr` baseline block of an existing benchmark file, re-emitted on
+/// regeneration so a committed pre-PR record survives `--out` overwrites.
+fn preserved_pre_pr(out_path: &str) -> Option<String> {
+    let existing = std::fs::read_to_string(out_path).ok()?;
+    let value = mini_json::parse(&existing).ok()?;
+    value.get("pre_pr").map(mini_json::render)
+}
+
+fn render_json(rows: &[BenchRow], updates: usize, pre_pr: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"dynamic_hot\",\n");
+    out.push_str("  \"unit_note\": \"updates/sec; freshness = apply+query latency in milliseconds; seeded and machine-comparable\",\n");
+    let cfg = hot_bench_config();
+    let params = DynamicParams::default();
+    out.push_str(&format!(
+        "  \"config\": {{\"eps\": {}, \"c\": {}, \"query\": \"practical c_mult={}\", \"hubs\": \"sqrt_n\", \"drift_budget\": {}, \"updates_per_dataset\": {updates}, \"rebuild_batch\": 1}},\n",
+        cfg.eps, cfg.c, HOT_C_MULT, params.drift_budget,
+    ));
+    out.push_str(&format!(
+        "  \"machine\": {{\"cpu_cores\": {}}},\n",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    ));
+    if let Some(block) = pre_pr {
+        out.push_str(&format!("  \"pre_pr\": {block},\n"));
+    }
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"incremental\": {{\"updates_per_sec\": {:.2}, \"applied\": {}, \"mean_repair_fraction\": {:.4}, \"max_repair_fraction\": {:.4}, \"mean_pr_iterations\": {:.2}, \"rebuilds\": {}, \"compactions\": {}, \"freshness_p50_ms\": {:.2}, \"freshness_p95_ms\": {:.2}}}, \"rebuild\": {{\"updates_per_sec\": {:.3}, \"applied\": {}}}, \"speedup\": {:.1}}}",
+            r.name,
+            r.n,
+            r.m,
+            r.build_ms,
+            r.inc_updates_per_sec,
+            r.inc_applied,
+            r.mean_repair_fraction,
+            r.max_repair_fraction,
+            r.mean_pr_iterations,
+            r.rebuilds,
+            r.compactions,
+            r.freshness_p50_ms,
+            r.freshness_p95_ms,
+            r.reb_updates_per_sec,
+            r.reb_applied,
+            r.speedup,
+        ));
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_dynamic.json".to_string());
+    let check_path = arg_value(&args, "--check");
+    let updates: usize = arg_value(&args, "--updates")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 30 } else { 60 });
+
+    let specs: Vec<&DatasetSpec> = if smoke {
+        FAMILY.iter().take(1).collect()
+    } else {
+        FAMILY.iter().collect()
+    };
+
+    let mut rows = Vec::new();
+    for spec in specs {
+        eprintln!("running {} (n = {}) ...", spec.name, spec.n);
+        let row = run_dataset(spec, updates);
+        eprintln!(
+            "  build {:.0} ms | incremental {:.1} u/s (repair {:.3} mean) | rebuild {:.2} u/s | speedup {:.1}x | freshness p50 {:.1} ms",
+            row.build_ms,
+            row.inc_updates_per_sec,
+            row.mean_repair_fraction,
+            row.reb_updates_per_sec,
+            row.speedup,
+            row.freshness_p50_ms,
+        );
+        rows.push(row);
+    }
+
+    let pre_pr = preserved_pre_pr(&out_path);
+    let json = render_json(&rows, updates, pre_pr.as_deref());
+    // Self-check: what we write must parse.
+    mini_json::parse(&json).expect("dynamic_hot produced malformed JSON");
+
+    if let Some(path) = check_path {
+        check_against_baseline(&rows, &path);
+    } else {
+        std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+        eprintln!("wrote {out_path}");
+    }
+}
+
+/// `--check`: compare measured incremental updates/sec against the
+/// committed baseline JSON.
+fn check_against_baseline(rows: &[BenchRow], path: &str) {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    let value = mini_json::parse(&committed)
+        .unwrap_or_else(|e| panic!("committed baseline {path} is malformed JSON: {e}"));
+    let results = value
+        .get("results")
+        .and_then(mini_json::Value::as_array)
+        .expect("committed baseline lacks a results array");
+
+    let mut failures = 0usize;
+    for row in rows {
+        let committed_ups = results
+            .iter()
+            .find(|r| r.get("name").and_then(mini_json::Value::as_str) == Some(&row.name))
+            .and_then(|r| r.get("incremental"))
+            .and_then(|s| s.get("updates_per_sec"))
+            .and_then(mini_json::Value::as_f64);
+        match committed_ups {
+            None => {
+                eprintln!(
+                    "FAIL: baseline has no incremental updates_per_sec entry for {}",
+                    row.name
+                );
+                failures += 1;
+            }
+            Some(base) if row.inc_updates_per_sec < base / CHECK_TOLERANCE => {
+                eprintln!(
+                    "FAIL: {} incremental throughput regressed {:.1} u/s -> {:.1} u/s (> {CHECK_TOLERANCE}x)",
+                    row.name, base, row.inc_updates_per_sec
+                );
+                failures += 1;
+            }
+            Some(base) => {
+                eprintln!(
+                    "OK: {} incremental {:.1} u/s vs committed {:.1} u/s",
+                    row.name, row.inc_updates_per_sec, base
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -25,7 +25,9 @@
 //!   `PATH`; exit non-zero when either file is malformed or the fresh
 //!   p50 regresses by more than 3x.
 
-use prsim_core::{HubCount, Prsim, PrsimConfig, QueryParams, QueryWorkspace, SimRankScores};
+use prsim_bench::hot::{hot_bench_config, percentile, HOT_C_MULT};
+use prsim_bench::json as mini_json;
+use prsim_core::{Prsim, QueryWorkspace, SimRankScores};
 use prsim_gen::{chung_lu_undirected, ChungLuConfig};
 use prsim_graph::NodeId;
 use rand::rngs::StdRng;
@@ -86,23 +88,6 @@ struct BenchRow {
     batch: Vec<BatchPoint>,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
-fn bench_config() -> PrsimConfig {
-    PrsimConfig {
-        eps: 0.1,
-        hubs: HubCount::SqrtN,
-        query: QueryParams::Practical { c_mult: 5.0 },
-        ..Default::default()
-    }
-}
-
 /// Consumes the scores enough that the optimizer cannot elide the query.
 fn sink(scores: &SimRankScores) -> f64 {
     scores.get(scores.source()) + scores.len() as f64
@@ -119,7 +104,7 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
     let m = graph.edge_count();
 
     let t0 = Instant::now();
-    let engine = Prsim::build(graph, bench_config()).expect("bench config is valid");
+    let engine = Prsim::build(graph, hot_bench_config()).expect("bench config is valid");
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Seeded query set: uniform random sources, fixed across runs.
@@ -204,8 +189,10 @@ fn render_json(rows: &[BenchRow], queries: usize, pre_pr: Option<&str>) -> Strin
     out.push_str("{\n");
     out.push_str("  \"bench\": \"query_hot\",\n");
     out.push_str("  \"unit_note\": \"latencies in microseconds, build in milliseconds; seeded and machine-comparable\",\n");
+    let cfg = hot_bench_config();
     out.push_str(&format!(
-        "  \"config\": {{\"eps\": 0.1, \"c\": 0.6, \"query\": \"practical c_mult=5\", \"hubs\": \"sqrt_n\", \"queries_per_dataset\": {queries}}},\n"
+        "  \"config\": {{\"eps\": {}, \"c\": {}, \"query\": \"practical c_mult={}\", \"hubs\": \"sqrt_n\", \"queries_per_dataset\": {queries}}},\n",
+        cfg.eps, cfg.c, HOT_C_MULT,
     ));
     out.push_str(&format!(
         "  \"machine\": {{\"cpu_cores\": {}}},\n",
@@ -329,213 +316,5 @@ fn check_against_baseline(rows: &[BenchRow], path: &str) {
     }
     if failures > 0 {
         std::process::exit(1);
-    }
-}
-
-/// A deliberately small JSON reader: enough to validate the benchmark
-/// artifact's structure and pull numbers back out for `--check`. Not a
-/// general-purpose parser (no unicode escapes, no exotic numbers).
-mod mini_json {
-    use std::collections::BTreeMap;
-
-    /// Parsed JSON value.
-    #[derive(Debug)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Num(f64),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(BTreeMap<String, Value>),
-    }
-
-    impl Value {
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(map) => map.get(key),
-                _ => None,
-            }
-        }
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(x) => Some(*x),
-                _ => None,
-            }
-        }
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-    }
-
-    /// Serializes a value back to compact JSON (used to re-emit preserved
-    /// blocks verbatim-enough when regenerating the benchmark file).
-    pub fn render(value: &Value) -> String {
-        match value {
-            Value::Null => "null".to_string(),
-            Value::Bool(b) => b.to_string(),
-            Value::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 1e15 {
-                    format!("{}", *x as i64)
-                } else {
-                    format!("{x}")
-                }
-            }
-            Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
-            Value::Arr(items) => {
-                let inner: Vec<String> = items.iter().map(render).collect();
-                format!("[{}]", inner.join(", "))
-            }
-            Value::Obj(map) => {
-                let inner: Vec<String> = map
-                    .iter()
-                    .map(|(k, v)| format!("\"{k}\": {}", render(v)))
-                    .collect();
-                format!("{{{}}}", inner.join(", "))
-            }
-        }
-    }
-
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
-        if b.get(*pos) == Some(&ch) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {pos}", ch as char))
-        }
-    }
-
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => parse_object(b, pos),
-            Some(b'[') => parse_array(b, pos),
-            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
-            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
-            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
-            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
-            Some(_) => parse_number(b, pos),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
-        if b[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {pos}"))
-        }
-    }
-
-    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        }
-        std::str::from_utf8(&b[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .filter(|x| x.is_finite())
-            .map(Value::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(b, pos, b'"')?;
-        let mut out = String::new();
-        while let Some(&c) = b.get(*pos) {
-            *pos += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *b.get(*pos).ok_or("dangling escape")?;
-                    *pos += 1;
-                    out.push(match esc {
-                        b'n' => '\n',
-                        b't' => '\t',
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'/' => '/',
-                        other => return Err(format!("unsupported escape \\{}", other as char)),
-                    });
-                }
-                other => out.push(other as char),
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(parse_value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-            }
-        }
-    }
-
-    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'{')?;
-        let mut map = BTreeMap::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(map));
-        }
-        loop {
-            skip_ws(b, pos);
-            let key = parse_string(b, pos)?;
-            skip_ws(b, pos);
-            expect(b, pos, b':')?;
-            map.insert(key, parse_value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(map));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-            }
-        }
     }
 }

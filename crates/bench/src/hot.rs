@@ -1,0 +1,48 @@
+//! Helpers shared by the hot-path benchmark binaries (`query_hot`,
+//! `dynamic_hot`): the common engine configuration and the percentile
+//! convention, kept in one place so the two committed `BENCH_*.json`
+//! artifacts are guaranteed to measure the same setup.
+
+use prsim_core::{HubCount, PrsimConfig, QueryParams};
+
+/// Per-round sample multiplier of the hot-path benchmarks
+/// (`d_r = HOT_C_MULT / ε²`).
+pub const HOT_C_MULT: f64 = 5.0;
+
+/// The engine configuration both hot-path benchmarks build with.
+pub fn hot_bench_config() -> PrsimConfig {
+    PrsimConfig {
+        eps: 0.1,
+        hubs: HubCount::SqrtN,
+        query: QueryParams::Practical { c_mult: HOT_C_MULT },
+        ..Default::default()
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0.0 empty).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0); // round(1.5) = 2
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn config_is_valid() {
+        hot_bench_config().validate().unwrap();
+    }
+}

@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod hot;
+pub mod json;
 pub mod sweep;
 
 pub use datasets::{accuracy_datasets, Dataset};

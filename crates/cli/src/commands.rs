@@ -1,7 +1,9 @@
 //! Subcommand implementations.
 
 use prsim_core::pagerank::reverse_pagerank;
-use prsim_core::{HubCount, Prsim, PrsimConfig, PrsimIndex, QueryParams};
+use prsim_core::{
+    DynamicParams, DynamicPrsim, HubCount, Prsim, PrsimConfig, PrsimIndex, QueryParams, UpdateMode,
+};
 use prsim_gen::{
     barabasi_albert, chung_lu_directed, chung_lu_undirected, erdos_renyi_directed,
     planted_partition, ChungLuConfig,
@@ -34,6 +36,11 @@ USAGE:
   prsim query GRAPH --source U [--index FILE] [--eps E] [--top K] [--seed N]
   prsim topk GRAPH --source U [--k K] [--eps E] [--seed N]
   prsim pair GRAPH --u A --v B [--samples N] [--seed N]
+  prsim update GRAPH --stream FILE [--mode incremental|rebuild] [--batch K]
+      [--eps E] [--hubs N|sqrt] [--drift-budget X] [--compact-threshold N]
+      [--probe U] [--seed N] [--out FILE]
+      replay an edge-update file (+/- u v per line) through the dynamic
+      engine, reporting updates/sec and repair statistics
 ";
 
 fn load_graph(path: &str) -> Result<DiGraph, String> {
@@ -316,6 +323,147 @@ pub fn pair(argv: &[String]) -> Result<(), String> {
         .single_pair(u, v, &mut rng)
         .map_err(|e| e.to_string())?;
     println!("s({u},{v}) ≈ {s:.6}  ({samples} walk pairs)");
+    Ok(())
+}
+
+/// `prsim update` — replay an edge-update stream through the dynamic
+/// engine.
+pub fn update(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: prsim update GRAPH --stream FILE")?;
+    let stream_path = args.require("stream")?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let config = config_from(&args)?;
+
+    let mode = match args.get("mode").unwrap_or("incremental") {
+        "incremental" => {
+            if args.get("batch").is_some() {
+                return Err("--batch only applies to --mode rebuild".into());
+            }
+            let defaults = DynamicParams::default();
+            UpdateMode::Incremental(DynamicParams {
+                drift_budget: args.get_parsed("drift-budget", defaults.drift_budget)?,
+                compact_threshold: args
+                    .get_parsed("compact-threshold", defaults.compact_threshold)?,
+                ..defaults
+            })
+        }
+        "rebuild" => {
+            for flag in ["drift-budget", "compact-threshold"] {
+                if args.get(flag).is_some() {
+                    return Err(format!("--{flag} only applies to --mode incremental"));
+                }
+            }
+            UpdateMode::RebuildOnBatch {
+                batch: args.get_parsed("batch", 1)?,
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown mode {other:?} (want incremental | rebuild)"
+            ))
+        }
+    };
+
+    let g = load_graph(path)?;
+    let updates = prsim_graph::io::read_update_list_file(stream_path)
+        .map_err(|e| format!("cannot read update stream {stream_path}: {e}"))?;
+    if updates.is_empty() {
+        return Err(format!("update stream {stream_path} contains no updates"));
+    }
+
+    let build_start = std::time::Instant::now();
+    let mut engine = DynamicPrsim::new(&g, config, mode).map_err(|e| e.to_string())?;
+    // Rebuild mode builds lazily; force the initial build here so the
+    // replay timing (like incremental mode's) excludes it.
+    if engine.engine().is_none() {
+        engine.refresh().map_err(|e| e.to_string())?;
+    }
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let initial_rebuilds = engine.rebuilds();
+
+    let mut repair_fraction_sum = 0.0;
+    let mut applied_with_hubs = 0usize;
+    let replay_start = std::time::Instant::now();
+    for &up in &updates {
+        let stats = engine.apply(up).map_err(|e| e.to_string())?;
+        if stats.applied && stats.hub_count > 0 && !stats.rebuilt {
+            repair_fraction_sum += stats.repair_fraction;
+            applied_with_hubs += 1;
+        }
+        // Rebuild mode only rebuilds on queries by itself; refresh at
+        // every batch boundary so --batch governs replay cost exactly as
+        // the paper's amortized contract prescribes. (No-op when
+        // incremental: that mode is never stale.)
+        if engine.is_stale() {
+            engine.refresh().map_err(|e| e.to_string())?;
+        }
+    }
+    let replay_secs = replay_start.elapsed().as_secs_f64();
+
+    let totals = engine.totals();
+    println!("initial build  : {build_secs:.3}s");
+    println!(
+        "replayed       : {} updates ({} applied, {} no-ops) in {replay_secs:.3}s = {:.1} updates/s",
+        updates.len(),
+        totals.applied_updates,
+        totals.noop_updates,
+        updates.len() as f64 / replay_secs.max(1e-9),
+    );
+    println!(
+        "graph          : {} nodes, {} edges",
+        engine.node_count(),
+        engine.edge_count()
+    );
+    println!(
+        "maintenance    : {} hub repairs, {} rebuilds, {} compactions",
+        totals.repaired_hubs,
+        totals.rebuilds - initial_rebuilds,
+        totals.compactions
+    );
+    if applied_with_hubs > 0 {
+        println!(
+            "repair fraction: {:.4} mean over {} incremental updates",
+            repair_fraction_sum / applied_with_hubs as f64,
+            applied_with_hubs
+        );
+    }
+
+    if let Some(probe) = args.get("probe") {
+        let u: u32 = probe
+            .parse()
+            .map_err(|_| format!("invalid value {probe:?} for --probe"))?;
+        let top: usize = args.get_parsed("top", 10)?;
+        // A rebuild-mode engine can hold a sub-batch remainder; fold it in
+        // so the probe really answers over the fully updated graph.
+        if engine.pending_updates() > 0 {
+            engine.refresh().map_err(|e| e.to_string())?;
+        }
+        let start = std::time::Instant::now();
+        let (scores, _) = engine
+            .single_source(u, &mut StdRng::seed_from_u64(seed))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "probe node {u}  : {:.4}s (fresh against the updated graph)",
+            start.elapsed().as_secs_f64()
+        );
+        for (rank, (v, s)) in scores.top_k(top).into_iter().enumerate() {
+            println!("{:>3}. {:>8}  {:.6}", rank + 1, v, s);
+        }
+    }
+    if let Some(out) = args.get("out") {
+        // A rebuild-mode engine may still hold buffered updates short of
+        // the batch; fold them in so the written graph is current.
+        if engine.pending_updates() > 0 {
+            engine.refresh().map_err(|e| e.to_string())?;
+        }
+        let final_graph = engine.engine().expect("engine built after replay").graph();
+        save_graph(final_graph, out)?;
+        println!("wrote updated graph -> {out}");
+    }
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! prsim build    GRAPH --index FILE [options]     preprocess: build + save index
 //! prsim query    GRAPH --source U [options]       single-source top-k query
 //! prsim pair     GRAPH --u A --v B [options]      single-pair estimate
+//! prsim update   GRAPH --stream FILE [options]    replay an edge-update stream
 //! ```
 //!
 //! Graph files ending in `.bin` use the compact binary format; anything
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "query" => commands::query(rest),
         "topk" => commands::topk(rest),
         "pair" => commands::pair(rest),
+        "update" => commands::update(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -276,3 +276,112 @@ fn corrupt_index_is_reported_not_panicked() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("corrupt"), "{}", stderr(&out));
 }
+
+#[test]
+fn update_replays_stream_incrementally() {
+    let dir = tmpdir("update_inc");
+    let graph = dir.join("g.txt");
+    let out_graph = dir.join("g_after.txt");
+    std::fs::write(&graph, "0 1\n1 2\n2 3\n3 4\n4 0\n").unwrap();
+    let stream = dir.join("updates.txt");
+    std::fs::write(&stream, "# grow then shrink\n+ 0 3\n+ 4 1\n- 1 2\n+ 4 1\n").unwrap();
+    let out = prsim(&[
+        "update",
+        graph.to_str().unwrap(),
+        "--stream",
+        stream.to_str().unwrap(),
+        "--probe",
+        "0",
+        "--out",
+        out_graph.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("updates/s"), "{text}");
+    assert!(text.contains("3 applied, 1 no-ops"), "{text}");
+    assert!(text.contains("probe node 0"), "{text}");
+    assert!(text.contains("6 edges"), "{text}");
+    // The written graph reflects the replayed stream.
+    let after = std::fs::read_to_string(&out_graph).unwrap();
+    let mut lines: Vec<&str> = after.lines().collect();
+    lines.sort_unstable();
+    assert_eq!(lines, vec!["0 1", "0 3", "2 3", "3 4", "4 0", "4 1"]);
+}
+
+#[test]
+fn update_rebuild_mode_batches() {
+    let dir = tmpdir("update_reb");
+    let graph = dir.join("g.txt");
+    std::fs::write(&graph, "0 1\n1 2\n2 0\n").unwrap();
+    let stream = dir.join("updates.txt");
+    std::fs::write(&stream, "+ 0 2\n+ 1 0\n").unwrap();
+    let out = prsim(&[
+        "update",
+        graph.to_str().unwrap(),
+        "--stream",
+        stream.to_str().unwrap(),
+        "--mode",
+        "rebuild",
+        "--batch",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 applied"), "{text}");
+    // 2 applied updates at batch 2 = exactly one replay rebuild (the
+    // initial build is charged to build time, not the replay).
+    assert!(text.contains("1 rebuilds"), "{text}");
+}
+
+#[test]
+fn update_rejects_mode_inapplicable_flags() {
+    let dir = tmpdir("update_flags");
+    let graph = dir.join("g.txt");
+    std::fs::write(&graph, "0 1\n1 0\n").unwrap();
+    let stream = dir.join("updates.txt");
+    std::fs::write(&stream, "+ 0 1\n").unwrap();
+    let g = graph.to_str().unwrap();
+    let s = stream.to_str().unwrap();
+    let out = prsim(&["update", g, "--stream", s, "--batch", "4"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--batch only applies"),
+        "{}",
+        stderr(&out)
+    );
+    let out = prsim(&[
+        "update",
+        g,
+        "--stream",
+        s,
+        "--mode",
+        "rebuild",
+        "--drift-budget",
+        "0.1",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--drift-budget only applies"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn update_reports_malformed_stream_with_line() {
+    let dir = tmpdir("update_bad");
+    let graph = dir.join("g.txt");
+    std::fs::write(&graph, "0 1\n").unwrap();
+    let stream = dir.join("updates.txt");
+    std::fs::write(&stream, "+ 0 1\n? 1 2\n").unwrap();
+    let out = prsim(&[
+        "update",
+        graph.to_str().unwrap(),
+        "--stream",
+        stream.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains("\"?\""), "{err}");
+}

@@ -15,13 +15,26 @@
 //! ends at the first level with no residue above threshold.
 
 use prsim_graph::{DiGraph, NodeId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Output of a backward search from one target node.
 #[derive(Clone, Debug)]
 pub struct BackwardSearchResult {
     /// `levels[ℓ]` lists `(v, ψ_ℓ(v,w))` with `ψ > 0`, sorted by `v`.
     pub levels: Vec<Vec<(NodeId, f64)>>,
+    /// Every node that held residue at any level, with its **maximum
+    /// residue over all levels**, sorted by node id. This is the search's
+    /// *dependence record*: an edge update `(a, b)` perturbs only `b`'s
+    /// residues — the divisor `d_in(b)` changes from `k` to `k'`, scaling
+    /// every inflow of `b` at every level by exactly `k/k'`, and the flow
+    /// `√c·r_a/k'` from `a` appears (insert) or disappears (delete).
+    /// Nothing else in the search moves unless `b`'s push status (residue
+    /// vs `r_max`) or pushed values change, so `max(r_b, r_b·k/k' +
+    /// √c·r_a/k') ≤ r_max` guarantees the stored reserves are
+    /// bit-identical on the mutated graph. The dynamic engine's dirty-hub
+    /// tracking ([`crate::index::HubTouchSets`]) is built on exactly this
+    /// invariant.
+    pub touched: Vec<(NodeId, f64)>,
     /// Number of residue pushes performed (cost instrumentation).
     pub pushes: usize,
     /// Total edge traversals performed (cost instrumentation).
@@ -63,10 +76,13 @@ pub fn backward_search(
     let alpha = 1.0 - sqrt_c;
     let mut result = BackwardSearchResult {
         levels: Vec::new(),
+        touched: Vec::new(),
         pushes: 0,
         edge_traversals: 0,
     };
 
+    let mut touched: BTreeMap<NodeId, f64> = BTreeMap::new();
+    touched.insert(w, 1.0);
     let mut residue: HashMap<NodeId, f64> = HashMap::new();
     residue.insert(w, 1.0);
 
@@ -103,6 +119,12 @@ pub fn backward_search(
             result.levels.pop(); // last level produced nothing
             break;
         }
+        for (&z, &r) in &next {
+            let slot = touched.entry(z).or_insert(0.0);
+            if r > *slot {
+                *slot = r;
+            }
+        }
         residue = next;
     }
 
@@ -110,6 +132,7 @@ pub fn backward_search(
     while result.levels.last().is_some_and(Vec::is_empty) {
         result.levels.pop();
     }
+    result.touched = touched.into_iter().collect();
     result
 }
 
@@ -184,6 +207,103 @@ mod tests {
         assert_eq!(res.levels.len(), 1);
         assert_eq!(res.levels[0].len(), 1);
         assert_eq!(res.levels[0][0].0, 1);
+    }
+
+    fn touched_residue(res: &BackwardSearchResult, v: NodeId) -> Option<f64> {
+        res.touched
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .ok()
+            .map(|i| res.touched[i].1)
+    }
+
+    #[test]
+    fn touched_covers_all_reserve_nodes_and_their_frontier() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(120, 5.0, 2.0, 11));
+        let r_max = 1e-3;
+        let alpha = 1.0 - SQRT_C;
+        let res = backward_search(&g, SQRT_C, 7, r_max, 64);
+        // Sorted by node, positive residues, target present with max 1.
+        assert!(res.touched.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(res.touched.iter().all(|&(_, r)| r > 0.0));
+        assert_eq!(touched_residue(&res, 7), Some(1.0));
+        // Every node with a stored reserve was pushed (residue > r_max),
+        // so its recorded max residue exceeds r_max and matches the
+        // largest reserve/α; every out-neighbor received residue.
+        for level in &res.levels {
+            for &(v, psi) in level {
+                let r = touched_residue(&res, v).expect("reserve node is touched");
+                assert!(r > r_max, "pushed node {v} max residue {r}");
+                assert!(r >= psi / alpha - 1e-12, "residue {r} < ψ/α for {v}");
+                for &z in g.out_neighbors(v) {
+                    assert!(
+                        touched_residue(&res, z).is_some(),
+                        "frontier node {z} of pushed {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_edge_updates_leave_search_invariant() {
+        // The dirty rule's contract: if neither endpoint of a changed edge
+        // is in `touched`, re-running the search on the mutated graph
+        // yields identical levels AND identical touched records.
+        use prsim_graph::delta::DeltaGraph;
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(200, 4.0, 2.2, 13));
+        let w = 3;
+        let before = backward_search(&g, SQRT_C, w, 1e-3, 64);
+        // Find an edge with both endpoints untouched.
+        let edge = g.edges().find(|&(u, v)| {
+            touched_residue(&before, u).is_none() && touched_residue(&before, v).is_none()
+        });
+        let Some((u, v)) = edge else {
+            // Search touched everything; nothing to assert on this graph.
+            return;
+        };
+        let mut d = DeltaGraph::new(g);
+        assert!(d.delete_edge(u, v));
+        let after = backward_search(&d.snapshot(), SQRT_C, w, 1e-3, 64);
+        assert_eq!(before.levels, after.levels);
+        assert_eq!(before.touched, after.touched);
+    }
+
+    #[test]
+    fn clean_endpoint_updates_rescale_residues_exactly() {
+        // The self-preservation half of the dirty rule: when neither
+        // endpoint is pushed (max residue ≤ r_max before and after the
+        // d_in rescale), the reserves are unchanged and every residue of
+        // the target endpoint scales by exactly k/k'.
+        use prsim_graph::delta::DeltaGraph;
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(250, 5.0, 2.1, 29));
+        let w = 5;
+        let r_max = 1e-3;
+        let before = backward_search(&g, SQRT_C, w, r_max, 64);
+        // A clean insert target: b touched but far from pushed, source
+        // untouched entirely.
+        let pick = g.nodes().find_map(|a| {
+            if touched_residue(&before, a).is_some() {
+                return None;
+            }
+            before
+                .touched
+                .iter()
+                .find(|&&(b, r)| b != a && r <= 0.25 * r_max && !g.out_neighbors(a).contains(&b))
+                .map(|&(b, _)| (a, b))
+        });
+        let Some((a, b)) = pick else { return };
+        let k = g.in_degree(b) as f64;
+        let mut d = DeltaGraph::new(g);
+        assert!(d.insert_edge(a, b));
+        let after = backward_search(&d.snapshot(), SQRT_C, w, r_max, 64);
+        assert_eq!(before.levels, after.levels, "reserves must not change");
+        let rb_before = touched_residue(&before, b).unwrap();
+        let rb_after = touched_residue(&after, b).unwrap();
+        let expect = rb_before * k / (k + 1.0);
+        assert!(
+            (rb_after - expect).abs() <= 1e-12 * expect.max(1e-300),
+            "residue {rb_before} should rescale to {expect}, got {rb_after}"
+        );
     }
 
     #[test]

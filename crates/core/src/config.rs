@@ -122,6 +122,68 @@ impl QueryParams {
     }
 }
 
+/// Tuning knobs of the incremental dynamic engine
+/// ([`crate::DynamicPrsim`] in `Incremental` mode).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynamicParams {
+    /// Overlay size (pending inserts + deletes) at which the
+    /// [`prsim_graph::DeltaGraph`] folds the overlay into its CSR base.
+    pub compact_threshold: usize,
+    /// Accumulated L1 reverse-PageRank drift that triggers a full rebuild
+    /// (hub re-selection). Drift affects only *query efficiency* — hub
+    /// reserve lists are kept exact by repair regardless — so this trades
+    /// hub-set optimality against rebuild frequency.
+    pub drift_budget: f64,
+    /// Residual tolerance of the warm-start PageRank refinement.
+    pub pr_tol: f64,
+    /// Iteration cap of one refinement (safety net; with warm starts the
+    /// contraction reaches `pr_tol` in far fewer).
+    pub pr_max_iter: usize,
+}
+
+impl Default for DynamicParams {
+    fn default() -> Self {
+        DynamicParams {
+            compact_threshold: 1024,
+            drift_budget: 0.05,
+            // π only ranks hub candidates; 1e-8 L1 residual is orders of
+            // magnitude below any ranking-relevant gap while halving the
+            // per-update refinement iterations vs a 1e-9 target.
+            pr_tol: 1e-8,
+            pr_max_iter: 128,
+        }
+    }
+}
+
+impl DynamicParams {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), PrsimError> {
+        if self.compact_threshold == 0 {
+            return Err(PrsimError::InvalidConfig(
+                "compact_threshold must be at least 1".into(),
+            ));
+        }
+        if !(self.drift_budget > 0.0 && self.drift_budget.is_finite()) {
+            return Err(PrsimError::InvalidConfig(format!(
+                "drift_budget must be positive and finite, got {}",
+                self.drift_budget
+            )));
+        }
+        if !(self.pr_tol > 0.0 && self.pr_tol.is_finite()) {
+            return Err(PrsimError::InvalidConfig(format!(
+                "pr_tol must be positive and finite, got {}",
+                self.pr_tol
+            )));
+        }
+        if self.pr_max_iter == 0 {
+            return Err(PrsimError::InvalidConfig(
+                "pr_max_iter must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl PrsimConfig {
     /// √c, the per-step survival probability of the reverse walks.
     #[inline]
@@ -225,6 +287,43 @@ mod tests {
             ),
         ] {
             assert!(cfg.validate().is_err(), "{field} accepted");
+        }
+    }
+
+    #[test]
+    fn dynamic_params_validate() {
+        DynamicParams::default().validate().unwrap();
+        for (field, p) in [
+            (
+                "threshold=0",
+                DynamicParams {
+                    compact_threshold: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "budget=0",
+                DynamicParams {
+                    drift_budget: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "tol=0",
+                DynamicParams {
+                    pr_tol: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "iters=0",
+                DynamicParams {
+                    pr_max_iter: 0,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            assert!(p.validate().is_err(), "{field} accepted");
         }
     }
 

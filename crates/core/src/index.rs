@@ -29,6 +29,113 @@ const NOT_A_HUB: u32 = u32::MAX;
 /// Per-hub backward-search result: `lists[level]` = `(v, ψ_ℓ(v, hub))`.
 type HubLists = Vec<Vec<(NodeId, f64)>>;
 
+/// One hub's touched record: sorted `(node, max residue over levels)`.
+type TouchRecord = Vec<(NodeId, f64)>;
+
+/// Per-hub *touched records*: for each hub rank, a sorted
+/// `(node, residue bound)` list where the bound dominates the node's max
+/// residue over all levels of that hub's backward search (exact right
+/// after a search — see
+/// [`crate::backward::BackwardSearchResult::touched`] — and maintained as
+/// a sound upper bound across clean updates).
+///
+/// The records drive the dirty filter of [`HubTouchSets::plan_update`].
+/// An edge update `(a, b)` perturbs **only `b`'s residues**: the divisor
+/// `d_in(b)` changes from `k` to `k'` (scaling every inflow by `k/k'`)
+/// and the flow `√c·r_a/k'` from `a` appears or disappears. Nothing else
+/// in the search can move unless `b`'s push status or pushed values
+/// change, i.e. unless `b`'s residue exceeds the threshold `r_max`
+/// before or after the perturbation. So a hub is dirty iff
+/// `max(r_b, r_b·k/k' + √c·r_a/k') > r_max` (with the flow term only on
+/// insertion; deletion only lowers `b` below its rescaled bound); clean
+/// hubs keep byte-identical reserve lists and have `b`'s record replaced
+/// by the new bound, which keeps the records sound across arbitrarily
+/// long update streams without re-searching.
+#[derive(Clone, Debug, Default)]
+pub struct HubTouchSets {
+    /// `per_hub[rank]` = sorted `(node, residue bound)` of that hub's search.
+    per_hub: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl HubTouchSets {
+    /// Number of hubs tracked.
+    #[inline]
+    pub fn hub_count(&self) -> usize {
+        self.per_hub.len()
+    }
+
+    /// Total stored touched entries (memory observability).
+    pub fn entry_count(&self) -> usize {
+        self.per_hub.iter().map(Vec::len).sum()
+    }
+
+    /// The residue bound hub `rank`'s records hold for node `v` (0.0 when
+    /// untouched).
+    #[inline]
+    pub fn max_residue(&self, rank: usize, v: NodeId) -> f64 {
+        self.per_hub[rank]
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .ok()
+            .map(|i| self.per_hub[rank][i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Whether hub `rank`'s search touched node `v` at all.
+    #[inline]
+    pub fn touches(&self, rank: usize, v: NodeId) -> bool {
+        self.max_residue(rank, v) > 0.0
+    }
+
+    /// Classifies edge update `(a, b)` against every hub and returns the
+    /// ranks that must be re-searched; clean hubs have `b`'s record
+    /// replaced by the new residue bound (rescaled inflows plus, on
+    /// insertion, the bound of the flow newly arriving from `a`).
+    ///
+    /// `old_in_degree_b` is `d_in(b)` in the graph the stored searches
+    /// were run on (0 when `b` is a brand-new node); `sqrt_c`/`r_max` are
+    /// the searches' decay and residue threshold.
+    pub fn plan_update(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        old_in_degree_b: usize,
+        is_insert: bool,
+        sqrt_c: f64,
+        r_max: f64,
+    ) -> Vec<usize> {
+        let k = old_in_degree_b as f64;
+        let mut dirty = Vec::new();
+        for (rank, recs) in self.per_hub.iter_mut().enumerate() {
+            let rb_slot = recs.binary_search_by_key(&b, |&(x, _)| x);
+            let rb = rb_slot.map(|i| recs[i].1).unwrap_or(0.0);
+            // All of b's inflows share the divisor d_in(b): k -> k±1; on
+            // insertion a's pushes additionally send at most √c·r_a/(k+1).
+            let new_bound = if is_insert {
+                let ra = recs
+                    .binary_search_by_key(&a, |&(x, _)| x)
+                    .ok()
+                    .map(|i| recs[i].1)
+                    .unwrap_or(0.0);
+                (rb * k + sqrt_c * ra) / (k + 1.0)
+            } else if old_in_degree_b <= 1 {
+                0.0 // b loses its last in-edge: every inflow dies
+            } else {
+                rb * k / (k - 1.0)
+            };
+            if rb > r_max || new_bound > r_max {
+                dirty.push(rank);
+            } else {
+                match rb_slot {
+                    Ok(i) => recs[i].1 = new_bound,
+                    Err(i) if new_bound > 0.0 => recs.insert(i, (b, new_bound)),
+                    Err(_) => {}
+                }
+            }
+        }
+        dirty
+    }
+}
+
 /// Immutable hub index.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PrsimIndex {
@@ -53,50 +160,128 @@ impl PrsimIndex {
         max_level: usize,
         build_threads: usize,
     ) -> Self {
+        Self::build_tracked(g, hubs, sqrt_c, r_max, max_level, build_threads).0
+    }
+
+    /// [`PrsimIndex::build`], additionally returning the per-hub touched
+    /// sets the dynamic engine uses to repair only the searches an edge
+    /// update can actually have changed.
+    pub fn build_tracked(
+        g: &DiGraph,
+        hubs: Vec<NodeId>,
+        sqrt_c: f64,
+        r_max: f64,
+        max_level: usize,
+        build_threads: usize,
+    ) -> (Self, HubTouchSets) {
         let n = g.node_count();
         let mut hub_pos = vec![NOT_A_HUB; n];
         for (rank, &w) in hubs.iter().enumerate() {
             hub_pos[w as usize] = rank as u32;
         }
 
-        let threads = build_threads.max(1).min(hubs.len().max(1));
-        let mut lists: Vec<HubLists> = Vec::with_capacity(hubs.len());
-        if threads <= 1 || hubs.len() < 4 {
-            for &w in &hubs {
-                lists.push(Self::search_one(g, w, sqrt_c, r_max, max_level));
-            }
-        } else {
-            let mut slots: Vec<Option<HubLists>> = vec![None; hubs.len()];
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots_mutex = std::sync::Mutex::new(&mut slots);
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= hubs.len() {
-                            break;
-                        }
-                        let result = Self::search_one(g, hubs[i], sqrt_c, r_max, max_level);
-                        slots_mutex.lock().expect("no panics hold this lock")[i] = Some(result);
-                    });
-                }
-            });
-            lists.extend(slots.into_iter().map(|s| s.expect("all hubs processed")));
+        let searched = Self::search_many(g, &hubs, sqrt_c, r_max, max_level, build_threads);
+        let mut lists = Vec::with_capacity(hubs.len());
+        let mut touched = Vec::with_capacity(hubs.len());
+        for (l, t) in searched {
+            lists.push(l);
+            touched.push(t);
         }
 
-        PrsimIndex {
-            hubs,
-            hub_pos,
-            lists,
+        (
+            PrsimIndex {
+                hubs,
+                hub_pos,
+                lists,
+            },
+            HubTouchSets { per_hub: touched },
+        )
+    }
+
+    /// Runs the backward searches for `hubs` (any node list) over
+    /// `threads` workers, returning per-hub filtered reserve lists and
+    /// touched sets in input order.
+    fn search_many(
+        g: &DiGraph,
+        hubs: &[NodeId],
+        sqrt_c: f64,
+        r_max: f64,
+        max_level: usize,
+        threads: usize,
+    ) -> Vec<(HubLists, TouchRecord)> {
+        let threads = threads.max(1).min(hubs.len().max(1));
+        if threads <= 1 || hubs.len() < 4 {
+            return hubs
+                .iter()
+                .map(|&w| Self::search_one(g, w, sqrt_c, r_max, max_level))
+                .collect();
+        }
+        let mut slots: Vec<Option<(HubLists, TouchRecord)>> = vec![None; hubs.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= hubs.len() {
+                        break;
+                    }
+                    let result = Self::search_one(g, hubs[i], sqrt_c, r_max, max_level);
+                    slots_mutex.lock().expect("no panics hold this lock")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("all hubs processed"))
+            .collect()
+    }
+
+    fn search_one(
+        g: &DiGraph,
+        w: NodeId,
+        sqrt_c: f64,
+        r_max: f64,
+        max_level: usize,
+    ) -> (HubLists, TouchRecord) {
+        let res = backward_search(g, sqrt_c, w, r_max, max_level);
+        let lists = res
+            .levels
+            .into_iter()
+            .map(|level| level.into_iter().filter(|&(_, psi)| psi > r_max).collect())
+            .collect();
+        (lists, res.touched)
+    }
+
+    /// Extends the node universe to `n` (new nodes are non-hubs). Called
+    /// by the dynamic engine when edge inserts grow the graph.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n > self.hub_pos.len() {
+            self.hub_pos.resize(n, NOT_A_HUB);
         }
     }
 
-    fn search_one(g: &DiGraph, w: NodeId, sqrt_c: f64, r_max: f64, max_level: usize) -> HubLists {
-        let res = backward_search(g, sqrt_c, w, r_max, max_level);
-        res.levels
-            .into_iter()
-            .map(|level| level.into_iter().filter(|&(_, psi)| psi > r_max).collect())
-            .collect()
+    /// Re-runs the backward searches of the hubs at `ranks` against the
+    /// (mutated) graph `g`, replacing their reserve lists in place and
+    /// updating their entries in `touch`. Repairs fan out over `threads`
+    /// workers like the build.
+    #[allow(clippy::too_many_arguments)] // mirrors build_tracked's signature
+    pub fn repair_hubs(
+        &mut self,
+        g: &DiGraph,
+        ranks: &[usize],
+        touch: &mut HubTouchSets,
+        sqrt_c: f64,
+        r_max: f64,
+        max_level: usize,
+        threads: usize,
+    ) {
+        let nodes: Vec<NodeId> = ranks.iter().map(|&r| self.hubs[r]).collect();
+        let repaired = Self::search_many(g, &nodes, sqrt_c, r_max, max_level, threads);
+        for (&rank, (lists, touched)) in ranks.iter().zip(repaired) {
+            self.lists[rank] = lists;
+            touch.per_hub[rank] = touched;
+        }
     }
 
     /// Creates an empty (index-free) instance for a graph with `n` nodes.
@@ -321,6 +506,76 @@ mod tests {
         assert_eq!(idx.entry_count(), 0);
         assert!(!idx.contains(3));
         assert!(idx.level_list(3, 0).is_none());
+    }
+
+    #[test]
+    fn dirty_tracking_repairs_to_fresh_build() {
+        // Apply a random-ish edit stream; after each edit, repairing only
+        // the dirty hubs must reproduce a from-scratch tracked build's
+        // reserve lists exactly (same hub set, same graph).
+        use prsim_graph::delta::DeltaGraph;
+        let g = graph();
+        let r_max = 1e-3;
+        let pi = reverse_pagerank(&g, SQRT_C, 1e-10, 64);
+        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(16).collect();
+        let (mut idx, mut touch) =
+            PrsimIndex::build_tracked(&g, hubs.clone(), SQRT_C, r_max, 64, 2);
+        assert_eq!(touch.hub_count(), 16);
+        assert!(touch.entry_count() > 0);
+
+        let mut prev = g.clone();
+        let mut d = DeltaGraph::new(g);
+        let edits = [(5u32, 150u32, true), (0, 199, true), (1, 0, false)];
+        for (a, b, insert) in edits {
+            let changed = if insert {
+                d.insert_edge(a, b)
+            } else {
+                d.delete_edge(a, b)
+            };
+            if !changed {
+                continue;
+            }
+            let old_din_b = if (b as usize) < prev.node_count() {
+                prev.in_degree(b)
+            } else {
+                0
+            };
+            let dirty = touch.plan_update(a, b, old_din_b, insert, SQRT_C, r_max);
+            let snap = d.snapshot();
+            idx.repair_hubs(&snap, &dirty, &mut touch, SQRT_C, r_max, 64, 2);
+            // The repaired index must equal a from-scratch build exactly:
+            // dirty hubs are re-searched and clean hubs are unchanged by
+            // construction of the dirty rule.
+            let (fresh, fresh_touch) =
+                PrsimIndex::build_tracked(&snap, hubs.clone(), SQRT_C, r_max, 64, 1);
+            assert_eq!(idx, fresh, "after edit ({a}, {b}, insert={insert})");
+            // Stored records must dominate the fresh search's residues
+            // (they are maintained as sound upper bounds on clean hubs
+            // and recomputed exactly on repaired ones).
+            for rank in 0..touch.hub_count() {
+                for &(v, rf) in &fresh_touch.per_hub[rank] {
+                    let stored = touch.max_residue(rank, v);
+                    assert!(
+                        stored >= rf - 1e-12 * rf.abs(),
+                        "hub rank {rank}, node {v}: stored bound {stored} < fresh residue {rf}"
+                    );
+                }
+            }
+            prev = snap;
+        }
+    }
+
+    #[test]
+    fn ensure_nodes_extends_non_hub_universe() {
+        let g = graph();
+        let mut idx = build(&g, 8, 1);
+        let n = g.node_count();
+        idx.ensure_nodes(n + 5);
+        assert!(!idx.contains((n + 4) as NodeId));
+        assert!(idx.level_list((n + 4) as NodeId, 0).is_none());
+        // Shrinking is a no-op.
+        idx.ensure_nodes(1);
+        assert!(idx.contains(idx.hubs()[0]));
     }
 
     #[test]

@@ -74,9 +74,9 @@ pub mod vbbw;
 pub mod walk;
 pub mod workspace;
 
-pub use config::{HubCount, PrsimConfig, QueryParams};
-pub use dynamic::DynamicPrsim;
-pub use index::PrsimIndex;
+pub use config::{DynamicParams, HubCount, PrsimConfig, QueryParams};
+pub use dynamic::{DynamicPrsim, DynamicTotals, UpdateMode, UpdateStats};
+pub use index::{HubTouchSets, PrsimIndex};
 pub use query::Prsim;
 pub use scores::SimRankScores;
 pub use topk::{TopKParams, TopKResult};

@@ -67,6 +67,106 @@ pub fn reverse_pagerank(g: &DiGraph, sqrt_c: f64, tol: f64, max_iter: usize) -> 
     pi
 }
 
+/// Outcome of a warm-start reverse-PageRank refinement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefineOutcome {
+    /// Richardson iterations performed.
+    pub iterations: usize,
+    /// L1 norm of the residual before any iteration (how stale the
+    /// warm-start vector was).
+    pub initial_residual: f64,
+    /// L1 norm of the residual when iteration stopped.
+    pub final_residual: f64,
+    /// Total L1 mass moved in `π` by this refinement — the drift signal
+    /// the dynamic engine accumulates against its rebuild budget.
+    pub l1_change: f64,
+}
+
+/// Refines a reverse-PageRank vector in place toward the exact solution
+/// for the (possibly mutated) graph `g`, warm-starting from the previous
+/// vector.
+///
+/// The exact vector solves the linear system `π/α = p₀ + A·(π/α)` where
+/// `p₀` is uniform `1/n` and `(A·x)(z) = √c · Σ_{v ∈ O(z)} x(v)/d_in(v)`
+/// (the occupancy-propagation operator of [`reverse_pagerank`], whose L1
+/// operator norm is at most `√c`). Refinement is Richardson iteration on
+/// the *residual*: with `g = π/α` and `r = p₀ + A·g − g`, repeatedly
+/// `g += r; r ← A·r` until `‖r‖₁ < tol`. Each step contracts the
+/// residual by `√c`, so after `k` edge updates the warm start converges
+/// in `O(log(‖r₀‖/tol))` iterations — `‖r₀‖` is tiny when few edges
+/// changed, which is the whole point.
+///
+/// `pi` is resized (with zeros) when `g` has grown new nodes. Passing an
+/// all-zero vector computes the PageRank from scratch, which is how the
+/// equivalence tests pin this against [`reverse_pagerank`].
+pub fn refine_reverse_pagerank(
+    g: &DiGraph,
+    sqrt_c: f64,
+    tol: f64,
+    max_iter: usize,
+    pi: &mut Vec<f64>,
+) -> RefineOutcome {
+    let n = g.node_count();
+    pi.resize(n, 0.0);
+    if n == 0 {
+        return RefineOutcome::default();
+    }
+    let alpha = 1.0 - sqrt_c;
+    let inv_n = 1.0 / n as f64;
+
+    // Occupancy g = π/α and per-node x/d_in scratch.
+    let mut occ: Vec<f64> = pi.iter().map(|&x| x / alpha).collect();
+    let mut scaled: Vec<f64> = vec![0.0; n];
+    let in_degrees = g.in_degrees();
+
+    // (A·x)(z) = √c Σ_{v ∈ O(z)} x(v)/d_in(v), reading `scaled[v]`.
+    let apply = |scaled: &[f64], out: &mut Vec<f64>| {
+        out.clear();
+        for z in 0..n as NodeId {
+            let mut acc = 0.0;
+            for &v in g.out_neighbors(z) {
+                acc += scaled[v as usize];
+            }
+            out.push(sqrt_c * acc);
+        }
+    };
+
+    // r = p0 + A·occ − occ.
+    for (slot, (&x, &d)) in scaled.iter_mut().zip(occ.iter().zip(in_degrees)) {
+        *slot = if d == 0 { 0.0 } else { x / d as f64 };
+    }
+    let mut r: Vec<f64> = Vec::with_capacity(n);
+    apply(&scaled, &mut r);
+    for (slot, &x) in r.iter_mut().zip(occ.iter()) {
+        *slot += inv_n - x;
+    }
+
+    let mut outcome = RefineOutcome {
+        initial_residual: r.iter().map(|x| x.abs()).sum(),
+        ..Default::default()
+    };
+    let mut residual_l1 = outcome.initial_residual;
+    let mut next_r: Vec<f64> = Vec::with_capacity(n);
+    while residual_l1 >= tol && outcome.iterations < max_iter {
+        outcome.iterations += 1;
+        outcome.l1_change += alpha * residual_l1;
+        for v in 0..n {
+            occ[v] += r[v];
+            let d = in_degrees[v];
+            scaled[v] = if d == 0 { 0.0 } else { r[v] / d as f64 };
+        }
+        apply(&scaled, &mut next_r);
+        std::mem::swap(&mut r, &mut next_r);
+        residual_l1 = r.iter().map(|x| x.abs()).sum();
+    }
+    outcome.final_residual = residual_l1;
+
+    for (slot, &o) in pi.iter_mut().zip(occ.iter()) {
+        *slot = alpha * o;
+    }
+    outcome
+}
+
 /// Monte-Carlo estimate of reverse PageRank from `nr` walks per the
 /// definition — used to cross-validate [`reverse_pagerank`] in tests.
 pub fn reverse_pagerank_monte_carlo<R: Rng + ?Sized>(
@@ -233,6 +333,71 @@ mod tests {
                 "node {w}: exact {e:.5} vs mc {m:.5}"
             );
         }
+    }
+
+    #[test]
+    fn refine_from_zero_matches_direct_computation() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(150, 5.0, 2.0, 21));
+        let direct = reverse_pagerank(&g, SQRT_C, 1e-12, 300);
+        let mut pi = Vec::new();
+        let out = refine_reverse_pagerank(&g, SQRT_C, 1e-12, 300, &mut pi);
+        assert!(out.iterations > 0);
+        assert!(out.final_residual < 1e-12);
+        for (v, (&a, &b)) in direct.iter().zip(pi.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-9, "node {v}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_refine_tracks_edge_updates_cheaply() {
+        use prsim_graph::delta::DeltaGraph;
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(200, 6.0, 2.0, 22));
+        let mut pi = reverse_pagerank(&g, SQRT_C, 1e-12, 300);
+
+        let mut d = DeltaGraph::new(g);
+        let (du, dv) = d.edges().next().unwrap();
+        assert!(d.delete_edge(du, dv));
+        assert!(d.insert_edge(0, 190));
+        let g2 = d.snapshot();
+
+        let fresh = reverse_pagerank(&g2, SQRT_C, 1e-12, 300);
+        let mut cold = Vec::new();
+        let cold_out = refine_reverse_pagerank(&g2, SQRT_C, 1e-10, 300, &mut cold);
+        let warm_out = refine_reverse_pagerank(&g2, SQRT_C, 1e-10, 300, &mut pi);
+
+        for (v, (&a, &b)) in fresh.iter().zip(pi.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-8, "node {v}: fresh {a} vs warm {b}");
+        }
+        // Warm start must start much closer (and so converge in fewer
+        // iterations) than the cold solve.
+        assert!(warm_out.initial_residual < 0.1 * cold_out.initial_residual);
+        assert!(warm_out.iterations < cold_out.iterations);
+        assert!(warm_out.l1_change < 0.1, "two edits move little mass");
+    }
+
+    #[test]
+    fn refine_grows_with_node_universe() {
+        use prsim_graph::delta::DeltaGraph;
+        let g = prsim_gen::toys::cycle(5);
+        let mut pi = reverse_pagerank(&g, SQRT_C, 1e-12, 200);
+        let mut d = DeltaGraph::new(g);
+        assert!(d.insert_edge(4, 9)); // grows n to 10
+        let g2 = d.snapshot();
+        refine_reverse_pagerank(&g2, SQRT_C, 1e-12, 300, &mut pi);
+        let fresh = reverse_pagerank(&g2, SQRT_C, 1e-12, 300);
+        assert_eq!(pi.len(), 10);
+        for (v, (&a, &b)) in fresh.iter().zip(pi.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-9, "node {v}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn refine_empty_graph_is_a_noop() {
+        let g = prsim_graph::DiGraph::from_edges(0, &[]);
+        let mut pi = Vec::new();
+        let out = refine_reverse_pagerank(&g, SQRT_C, 1e-9, 10, &mut pi);
+        assert!(pi.is_empty());
+        assert_eq!(out.iterations, 0);
     }
 
     #[test]

@@ -143,6 +143,13 @@ impl Prsim {
         })
     }
 
+    /// Disassembles the engine into its parts. The dynamic engine uses
+    /// this to mutate graph/π/index in place and cheaply reassemble via
+    /// [`Prsim::from_parts`] without cloning CSR-sized state.
+    pub(crate) fn into_parts(self) -> (DiGraph, Vec<f64>, PrsimIndex, PrsimConfig) {
+        (self.graph, self.pi, self.index, self.config)
+    }
+
     /// The underlying (out-sorted) graph.
     pub fn graph(&self) -> &DiGraph {
         &self.graph

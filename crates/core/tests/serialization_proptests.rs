@@ -1,0 +1,110 @@
+//! Property tests for [`PrsimIndex`] serialization: round trips over
+//! arbitrary graphs, and byte-level corruption handled without panics or
+//! attacker-sized allocations.
+
+use proptest::prelude::*;
+use prsim_core::pagerank::{rank_by_pagerank, reverse_pagerank};
+use prsim_core::PrsimIndex;
+use prsim_graph::ordering::sort_out_by_in_degree;
+use prsim_graph::{DiGraph, GraphBuilder, NodeId};
+
+const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+/// Random simple graphs over up to 30 nodes (the builder dedups).
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120).prop_map(move |es| {
+            let mut b = GraphBuilder::new();
+            b.ensure_nodes(n);
+            for (u, v) in es {
+                b.add_edge(u, v);
+            }
+            let mut g = b.build();
+            sort_out_by_in_degree(&mut g);
+            g
+        })
+    })
+}
+
+fn build_index(g: &DiGraph, j0: usize) -> PrsimIndex {
+    let pi = reverse_pagerank(g, SQRT_C, 1e-10, 64);
+    let hubs: Vec<NodeId> = rank_by_pagerank(&pi)
+        .into_iter()
+        .take(j0.min(g.node_count()))
+        .collect();
+    PrsimIndex::build(g, hubs, SQRT_C, 1e-3, 64, 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// to_bytes/from_bytes is the identity for indexes over arbitrary
+    /// graphs and hub counts (including 0 and n).
+    #[test]
+    fn index_round_trips(g in arb_graph(), j0 in 0usize..30) {
+        let idx = build_index(&g, j0);
+        let bytes = idx.to_bytes();
+        let back = PrsimIndex::from_bytes(&bytes, g.node_count())
+            .map_err(|e| format!("round trip rejected: {e}"))?;
+        prop_assert_eq!(idx, back);
+    }
+
+    /// Random single-byte corruption must never panic, and whatever
+    /// `from_bytes` accepts must still be a structurally valid index for
+    /// the graph (validation is what protects query code from reading
+    /// out of range).
+    #[test]
+    fn index_corruption_never_panics(g in arb_graph(), j0 in 1usize..20,
+                                     pos in 0usize..1 << 16, mask in 1u8..255) {
+        let idx = build_index(&g, j0);
+        let mut bytes = idx.to_bytes().to_vec();
+        let at = pos % bytes.len();
+        bytes[at] ^= mask;
+        if let Ok(parsed) = PrsimIndex::from_bytes(&bytes, g.node_count()) {
+            // Accepted despite the flip (e.g. a ψ mantissa bit): every
+            // invariant queries rely on must still hold.
+            prop_assert!(parsed.hub_count() <= g.node_count());
+            for &h in parsed.hubs() {
+                prop_assert!((h as usize) < g.node_count());
+                prop_assert!(parsed.contains(h));
+            }
+            for rank in 0..parsed.hub_count() {
+                let w = parsed.hubs()[rank];
+                let mut level = 0usize;
+                while let Some(list) = parsed.level_list(w, level) {
+                    for &(v, psi) in list {
+                        prop_assert!((v as usize) < g.node_count());
+                        prop_assert!(psi.is_finite() && psi >= 0.0);
+                    }
+                    level += 1;
+                    if level > 128 { break; }
+                }
+            }
+        }
+    }
+
+    /// Every truncation of a valid payload is rejected with an error.
+    #[test]
+    fn index_truncation_always_rejected(g in arb_graph(), j0 in 1usize..20,
+                                        cut_frac in 0.0f64..1.0) {
+        let idx = build_index(&g, j0);
+        let bytes = idx.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(
+            PrsimIndex::from_bytes(&bytes[..cut], g.node_count()).is_err(),
+            "truncation at {} of {} accepted", cut, bytes.len()
+        );
+    }
+
+    /// A hub count claiming more hubs than `n` (the oversized-allocation
+    /// vector) is rejected before any allocation proportional to it.
+    #[test]
+    fn index_rejects_oversized_hub_counts(g in arb_graph(), claim in 0u64..u64::MAX) {
+        let idx = build_index(&g, 2);
+        let mut bytes = idx.to_bytes().to_vec();
+        let n = g.node_count() as u64;
+        prop_assume!(claim > n);
+        bytes[8..16].copy_from_slice(&claim.to_le_bytes());
+        prop_assert!(PrsimIndex::from_bytes(&bytes, g.node_count()).is_err());
+    }
+}

@@ -1,12 +1,18 @@
 //! Graph file formats.
 //!
-//! Two formats are supported:
+//! Three formats are supported:
 //!
 //! * **Edge-list text** — one `source target` pair per line, whitespace
 //!   separated; `#`- and `%`-prefixed lines are comments. This matches the
 //!   SNAP / LAW dataset formats referenced by the paper (Table 3 sources).
 //! * **Compact binary** — a little-endian dump of the CSR arrays with a
 //!   magic header, for fast reload of generated benchmark graphs.
+//! * **Update-stream text** — one `+ source target` (insert) or
+//!   `- source target` (delete) line per edge mutation, with the same
+//!   comment rules; the replay input of the dynamic engine and of
+//!   `prsim update --stream`.
+//!
+//! Every parse failure names the offending line and token.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -15,6 +21,7 @@ use std::path::Path;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::csr::{DiGraph, NodeId};
+use crate::delta::EdgeUpdate;
 use crate::GraphBuilder;
 use crate::GraphError;
 
@@ -35,26 +42,87 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DiGraph, GraphError> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let u = parse_node(it.next(), lineno + 1, "missing source")?;
-        let v = parse_node(it.next(), lineno + 1, "missing target")?;
+        let u = parse_node(it.next(), t, lineno + 1, "source")?;
+        let v = parse_node(it.next(), t, lineno + 1, "target")?;
         b.add_edge(u, v);
     }
     Ok(b.build())
 }
 
-fn parse_node(tok: Option<&str>, line: usize, what: &str) -> Result<NodeId, GraphError> {
+/// Parses one node-id token. Every failure variant carries the 1-based
+/// line number and the offending token (for a missing token, the whole
+/// line it was missing from).
+fn parse_node(
+    tok: Option<&str>,
+    line_text: &str,
+    line: usize,
+    role: &str,
+) -> Result<NodeId, GraphError> {
     let tok = tok.ok_or_else(|| GraphError::Parse {
         line,
-        message: what.to_string(),
+        message: format!("missing {role} in line {line_text:?}"),
     })?;
     let raw: u64 = tok.parse().map_err(|_| GraphError::Parse {
         line,
-        message: format!("invalid node id {tok:?}"),
+        message: format!("invalid {role} node id {tok:?}"),
     })?;
     if raw >= u32::MAX as u64 {
-        return Err(GraphError::NodeIdOverflow(raw));
+        return Err(GraphError::NodeIdOverflow {
+            line,
+            token: tok.to_string(),
+        });
     }
     Ok(raw as NodeId)
+}
+
+/// Reads an update-stream text file: one `+ u v` (insert) or `- u v`
+/// (delete) per line; `#`/`%` comments and blank lines are skipped.
+pub fn read_update_list<R: BufRead>(reader: R) -> Result<Vec<EdgeUpdate>, GraphError> {
+    let mut updates = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let line_no = lineno + 1;
+        let mut it = t.split_whitespace();
+        let op = it.next().expect("non-empty trimmed line has a token");
+        let u = parse_node(it.next(), t, line_no, "source")?;
+        let v = parse_node(it.next(), t, line_no, "target")?;
+        updates.push(match op {
+            "+" | "i" | "insert" => EdgeUpdate::Insert(u, v),
+            "-" | "d" | "delete" => EdgeUpdate::Delete(u, v),
+            other => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("invalid update op {other:?} (want + or -)"),
+                })
+            }
+        });
+    }
+    Ok(updates)
+}
+
+/// Reads an update-stream text file from `path` (see [`read_update_list`]).
+pub fn read_update_list_file<P: AsRef<Path>>(path: P) -> Result<Vec<EdgeUpdate>, GraphError> {
+    read_update_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes an update stream as text, one `+/- u v` line per update.
+pub fn write_update_list<W: Write>(updates: &[EdgeUpdate], mut w: W) -> Result<(), GraphError> {
+    for up in updates {
+        writeln!(w, "{up}")?;
+    }
+    Ok(())
+}
+
+/// Writes an update stream to `path` (see [`write_update_list`]).
+pub fn write_update_list_file<P: AsRef<Path>>(
+    updates: &[EdgeUpdate],
+    path: P,
+) -> Result<(), GraphError> {
+    write_update_list(updates, BufWriter::new(File::create(path)?))
 }
 
 /// Reads an edge-list text file (see [`read_edge_list`]).
@@ -114,7 +182,13 @@ pub fn from_binary(mut data: &[u8]) -> Result<DiGraph, GraphError> {
     let m = data.get_u64_le() as usize;
     let sorted = data.get_u8() != 0;
 
-    let need = 8 * (2 * (n + 1)) + 4 * (2 * m);
+    // Checked: a corrupted header can carry n/m near u64::MAX, and the
+    // size computation must reject it rather than overflow or allocate.
+    let need = n
+        .checked_add(1)
+        .and_then(|x| x.checked_mul(16))
+        .and_then(|x| m.checked_mul(8).and_then(|y| x.checked_add(y)))
+        .ok_or_else(|| GraphError::Corrupt("header sizes overflow".into()))?;
     if data.remaining() < need {
         return Err(GraphError::Corrupt(format!(
             "payload truncated: need {need} bytes, have {}",
@@ -204,20 +278,106 @@ mod tests {
     }
 
     #[test]
-    fn edge_list_rejects_garbage() {
-        let text = "0 x\n";
+    fn edge_list_rejects_garbage_naming_token_and_line() {
+        // Garbage target token: message carries the token verbatim.
+        let err = read_edge_list(BufReader::new("0 1\n0 x\n".as_bytes())).unwrap_err();
+        match &err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(*line, 2);
+                assert!(message.contains("\"x\""), "token missing from {message:?}");
+                assert!(message.contains("target"), "role missing from {message:?}");
+            }
+            other => panic!("want Parse, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line 2"));
+
+        // Missing target: message carries the offending line text.
+        let err = read_edge_list(BufReader::new("7\n".as_bytes())).unwrap_err();
+        match &err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(*line, 1);
+                assert!(message.contains("missing target"), "{message:?}");
+                assert!(
+                    message.contains("\"7\""),
+                    "line text missing from {message:?}"
+                );
+            }
+            other => panic!("want Parse, got {other:?}"),
+        }
+
+        // Garbage source token (negative number is not a node id).
+        let err = read_edge_list(BufReader::new("-3 1\n".as_bytes())).unwrap_err();
+        match &err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(*line, 1);
+                assert!(message.contains("\"-3\""), "{message:?}");
+                assert!(message.contains("source"), "{message:?}");
+            }
+            other => panic!("want Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_huge_ids_naming_token_and_line() {
+        let big = u64::from(u32::MAX);
+        let text = format!("0 1\n\n0 {big}\n");
         let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
-        let text = "7\n";
-        let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
+        match &err {
+            GraphError::NodeIdOverflow { line, token } => {
+                assert_eq!(*line, 3);
+                assert_eq!(token, &big.to_string());
+            }
+            other => panic!("want NodeIdOverflow, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains(&big.to_string()), "{msg}");
+        // Values beyond u64 also fail with line + token (parse, not panic).
+        let err =
+            read_edge_list(BufReader::new("99999999999999999999999 0\n".as_bytes())).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
     }
 
     #[test]
-    fn edge_list_rejects_huge_ids() {
-        let text = format!("0 {}\n", u64::from(u32::MAX));
-        let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
-        assert!(matches!(err, GraphError::NodeIdOverflow(_)));
+    fn update_list_round_trip_and_aliases() {
+        use crate::delta::EdgeUpdate::{Delete, Insert};
+        let updates = vec![Insert(0, 1), Delete(1, 2), Insert(5, 3)];
+        let mut buf = Vec::new();
+        write_update_list(&updates, &mut buf).unwrap();
+        let back = read_update_list(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, updates);
+        // Comments, blanks and the word/letter op aliases.
+        let text = "# stream\n+ 0 1\n\ni 2 3\ninsert 4 5\n- 0 1\nd 2 3\ndelete 4 5\n% end\n";
+        let ups = read_update_list(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(
+            ups,
+            vec![
+                Insert(0, 1),
+                Insert(2, 3),
+                Insert(4, 5),
+                Delete(0, 1),
+                Delete(2, 3),
+                Delete(4, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn update_list_rejects_malformed_lines() {
+        for (text, want_line, needle) in [
+            ("+ 0\n", 1, "missing target"),
+            ("* 0 1\n", 1, "invalid update op"),
+            ("+ 0 1\n- x 2\n", 2, "\"x\""),
+            (&format!("+ 0 {}\n", u64::from(u32::MAX)), 1, ""),
+        ] {
+            let err = read_update_list(BufReader::new(text.as_bytes())).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("line {want_line}")),
+                "{text:?}: {msg}"
+            );
+            assert!(msg.contains(needle), "{text:?}: {msg}");
+        }
     }
 
     #[test]

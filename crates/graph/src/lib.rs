@@ -10,6 +10,9 @@
 //!   in-edges while backward searches traverse out-edges.
 //! * [`GraphBuilder`] — incremental edge-list construction with optional
 //!   deduplication and self-loop removal.
+//! * [`DeltaGraph`] — an edge insert/delete overlay over a CSR base with
+//!   threshold-driven compaction, the substrate of the dynamic PRSim
+//!   engine (paper §3.5).
 //! * [`ordering`] — the counting-sort pass of the paper's Algorithm 1
 //!   (lines 1–4) that orders every out-adjacency list by ascending
 //!   in-degree of the target, which the Variance Bounded Backward Walk
@@ -43,6 +46,7 @@
 pub mod builder;
 pub mod csr;
 pub mod degrees;
+pub mod delta;
 pub mod io;
 pub mod ordering;
 pub mod stats;
@@ -52,6 +56,7 @@ pub mod traversal;
 pub use builder::GraphBuilder;
 pub use csr::{DiGraph, NodeId};
 pub use degrees::{ccdf, DegreeKind, DegreeStats};
+pub use delta::{DeltaGraph, EdgeUpdate};
 pub use stats::{degree_histogram, graph_stats, GraphStats};
 pub use subgraph::{induced_subgraph, largest_wcc, Subgraph};
 
@@ -59,7 +64,12 @@ pub use subgraph::{induced_subgraph, largest_wcc, Subgraph};
 #[derive(Debug)]
 pub enum GraphError {
     /// A node id in the input exceeds the supported maximum (`u32::MAX - 1`).
-    NodeIdOverflow(u64),
+    NodeIdOverflow {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The token that overflowed, verbatim.
+        token: String,
+    },
     /// An IO error while reading or writing a graph file.
     Io(std::io::Error),
     /// A malformed line in an edge-list file.
@@ -76,10 +86,10 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::NodeIdOverflow(id) => {
+            GraphError::NodeIdOverflow { line, token } => {
                 write!(
                     f,
-                    "node id {id} exceeds the supported maximum (u32::MAX - 1)"
+                    "parse error at line {line}: node id {token:?} exceeds the supported maximum (u32::MAX - 1)"
                 )
             }
             GraphError::Io(e) => write!(f, "io error: {e}"),

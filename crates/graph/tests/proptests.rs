@@ -115,4 +115,89 @@ proptest! {
         e2.sort_unstable();
         prop_assert_eq!(e1, e2);
     }
+
+    /// Random byte corruption of the binary format must be rejected (or,
+    /// rarely, still parse to *a* graph) without panicking — and
+    /// truncations must always be rejected.
+    #[test]
+    fn binary_corruption_never_panics((n, edges) in arb_edges(),
+                                      flips in proptest::collection::vec((0usize..1 << 16, 1u8..255), 1..8),
+                                      cut_frac in 0.0f64..1.0) {
+        let g = DiGraph::from_edges(n, &edges);
+        let bytes = to_binary(&g).to_vec();
+
+        let mut corrupt = bytes.clone();
+        for &(pos, mask) in &flips {
+            let idx = pos % corrupt.len();
+            corrupt[idx] ^= mask;
+        }
+        // No panic, no oversized allocation: the call must simply return.
+        // (Length fields are validated against the remaining payload, so a
+        // corrupted count cannot drive allocation beyond the input size.)
+        let _ = from_binary(&corrupt);
+
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(from_binary(&bytes[..cut]).is_err(), "truncation at {} accepted", cut);
+    }
+
+    /// A DeltaGraph driven by a random update stream always snapshots to
+    /// exactly the graph a from-scratch rebuild of its edge set produces.
+    #[test]
+    fn delta_graph_matches_rebuild((n, edges) in arb_edges(),
+                                   stream in proptest::collection::vec((0u8..2, 0u32..40, 0u32..40), 0..60),
+                                   threshold in 1usize..12) {
+        use prsim_graph::delta::DeltaGraph;
+        use std::collections::BTreeSet;
+
+        // Simple-graph base, as the dynamic engine uses.
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let base = b.build();
+
+        let mut live: BTreeSet<(u32, u32)> = base.edges().collect();
+        let mut delta = DeltaGraph::with_threshold(base, threshold);
+        let mut max_n = delta.node_count();
+        for &(op, u, v) in &stream {
+            let changed = if op == 0 {
+                let want = u != v && !live.contains(&(u, v));
+                let got = delta.insert_edge(u, v);
+                prop_assert_eq!(got, want, "insert ({}, {})", u, v);
+                if got {
+                    live.insert((u, v));
+                    max_n = max_n.max(u as usize + 1).max(v as usize + 1);
+                }
+                got
+            } else {
+                let want = live.contains(&(u, v));
+                let got = delta.delete_edge(u, v);
+                prop_assert_eq!(got, want, "delete ({}, {})", u, v);
+                if got {
+                    live.remove(&(u, v));
+                }
+                got
+            };
+            let _ = changed;
+            prop_assert_eq!(delta.edge_count(), live.len());
+        }
+
+        let snap = delta.snapshot();
+        prop_assert!(snap.is_out_sorted_by_in_degree());
+        prop_assert_eq!(snap.node_count(), max_n);
+        let mut got: Vec<_> = snap.edges().collect();
+        got.sort_unstable();
+        let want: Vec<_> = live.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        // Counting-sort invariant on every out list.
+        for u in snap.nodes() {
+            let degs: Vec<usize> = snap
+                .out_neighbors(u)
+                .iter()
+                .map(|&v| snap.in_degree(v))
+                .collect();
+            prop_assert!(degs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
 }
