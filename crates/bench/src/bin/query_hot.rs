@@ -6,9 +6,16 @@
 //!
 //! * engine build time,
 //! * single-source latency (p50 / p95 / mean over a seeded query set) and
-//!   the derived queries-per-second,
-//! * batch throughput of [`Prsim::batch_single_source`] at 1, 2 and 4
-//!   threads.
+//!   the derived queries-per-second, on both the f64 and the f32 reserve
+//!   arenas,
+//! * index memory: live postings, offset-table slots and resident
+//!   `size_bytes` for both arena precisions, plus the estimated resident
+//!   size of the pre-arena nested `Vec<Vec<Vec<(NodeId, f64)>>>` layout
+//!   (16 bytes per entry after padding + 24-byte `Vec` headers) so the
+//!   compaction ratio is visible in the committed trajectory,
+//! * batch throughput of [`Prsim::batch_single_source`] at requested 1,
+//!   2 and 4 threads, recording the *effective* worker count after the
+//!   hardware/chunk cap ([`Prsim::effective_batch_threads`]).
 //!
 //! Everything is seeded, so two runs on the same machine measure the same
 //! work — the JSON is machine-comparable, not machine-portable.
@@ -20,14 +27,15 @@
 //! * default: run the full family (5k / 20k / 100k nodes) and write
 //!   `BENCH_query.json` in the current directory;
 //! * `--smoke`: run only the 5k graph (seconds, for CI);
-//! * `--check PATH`: after running, compare the measured single-source
-//!   p50 against the same-named dataset inside the committed JSON at
-//!   `PATH`; exit non-zero when either file is malformed or the fresh
-//!   p50 regresses by more than 3x.
+//! * `--check PATH`: after running, compare against the committed JSON at
+//!   `PATH`; exit non-zero when the file is malformed, the fresh
+//!   single-source p50 regresses by more than 3x, the committed row lacks
+//!   the index-memory fields, or the fresh f64 `size_bytes` exceeds 1.1x
+//!   its committed value (memory guardrail).
 
 use prsim_bench::hot::{hot_bench_config, percentile, HOT_C_MULT};
 use prsim_bench::json as mini_json;
-use prsim_core::{Prsim, QueryWorkspace, SimRankScores};
+use prsim_core::{Prsim, QueryWorkspace, ReservePrecision, SimRankScores};
 use prsim_gen::{chung_lu_undirected, ChungLuConfig};
 use prsim_graph::NodeId;
 use rand::rngs::StdRng;
@@ -37,6 +45,11 @@ use std::time::Instant;
 /// Latency tolerance of `--check`: fail when fresh p50 exceeds 3x the
 /// committed p50 for the same dataset.
 const CHECK_TOLERANCE: f64 = 3.0;
+
+/// Memory tolerance of `--check`: fail when the fresh f64 arena
+/// `size_bytes` exceeds 1.1x the committed value (the build is seeded, so
+/// any real growth is a layout regression, not noise).
+const SIZE_TOLERANCE: f64 = 1.1;
 
 struct DatasetSpec {
     name: &'static str,
@@ -72,7 +85,17 @@ const FAMILY: &[DatasetSpec] = &[
 
 struct BatchPoint {
     threads: usize,
+    threads_used: usize,
     qps: f64,
+}
+
+struct IndexRow {
+    hubs: usize,
+    entries: usize,
+    level_slots: usize,
+    size_bytes_f64: usize,
+    size_bytes_f32: usize,
+    nested_f64_size_bytes: usize,
 }
 
 struct BenchRow {
@@ -85,12 +108,47 @@ struct BenchRow {
     mean_us: f64,
     qps: f64,
     alloc_qps: f64,
+    f32_p50_us: f64,
+    f32_qps: f64,
+    index: IndexRow,
     batch: Vec<BatchPoint>,
 }
 
 /// Consumes the scores enough that the optimizer cannot elide the query.
 fn sink(scores: &SimRankScores) -> f64 {
     scores.get(scores.source()) + scores.len() as f64
+}
+
+/// Serial latency distribution of the workspace-reused hot path — the
+/// steady state of a query server. Returns (sorted latencies µs, qps).
+fn serial_latencies(engine: &Prsim, sources: &[NodeId], guard: &mut f64) -> (Vec<f64>, f64) {
+    let mut ws = QueryWorkspace::new();
+    // Warmup (touches the index + graph pages, grows the workspace).
+    for (i, &u) in sources.iter().take(10).enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xDEAD + i as u64);
+        *guard += sink(&engine.single_source_with_workspace(u, &mut ws, &mut rng));
+    }
+    let mut lat_us: Vec<f64> = Vec::with_capacity(sources.len());
+    let start = Instant::now();
+    for (i, &u) in sources.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
+        let t = Instant::now();
+        let scores = engine.single_source_with_workspace(u, &mut ws, &mut rng);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        *guard += sink(&scores);
+    }
+    let qps = sources.len() as f64 / start.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (lat_us, qps)
+}
+
+/// Resident-size estimate of the pre-arena nested layout for the same
+/// postings: `Vec<(u32, f64)>` stores 16 bytes per entry after padding,
+/// plus a 24-byte `Vec` header per (hub, level) list and per hub, plus
+/// the hub tables.
+fn nested_layout_bytes(index: &prsim_core::PrsimIndex, n: usize) -> usize {
+    let s = index.stats();
+    s.entries * 16 + (s.level_slots + s.hubs) * 24 + s.hubs * 4 + n * 4
 }
 
 fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
@@ -104,7 +162,7 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
     let m = graph.edge_count();
 
     let t0 = Instant::now();
-    let engine = Prsim::build(graph, hot_bench_config()).expect("bench config is valid");
+    let engine = Prsim::build(graph.clone(), hot_bench_config()).expect("bench config is valid");
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Seeded query set: uniform random sources, fixed across runs.
@@ -113,27 +171,11 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         .map(|_| pick.gen_range(0..n as NodeId))
         .collect();
 
-    // Warmup (touches the index + graph pages, grows the workspace).
+    // All f64 measurements run before the f32 engine exists: its build
+    // would otherwise evict the f64 engine's working set (each engine
+    // owns its own graph copy) and skew the serial numbers.
     let mut guard = 0.0;
-    let mut ws = QueryWorkspace::new();
-    for (i, &u) in sources.iter().take(10).enumerate() {
-        let mut rng = StdRng::seed_from_u64(0xDEAD + i as u64);
-        guard += sink(&engine.single_source_with_workspace(u, &mut ws, &mut rng));
-    }
-
-    // Serial latency distribution on the workspace-reused hot path —
-    // the steady state of a query server.
-    let mut lat_us: Vec<f64> = Vec::with_capacity(sources.len());
-    let serial_start = Instant::now();
-    for (i, &u) in sources.iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
-        let t = Instant::now();
-        let scores = engine.single_source_with_workspace(u, &mut ws, &mut rng);
-        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
-        guard += sink(&scores);
-    }
-    let serial_secs = serial_start.elapsed().as_secs_f64();
-    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (lat_us, qps) = serial_latencies(&engine, &sources, &mut guard);
     let mean_us = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
 
     // Secondary: the allocating entry point (fresh transient workspace
@@ -145,7 +187,8 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
     }
     let alloc_qps = sources.len() as f64 / alloc_start.elapsed().as_secs_f64();
 
-    // Batch throughput at 1 / 2 / 4 threads.
+    // Batch throughput at requested 1 / 2 / 4 threads; the engine caps
+    // the workers it actually spawns, and both counts are recorded.
     let mut batch = Vec::new();
     for threads in [1usize, 2, 4] {
         let t = Instant::now();
@@ -156,11 +199,25 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         guard += results.iter().map(sink).sum::<f64>();
         batch.push(BatchPoint {
             threads,
+            threads_used: Prsim::effective_batch_threads(sources.len(), threads),
             qps: sources.len() as f64 / secs,
         });
     }
 
+    // The same engine with the compact f32 arena (identical hubs, seeds
+    // and sample counts; only the reserve width differs).
+    let engine_f32 = Prsim::build(
+        graph,
+        prsim_core::PrsimConfig {
+            reserve_precision: ReservePrecision::F32,
+            ..hot_bench_config()
+        },
+    )
+    .expect("bench config is valid");
+    let (f32_lat_us, f32_qps) = serial_latencies(&engine_f32, &sources, &mut guard);
+
     assert!(guard.is_finite());
+    let stats = engine.index().stats();
     BenchRow {
         name: spec.name.to_string(),
         n,
@@ -169,22 +226,32 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         p50_us: percentile(&lat_us, 0.50),
         p95_us: percentile(&lat_us, 0.95),
         mean_us,
-        qps: sources.len() as f64 / serial_secs,
+        qps,
         alloc_qps,
+        f32_p50_us: percentile(&f32_lat_us, 0.50),
+        f32_qps,
+        index: IndexRow {
+            hubs: stats.hubs,
+            entries: stats.entries,
+            level_slots: stats.level_slots,
+            size_bytes_f64: stats.size_bytes,
+            size_bytes_f32: engine_f32.index().stats().size_bytes,
+            nested_f64_size_bytes: nested_layout_bytes(engine.index(), n),
+        },
         batch,
     }
 }
 
-/// `pre_pr` baseline block of an existing benchmark file, re-emitted on
-/// regeneration so the committed pre-PR record survives `--out`
+/// Baseline blocks of an existing benchmark file (`pre_pr`, `pr3`),
+/// re-emitted on regeneration so committed history survives `--out`
 /// overwrites.
-fn preserved_pre_pr(out_path: &str) -> Option<String> {
+fn preserved_block(out_path: &str, key: &str) -> Option<String> {
     let existing = std::fs::read_to_string(out_path).ok()?;
     let value = mini_json::parse(&existing).ok()?;
-    value.get("pre_pr").map(mini_json::render)
+    value.get(key).map(mini_json::render)
 }
 
-fn render_json(rows: &[BenchRow], queries: usize, pre_pr: Option<&str>) -> String {
+fn render_json(rows: &[BenchRow], queries: usize, preserved: &[(&str, String)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"query_hot\",\n");
@@ -198,19 +265,39 @@ fn render_json(rows: &[BenchRow], queries: usize, pre_pr: Option<&str>) -> Strin
         "  \"machine\": {{\"cpu_cores\": {}}},\n",
         std::thread::available_parallelism().map_or(0, |p| p.get())
     ));
-    if let Some(block) = pre_pr {
-        out.push_str(&format!("  \"pre_pr\": {block},\n"));
+    for (key, block) in preserved {
+        out.push_str(&format!("  \"{key}\": {block},\n"));
     }
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"single_source\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"mean_us\": {:.1}, \"qps\": {:.1}, \"alloc_qps\": {:.1}}}, \"batch\": [",
-            r.name, r.n, r.m, r.build_ms, r.p50_us, r.p95_us, r.mean_us, r.qps, r.alloc_qps
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2},\n",
+            r.name, r.n, r.m, r.build_ms
         ));
+        out.push_str(&format!(
+            "     \"single_source\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"mean_us\": {:.1}, \"qps\": {:.1}, \"alloc_qps\": {:.1}}},\n",
+            r.p50_us, r.p95_us, r.mean_us, r.qps, r.alloc_qps
+        ));
+        out.push_str(&format!(
+            "     \"single_source_f32\": {{\"p50_us\": {:.1}, \"qps\": {:.1}}},\n",
+            r.f32_p50_us, r.f32_qps
+        ));
+        let ix = &r.index;
+        out.push_str(&format!(
+            "     \"index\": {{\"hubs\": {}, \"entries\": {}, \"level_slots\": {}, \"size_bytes\": {}, \"size_bytes_f32\": {}, \"nested_f64_size_bytes\": {}, \"f32_vs_nested\": {:.3}}},\n",
+            ix.hubs,
+            ix.entries,
+            ix.level_slots,
+            ix.size_bytes_f64,
+            ix.size_bytes_f32,
+            ix.nested_f64_size_bytes,
+            ix.size_bytes_f32 as f64 / ix.nested_f64_size_bytes.max(1) as f64
+        ));
+        out.push_str("     \"batch\": [");
         for (j, b) in r.batch.iter().enumerate() {
             out.push_str(&format!(
-                "{{\"threads\": {}, \"qps\": {:.1}}}",
-                b.threads, b.qps
+                "{{\"threads\": {}, \"threads_used\": {}, \"qps\": {:.1}}}",
+                b.threads, b.threads_used, b.qps
             ));
             if j + 1 < r.batch.len() {
                 out.push_str(", ");
@@ -252,18 +339,24 @@ fn main() {
         eprintln!("running {} (n = {}) ...", spec.name, spec.n);
         let row = run_dataset(spec, queries);
         eprintln!(
-            "  build {:.1} ms | p50 {:.0} us | p95 {:.0} us | {:.0} qps serial | {:.0} qps @4t",
+            "  build {:.1} ms | p50 {:.0} us | p95 {:.0} us | {:.0} qps serial ({:.0} f32) | {:.0} qps batch | index {} B (f32 {} B)",
             row.build_ms,
             row.p50_us,
             row.p95_us,
             row.qps,
+            row.f32_qps,
             row.batch.last().map(|b| b.qps).unwrap_or(0.0),
+            row.index.size_bytes_f64,
+            row.index.size_bytes_f32,
         );
         rows.push(row);
     }
 
-    let pre_pr = preserved_pre_pr(&out_path);
-    let json = render_json(&rows, queries, pre_pr.as_deref());
+    let preserved: Vec<(&str, String)> = ["pre_pr", "pr3"]
+        .iter()
+        .filter_map(|&k| preserved_block(&out_path, k).map(|b| (k, b)))
+        .collect();
+    let json = render_json(&rows, queries, &preserved);
     // Self-check: what we write must parse.
     mini_json::parse(&json).expect("query_hot produced malformed JSON");
 
@@ -275,7 +368,8 @@ fn main() {
     }
 }
 
-/// `--check`: compare measured p50 against the committed baseline JSON.
+/// `--check`: compare measured p50 and index size against the committed
+/// baseline JSON; the index-memory fields are required to be present.
 fn check_against_baseline(rows: &[BenchRow], path: &str) {
     let committed = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
@@ -288,9 +382,10 @@ fn check_against_baseline(rows: &[BenchRow], path: &str) {
 
     let mut failures = 0usize;
     for row in rows {
-        let committed_p50 = results
+        let committed_row = results
             .iter()
-            .find(|r| r.get("name").and_then(mini_json::Value::as_str) == Some(&row.name))
+            .find(|r| r.get("name").and_then(mini_json::Value::as_str) == Some(&row.name));
+        let committed_p50 = committed_row
             .and_then(|r| r.get("single_source"))
             .and_then(|s| s.get("p50_us"))
             .and_then(mini_json::Value::as_f64);
@@ -310,6 +405,34 @@ fn check_against_baseline(rows: &[BenchRow], path: &str) {
                 eprintln!(
                     "OK: {} p50 {:.0} us vs committed {:.0} us",
                     row.name, row.p50_us, base
+                );
+            }
+        }
+        // Memory guardrail: the committed row must carry the index block
+        // and the fresh arena must not have silently grown.
+        let committed_size = committed_row
+            .and_then(|r| r.get("index"))
+            .and_then(|ix| ix.get("size_bytes"))
+            .and_then(mini_json::Value::as_f64);
+        match committed_size {
+            None => {
+                eprintln!(
+                    "FAIL: baseline has no index.size_bytes entry for {}",
+                    row.name
+                );
+                failures += 1;
+            }
+            Some(base) if row.index.size_bytes_f64 as f64 > base * SIZE_TOLERANCE => {
+                eprintln!(
+                    "FAIL: {} index size grew {:.0} B -> {} B (> {SIZE_TOLERANCE}x)",
+                    row.name, base, row.index.size_bytes_f64
+                );
+                failures += 1;
+            }
+            Some(base) => {
+                eprintln!(
+                    "OK: {} index {} B vs committed {:.0} B",
+                    row.name, row.index.size_bytes_f64, base
                 );
             }
         }

@@ -32,7 +32,10 @@ USAGE:
       sbm: --communities K --size S --p-in P --p-out Q
   prsim convert IN OUT              (.bin = binary, else edge-list text)
   prsim stats GRAPH
-  prsim build GRAPH --index FILE [--eps E] [--hubs N|sqrt] [--sorted-out FILE]
+  prsim build GRAPH --index FILE [--eps E] [--hubs N|sqrt] [--f32-reserves]
+      [--sorted-out FILE]
+      --f32-reserves stores index reserves quantized to f32 (arena ~2/3
+      the size; quantization error is charged against eps)
   prsim query GRAPH --source U [--index FILE] [--eps E] [--top K] [--seed N]
   prsim topk GRAPH --source U [--k K] [--eps E] [--seed N]
   prsim pair GRAPH --u A --v B [--samples N] [--seed N]
@@ -167,10 +170,16 @@ fn config_from(args: &Args) -> Result<PrsimConfig, String> {
                 .map_err(|_| format!("invalid value {raw:?} for --hubs"))?,
         ),
     };
+    let reserve_precision = if args.has_flag("f32-reserves") {
+        prsim_core::ReservePrecision::F32
+    } else {
+        prsim_core::ReservePrecision::F64
+    };
     Ok(PrsimConfig {
         eps,
         hubs,
         query: QueryParams::Practical { c_mult: 3.0 },
+        reserve_precision,
         ..Default::default()
     })
 }
@@ -194,8 +203,12 @@ pub fn build(argv: &[String]) -> Result<(), String> {
     if let Some(sorted_out) = args.get("sorted-out") {
         save_graph(engine.graph(), sorted_out)?;
     }
+    let precision = match engine.index().precision() {
+        prsim_core::ReservePrecision::F64 => "f64",
+        prsim_core::ReservePrecision::F32 => "f32",
+    };
     println!(
-        "built index in {elapsed:.3}s: {} hubs, {} entries, {} bytes -> {index_path}",
+        "built index in {elapsed:.3}s: {} hubs, {} entries ({precision}), {} bytes -> {index_path}",
         engine.index().hub_count(),
         engine.index().entry_count(),
         engine.index().size_bytes()

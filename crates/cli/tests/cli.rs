@@ -150,6 +150,64 @@ fn build_then_query_with_index() {
 }
 
 #[test]
+fn f32_reserve_index_builds_smaller_and_queries() {
+    let dir = tmpdir("f32_build");
+    let graph = dir.join("g.bin");
+    let wide = dir.join("g_f64.prsimix");
+    let narrow = dir.join("g_f32.prsimix");
+    assert!(prsim(&[
+        "generate",
+        "chung-lu",
+        "--n",
+        "400",
+        "--seed",
+        "3",
+        "--out",
+        graph.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    let base = ["build", graph.to_str().unwrap(), "--eps", "0.1"];
+    let out = prsim(&[&base[..], &["--index", wide.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("(f64)"));
+    let out = prsim(
+        &[
+            &base[..],
+            &["--index", narrow.to_str().unwrap(), "--f32-reserves"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("(f32)"));
+
+    // The serialized f32 arena is materially smaller than the f64 one.
+    let wide_len = std::fs::metadata(&wide).unwrap().len();
+    let narrow_len = std::fs::metadata(&narrow).unwrap().len();
+    assert!(
+        (narrow_len as f64) < 0.8 * wide_len as f64,
+        "f32 index {narrow_len} bytes vs f64 {wide_len} bytes"
+    );
+
+    // And the f32 index answers queries (precision is self-described).
+    let out = prsim(&[
+        "query",
+        graph.to_str().unwrap(),
+        "--index",
+        narrow.to_str().unwrap(),
+        "--source",
+        "0",
+        "--top",
+        "5",
+        "--eps",
+        "0.1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("query node 0"));
+}
+
+#[test]
 fn topk_command_works() {
     let dir = tmpdir("topk");
     let graph = dir.join("g.bin");

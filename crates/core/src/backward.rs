@@ -15,7 +15,6 @@
 //! ends at the first level with no residue above threshold.
 
 use prsim_graph::{DiGraph, NodeId};
-use std::collections::{BTreeMap, HashMap};
 
 /// Output of a backward search from one target node.
 #[derive(Clone, Debug)]
@@ -81,21 +80,26 @@ pub fn backward_search(
         edge_traversals: 0,
     };
 
-    let mut touched: BTreeMap<NodeId, f64> = BTreeMap::new();
-    touched.insert(w, 1.0);
-    let mut residue: HashMap<NodeId, f64> = HashMap::new();
-    residue.insert(w, 1.0);
+    // The per-level state is kept as reused *coalesced sorted vectors*
+    // rather than hash maps: frontiers hold `O(n·π(w))` nodes, where
+    // sorted appends + merges beat hashing and keep the build/repair path
+    // allocation-light. `frontier` is sorted by node id with unique keys;
+    // pushes append to `next_log`, which a stable sort + linear coalesce
+    // turns into the next frontier. Within one node the append order is
+    // chronological (frontier is processed in id order), so the float
+    // accumulation order — and hence every reserve, bit for bit — matches
+    // a dense per-node accumulator.
+    let mut touched: Vec<(NodeId, f64)> = vec![(w, 1.0)];
+    let mut touched_scratch: Vec<(NodeId, f64)> = Vec::new();
+    let mut frontier: Vec<(NodeId, f64)> = vec![(w, 1.0)];
+    let mut next_log: Vec<(NodeId, f64)> = Vec::new();
+    let mut coalesced: Vec<(NodeId, f64)> = Vec::new();
+    let use_inline_degs = g.is_out_sorted_by_in_degree();
 
     for _level in 0..=max_level {
         let mut reserves: Vec<(NodeId, f64)> = Vec::new();
-        let mut next: HashMap<NodeId, f64> = HashMap::new();
         let mut any_pushed = false;
-
-        // Process nodes in id order: float accumulation into `next` then
-        // becomes deterministic, so repeated builds (and parallel builds)
-        // produce bit-identical indexes.
-        let mut frontier: Vec<(NodeId, f64)> = residue.iter().map(|(&v, &r)| (v, r)).collect();
-        frontier.sort_unstable_by_key(|&(v, _)| v);
+        next_log.clear();
 
         for &(v, r) in &frontier {
             if r <= r_max {
@@ -104,36 +108,87 @@ pub fn backward_search(
             any_pushed = true;
             result.pushes += 1;
             reserves.push((v, alpha * r));
-            for &z in g.out_neighbors(v) {
-                result.edge_traversals += 1;
-                let din = g.in_degree(z) as f64;
-                debug_assert!(din >= 1.0, "out-neighbor must have an in-edge");
-                *next.entry(z).or_insert(0.0) += sqrt_c * r / din;
+            if use_inline_degs {
+                // Sorted graphs carry the targets' in-degrees inline with
+                // the out-adjacency: one sequential stream, no random
+                // in_degrees probe per neighbor.
+                let (neigh, degs) = g.out_neighbors_with_in_degrees(v);
+                for (&z, &dz) in neigh.iter().zip(degs) {
+                    result.edge_traversals += 1;
+                    debug_assert!(dz >= 1, "out-neighbor must have an in-edge");
+                    next_log.push((z, sqrt_c * r / dz as f64));
+                }
+            } else {
+                for &z in g.out_neighbors(v) {
+                    result.edge_traversals += 1;
+                    let din = g.in_degree(z) as f64;
+                    debug_assert!(din >= 1.0, "out-neighbor must have an in-edge");
+                    next_log.push((z, sqrt_c * r / din));
+                }
             }
         }
 
-        reserves.sort_unstable_by_key(|&(v, _)| v);
+        // The frontier is sorted, so `reserves` is born sorted by v.
         result.levels.push(reserves);
 
         if !any_pushed {
             result.levels.pop(); // last level produced nothing
             break;
         }
-        for (&z, &r) in &next {
-            let slot = touched.entry(z).or_insert(0.0);
-            if r > *slot {
-                *slot = r;
+        // Stable sort: equal ids keep chronological (push) order, fixing
+        // the accumulation order of each node's inflows.
+        next_log.sort_by_key(|&(z, _)| z);
+        coalesced.clear();
+        for &(z, delta) in next_log.iter() {
+            match coalesced.last_mut() {
+                Some(last) if last.0 == z => last.1 += delta,
+                _ => coalesced.push((z, delta)),
             }
         }
-        residue = next;
+        merge_max_residues(&mut touched, &coalesced, &mut touched_scratch);
+        std::mem::swap(&mut frontier, &mut coalesced);
     }
 
     // Drop trailing empty levels for compactness.
     while result.levels.last().is_some_and(Vec::is_empty) {
         result.levels.pop();
     }
-    result.touched = touched.into_iter().collect();
+    result.touched = touched;
     result
+}
+
+/// Merges one level's residues into the running per-node maxima (both
+/// sides sorted by node id, unique). `scratch` is the ping-pong output
+/// buffer, swapped into `touched` on return — reused across levels so
+/// the merge allocates only on growth.
+fn merge_max_residues(
+    touched: &mut Vec<(NodeId, f64)>,
+    level: &[(NodeId, f64)],
+    scratch: &mut Vec<(NodeId, f64)>,
+) {
+    scratch.clear();
+    scratch.reserve(touched.len() + level.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < touched.len() && j < level.len() {
+        match touched[i].0.cmp(&level[j].0) {
+            std::cmp::Ordering::Less => {
+                scratch.push(touched[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                scratch.push(level[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                scratch.push((touched[i].0, touched[i].1.max(level[j].1)));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    scratch.extend_from_slice(&touched[i..]);
+    scratch.extend_from_slice(&level[j..]);
+    std::mem::swap(touched, scratch);
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Configuration of the PRSim engine.
 
+use crate::index::ReservePrecision;
 use crate::PrsimError;
 
 /// How many hub nodes `j₀` to index (paper §3.3).
@@ -60,6 +61,12 @@ pub struct PrsimConfig {
     pub query: QueryParams,
     /// Number of threads used to build the index (hubs are independent).
     pub build_threads: usize,
+    /// Storage width of index reserves. [`ReservePrecision::F32`] shrinks
+    /// the postings arena by a third (8 instead of 12 bytes per entry);
+    /// the per-entry quantization error (relative ≤ 2⁻²⁴) is charged
+    /// against the `eps` budget, so [`PrsimConfig::validate`] rejects the
+    /// combination with an `eps` small enough for that charge to matter.
+    pub reserve_precision: ReservePrecision,
 }
 
 impl Default for PrsimConfig {
@@ -72,6 +79,7 @@ impl Default for PrsimConfig {
             max_level: 64,
             query: QueryParams::Practical { c_mult: 3.0 },
             build_threads: 4,
+            reserve_precision: ReservePrecision::F64,
         }
     }
 }
@@ -184,6 +192,35 @@ impl DynamicParams {
     }
 }
 
+/// Rejects [`ReservePrecision::F32`] when the quantization error cannot
+/// hide inside the `eps` budget. Each stored reserve carries relative
+/// rounding error ≤ 2⁻²⁴, and the index part of a score sums to at most
+/// `1/α²` of raw reserve mass (`α = 1−√c`), so the worst-case score
+/// perturbation is `2⁻²⁴/α²` — a bound that *grows with `c`*. Requiring
+/// a 16x margin below `eps` keeps the charge negligible at any decay.
+/// Shared by [`PrsimConfig::validate`] and the index-loading path
+/// (`Prsim::from_parts`), so a deserialized f32 index cannot bypass it.
+pub(crate) fn validate_reserve_precision(
+    precision: ReservePrecision,
+    eps: f64,
+    c: f64,
+) -> Result<(), PrsimError> {
+    if precision == ReservePrecision::F64 {
+        return Ok(());
+    }
+    let alpha = 1.0 - c.sqrt();
+    let quantization = (0.5f64).powi(24) / (alpha * alpha);
+    if eps < 16.0 * quantization {
+        return Err(PrsimError::InvalidConfig(format!(
+            "f32 reserves need eps >= {:.2e} at c = {c} (score perturbation bound \
+             2^-24/(1-sqrt(c))^2 = {:.2e} must stay 16x below eps), got eps = {eps}",
+            16.0 * quantization,
+            quantization
+        )));
+    }
+    Ok(())
+}
+
 impl PrsimConfig {
     /// √c, the per-step survival probability of the reverse walks.
     #[inline]
@@ -221,6 +258,7 @@ impl PrsimConfig {
                 "build_threads must be at least 1".into(),
             ));
         }
+        validate_reserve_precision(self.reserve_precision, self.eps, self.c)?;
         Ok(())
     }
 
@@ -325,6 +363,44 @@ mod tests {
         ] {
             assert!(p.validate().is_err(), "{field} accepted");
         }
+    }
+
+    #[test]
+    fn f32_reserves_require_room_in_eps() {
+        let ok = PrsimConfig {
+            reserve_precision: ReservePrecision::F32,
+            ..Default::default()
+        };
+        ok.validate().unwrap();
+        let bad = PrsimConfig {
+            reserve_precision: ReservePrecision::F32,
+            eps: 1e-6,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err(), "eps below the quantization floor");
+        // The same eps is fine at full precision.
+        let wide = PrsimConfig {
+            eps: 1e-6,
+            ..Default::default()
+        };
+        wide.validate().unwrap();
+        // The floor is c-dependent: the 2^-24/(1-sqrt(c))^2 perturbation
+        // bound blows up as c -> 1, so an eps that passes at c = 0.6 must
+        // be rejected at c = 0.99.
+        let large_c = PrsimConfig {
+            reserve_precision: ReservePrecision::F32,
+            c: 0.99,
+            eps: 1e-3,
+            ..Default::default()
+        };
+        assert!(large_c.validate().is_err(), "c = 0.99 amplifies the bound");
+        let large_c_wide_eps = PrsimConfig {
+            reserve_precision: ReservePrecision::F32,
+            c: 0.99,
+            eps: 0.5,
+            ..Default::default()
+        };
+        large_c_wide_eps.validate().unwrap();
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub struct UpdateStats {
     pub rebuilt: bool,
     /// Whether the delta overlay was compacted into its CSR base.
     pub compacted: bool,
+    /// Whether the repair tripped a postings-arena compaction (tombstoned
+    /// runs outnumbered live postings).
+    pub index_compacted: bool,
 }
 
 /// Lifetime totals of a [`DynamicPrsim`] (observability / benchmarks).
@@ -105,6 +108,8 @@ pub struct DynamicTotals {
     pub rebuilds: usize,
     /// Delta-overlay compactions.
     pub compactions: usize,
+    /// Postings-arena compactions inside the hub index.
+    pub index_compactions: usize,
 }
 
 /// A PRSim engine over an evolving edge set.
@@ -321,6 +326,7 @@ impl DynamicPrsim {
             stats.rebuilt = true;
             index = self.rebuild_index_for(&snapshot, &pi);
         } else if !dirty.is_empty() {
+            let compactions_before = index.stats().compactions;
             index.repair_hubs(
                 &snapshot,
                 &dirty,
@@ -330,6 +336,9 @@ impl DynamicPrsim {
                 config.max_level,
                 config.build_threads,
             );
+            let compacted = index.stats().compactions - compactions_before;
+            stats.index_compacted = compacted > 0;
+            self.totals.index_compactions += compacted;
             self.totals.repaired_hubs += dirty.len();
         }
 
@@ -354,13 +363,14 @@ impl DynamicPrsim {
             self.config.eps,
         );
         let hubs: Vec<NodeId> = rank_by_pagerank(pi).into_iter().take(j0).collect();
-        let (index, touch) = PrsimIndex::build_tracked(
+        let (index, touch) = PrsimIndex::build_tracked_with(
             snapshot,
             hubs,
             self.config.sqrt_c(),
             self.config.r_max(),
             self.config.max_level,
             self.config.build_threads,
+            self.config.reserve_precision,
         );
         self.touch = touch;
         self.drift = 0.0;

@@ -1,4 +1,4 @@
-//! The PRSim hub index (paper Algorithm 1).
+//! The PRSim hub index (paper Algorithm 1) on a flat postings arena.
 //!
 //! The index stores, for each of the `j₀` nodes with the largest reverse
 //! PageRank ("hubs"), the level-wise backward-search reserves
@@ -6,6 +6,50 @@
 //! Algorithm 4 reads `π_ℓ(v, ·)` for hub terminals straight from these
 //! lists instead of running backward walks, which is what caps the query
 //! cost contribution of high-π nodes.
+//!
+//! ## Postings format
+//!
+//! Reserve lists live in one contiguous arena rather than per-hub nested
+//! `Vec`s, so a query terminal `(w, ℓ)` resolves to a single sequential
+//! scan and consecutive levels of the same hub are adjacent in memory:
+//!
+//! ```text
+//! hub_pos: node ─────────▶ rank            (dense, NOT_A_HUB elsewhere)
+//! slots:   rank ─────────▶ {bounds_start, levels}
+//! bounds:  CSR offsets; hub r's run is bounds[start .. start+levels+1],
+//!          monotone; level ℓ's postings are [bounds[start+ℓ], bounds[start+ℓ+1])
+//! nodes:   ┌─────────────────────────────────────────────────────┐
+//!          │ v v v … (hub 0, ℓ=0) │ v v … (hub 0, ℓ=1) │ hub 1 … │
+//!          └─────────────────────────────────────────────────────┘
+//! reserves: parallel array of ψ values, f64 (default) or f32
+//!           (structure-of-arrays: 12 or 8 bytes per entry, no padding)
+//! ```
+//!
+//! Hub membership is one `hub_pos` probe; a postings lookup is two array
+//! reads off the offset table — no binary search, no pointer chasing.
+//!
+//! **Repair** ([`PrsimIndex::repair_hubs`]) never shifts other hubs'
+//! postings: a repaired hub's old run is *tombstoned* (its entries counted
+//! in `dead_entries`) and the fresh run is appended at the arena tail,
+//! with the hub's slot repointed. Once dead entries (or dead offset
+//! slots) outnumber live ones the arena is compacted in rank order — the
+//! same amortized-threshold pattern as [`prsim_graph::delta::DeltaGraph`]
+//! — so space stays `O(live)` and per-repair cost stays amortized `O(run)`.
+//!
+//! **Reserve precision**: [`ReservePrecision::F32`] stores ψ quantized to
+//! `f32`, shrinking the arena by a third and keeping it cache-resident
+//! longer. Each stored reserve carries relative rounding error ≤ 2⁻²⁴, so
+//! a query's index part `ŝ_I = Σ η̂π/α²·ψ` is perturbed by at most
+//! `2⁻²⁴·ŝ_I ≤ 2⁻²⁴/α²` — charged against the `eps` budget (and rejected
+//! by [`crate::PrsimConfig::validate`] when `eps` is small enough for
+//! that to matter; `tests/statistical_accuracy.rs` validates the bound).
+//!
+//! **Serialization** ([`PrsimIndex::to_bytes`]) writes the live arena
+//! directly: hubs, per-hub level counts, the global monotone offset
+//! table, then the `nodes` and `reserves` arrays. `from_bytes` validates
+//! every table (monotone offsets, in-range node ids, finite reserves)
+//! with allocations bounded by the payload, so corrupt input yields
+//! `Err`, never a panic or an attacker-sized allocation.
 //!
 //! Hub construction is embarrassingly parallel (one backward search per
 //! hub); [`PrsimIndex::build`] fans the searches out over
@@ -17,20 +61,173 @@ use prsim_graph::{DiGraph, NodeId};
 use crate::backward::backward_search;
 use crate::PrsimError;
 
-/// Magic bytes identifying the serialized index format, version 2.
-/// (v2 dropped the node count from the header: the deserializer takes it
-/// from the caller's graph, so corrupted headers can never trigger
-/// attacker-sized allocations.)
-const MAGIC: &[u8; 8] = b"PRSIMIX2";
+/// Magic bytes identifying the serialized index format, version 3
+/// (v3 switched to the flat postings arena with an explicit offset table
+/// and optional f32 reserves; v2 serialized per-hub nested lists).
+const MAGIC: &[u8; 8] = b"PRSIMIX3";
+
+/// Serialized flag bit: reserves are f32.
+const FLAG_F32: u32 = 1;
 
 /// Sentinel marking non-hub nodes in the position table.
 const NOT_A_HUB: u32 = u32::MAX;
+
+/// Tombstoned entries/offset-slots below this never trigger compaction
+/// (avoids rewrite thrash on tiny indexes).
+const COMPACT_MIN_DEAD: usize = 256;
 
 /// Per-hub backward-search result: `lists[level]` = `(v, ψ_ℓ(v, hub))`.
 type HubLists = Vec<Vec<(NodeId, f64)>>;
 
 /// One hub's touched record: sorted `(node, max residue over levels)`.
 type TouchRecord = Vec<(NodeId, f64)>;
+
+/// Storage width of the arena's reserve values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReservePrecision {
+    /// Full-precision `f64` reserves (12 bytes per posting). Default.
+    F64,
+    /// Quantized `f32` reserves (8 bytes per posting); relative rounding
+    /// error ≤ 2⁻²⁴ per entry, charged against the `eps` budget.
+    F32,
+}
+
+/// The reserve value array backing the arena, in either precision.
+#[derive(Clone, Debug)]
+enum ReserveArena {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
+
+impl ReserveArena {
+    fn with_capacity(precision: ReservePrecision, cap: usize) -> Self {
+        match precision {
+            ReservePrecision::F64 => ReserveArena::F64(Vec::with_capacity(cap)),
+            ReservePrecision::F32 => ReserveArena::F32(Vec::with_capacity(cap)),
+        }
+    }
+
+    fn precision(&self) -> ReservePrecision {
+        match self {
+            ReserveArena::F64(_) => ReservePrecision::F64,
+            ReserveArena::F32(_) => ReservePrecision::F32,
+        }
+    }
+
+    /// Appends a reserve, quantizing when the arena is f32.
+    #[inline]
+    fn push(&mut self, psi: f64) {
+        match self {
+            ReserveArena::F64(v) => v.push(psi),
+            ReserveArena::F32(v) => v.push(psi as f32),
+        }
+    }
+
+    /// The reserve at `i`, widened to f64.
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            ReserveArena::F64(v) => v[i],
+            ReserveArena::F32(v) => f64::from(v[i]),
+        }
+    }
+
+    /// Copies `[start, end)` of `src` onto the end of `self` (compaction
+    /// helper; both sides always share a precision).
+    fn extend_from_range(&mut self, src: &ReserveArena, start: usize, end: usize) {
+        match (self, src) {
+            (ReserveArena::F64(dst), ReserveArena::F64(s)) => dst.extend_from_slice(&s[start..end]),
+            (ReserveArena::F32(dst), ReserveArena::F32(s)) => dst.extend_from_slice(&s[start..end]),
+            _ => unreachable!("compaction never changes precision"),
+        }
+    }
+
+    fn payload_bytes(&self) -> usize {
+        match self {
+            ReserveArena::F64(v) => v.len() * 8,
+            ReserveArena::F32(v) => v.len() * 4,
+        }
+    }
+}
+
+/// One postings slice `L_ℓ(w)`: parallel node/reserve arrays, borrowed
+/// straight from the arena. Match once per slice so the hot loop runs a
+/// monomorphic sequential scan.
+#[derive(Clone, Copy, Debug)]
+pub enum Postings<'a> {
+    /// Full-precision reserves.
+    F64 {
+        /// Source nodes `v`, in ascending id order.
+        nodes: &'a [NodeId],
+        /// Parallel reserves `ψ_ℓ(v, w)`.
+        reserves: &'a [f64],
+    },
+    /// Quantized reserves.
+    F32 {
+        /// Source nodes `v`, in ascending id order.
+        nodes: &'a [NodeId],
+        /// Parallel reserves `ψ_ℓ(v, w)`.
+        reserves: &'a [f32],
+    },
+}
+
+impl Postings<'_> {
+    /// Number of postings in the slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Postings::F64 { nodes, .. } | Postings::F32 { nodes, .. } => nodes.len(),
+        }
+    }
+
+    /// True when the slice holds no postings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(v, ψ)` pairs, widening reserves to f64 (convenience for
+    /// tests and cold callers; the query loop matches the variants).
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (nodes, f64s, f32s) = match *self {
+            Postings::F64 { nodes, reserves } => (nodes, Some(reserves), None),
+            Postings::F32 { nodes, reserves } => (nodes, None, Some(reserves)),
+        };
+        nodes.iter().enumerate().map(move |(i, &v)| {
+            let psi = match (f64s, f32s) {
+                (Some(r), _) => r[i],
+                (_, Some(r)) => f64::from(r[i]),
+                _ => unreachable!(),
+            };
+            (v, psi)
+        })
+    }
+}
+
+/// Memory/observability counters of the arena (benchmark output).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IndexStats {
+    /// Number of hubs `j₀`.
+    pub hubs: usize,
+    /// Live postings entries.
+    pub entries: usize,
+    /// Tombstoned postings entries awaiting compaction.
+    pub dead_entries: usize,
+    /// Live `(hub, level)` slots in the offset table.
+    pub level_slots: usize,
+    /// Resident bytes of the index payload (including tombstones).
+    pub size_bytes: usize,
+    /// Arena compactions performed so far.
+    pub compactions: usize,
+}
+
+/// Where one hub's offsets live: its run is
+/// `bounds[bounds_start .. bounds_start + levels + 1]`.
+#[derive(Clone, Copy, Debug)]
+struct HubSlot {
+    bounds_start: u32,
+    levels: u32,
+}
 
 /// Per-hub *touched records*: for each hub rank, a sorted
 /// `(node, residue bound)` list where the bound dominates the node's max
@@ -136,19 +333,63 @@ impl HubTouchSets {
     }
 }
 
-/// Immutable hub index.
-#[derive(Clone, Debug, PartialEq)]
+/// The hub index: a flat postings arena behind a CSR offset table (see
+/// the module docs for the layout).
+#[derive(Clone, Debug)]
 pub struct PrsimIndex {
     /// Hub node ids in descending reverse-PageRank order.
     hubs: Vec<NodeId>,
     /// `hub_pos[v] = rank of v among hubs`, or [`NOT_A_HUB`].
     hub_pos: Vec<u32>,
-    /// `lists[hub_rank][level]` = `(v, ψ_ℓ(v, hub))` entries sorted by `v`.
-    lists: Vec<Vec<Vec<(NodeId, f64)>>>,
+    /// Per-rank location of the hub's offset run.
+    slots: Vec<HubSlot>,
+    /// CSR offsets into the postings arrays; each hub owns a monotone run
+    /// of `levels + 1` entries.
+    bounds: Vec<u32>,
+    /// Postings: source node ids, grouped by (hub, level).
+    nodes: Vec<NodeId>,
+    /// Postings: parallel reserve values.
+    reserves: ReserveArena,
+    /// Tombstoned postings entries (superseded by repairs).
+    dead_entries: usize,
+    /// Tombstoned offset-table slots.
+    dead_bounds: usize,
+    /// Arena compactions performed.
+    compactions: usize,
+}
+
+/// Equality is *logical*: same hubs, same node universe, same precision
+/// and the same per-(hub, level) postings — independent of tombstones and
+/// physical arena order, so a repaired index compares equal to a fresh
+/// build of the same searches.
+impl PartialEq for PrsimIndex {
+    fn eq(&self, other: &Self) -> bool {
+        if self.hubs != other.hubs
+            || self.hub_pos != other.hub_pos
+            || self.reserves.precision() != other.reserves.precision()
+        {
+            return false;
+        }
+        (0..self.hubs.len()).all(|rank| {
+            if self.level_count(rank) != other.level_count(rank) {
+                return false;
+            }
+            (0..self.level_count(rank)).all(|level| {
+                let (a0, a1) = self.range(rank, level);
+                let (b0, b1) = other.range(rank, level);
+                a1 - a0 == b1 - b0
+                    && self.nodes[a0..a1] == other.nodes[b0..b1]
+                    && (0..a1 - a0).all(|i| {
+                        self.reserves.get(a0 + i).to_bits() == other.reserves.get(b0 + i).to_bits()
+                    })
+            })
+        })
+    }
 }
 
 impl PrsimIndex {
-    /// Builds the index for the given hubs (descending-π node ids).
+    /// Builds the index for the given hubs (descending-π node ids), with
+    /// full-precision reserves.
     ///
     /// `r_max` is the backward-search residue threshold (Algorithm 1 line
     /// 8: `(1−√c)²ε/12`); only reserves above `r_max` are stored (line 15).
@@ -160,7 +401,16 @@ impl PrsimIndex {
         max_level: usize,
         build_threads: usize,
     ) -> Self {
-        Self::build_tracked(g, hubs, sqrt_c, r_max, max_level, build_threads).0
+        Self::build_tracked_with(
+            g,
+            hubs,
+            sqrt_c,
+            r_max,
+            max_level,
+            build_threads,
+            ReservePrecision::F64,
+        )
+        .0
     }
 
     /// [`PrsimIndex::build`], additionally returning the per-hub touched
@@ -174,6 +424,31 @@ impl PrsimIndex {
         max_level: usize,
         build_threads: usize,
     ) -> (Self, HubTouchSets) {
+        Self::build_tracked_with(
+            g,
+            hubs,
+            sqrt_c,
+            r_max,
+            max_level,
+            build_threads,
+            ReservePrecision::F64,
+        )
+    }
+
+    /// [`PrsimIndex::build_tracked`] with an explicit reserve precision.
+    /// The arena is assembled in one counting pass over the per-hub
+    /// search output: entry totals are counted first, the arrays reserved
+    /// exactly, then filled in rank order.
+    #[allow(clippy::too_many_arguments)] // the build knobs are the config
+    pub fn build_tracked_with(
+        g: &DiGraph,
+        hubs: Vec<NodeId>,
+        sqrt_c: f64,
+        r_max: f64,
+        max_level: usize,
+        build_threads: usize,
+        precision: ReservePrecision,
+    ) -> (Self, HubTouchSets) {
         let n = g.node_count();
         let mut hub_pos = vec![NOT_A_HUB; n];
         for (rank, &w) in hubs.iter().enumerate() {
@@ -181,21 +456,51 @@ impl PrsimIndex {
         }
 
         let searched = Self::search_many(g, &hubs, sqrt_c, r_max, max_level, build_threads);
-        let mut lists = Vec::with_capacity(hubs.len());
-        let mut touched = Vec::with_capacity(hubs.len());
-        for (l, t) in searched {
-            lists.push(l);
+        let total_entries: usize = searched
+            .iter()
+            .map(|(lists, _)| lists.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        let total_bounds: usize = searched.iter().map(|(lists, _)| lists.len() + 1).sum();
+
+        let mut index = PrsimIndex {
+            hubs,
+            hub_pos,
+            slots: Vec::with_capacity(searched.len()),
+            bounds: Vec::with_capacity(total_bounds),
+            nodes: Vec::with_capacity(total_entries),
+            reserves: ReserveArena::with_capacity(precision, total_entries),
+            dead_entries: 0,
+            dead_bounds: 0,
+            compactions: 0,
+        };
+        let mut touched = Vec::with_capacity(searched.len());
+        for (lists, t) in searched {
+            let slot = index.append_run(&lists);
+            index.slots.push(slot);
             touched.push(t);
         }
 
-        (
-            PrsimIndex {
-                hubs,
-                hub_pos,
-                lists,
-            },
-            HubTouchSets { per_hub: touched },
-        )
+        (index, HubTouchSets { per_hub: touched })
+    }
+
+    /// Appends one hub's level lists at the arena tail and returns the
+    /// slot describing the new run.
+    fn append_run(&mut self, lists: &HubLists) -> HubSlot {
+        let bounds_start =
+            u32::try_from(self.bounds.len()).expect("offset table exceeds u32 range");
+        let post = |len: usize| u32::try_from(len).expect("postings arena exceeds u32 range");
+        self.bounds.push(post(self.nodes.len()));
+        for level in lists {
+            for &(v, psi) in level {
+                self.nodes.push(v);
+                self.reserves.push(psi);
+            }
+            self.bounds.push(post(self.nodes.len()));
+        }
+        HubSlot {
+            bounds_start,
+            levels: lists.len() as u32,
+        }
     }
 
     /// Runs the backward searches for `hubs` (any node list) over
@@ -262,9 +567,12 @@ impl PrsimIndex {
     }
 
     /// Re-runs the backward searches of the hubs at `ranks` against the
-    /// (mutated) graph `g`, replacing their reserve lists in place and
+    /// (mutated) graph `g`, replacing their postings runs in place and
     /// updating their entries in `touch`. Repairs fan out over `threads`
-    /// workers like the build.
+    /// workers like the build. Only the dirty hubs' runs are rewritten:
+    /// the old runs are tombstoned and fresh ones appended at the arena
+    /// tail, with amortized compaction once tombstones outnumber live
+    /// postings.
     #[allow(clippy::too_many_arguments)] // mirrors build_tracked's signature
     pub fn repair_hubs(
         &mut self,
@@ -279,9 +587,60 @@ impl PrsimIndex {
         let nodes: Vec<NodeId> = ranks.iter().map(|&r| self.hubs[r]).collect();
         let repaired = Self::search_many(g, &nodes, sqrt_c, r_max, max_level, threads);
         for (&rank, (lists, touched)) in ranks.iter().zip(repaired) {
-            self.lists[rank] = lists;
+            let old = self.slots[rank];
+            let (start, end) = (
+                self.bounds[old.bounds_start as usize] as usize,
+                self.bounds[(old.bounds_start + old.levels) as usize] as usize,
+            );
+            self.dead_entries += end - start;
+            self.dead_bounds += old.levels as usize + 1;
+            self.slots[rank] = self.append_run(&lists);
             touch.per_hub[rank] = touched;
         }
+        if self.needs_compaction() {
+            self.compact();
+        }
+    }
+
+    /// Whether tombstones outnumber live data (the DeltaGraph-style
+    /// amortized threshold).
+    fn needs_compaction(&self) -> bool {
+        let live_entries = self.nodes.len() - self.dead_entries;
+        let live_bounds = self.bounds.len() - self.dead_bounds;
+        self.dead_entries >= COMPACT_MIN_DEAD.max(live_entries)
+            || self.dead_bounds >= COMPACT_MIN_DEAD.max(live_bounds)
+    }
+
+    /// Rewrites the arena densely in rank order, dropping all tombstones.
+    fn compact(&mut self) {
+        let live_entries = self.nodes.len() - self.dead_entries;
+        let live_bounds = self.bounds.len() - self.dead_bounds;
+        let mut nodes = Vec::with_capacity(live_entries);
+        let mut reserves = ReserveArena::with_capacity(self.reserves.precision(), live_entries);
+        let mut bounds = Vec::with_capacity(live_bounds);
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for &slot in &self.slots {
+            let bounds_start = bounds.len() as u32;
+            bounds.push(nodes.len() as u32);
+            for level in 0..slot.levels as usize {
+                let b = slot.bounds_start as usize + level;
+                let (s, e) = (self.bounds[b] as usize, self.bounds[b + 1] as usize);
+                nodes.extend_from_slice(&self.nodes[s..e]);
+                reserves.extend_from_range(&self.reserves, s, e);
+                bounds.push(nodes.len() as u32);
+            }
+            slots.push(HubSlot {
+                bounds_start,
+                levels: slot.levels,
+            });
+        }
+        self.nodes = nodes;
+        self.reserves = reserves;
+        self.bounds = bounds;
+        self.slots = slots;
+        self.dead_entries = 0;
+        self.dead_bounds = 0;
+        self.compactions += 1;
     }
 
     /// Creates an empty (index-free) instance for a graph with `n` nodes.
@@ -289,7 +648,13 @@ impl PrsimIndex {
         PrsimIndex {
             hubs: Vec::new(),
             hub_pos: vec![NOT_A_HUB; n],
-            lists: Vec::new(),
+            slots: Vec::new(),
+            bounds: Vec::new(),
+            nodes: Vec::new(),
+            reserves: ReserveArena::F64(Vec::new()),
+            dead_entries: 0,
+            dead_bounds: 0,
+            compactions: 0,
         }
     }
 
@@ -305,7 +670,13 @@ impl PrsimIndex {
         &self.hubs
     }
 
-    /// Whether `w` is an indexed hub.
+    /// The arena's reserve precision.
+    #[inline]
+    pub fn precision(&self) -> ReservePrecision {
+        self.reserves.precision()
+    }
+
+    /// Whether `w` is an indexed hub (one offset-table probe).
     #[inline]
     pub fn contains(&self, w: NodeId) -> bool {
         self.hub_pos
@@ -313,55 +684,122 @@ impl PrsimIndex {
             .is_some_and(|&p| p != NOT_A_HUB)
     }
 
-    /// The reserve list `L_ℓ(w)`, or `None` when `w` is not a hub or has
-    /// no entries at that level.
-    pub fn level_list(&self, w: NodeId, level: usize) -> Option<&[(NodeId, f64)]> {
+    /// Number of stored levels for the hub at `rank`.
+    #[inline]
+    fn level_count(&self, rank: usize) -> usize {
+        self.slots[rank].levels as usize
+    }
+
+    /// Postings range of `(rank, level)` in the arena arrays. `level`
+    /// must be below the hub's level count.
+    #[inline]
+    fn range(&self, rank: usize, level: usize) -> (usize, usize) {
+        let b = self.slots[rank].bounds_start as usize + level;
+        (self.bounds[b] as usize, self.bounds[b + 1] as usize)
+    }
+
+    /// The postings slice `L_ℓ(w)`, or `None` when `w` is not a hub or
+    /// has no entries at that level. One offset-table probe plus two
+    /// offset reads; the returned slice scans sequentially.
+    #[inline]
+    pub fn postings(&self, w: NodeId, level: usize) -> Option<Postings<'_>> {
         let pos = *self.hub_pos.get(w as usize)?;
         if pos == NOT_A_HUB {
             return None;
         }
-        self.lists[pos as usize]
-            .get(level)
-            .map(|v| v.as_slice())
-            .filter(|v| !v.is_empty())
+        let rank = pos as usize;
+        if level >= self.level_count(rank) {
+            return None;
+        }
+        let (s, e) = self.range(rank, level);
+        if s == e {
+            return None;
+        }
+        Some(match &self.reserves {
+            ReserveArena::F64(r) => Postings::F64 {
+                nodes: &self.nodes[s..e],
+                reserves: &r[s..e],
+            },
+            ReserveArena::F32(r) => Postings::F32 {
+                nodes: &self.nodes[s..e],
+                reserves: &r[s..e],
+            },
+        })
     }
 
-    /// Total number of stored `(v, ψ)` entries.
+    /// Total number of live `(v, ψ)` postings.
     pub fn entry_count(&self) -> usize {
-        self.lists
-            .iter()
-            .flat_map(|levels| levels.iter().map(Vec::len))
-            .sum()
+        self.nodes.len() - self.dead_entries
     }
 
-    /// Approximate resident size of the index payload in bytes
-    /// (12 bytes per entry + list/hub overheads).
+    /// Memory/observability counters (benchmark output).
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            hubs: self.hubs.len(),
+            entries: self.entry_count(),
+            dead_entries: self.dead_entries,
+            level_slots: self.bounds.len() - self.dead_bounds - self.slots.len(),
+            size_bytes: self.size_bytes(),
+            compactions: self.compactions,
+        }
+    }
+
+    /// Resident size of the index payload in bytes: the postings arrays
+    /// (including tombstones awaiting compaction), the offset table, and
+    /// the hub tables.
     pub fn size_bytes(&self) -> usize {
-        let entries = self.entry_count() * (4 + 8);
-        let level_overhead: usize = self
-            .lists
-            .iter()
-            .map(|levels| levels.len() * std::mem::size_of::<Vec<(NodeId, f64)>>())
-            .sum();
-        entries + level_overhead + self.hubs.len() * 4 + self.hub_pos.len() * 4
+        self.nodes.len() * 4
+            + self.reserves.payload_bytes()
+            + self.bounds.len() * 4
+            + self.slots.len() * std::mem::size_of::<HubSlot>()
+            + self.hubs.len() * 4
+            + self.hub_pos.len() * 4
     }
 
-    /// Serializes the index into a compact binary buffer. Deserialize
-    /// with [`PrsimIndex::from_bytes`], passing the graph's node count.
+    /// Serializes the live arena into a compact binary buffer (format v3;
+    /// see the module docs). Deserialize with [`PrsimIndex::from_bytes`],
+    /// passing the graph's node count.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
+        let flags = match self.reserves.precision() {
+            ReservePrecision::F64 => 0,
+            ReservePrecision::F32 => FLAG_F32,
+        };
+        buf.put_u32_le(flags);
         buf.put_u64_le(self.hubs.len() as u64);
         for &h in &self.hubs {
             buf.put_u32_le(h);
         }
-        for levels in &self.lists {
-            buf.put_u32_le(levels.len() as u32);
-            for level in levels {
-                buf.put_u64_le(level.len() as u64);
-                for &(v, psi) in level {
-                    buf.put_u32_le(v);
-                    buf.put_f64_le(psi);
+        for rank in 0..self.hubs.len() {
+            buf.put_u32_le(self.level_count(rank) as u32);
+        }
+        // Global offset table over the live view: one running total.
+        let mut running = 0u32;
+        buf.put_u32_le(running);
+        for rank in 0..self.hubs.len() {
+            for level in 0..self.level_count(rank) {
+                let (s, e) = self.range(rank, level);
+                running += (e - s) as u32;
+                buf.put_u32_le(running);
+            }
+        }
+        for rank in 0..self.hubs.len() {
+            for level in 0..self.level_count(rank) {
+                let (s, e) = self.range(rank, level);
+                for i in s..e {
+                    buf.put_u32_le(self.nodes[i]);
+                }
+            }
+        }
+        for rank in 0..self.hubs.len() {
+            for level in 0..self.level_count(rank) {
+                let (s, e) = self.range(rank, level);
+                for i in s..e {
+                    match &self.reserves {
+                        ReserveArena::F64(r) => buf.put_f64_le(r[i]),
+                        ReserveArena::F32(r) => buf.put_u32_le(r[i].to_bits()),
+                    }
                 }
             }
         }
@@ -369,12 +807,14 @@ impl PrsimIndex {
     }
 
     /// Deserializes an index produced by [`PrsimIndex::to_bytes`]; `n` is
-    /// the node count of the graph the index belongs to. Every allocation
-    /// is bounded by the payload size or by `n`, so corrupt input yields
-    /// `Err`, never a panic or an attacker-sized allocation.
+    /// the node count of the graph the index belongs to. Every table is
+    /// validated (monotone offsets, in-range ids, finite reserves) and
+    /// every allocation is bounded by the payload size or by `n`, so
+    /// corrupt input yields `Err`, never a panic or an attacker-sized
+    /// allocation.
     pub fn from_bytes(mut data: &[u8], n: usize) -> Result<Self, PrsimError> {
         let corrupt = |msg: &str| PrsimError::CorruptIndex(msg.to_string());
-        if data.len() < 16 {
+        if data.len() < 20 {
             return Err(corrupt("header truncated"));
         }
         let mut magic = [0u8; 8];
@@ -382,8 +822,22 @@ impl PrsimIndex {
         if &magic != MAGIC {
             return Err(corrupt("bad magic"));
         }
+        let flags = data.get_u32_le();
+        if flags & !FLAG_F32 != 0 {
+            return Err(corrupt("unknown format flags"));
+        }
+        let precision = if flags & FLAG_F32 != 0 {
+            ReservePrecision::F32
+        } else {
+            ReservePrecision::F64
+        };
+        let reserve_width = match precision {
+            ReservePrecision::F64 => 8usize,
+            ReservePrecision::F32 => 4,
+        };
+
         let j0 = data.get_u64_le() as usize;
-        if j0 > n || data.remaining() < j0.saturating_mul(4) {
+        if j0 > n || data.remaining() < j0.saturating_mul(8) {
             return Err(corrupt("hub table truncated or hub count exceeds n"));
         }
         let mut hubs = Vec::with_capacity(j0);
@@ -396,47 +850,95 @@ impl PrsimIndex {
             hubs.push(h);
             hub_pos[h as usize] = rank as u32;
         }
-        let mut lists = Vec::with_capacity(j0);
+
+        // Per-hub level counts; their sum sizes the offset table.
+        let mut level_counts = Vec::with_capacity(j0);
+        let mut total_levels = 0usize;
         for _ in 0..j0 {
-            if data.remaining() < 4 {
-                return Err(corrupt("level count truncated"));
-            }
-            let levels = data.get_u32_le() as usize;
-            if levels > data.remaining() {
-                return Err(corrupt("level count exceeds payload"));
-            }
-            let mut per_hub = Vec::with_capacity(levels);
-            for _ in 0..levels {
-                if data.remaining() < 8 {
-                    return Err(corrupt("entry count truncated"));
-                }
-                let cnt = data.get_u64_le() as usize;
-                if cnt
-                    .checked_mul(12)
-                    .is_none_or(|need| data.remaining() < need)
-                {
-                    return Err(corrupt("entries truncated"));
-                }
-                let mut level = Vec::with_capacity(cnt);
-                for _ in 0..cnt {
-                    let v = data.get_u32_le();
-                    if v as usize >= n {
-                        return Err(corrupt("entry node id out of range"));
-                    }
-                    let psi = data.get_f64_le();
-                    if !psi.is_finite() || psi < 0.0 {
-                        return Err(corrupt("entry reserve not a finite nonnegative value"));
-                    }
-                    level.push((v, psi));
-                }
-                per_hub.push(level);
-            }
-            lists.push(per_hub);
+            let lc = data.get_u32_le() as usize;
+            total_levels = total_levels
+                .checked_add(lc)
+                .ok_or_else(|| corrupt("level counts overflow"))?;
+            level_counts.push(lc);
         }
+        if total_levels
+            .checked_add(1)
+            .and_then(|slots| slots.checked_mul(4))
+            .is_none_or(|need| data.remaining() < need)
+        {
+            return Err(corrupt("offset table exceeds payload"));
+        }
+
+        // Global offset table: strictly bounded, non-decreasing, 0-based.
+        let mut offsets = Vec::with_capacity(total_levels + 1);
+        let mut prev = data.get_u32_le();
+        if prev != 0 {
+            return Err(corrupt("offset table does not start at 0"));
+        }
+        offsets.push(prev);
+        for _ in 0..total_levels {
+            let next = data.get_u32_le();
+            if next < prev {
+                return Err(corrupt("offset table not monotone"));
+            }
+            offsets.push(next);
+            prev = next;
+        }
+        let total_postings = prev as usize;
+        if total_postings
+            .checked_mul(4 + reserve_width)
+            .is_none_or(|need| data.remaining() < need)
+        {
+            return Err(corrupt("postings truncated"));
+        }
+
+        let mut nodes = Vec::with_capacity(total_postings);
+        for _ in 0..total_postings {
+            let v = data.get_u32_le();
+            if v as usize >= n {
+                return Err(corrupt("posting node id out of range"));
+            }
+            nodes.push(v);
+        }
+        let mut reserves = ReserveArena::with_capacity(precision, total_postings);
+        for _ in 0..total_postings {
+            let psi = match precision {
+                ReservePrecision::F64 => data.get_f64_le(),
+                ReservePrecision::F32 => f64::from(f32::from_bits(data.get_u32_le())),
+            };
+            if !psi.is_finite() || psi < 0.0 {
+                return Err(corrupt("posting reserve not a finite nonnegative value"));
+            }
+            reserves.push(psi);
+        }
+        if data.remaining() > 0 {
+            return Err(corrupt("trailing bytes after postings"));
+        }
+
+        // Rebuild per-hub offset runs from the shared global table.
+        let mut bounds = Vec::with_capacity(total_levels + j0);
+        let mut slots = Vec::with_capacity(j0);
+        let mut cursor = 0usize;
+        for &lc in &level_counts {
+            let bounds_start = bounds.len() as u32;
+            bounds.extend_from_slice(&offsets[cursor..cursor + lc + 1]);
+            cursor += lc;
+            slots.push(HubSlot {
+                bounds_start,
+                levels: lc as u32,
+            });
+        }
+
         Ok(PrsimIndex {
             hubs,
             hub_pos,
-            lists,
+            slots,
+            bounds,
+            nodes,
+            reserves,
+            dead_entries: 0,
+            dead_bounds: 0,
+            compactions: 0,
         })
     }
 }
@@ -455,10 +957,32 @@ mod tests {
         g
     }
 
-    fn build(g: &DiGraph, j0: usize, threads: usize) -> PrsimIndex {
+    fn top_hubs(g: &DiGraph, j0: usize) -> Vec<NodeId> {
         let pi = reverse_pagerank(g, SQRT_C, 1e-10, 64);
-        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(j0).collect();
-        PrsimIndex::build(g, hubs, SQRT_C, 1e-4, 64, threads)
+        rank_by_pagerank(&pi).into_iter().take(j0).collect()
+    }
+
+    fn build(g: &DiGraph, j0: usize, threads: usize) -> PrsimIndex {
+        PrsimIndex::build(g, top_hubs(g, j0), SQRT_C, 1e-4, 64, threads)
+    }
+
+    fn build_f32(g: &DiGraph, j0: usize) -> PrsimIndex {
+        PrsimIndex::build_tracked_with(
+            g,
+            top_hubs(g, j0),
+            SQRT_C,
+            1e-4,
+            64,
+            1,
+            ReservePrecision::F32,
+        )
+        .0
+    }
+
+    fn level_entries(idx: &PrsimIndex, w: NodeId, level: usize) -> Vec<(NodeId, f64)> {
+        idx.postings(w, level)
+            .map(|p| p.iter().collect())
+            .unwrap_or_default()
     }
 
     #[test]
@@ -481,7 +1005,7 @@ mod tests {
     }
 
     #[test]
-    fn level_lists_match_direct_backward_search() {
+    fn postings_match_direct_backward_search() {
         let g = graph();
         let idx = build(&g, 8, 2);
         let r_max = 1e-4;
@@ -493,10 +1017,37 @@ mod tests {
                     .copied()
                     .filter(|&(_, psi)| psi > r_max)
                     .collect();
-                let got = idx.level_list(w, l).unwrap_or(&[]);
-                assert_eq!(got, expect.as_slice(), "hub {w} level {l}");
+                assert_eq!(level_entries(&idx, w, l), expect, "hub {w} level {l}");
             }
         }
+    }
+
+    #[test]
+    fn f32_postings_are_quantized_f64_postings() {
+        let g = graph();
+        let wide = build(&g, 16, 1);
+        let narrow = build_f32(&g, 16);
+        assert_eq!(narrow.precision(), ReservePrecision::F32);
+        assert_eq!(wide.entry_count(), narrow.entry_count());
+        // Same nodes, reserves quantized through f32 exactly once.
+        for &w in wide.hubs() {
+            for level in 0..64 {
+                let a = level_entries(&wide, w, level);
+                let b = level_entries(&narrow, w, level);
+                assert_eq!(a.len(), b.len());
+                for (&(va, psi_a), &(vb, psi_b)) in a.iter().zip(&b) {
+                    assert_eq!(va, vb);
+                    assert_eq!(psi_b, f64::from(psi_a as f32), "hub {w} level {level}");
+                }
+            }
+        }
+        // The arena payload shrinks by the reserve width difference.
+        assert!(
+            (narrow.size_bytes() as f64) < 0.72 * wide.size_bytes() as f64,
+            "f32 arena {} bytes vs f64 {} bytes",
+            narrow.size_bytes(),
+            wide.size_bytes()
+        );
     }
 
     #[test]
@@ -505,7 +1056,7 @@ mod tests {
         assert_eq!(idx.hub_count(), 0);
         assert_eq!(idx.entry_count(), 0);
         assert!(!idx.contains(3));
-        assert!(idx.level_list(3, 0).is_none());
+        assert!(idx.postings(3, 0).is_none());
     }
 
     #[test]
@@ -516,8 +1067,7 @@ mod tests {
         use prsim_graph::delta::DeltaGraph;
         let g = graph();
         let r_max = 1e-3;
-        let pi = reverse_pagerank(&g, SQRT_C, 1e-10, 64);
-        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(16).collect();
+        let hubs = top_hubs(&g, 16);
         let (mut idx, mut touch) =
             PrsimIndex::build_tracked(&g, hubs.clone(), SQRT_C, r_max, 64, 2);
         assert_eq!(touch.hub_count(), 16);
@@ -566,13 +1116,49 @@ mod tests {
     }
 
     #[test]
+    fn repeated_repairs_tombstone_then_compact() {
+        // Repairing the same hubs over and over must keep the logical
+        // index identical to a fresh build while the arena tombstones
+        // grow and eventually compaction reclaims them.
+        let g = graph();
+        let hubs = top_hubs(&g, 12);
+        let (mut idx, mut touch) = PrsimIndex::build_tracked(&g, hubs.clone(), SQRT_C, 1e-4, 64, 1);
+        let fresh = idx.clone();
+        let mut saw_dead = false;
+        let mut compacted = false;
+        // Repairing one hub per round tombstones its run; dead entries
+        // accumulate until they outnumber live postings, then one
+        // compaction reclaims everything.
+        for round in 0..64 {
+            idx.repair_hubs(&g, &[round % 12], &mut touch, SQRT_C, 1e-4, 64, 1);
+            assert_eq!(idx, fresh, "round {round}");
+            saw_dead |= idx.stats().dead_entries > 0;
+            compacted |= idx.stats().compactions > 0;
+        }
+        assert!(saw_dead, "repairs must tombstone superseded runs");
+        assert!(compacted, "accumulated tombstones must trip compaction");
+        // Tombstones never exceed live entries after the repair loop.
+        let s = idx.stats();
+        assert!(
+            s.dead_entries <= s.entries.max(COMPACT_MIN_DEAD),
+            "dead {} vs live {}",
+            s.dead_entries,
+            s.entries
+        );
+        // Serialization sees only the live view.
+        let back = PrsimIndex::from_bytes(&idx.to_bytes(), g.node_count()).unwrap();
+        assert_eq!(back, fresh);
+        assert_eq!(back.stats().dead_entries, 0);
+    }
+
+    #[test]
     fn ensure_nodes_extends_non_hub_universe() {
         let g = graph();
         let mut idx = build(&g, 8, 1);
         let n = g.node_count();
         idx.ensure_nodes(n + 5);
         assert!(!idx.contains((n + 4) as NodeId));
-        assert!(idx.level_list((n + 4) as NodeId, 0).is_none());
+        assert!(idx.postings((n + 4) as NodeId, 0).is_none());
         // Shrinking is a no-op.
         idx.ensure_nodes(1);
         assert!(idx.contains(idx.hubs()[0]));
@@ -581,10 +1167,12 @@ mod tests {
     #[test]
     fn serialization_round_trip() {
         let g = graph();
-        let idx = build(&g, 16, 2);
-        let bytes = idx.to_bytes();
-        let back = PrsimIndex::from_bytes(&bytes, g.node_count()).unwrap();
-        assert_eq!(idx, back);
+        for idx in [build(&g, 16, 2), build_f32(&g, 16), build(&g, 0, 1)] {
+            let bytes = idx.to_bytes();
+            let back = PrsimIndex::from_bytes(&bytes, g.node_count()).unwrap();
+            assert_eq!(idx, back);
+            assert_eq!(idx.precision(), back.precision());
+        }
     }
 
     #[test]
@@ -596,6 +1184,10 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] ^= 0xFF;
         assert!(PrsimIndex::from_bytes(&bad, g.node_count()).is_err());
+        // Unknown flags.
+        let mut bad = bytes.clone();
+        bad[8] |= 0x80;
+        assert!(PrsimIndex::from_bytes(&bad, g.node_count()).is_err());
         // Truncations at every prefix boundary we care about.
         for cut in [5usize, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(
@@ -606,19 +1198,46 @@ mod tests {
     }
 
     #[test]
+    fn serialization_rejects_non_monotone_offsets() {
+        let g = graph();
+        let idx = build(&g, 4, 1);
+        let bytes = idx.to_bytes().to_vec();
+        // The offset table sits after magic(8) + flags(4) + j0(8) +
+        // hubs(4·j0) + level_counts(4·j0).
+        let j0 = idx.hub_count();
+        let offsets_at = 8 + 4 + 8 + 4 * j0 + 4 * j0;
+        assert!(idx.entry_count() > 0, "test graph must yield postings");
+        // Overwrite the second offset with a value above the final total
+        // -> a later offset must decrease -> non-monotone.
+        let mut bad = bytes.clone();
+        bad[offsets_at + 4..offsets_at + 8]
+            .copy_from_slice(&(idx.entry_count() as u32 + 7).to_le_bytes());
+        let err = PrsimIndex::from_bytes(&bad, g.node_count());
+        assert!(err.is_err(), "non-monotone offsets accepted");
+        // Offsets must start at zero.
+        let mut bad = bytes;
+        bad[offsets_at..offsets_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(PrsimIndex::from_bytes(&bad, g.node_count()).is_err());
+    }
+
+    #[test]
     fn size_grows_with_hub_count() {
         let g = graph();
         let small = build(&g, 4, 1);
         let large = build(&g, 64, 1);
         assert!(large.entry_count() > small.entry_count());
         assert!(large.size_bytes() > small.size_bytes());
+        let s = large.stats();
+        assert_eq!(s.hubs, 64);
+        assert_eq!(s.entries, large.entry_count());
+        assert_eq!(s.dead_entries, 0);
+        assert_eq!(s.size_bytes, large.size_bytes());
     }
 
     #[test]
     fn smaller_r_max_stores_more() {
         let g = graph();
-        let pi = reverse_pagerank(&g, SQRT_C, 1e-10, 64);
-        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(10).collect();
+        let hubs = top_hubs(&g, 10);
         let coarse = PrsimIndex::build(&g, hubs.clone(), SQRT_C, 1e-2, 64, 1);
         let fine = PrsimIndex::build(&g, hubs, SQRT_C, 1e-5, 64, 1);
         assert!(fine.entry_count() > coarse.entry_count());

@@ -76,7 +76,7 @@ pub mod workspace;
 
 pub use config::{DynamicParams, HubCount, PrsimConfig, QueryParams};
 pub use dynamic::{DynamicPrsim, DynamicTotals, UpdateMode, UpdateStats};
-pub use index::{HubTouchSets, PrsimIndex};
+pub use index::{HubTouchSets, IndexStats, Postings, PrsimIndex, ReservePrecision};
 pub use query::Prsim;
 pub use scores::SimRankScores;
 pub use topk::{TopKParams, TopKResult};

@@ -28,19 +28,36 @@
 //! epoch-stamped scratch buffers (see [`crate::workspace`]): per-round
 //! `ŝ_B` accumulation, backward-walk frontiers, hub-membership memos and
 //! final score assembly are all `O(1)` array probes with `O(touched)`
-//! clearing — no hashing, no per-query allocation after warmup. Terminal
-//! observations are aggregated into `η̂π_ℓ(u,w)` by sorting a flat
-//! `(w, ℓ)` vector instead of a hash map, which also supplies the sorted
-//! iteration order the deterministic `ŝ_I` accumulation needs. Results
-//! are **bit-identical** between a fresh and a reused workspace, so the
-//! allocating entry points simply construct a transient one.
+//! clearing — no hashing, no per-query allocation after warmup (beyond
+//! the returned score vector itself). Terminal observations are
+//! aggregated into `η̂π_ℓ(u,w)` by sorting a flat `(w, ℓ)` vector instead
+//! of a hash map, which also supplies the sorted iteration order the
+//! deterministic `ŝ_I` accumulation needs. Results are **bit-identical**
+//! between a fresh and a reused workspace, so the allocating entry
+//! points simply construct a transient one.
+//!
+//! The walk phases run 8-lane interleaved (terminals, then η pair
+//! tests) so their dependent random loads overlap in the memory
+//! pipeline. The index part `ŝ_I` reads each accepted hub terminal as
+//! one *sequential scan* of a postings run in the flat arena
+//! ([`crate::index`]); its aggregation is adaptive — random scatter
+//! into the dense accumulator while that array is cache-resident
+//! (small graphs), and above [`SCATTER_NODES_MAX`] a scatter-free
+//! stream into a flat buffer that is radix-sorted, coalesced, and
+//! two-pointer merged with the (bwalk-only, hence small) accumulator
+//! into the final sorted score vector. Fully fused/interleaved variants
+//! of the sampling and backward-walk kernels exist
+//! ([`crate::walk::sample_terminals_with_eta_interleaved`],
+//! [`crate::vbbw::variance_bounded_backward_walks_interleaved`]) for
+//! latency-bound hosts; on the benchmark box the phase-separated loop
+//! measures faster, so it is what the engine runs.
 
 use prsim_graph::ordering::sort_out_by_in_degree;
 use prsim_graph::{DiGraph, NodeId};
 use rand::{Rng, SeedableRng};
 
 use crate::config::PrsimConfig;
-use crate::index::PrsimIndex;
+use crate::index::{Postings, PrsimIndex};
 use crate::pagerank::{rank_by_pagerank, reverse_pagerank};
 use crate::scores::SimRankScores;
 use crate::vbbw::variance_bounded_backward_walk_with_workspace;
@@ -50,6 +67,11 @@ use crate::walk::{
 };
 use crate::workspace::{DenseScratch, QueryWorkspace};
 use crate::PrsimError;
+
+/// Node-count ceiling for the scatter variant of the `ŝ_I` aggregation:
+/// up to this size the dense accumulator (16 bytes per node) stays
+/// cache-resident and random adds beat the streaming sort path.
+const SCATTER_NODES_MAX: usize = 32_768;
 
 /// Instrumentation counters for one single-source query.
 #[derive(Clone, Copy, Debug, Default)]
@@ -96,13 +118,14 @@ impl Prsim {
             .hubs
             .resolve(graph.node_count(), graph.avg_degree(), config.eps);
         let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(j0).collect();
-        let index = PrsimIndex::build(
+        let (index, _) = PrsimIndex::build_tracked_with(
             &graph,
             hubs,
             sqrt_c,
             config.r_max(),
             config.max_level,
             config.build_threads,
+            config.reserve_precision,
         );
         Self::from_parts(graph, pi, index, config)
     }
@@ -116,6 +139,10 @@ impl Prsim {
         config: PrsimConfig,
     ) -> Result<Self, PrsimError> {
         config.validate()?;
+        // A deserialized index carries its own precision; hold it to the
+        // same quantization-vs-eps budget the build path enforces, so a
+        // small-eps config cannot silently query an f32 arena.
+        crate::config::validate_reserve_precision(index.precision(), config.eps, config.c)?;
         if !graph.is_out_sorted_by_in_degree() {
             return Err(PrsimError::InvalidConfig(
                 "graph must be out-sorted by in-degree (run sort_out_by_in_degree)".into(),
@@ -259,10 +286,30 @@ impl Prsim {
         self.run_query(u, samples.max(1), 1, ws, rng)
     }
 
-    /// Runs `queries` in parallel over `threads` workers. Each query gets
-    /// an RNG seeded `base_seed + query index` and workspace reuse is
+    /// The worker count [`Prsim::batch_single_source`] actually uses for
+    /// `queries` when asked for `requested` threads: capped at the
+    /// hardware parallelism (oversubscribing a box only adds scheduling
+    /// overhead — measured *negative* scaling pre-cap) and sized so every
+    /// worker gets at least [`Prsim::MIN_BATCH_QUERIES_PER_THREAD`]
+    /// queries before the batch splits further.
+    pub fn effective_batch_threads(queries: usize, requested: usize) -> usize {
+        let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+        requested
+            .max(1)
+            .min(hardware)
+            .min(queries.div_ceil(Self::MIN_BATCH_QUERIES_PER_THREAD).max(1))
+    }
+
+    /// Minimum queries per worker before [`Prsim::batch_single_source`]
+    /// splits a batch across another thread (spawn + cold-workspace cost
+    /// must amortize over real work).
+    pub const MIN_BATCH_QUERIES_PER_THREAD: usize = 8;
+
+    /// Runs `queries` in parallel over at most `threads` workers (capped
+    /// by [`Prsim::effective_batch_threads`]). Each query gets an RNG
+    /// seeded `base_seed + query index` and workspace reuse is
     /// bit-identical to fresh workspaces, so results are identical to
-    /// serial execution and independent of scheduling.
+    /// serial execution and independent of scheduling and of the cap.
     ///
     /// Lock-free: each worker owns a disjoint `&mut` chunk of the output
     /// plus its own [`QueryWorkspace`]; no result ever crosses a mutex.
@@ -283,7 +330,7 @@ impl Prsim {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        let threads = threads.max(1).min(queries.len());
+        let threads = Self::effective_batch_threads(queries.len(), threads);
         let mut slots: Vec<Option<SimRankScores>> = vec![None; queries.len()];
         if threads <= 1 {
             let mut ws = QueryWorkspace::new();
@@ -375,6 +422,8 @@ impl Prsim {
             met_buf,
             round_entries,
             median_buf,
+            ix_buf,
+            ix_tmp,
         } = ws;
         let index = &self.index;
         hub_memo.begin(n);
@@ -469,8 +518,18 @@ impl Prsim {
         // 16). Sorting the flat observation list both aggregates the
         // per-(w, ℓ) counts and fixes the deterministic accumulation order
         // the old sorted-hash-map iteration provided.
+        //
+        // Postings aggregation is adaptive: when the dense accumulator is
+        // cache-resident (small graphs) random scatter into it is nearly
+        // free, so postings add straight into `acc`; above that size each
+        // accepted hub terminal's run is *streamed sequentially* out of
+        // the arena into a flat scaled buffer and duplicates are resolved
+        // by a stable radix sort + coalesce over the (small) buffer —
+        // no random writes over the (large) node universe at all.
         let threshold = self.config.eps * alpha2 / 12.0;
+        let scatter = n <= SCATTER_NODES_MAX;
         terminals.sort_unstable();
+        ix_buf.clear();
         let mut i = 0usize;
         while i < terminals.len() {
             let key = terminals[i];
@@ -483,19 +542,70 @@ impl Prsim {
             if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                 continue;
             }
-            if let Some(list) = index.level_list(w, level as usize) {
-                stats.index_entries += list.len();
+            if let Some(postings) = index.postings(w, level as usize) {
+                stats.index_entries += postings.len();
                 let scale = ep / alpha2;
-                for &(v, psi) in list {
-                    acc.add(v, scale * psi);
+                // One match per slice, then a monomorphic sequential scan
+                // of the arena run.
+                match (scatter, postings) {
+                    (true, Postings::F64 { nodes, reserves }) => {
+                        acc.add_scaled(nodes, reserves, scale)
+                    }
+                    (true, Postings::F32 { nodes, reserves }) => {
+                        acc.add_scaled_f32(nodes, reserves, scale)
+                    }
+                    (false, Postings::F64 { nodes, reserves }) => {
+                        for (&v, &psi) in nodes.iter().zip(reserves) {
+                            ix_buf.push((v, scale * psi));
+                        }
+                    }
+                    (false, Postings::F32 { nodes, reserves }) => {
+                        for (&v, &psi) in nodes.iter().zip(reserves) {
+                            ix_buf.push((v, scale * f64::from(psi)));
+                        }
+                    }
                 }
             }
         }
+        // Aggregate ŝ_I by node: stable radix sort keeps per-node addend
+        // order (= accepted-terminal order), then coalesce adjacent runs.
+        // (No-op on the scatter path: ix_buf stays empty.)
+        crate::workspace::radix_sort_pairs(ix_buf, ix_tmp);
+        let mut write = 0usize;
+        let mut read = 0usize;
+        while read < ix_buf.len() {
+            let (v, mut sum) = ix_buf[read];
+            read += 1;
+            while read < ix_buf.len() && ix_buf[read].0 == v {
+                sum += ix_buf[read].1;
+                read += 1;
+            }
+            ix_buf[write] = (v, sum);
+            write += 1;
+        }
+        ix_buf.truncate(write);
 
-        // Sorted touched list -> from_pairs takes the fast path (one
-        // sized copy, no sort, no hashing).
+        // Final assembly ŝ = ŝ_B + ŝ_I: two-pointer merge of the sorted
+        // backward accumulator and the sorted index buffer.
         acc.sort_touched();
-        let scores = SimRankScores::from_pairs(u, n, acc.len(), acc.iter());
+        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(acc.len() + ix_buf.len() + 1);
+        let mut b_iter = acc.iter().peekable();
+        let mut j = 0usize;
+        while let Some(&(bv, bs)) = b_iter.peek() {
+            while j < ix_buf.len() && ix_buf[j].0 < bv {
+                entries.push(ix_buf[j]);
+                j += 1;
+            }
+            if j < ix_buf.len() && ix_buf[j].0 == bv {
+                entries.push((bv, bs + ix_buf[j].1));
+                j += 1;
+            } else {
+                entries.push((bv, bs));
+            }
+            b_iter.next();
+        }
+        entries.extend_from_slice(&ix_buf[j..]);
+        let scores = SimRankScores::from_sorted_entries(u, n, entries);
         Ok((scores, stats))
     }
 }
@@ -634,6 +744,25 @@ mod tests {
     }
 
     #[test]
+    fn batch_thread_cap_respects_hardware_and_chunk_floor() {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        // Never above hardware, never above ceil(queries / 8), never 0.
+        assert!(Prsim::effective_batch_threads(1000, 64) <= hw);
+        assert_eq!(Prsim::effective_batch_threads(1000, 0), 1);
+        assert_eq!(
+            Prsim::effective_batch_threads(7, 4),
+            1,
+            "7 queries: 1 worker"
+        );
+        assert!(Prsim::effective_batch_threads(16, 4) <= 2);
+        assert_eq!(
+            Prsim::effective_batch_threads(usize::MAX, usize::MAX),
+            hw,
+            "huge batches saturate exactly the hardware"
+        );
+    }
+
+    #[test]
     fn single_pair_matches_known_values() {
         let g = prsim_gen::toys::star_out(6);
         let engine = Prsim::build(
@@ -663,5 +792,31 @@ mod tests {
         let idx = PrsimIndex::empty(4);
         let err = Prsim::from_parts(g, vec![0.25; 3], idx, cfg(0.1));
         assert!(err.is_err(), "wrong-length π must be rejected");
+    }
+
+    #[test]
+    fn from_parts_holds_loaded_f32_index_to_the_eps_budget() {
+        // A deserialized f32 index must not bypass the quantization
+        // guard: querying it with an eps below the f32 floor is exactly
+        // the accuracy contract the config validation protects.
+        use crate::index::ReservePrecision;
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(60, 4.0, 2.0, 9));
+        let narrow = Prsim::build(
+            g,
+            PrsimConfig {
+                reserve_precision: ReservePrecision::F32,
+                ..cfg(0.1)
+            },
+        )
+        .unwrap();
+        let bytes = narrow.index().to_bytes();
+        let (graph, pi, _, _) = narrow.into_parts();
+        let loaded = PrsimIndex::from_bytes(&bytes, graph.node_count()).unwrap();
+        assert_eq!(loaded.precision(), ReservePrecision::F32);
+        // Same index, tiny eps, default (f64) config precision: rejected.
+        let err = Prsim::from_parts(graph.clone(), pi.clone(), loaded.clone(), cfg(1e-7));
+        assert!(err.is_err(), "f32 index + eps below the floor accepted");
+        // A generous eps is fine.
+        Prsim::from_parts(graph, pi, loaded, cfg(0.1)).unwrap();
     }
 }

@@ -74,6 +74,18 @@ impl SimRankScores {
         out
     }
 
+    /// [`SimRankScores::from_pairs`] for an entry vector the caller
+    /// guarantees to be sorted by node id with unique keys (what the
+    /// query engine's merge assembly produces) — takes the vector as-is
+    /// with no sortedness scan, which is a full extra pass over a large
+    /// score vector.
+    pub fn from_sorted_entries(source: NodeId, n: usize, entries: Vec<(NodeId, f64)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut out = SimRankScores { source, n, entries };
+        out.upsert_source();
+        out
+    }
+
     fn upsert_source(&mut self) {
         match self.entries.binary_search_by_key(&self.source, |&(v, _)| v) {
             Ok(i) => self.entries[i].1 = 1.0,

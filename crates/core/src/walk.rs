@@ -198,12 +198,195 @@ pub fn sample_terminals_interleaved<R: Rng + ?Sized>(
     died
 }
 
+/// Samples `count` √c-walk terminals from `source` and, for each
+/// terminal `(w, ℓ)`, immediately runs its `η(w)` rejection test (one
+/// pair of √c-walks from `w`, meeting at some step `i ≥ 1`), all in one
+/// `LANES`-way interleaved scheduler. Fusing the two phases matters on
+/// graphs larger than the cache: the pair walk's first step reads
+/// `in_neighbors(w)`, which the terminal walk's last step just loaded —
+/// running the test while that line is still resident removes the
+/// coldest access of the old separate pair pass. Completed samples are
+/// appended to `out` as `(w, ℓ, met)` in completion order (deterministic
+/// for a fixed seed); the return value counts walks that died.
+/// Statistically each sample is exactly a [`sample_terminal_with_table`]
+/// draw followed by an independent [`sample_walks_meet_with_table`] draw
+/// from `(w, w)` — only the RNG interleaving differs.
+///
+/// Status: an opt-in kernel for latency-bound hosts. The query engine
+/// currently runs the phase-separated samplers, which measured faster on
+/// the benchmark box (see `BENCH_query.json`'s protocol note).
+pub fn sample_terminals_with_eta_interleaved<R: Rng + ?Sized>(
+    g: &DiGraph,
+    table: &GeomLenTable,
+    source: NodeId,
+    count: usize,
+    out: &mut Vec<(NodeId, u32, bool)>,
+    rng: &mut R,
+) -> usize {
+    const LANES: usize = 8;
+    #[derive(Clone, Copy)]
+    struct Lane {
+        /// Walk cursor (walk mode) or pair walk a (pair mode).
+        a: NodeId,
+        /// Pair walk b (pair mode; unused in walk mode).
+        b: NodeId,
+        /// The terminal node `w` under η test (pair mode only).
+        w: NodeId,
+        /// Remaining steps of the current mode.
+        rem: usize,
+        /// The terminal's drawn level ℓ.
+        level: u32,
+        /// False: sampling the terminal walk; true: running its η pair.
+        pair: bool,
+    }
+    const IDLE: Lane = Lane {
+        a: 0,
+        b: 0,
+        w: 0,
+        rem: 0,
+        level: 0,
+        pair: false,
+    };
+    let mut lanes = [IDLE; LANES];
+    let mut live = 0usize;
+    let mut started = 0usize;
+    let mut died = 0usize;
+
+    // Starts the η test for terminal (w, level) in the free lane slot
+    // `slot`. Zero-step pairs (either walk terminates before moving)
+    // resolve inline to "no meeting"; returns whether the slot was taken.
+    macro_rules! start_pair {
+        ($slot:expr, $w:expr, $level:expr) => {{
+            let la = table.sample_len(rng).unwrap_or(table.cap);
+            let lb = table.sample_len(rng).unwrap_or(table.cap);
+            let steps = la.min(lb);
+            if steps == 0 {
+                out.push(($w, $level, false));
+                false
+            } else {
+                lanes[$slot] = Lane {
+                    a: $w,
+                    b: $w,
+                    w: $w,
+                    rem: steps,
+                    level: $level,
+                    pair: true,
+                };
+                true
+            }
+        }};
+    }
+
+    // Activates pending terminal walks until the lanes are full;
+    // level-0 walks go straight to their η test.
+    macro_rules! refill {
+        () => {
+            while live < LANES && started < count {
+                started += 1;
+                match table.sample_len(rng) {
+                    None => died += 1,
+                    Some(0) => {
+                        if start_pair!(live, source, 0) {
+                            live += 1;
+                        }
+                    }
+                    Some(len) => {
+                        lanes[live] = Lane {
+                            a: source,
+                            rem: len,
+                            level: len as u32,
+                            ..IDLE
+                        };
+                        live += 1;
+                    }
+                }
+            }
+        };
+    }
+
+    refill!();
+    while live > 0 {
+        let mut lane = 0usize;
+        while lane < live {
+            let Lane {
+                a,
+                b,
+                w,
+                rem,
+                level,
+                pair,
+            } = lanes[lane];
+            if !pair {
+                // Terminal-walk mode: one in-neighbor step.
+                let ins = g.in_neighbors(a);
+                if ins.is_empty() {
+                    died += 1;
+                    live -= 1;
+                    lanes[lane] = lanes[live];
+                    refill!();
+                    continue; // the swapped-in walk runs this lane next
+                }
+                let nxt = ins[rng.gen_range(0..ins.len())];
+                if rem == 1 {
+                    // Terminal reached: flip the lane into its η test
+                    // while nxt's in-list is still cache-hot.
+                    if start_pair!(lane, nxt, level) {
+                        lane += 1;
+                    } else {
+                        live -= 1;
+                        lanes[lane] = lanes[live];
+                        refill!();
+                    }
+                } else {
+                    lanes[lane].a = nxt;
+                    lanes[lane].rem = rem - 1;
+                    lane += 1;
+                }
+                continue;
+            }
+            // Pair mode: advance both walks one step in lockstep.
+            let ins_a = g.in_neighbors(a);
+            if ins_a.is_empty() {
+                out.push((w, level, false));
+                live -= 1;
+                lanes[lane] = lanes[live];
+                refill!();
+                continue;
+            }
+            let na = ins_a[rng.gen_range(0..ins_a.len())];
+            // η pairs start at (w, w): reuse the slice on the shared step.
+            let ins_b = if b == a { ins_a } else { g.in_neighbors(b) };
+            if ins_b.is_empty() {
+                out.push((w, level, false));
+                live -= 1;
+                lanes[lane] = lanes[live];
+                refill!();
+                continue;
+            }
+            let nb = ins_b[rng.gen_range(0..ins_b.len())];
+            if na == nb || rem == 1 {
+                out.push((w, level, na == nb));
+                live -= 1;
+                lanes[lane] = lanes[live];
+                refill!();
+            } else {
+                lanes[lane].a = na;
+                lanes[lane].b = nb;
+                lanes[lane].rem = rem - 1;
+                lane += 1;
+            }
+        }
+    }
+    died
+}
+
 /// For every start pair `(a, b)` in `pairs`, samples one √c-walk from
 /// each and records in `met_out[i]` whether the walks meet at some step
-/// `i ≥ 1` — the interleaved batch form of [`sample_walks_meet`], used by
-/// the query engine to test `η(w)` rejection for a whole round of
-/// terminals at once (walk pairs advance round-robin to overlap their
-/// random loads).
+/// `i ≥ 1` — the interleaved batch form of [`sample_walks_meet`] (walk
+/// pairs advance round-robin to overlap their random loads). The query
+/// engine now fuses this into
+/// [`sample_terminals_with_eta_interleaved`]; the standalone batch form
+/// remains for callers that bring their own pair lists.
 pub fn sample_pairs_meet_interleaved<R: Rng + ?Sized>(
     g: &DiGraph,
     table: &GeomLenTable,
@@ -211,7 +394,7 @@ pub fn sample_pairs_meet_interleaved<R: Rng + ?Sized>(
     met_out: &mut Vec<bool>,
     rng: &mut R,
 ) {
-    const LANES: usize = 4;
+    const LANES: usize = 8;
     met_out.clear();
     met_out.resize(pairs.len(), false);
     // Lane: (walk a, walk b, remaining lockstep steps, pair index).
@@ -766,6 +949,54 @@ mod tests {
         out.clear();
         let died = sample_terminals_interleaved(&lonely, &table, 0, 10_000, &mut out, &mut r);
         assert!(out.iter().all(|&(node, level)| node == 0 && level == 0));
+        assert_eq!(died + out.len(), 10_000);
+    }
+
+    #[test]
+    fn fused_terminal_eta_sampler_matches_separate_phases() {
+        // On a cycle the terminal node is a deterministic function of the
+        // level and both η walks move in lockstep through the unique
+        // in-neighbor, so they meet iff both survive step 1: P(met) = c.
+        let n = 5usize;
+        let g = prsim_gen::toys::cycle(n);
+        let table = GeomLenTable::new(SQRT_C, 64);
+        let mut r = rng();
+        let trials = 120_000usize;
+        let mut out = Vec::new();
+        let died = sample_terminals_with_eta_interleaved(&g, &table, 0, trials, &mut out, &mut r);
+        assert_eq!(died + out.len(), trials, "every walk must be accounted for");
+        assert_eq!(died, 0, "no dangling nodes on a cycle");
+        let mut level_counts = [0usize; 8];
+        let mut met = 0usize;
+        for &(node, level, m) in &out {
+            let want = ((n as i64 - level as i64 % n as i64) % n as i64) as u32;
+            assert_eq!(node, want, "fused scheduler must not corrupt walk state");
+            if (level as usize) < level_counts.len() {
+                level_counts[level as usize] += 1;
+            }
+            met += m as usize;
+        }
+        for (l, &count) in level_counts.iter().enumerate() {
+            let want = SQRT_C.powi(l as i32) * (1.0 - SQRT_C);
+            let got = count as f64 / trials as f64;
+            assert!(
+                (got - want).abs() < 0.008,
+                "level {l}: fused {got:.4} vs geometric {want:.4}"
+            );
+        }
+        let met_rate = met as f64 / out.len() as f64;
+        assert!(
+            (met_rate - 0.6).abs() < 0.008,
+            "lockstep meet rate {met_rate:.4}, want c = 0.6"
+        );
+        // Dangling source: all terminals are level-0 (or died), none meet.
+        let lonely = prsim_graph::DiGraph::from_edges(1, &[]);
+        out.clear();
+        let died =
+            sample_terminals_with_eta_interleaved(&lonely, &table, 0, 10_000, &mut out, &mut r);
+        assert!(out
+            .iter()
+            .all(|&(node, level, m)| node == 0 && level == 0 && !m));
         assert_eq!(died + out.len(), 10_000);
     }
 

@@ -25,10 +25,10 @@
 //! queries. `query::tests` and `tests/determinism.rs` assert this.
 //!
 //! [`QueryWorkspace`] bundles all scratch the single-source query needs:
-//! the two backward-walk frontiers, the per-round `ŝ_B` accumulator, the
+//! the backward-walk frontiers, the per-round `ŝ_B` accumulator, the
 //! final score accumulator, a stamped memo of `index.contains(w)`
-//! verdicts, and reusable vectors for terminal observations and the
-//! median trick.
+//! verdicts, and reusable vectors for terminal observations, the
+//! streamed index postings, and the median trick.
 
 use prsim_graph::NodeId;
 
@@ -87,6 +87,25 @@ impl DenseScratch {
             slot.stamp = self.epoch;
             slot.value = delta;
             self.touched.push(v);
+        }
+    }
+
+    /// Folds one postings slice into the accumulator: `self[v] += scale·x`
+    /// for parallel `nodes`/`values` arrays (the index gather loop, kept
+    /// here so the scan stays monomorphic over the value width).
+    #[inline]
+    pub fn add_scaled(&mut self, nodes: &[NodeId], values: &[f64], scale: f64) {
+        for (&v, &x) in nodes.iter().zip(values) {
+            self.add(v, scale * x);
+        }
+    }
+
+    /// [`DenseScratch::add_scaled`] over f32 values (quantized reserve
+    /// arenas), widening each value before the multiply.
+    #[inline]
+    pub fn add_scaled_f32(&mut self, nodes: &[NodeId], values: &[f32], scale: f64) {
+        for (&v, &x) in nodes.iter().zip(values) {
+            self.add(v, scale * f64::from(x));
         }
     }
 
@@ -176,6 +195,42 @@ fn radix_sort_ids(data: &mut Vec<NodeId>, tmp: &mut Vec<NodeId>) {
     }
 }
 
+/// LSD radix sort of `(node, value)` pairs by node id in 11-bit digits,
+/// using `tmp` as the ping-pong buffer — the pair-payload sibling of
+/// [`radix_sort_ids`]. **Stable**: pairs with equal node ids keep their
+/// input (append) order, which is what makes downstream coalescing sum
+/// duplicates chronologically and hence deterministically.
+pub(crate) fn radix_sort_pairs(data: &mut Vec<(NodeId, f64)>, tmp: &mut Vec<(NodeId, f64)>) {
+    const CUTOFF: usize = 96;
+    const BITS: u32 = 11;
+    const BUCKETS: usize = 1 << BITS;
+    if data.len() <= CUTOFF {
+        // Insertion-style stability at small sizes: sort_by_key is stable.
+        data.sort_by_key(|&(v, _)| v);
+        return;
+    }
+    let max = data.iter().map(|&(v, _)| v).max().expect("len > cutoff");
+    tmp.clear();
+    tmp.resize(data.len(), (0, 0.0));
+    let mut shift = 0u32;
+    while shift < 32 && (max >> shift) > 0 {
+        let mut counts = [0usize; BUCKETS + 1];
+        for &(v, _) in data.iter() {
+            counts[((v >> shift) as usize & (BUCKETS - 1)) + 1] += 1;
+        }
+        for i in 1..=BUCKETS {
+            counts[i] += counts[i - 1];
+        }
+        for &pair in data.iter() {
+            let d = (pair.0 >> shift) as usize & (BUCKETS - 1);
+            tmp[counts[d]] = pair;
+            counts[d] += 1;
+        }
+        std::mem::swap(data, tmp);
+        shift += BITS;
+    }
+}
+
 /// A dense epoch-stamped memo of per-node boolean verdicts (used to cache
 /// `index.contains(w)` across the samples of one query). Stamp and flag
 /// share one word per node — `slot >> 1` is the stamp, `slot & 1` the
@@ -243,7 +298,21 @@ impl BackwardWorkspace {
     /// deltas in append order), leaving the result in `cur`.
     pub(crate) fn coalesce_next_into_cur(&mut self) {
         // Stable sort: equal ids keep append (chronological) order.
-        self.next.sort_by_key(|&(v, _)| v);
+        // Typical backward-walk frontiers hold a handful of entries, where
+        // `sort_by_key`'s merge-sort buffer allocation dwarfs the sort
+        // itself — insertion sort (also stable) is allocation-free and
+        // faster until well past the frontier sizes walks produce.
+        if self.next.len() <= 32 {
+            for i in 1..self.next.len() {
+                let mut j = i;
+                while j > 0 && self.next[j - 1].0 > self.next[j].0 {
+                    self.next.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+        } else {
+            self.next.sort_by_key(|&(v, _)| v);
+        }
         self.cur.clear();
         for &(v, delta) in &self.next {
             match self.cur.last_mut() {
@@ -285,6 +354,12 @@ pub struct QueryWorkspace {
     pub(crate) round_entries: Vec<(NodeId, f64)>,
     /// Per-node value buffer for the median computation.
     pub(crate) median_buf: Vec<f64>,
+    /// Scaled index postings of the accepted hub terminals, gathered
+    /// sequentially and then radix-sorted + coalesced by node — the
+    /// scatter-free `ŝ_I` path.
+    pub(crate) ix_buf: Vec<(NodeId, f64)>,
+    /// Ping-pong buffer for the radix sort of `ix_buf`.
+    pub(crate) ix_tmp: Vec<(NodeId, f64)>,
 }
 
 impl QueryWorkspace {
@@ -319,6 +394,30 @@ mod tests {
         assert!(s.is_empty());
         s.add(2, 7.0);
         assert_eq!(s.get(2), 7.0, "stale value must not leak into a new add");
+    }
+
+    #[test]
+    fn add_scaled_matches_scalar_adds() {
+        let nodes = [4u32, 1, 4, 0];
+        let wide = [0.5f64, 2.0, 1.5, 3.0];
+        let narrow: Vec<f32> = wide.iter().map(|&x| x as f32).collect();
+        let mut a = DenseScratch::new();
+        a.begin(8);
+        a.add_scaled(&nodes, &wide, 2.0);
+        let mut b = DenseScratch::new();
+        b.begin(8);
+        for (&v, &x) in nodes.iter().zip(&wide) {
+            b.add(v, 2.0 * x);
+        }
+        for v in 0..8 {
+            assert_eq!(a.get(v), b.get(v));
+        }
+        let mut c = DenseScratch::new();
+        c.begin(8);
+        c.add_scaled_f32(&nodes, &narrow, 2.0);
+        for v in 0..8 {
+            assert_eq!(c.get(v), b.get(v), "f32 values widen exactly here");
+        }
     }
 
     #[test]

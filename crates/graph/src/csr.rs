@@ -34,6 +34,14 @@ pub struct DiGraph {
     /// kept so the backward-walk inner loops read one `u32` instead of two
     /// `usize` offsets per neighbor probe.
     in_degrees: Vec<u32>,
+    /// `out_target_in_degs[i] = in_degrees[out_targets[i]]` — the targets'
+    /// in-degrees *inline with the out-adjacency*, so the backward scans
+    /// (which walk an out list until a degree threshold is exceeded) read
+    /// one sequential stream instead of one random `in_degrees` probe per
+    /// neighbor. Present iff `out_sorted_by_in_degree` (built by
+    /// `ordering::sort_out_by_in_degree`, which every backward consumer
+    /// requires anyway); empty on unsorted graphs.
+    out_target_in_degs: Vec<u32>,
     /// Whether every out list is sorted by ascending in-degree of the target.
     out_sorted_by_in_degree: bool,
 }
@@ -88,6 +96,7 @@ impl DiGraph {
             in_offsets,
             in_sources,
             in_degrees,
+            out_target_in_degs: Vec::new(),
             out_sorted_by_in_degree: false,
         }
     }
@@ -124,6 +133,24 @@ impl DiGraph {
     #[inline]
     pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
         &self.in_sources[self.in_offsets[u as usize]..self.in_offsets[u as usize + 1]]
+    }
+
+    /// Out-neighbors of `u` paired with their in-degrees as parallel
+    /// slices — the backward-scan fast path: the degree stream is read
+    /// sequentially instead of probing `in_degrees[y]` per neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on non-empty out lists) unless the graph is out-sorted by
+    /// in-degree ([`crate::ordering::sort_out_by_in_degree`]), which is
+    /// when the inline degree stream is materialized.
+    #[inline]
+    pub fn out_neighbors_with_in_degrees(&self, u: NodeId) -> (&[NodeId], &[u32]) {
+        let (s, e) = (
+            self.out_offsets[u as usize],
+            self.out_offsets[u as usize + 1],
+        );
+        (&self.out_targets[s..e], &self.out_target_in_degs[s..e])
     }
 
     /// Out-degree of `u`.
@@ -177,6 +204,7 @@ impl DiGraph {
             in_offsets: self.out_offsets.clone(),
             in_sources: self.out_targets.clone(),
             in_degrees: degrees_from_offsets(&self.out_offsets),
+            out_target_in_degs: Vec::new(),
             out_sorted_by_in_degree: false,
         }
     }
@@ -188,14 +216,28 @@ impl DiGraph {
             + self.out_targets.len() * std::mem::size_of::<NodeId>()
             + self.in_sources.len() * std::mem::size_of::<NodeId>()
             + self.in_degrees.len() * std::mem::size_of::<u32>()
+            + self.out_target_in_degs.len() * std::mem::size_of::<u32>()
     }
 
+    /// Mutable out-adjacency access for the counting sort; the inline
+    /// degree stream is invalidated (the sort rebuilds it via
+    /// [`DiGraph::set_out_sorted_by_in_degree`]).
     pub(crate) fn out_adjacency_mut(&mut self) -> (&[usize], &mut [NodeId]) {
+        self.out_target_in_degs = Vec::new();
+        self.out_sorted_by_in_degree = false;
         (&self.out_offsets, &mut self.out_targets)
     }
 
     pub(crate) fn set_out_sorted_by_in_degree(&mut self, flag: bool) {
         self.out_sorted_by_in_degree = flag;
+        self.out_target_in_degs = if flag {
+            self.out_targets
+                .iter()
+                .map(|&y| self.in_degrees[y as usize])
+                .collect()
+        } else {
+            Vec::new()
+        };
     }
 
     pub(crate) fn raw_parts(&self) -> (&[usize], &[NodeId], &[usize], &[NodeId], bool) {
@@ -216,14 +258,19 @@ impl DiGraph {
         out_sorted_by_in_degree: bool,
     ) -> Self {
         let in_degrees = degrees_from_offsets(&in_offsets);
-        DiGraph {
+        let mut g = DiGraph {
             out_offsets,
             out_targets,
             in_offsets,
             in_sources,
             in_degrees,
-            out_sorted_by_in_degree,
+            out_target_in_degs: Vec::new(),
+            out_sorted_by_in_degree: false,
+        };
+        if out_sorted_by_in_degree {
+            g.set_out_sorted_by_in_degree(true);
         }
+        g
     }
 }
 

@@ -14,7 +14,7 @@
 //! of the time. No retries, no tolerance slop beyond ε itself.
 
 use prsim::baselines::power_method;
-use prsim::core::{DynamicPrsim, HubCount, Prsim, PrsimConfig, QueryParams};
+use prsim::core::{DynamicPrsim, HubCount, Prsim, PrsimConfig, QueryParams, ReservePrecision};
 use prsim::graph::DiGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,6 +90,53 @@ fn median_trick_rounds_also_beat_eps() {
     let dr = hoeffding_dr(sources.len() * g.node_count(), EPS, DELTA);
     let engine = Prsim::build(g.clone(), accuracy_config(dr, 3)).unwrap();
     assert_within_eps(&engine, &g, &sources, 0xACE);
+}
+
+#[test]
+fn f32_reserve_regime_beats_eps_at_the_same_sample_counts() {
+    // The quantized-arena regime: reserves stored as f32 perturb each
+    // index contribution by a relative 2⁻²⁴ ≈ 6e-8 — orders of magnitude
+    // inside the ε/2 deterministic half of the budget — so the engine
+    // must meet the *same* Hoeffding-derived bound at the *same* d_r as
+    // the f64 engine, with no extra samples and no tolerance slop.
+    let g = prsim::gen::chung_lu_undirected(prsim::gen::ChungLuConfig::new(60, 5.0, 2.0, 101));
+    let sources = [0u32, 17, 59];
+    let dr = hoeffding_dr(sources.len() * g.node_count(), EPS, DELTA);
+    let config = PrsimConfig {
+        reserve_precision: ReservePrecision::F32,
+        // Force every terminal within reach of a hub through the index so
+        // the quantized postings actually carry the estimate.
+        hubs: HubCount::Fixed(g.node_count()),
+        ..accuracy_config(dr, 1)
+    };
+    let engine = Prsim::build(g.clone(), config).unwrap();
+    assert_eq!(
+        engine.index().precision(),
+        ReservePrecision::F32,
+        "config flag must reach the arena"
+    );
+    assert_within_eps(&engine, &g, &sources, 0xACC);
+
+    // Same seeds, f64 vs f32 engines: the realized estimates may differ
+    // only by the quantization term, far below statistical noise.
+    let wide = Prsim::build(
+        g.clone(),
+        PrsimConfig {
+            hubs: HubCount::Fixed(g.node_count()),
+            ..accuracy_config(dr, 1)
+        },
+    )
+    .unwrap();
+    for &u in &sources {
+        use rand::{rngs::StdRng, SeedableRng};
+        let a = engine.single_source(u, &mut StdRng::seed_from_u64(0xACC ^ u as u64));
+        let b = wide.single_source(u, &mut StdRng::seed_from_u64(0xACC ^ u as u64));
+        let diff = a.max_abs_diff(&b);
+        assert!(
+            diff < 1e-5,
+            "f32 vs f64 engines diverge by {diff} at source {u}"
+        );
+    }
 }
 
 #[test]
