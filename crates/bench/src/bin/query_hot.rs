@@ -6,8 +6,11 @@
 //!
 //! * engine build time,
 //! * single-source latency (p50 / p95 / mean over a seeded query set) and
-//!   the derived queries-per-second, on both the f64 and the f32 reserve
-//!   arenas,
+//!   the derived queries-per-second, in **both walk-cache modes** (the
+//!   default cached engine and a `walk_cache_budget = 0` engine) and on
+//!   the f32 reserve arena,
+//! * walk-cache observability: budget, pool count, resident bytes,
+//!   terminal/η hit rates and mean wavefront peak over the query set,
 //! * index memory: live postings, offset-table slots and resident
 //!   `size_bytes` for both arena precisions, plus the estimated resident
 //!   size of the pre-arena nested `Vec<Vec<Vec<(NodeId, f64)>>>` layout
@@ -26,16 +29,19 @@
 //!
 //! * default: run the full family (5k / 20k / 100k nodes) and write
 //!   `BENCH_query.json` in the current directory;
-//! * `--smoke`: run only the 5k graph (seconds, for CI);
+//! * `--smoke`: run only the 5k graph (seconds, for CI); both cache
+//!   modes are still measured, so CI covers cached and uncached engines;
 //! * `--check PATH`: after running, compare against the committed JSON at
 //!   `PATH`; exit non-zero when the file is malformed, the fresh
 //!   single-source p50 regresses by more than 3x, the committed row lacks
-//!   the index-memory fields, or the fresh f64 `size_bytes` exceeds 1.1x
-//!   its committed value (memory guardrail).
+//!   the index-memory or walk-cache fields, the fresh f64 `size_bytes`
+//!   exceeds 1.1x its committed value, or the fresh walk-cache
+//!   `resident_bytes` exceeds 1.1x its committed value (memory
+//!   guardrails).
 
 use prsim_bench::hot::{hot_bench_config, percentile, HOT_C_MULT};
 use prsim_bench::json as mini_json;
-use prsim_core::{Prsim, QueryWorkspace, ReservePrecision, SimRankScores};
+use prsim_core::{Prsim, PrsimConfig, QueryWorkspace, ReservePrecision, SimRankScores};
 use prsim_gen::{chung_lu_undirected, ChungLuConfig};
 use prsim_graph::NodeId;
 use rand::rngs::StdRng;
@@ -47,8 +53,9 @@ use std::time::Instant;
 const CHECK_TOLERANCE: f64 = 3.0;
 
 /// Memory tolerance of `--check`: fail when the fresh f64 arena
-/// `size_bytes` exceeds 1.1x the committed value (the build is seeded, so
-/// any real growth is a layout regression, not noise).
+/// `size_bytes` (or the walk cache's `resident_bytes`) exceeds 1.1x the
+/// committed value (the build is seeded, so any real growth is a layout
+/// regression, not noise).
 const SIZE_TOLERANCE: f64 = 1.1;
 
 struct DatasetSpec {
@@ -98,6 +105,40 @@ struct IndexRow {
     nested_f64_size_bytes: usize,
 }
 
+/// Walk-cache observability aggregated over one serial run.
+#[derive(Default)]
+struct CacheAgg {
+    walks: usize,
+    died: usize,
+    term_hits: usize,
+    eta_hits: usize,
+    wavefront_peak_sum: usize,
+    queries: usize,
+}
+
+impl CacheAgg {
+    fn term_hit_rate(&self) -> f64 {
+        self.term_hits as f64 / self.walks.max(1) as f64
+    }
+
+    fn eta_hit_rate(&self) -> f64 {
+        self.eta_hits as f64 / (self.walks - self.died).max(1) as f64
+    }
+
+    fn wavefront_peak_mean(&self) -> f64 {
+        self.wavefront_peak_sum as f64 / self.queries.max(1) as f64
+    }
+}
+
+struct CacheRow {
+    budget: usize,
+    pools: usize,
+    resident_bytes: usize,
+    term_hit_rate: f64,
+    eta_hit_rate: f64,
+    wavefront_peak_mean: f64,
+}
+
 struct BenchRow {
     name: String,
     n: usize,
@@ -108,8 +149,11 @@ struct BenchRow {
     mean_us: f64,
     qps: f64,
     alloc_qps: f64,
+    nocache_p50_us: f64,
+    nocache_qps: f64,
     f32_p50_us: f64,
     f32_qps: f64,
+    cache: CacheRow,
     index: IndexRow,
     batch: Vec<BatchPoint>,
 }
@@ -120,8 +164,14 @@ fn sink(scores: &SimRankScores) -> f64 {
 }
 
 /// Serial latency distribution of the workspace-reused hot path — the
-/// steady state of a query server. Returns (sorted latencies µs, qps).
-fn serial_latencies(engine: &Prsim, sources: &[NodeId], guard: &mut f64) -> (Vec<f64>, f64) {
+/// steady state of a query server. Returns (sorted latencies µs, qps)
+/// and folds per-query stats into `agg`.
+fn serial_latencies(
+    engine: &Prsim,
+    sources: &[NodeId],
+    guard: &mut f64,
+    agg: &mut CacheAgg,
+) -> (Vec<f64>, f64) {
     let mut ws = QueryWorkspace::new();
     // Warmup (touches the index + graph pages, grows the workspace).
     for (i, &u) in sources.iter().take(10).enumerate() {
@@ -133,9 +183,17 @@ fn serial_latencies(engine: &Prsim, sources: &[NodeId], guard: &mut f64) -> (Vec
     for (i, &u) in sources.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
         let t = Instant::now();
-        let scores = engine.single_source_with_workspace(u, &mut ws, &mut rng);
+        let (scores, stats) = engine
+            .try_single_source_with_workspace(u, &mut ws, &mut rng)
+            .expect("sources pre-checked");
         lat_us.push(t.elapsed().as_secs_f64() * 1e6);
         *guard += sink(&scores);
+        agg.walks += stats.walks;
+        agg.died += stats.died;
+        agg.term_hits += stats.cached_terminals;
+        agg.eta_hits += stats.cached_eta;
+        agg.wavefront_peak_sum += stats.wavefront_peak;
+        agg.queries += 1;
     }
     let qps = sources.len() as f64 / start.elapsed().as_secs_f64();
     lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -171,12 +229,24 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         .map(|_| pick.gen_range(0..n as NodeId))
         .collect();
 
-    // All f64 measurements run before the f32 engine exists: its build
-    // would otherwise evict the f64 engine's working set (each engine
-    // owns its own graph copy) and skew the serial numbers.
+    // All f64 measurements run before the other engines exist: their
+    // builds would otherwise evict the f64 engine's working set (each
+    // engine owns its own graph copy) and skew the serial numbers.
     let mut guard = 0.0;
-    let (lat_us, qps) = serial_latencies(&engine, &sources, &mut guard);
+    let mut agg = CacheAgg::default();
+    let (lat_us, qps) = serial_latencies(&engine, &sources, &mut guard, &mut agg);
     let mean_us = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
+    let cache_row = {
+        let c = engine.walk_cache().expect("hot config keeps the cache on");
+        CacheRow {
+            budget: engine.config().walk_cache_budget,
+            pools: c.pool_count(),
+            resident_bytes: c.resident_bytes(),
+            term_hit_rate: agg.term_hit_rate(),
+            eta_hit_rate: agg.eta_hit_rate(),
+            wavefront_peak_mean: agg.wavefront_peak_mean(),
+        }
+    };
 
     // Secondary: the allocating entry point (fresh transient workspace
     // per query), i.e. what a naive caller pays.
@@ -204,17 +274,35 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         });
     }
 
+    // The same engine with the walk cache disabled: the committed
+    // trajectory records both modes, and CI's smoke run therefore
+    // exercises cached and uncached engines alike.
+    let engine_nocache = Prsim::build(
+        graph.clone(),
+        PrsimConfig {
+            walk_cache_budget: 0,
+            ..hot_bench_config()
+        },
+    )
+    .expect("bench config is valid");
+    let mut nocache_agg = CacheAgg::default();
+    let (nc_lat_us, nocache_qps) =
+        serial_latencies(&engine_nocache, &sources, &mut guard, &mut nocache_agg);
+    assert_eq!(nocache_agg.term_hits, 0, "budget 0 must never hit");
+    drop(engine_nocache);
+
     // The same engine with the compact f32 arena (identical hubs, seeds
     // and sample counts; only the reserve width differs).
     let engine_f32 = Prsim::build(
         graph,
-        prsim_core::PrsimConfig {
+        PrsimConfig {
             reserve_precision: ReservePrecision::F32,
             ..hot_bench_config()
         },
     )
     .expect("bench config is valid");
-    let (f32_lat_us, f32_qps) = serial_latencies(&engine_f32, &sources, &mut guard);
+    let mut f32_agg = CacheAgg::default();
+    let (f32_lat_us, f32_qps) = serial_latencies(&engine_f32, &sources, &mut guard, &mut f32_agg);
 
     assert!(guard.is_finite());
     let stats = engine.index().stats();
@@ -228,8 +316,11 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         mean_us,
         qps,
         alloc_qps,
+        nocache_p50_us: percentile(&nc_lat_us, 0.50),
+        nocache_qps,
         f32_p50_us: percentile(&f32_lat_us, 0.50),
         f32_qps,
+        cache: cache_row,
         index: IndexRow {
             hubs: stats.hubs,
             entries: stats.entries,
@@ -279,8 +370,17 @@ fn render_json(rows: &[BenchRow], queries: usize, preserved: &[(&str, String)]) 
             r.p50_us, r.p95_us, r.mean_us, r.qps, r.alloc_qps
         ));
         out.push_str(&format!(
+            "     \"single_source_nocache\": {{\"p50_us\": {:.1}, \"qps\": {:.1}}},\n",
+            r.nocache_p50_us, r.nocache_qps
+        ));
+        out.push_str(&format!(
             "     \"single_source_f32\": {{\"p50_us\": {:.1}, \"qps\": {:.1}}},\n",
             r.f32_p50_us, r.f32_qps
+        ));
+        let c = &r.cache;
+        out.push_str(&format!(
+            "     \"walk_cache\": {{\"budget\": {}, \"pools\": {}, \"resident_bytes\": {}, \"term_hit_rate\": {:.3}, \"eta_hit_rate\": {:.3}, \"wavefront_peak_mean\": {:.1}}},\n",
+            c.budget, c.pools, c.resident_bytes, c.term_hit_rate, c.eta_hit_rate, c.wavefront_peak_mean
         ));
         let ix = &r.index;
         out.push_str(&format!(
@@ -339,20 +439,25 @@ fn main() {
         eprintln!("running {} (n = {}) ...", spec.name, spec.n);
         let row = run_dataset(spec, queries);
         eprintln!(
-            "  build {:.1} ms | p50 {:.0} us | p95 {:.0} us | {:.0} qps serial ({:.0} f32) | {:.0} qps batch | index {} B (f32 {} B)",
+            "  build {:.1} ms | p50 {:.0} us | p95 {:.0} us | {:.0} qps serial ({:.0} nocache, {:.0} f32) | {:.0} qps batch | index {} B (f32 {} B) | cache {} B, hit {:.2}/{:.2}, peak {:.0}",
             row.build_ms,
             row.p50_us,
             row.p95_us,
             row.qps,
+            row.nocache_qps,
             row.f32_qps,
             row.batch.last().map(|b| b.qps).unwrap_or(0.0),
             row.index.size_bytes_f64,
             row.index.size_bytes_f32,
+            row.cache.resident_bytes,
+            row.cache.term_hit_rate,
+            row.cache.eta_hit_rate,
+            row.cache.wavefront_peak_mean,
         );
         rows.push(row);
     }
 
-    let preserved: Vec<(&str, String)> = ["pre_pr", "pr3"]
+    let preserved: Vec<(&str, String)> = ["pre_pr", "pr3", "pr4"]
         .iter()
         .filter_map(|&k| preserved_block(&out_path, k).map(|b| (k, b)))
         .collect();
@@ -433,6 +538,35 @@ fn check_against_baseline(rows: &[BenchRow], path: &str) {
                 eprintln!(
                     "OK: {} index {} B vs committed {:.0} B",
                     row.name, row.index.size_bytes_f64, base
+                );
+            }
+        }
+        // Walk-cache memory guardrail: the committed row must carry the
+        // walk_cache block, and the fresh pools must not have silently
+        // grown (builds are seeded, so growth is a sizing regression).
+        let committed_cache = committed_row
+            .and_then(|r| r.get("walk_cache"))
+            .and_then(|c| c.get("resident_bytes"))
+            .and_then(mini_json::Value::as_f64);
+        match committed_cache {
+            None => {
+                eprintln!(
+                    "FAIL: baseline has no walk_cache.resident_bytes entry for {}",
+                    row.name
+                );
+                failures += 1;
+            }
+            Some(base) if row.cache.resident_bytes as f64 > base * SIZE_TOLERANCE => {
+                eprintln!(
+                    "FAIL: {} walk cache grew {:.0} B -> {} B (> {SIZE_TOLERANCE}x)",
+                    row.name, base, row.cache.resident_bytes
+                );
+                failures += 1;
+            }
+            Some(base) => {
+                eprintln!(
+                    "OK: {} walk cache {} B vs committed {:.0} B",
+                    row.name, row.cache.resident_bytes, base
                 );
             }
         }

@@ -37,6 +37,10 @@ USAGE:
       --f32-reserves stores index reserves quantized to f32 (arena ~2/3
       the size; quantization error is charged against eps)
   prsim query GRAPH --source U [--index FILE] [--eps E] [--top K] [--seed N]
+      [--walk-cache B] [--no-walk-cache]
+      --walk-cache B pre-samples walk terminals/η verdicts for the top-B
+      reverse-PageRank nodes (default 256; answers stay honest per query
+      but are correlated across queries); --no-walk-cache disables it
   prsim topk GRAPH --source U [--k K] [--eps E] [--seed N]
   prsim pair GRAPH --u A --v B [--samples N] [--seed N]
   prsim update GRAPH --stream FILE [--mode incremental|rebuild] [--batch K]
@@ -175,11 +179,21 @@ fn config_from(args: &Args) -> Result<PrsimConfig, String> {
     } else {
         prsim_core::ReservePrecision::F64
     };
+    let default_budget = PrsimConfig::default().walk_cache_budget;
+    let walk_cache_budget = if args.has_flag("no-walk-cache") {
+        if args.get("walk-cache").is_some() {
+            return Err("--walk-cache and --no-walk-cache are mutually exclusive".into());
+        }
+        0
+    } else {
+        args.get_parsed("walk-cache", default_budget)?
+    };
     Ok(PrsimConfig {
         eps,
         hubs,
         query: QueryParams::Practical { c_mult: 3.0 },
         reserve_precision,
+        walk_cache_budget,
         ..Default::default()
     })
 }

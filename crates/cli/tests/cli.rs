@@ -443,3 +443,58 @@ fn update_reports_malformed_stream_with_line() {
     assert!(err.contains("line 2"), "{err}");
     assert!(err.contains("\"?\""), "{err}");
 }
+
+#[test]
+fn walk_cache_flags_control_the_cache() {
+    let dir = tmpdir("walk_cache");
+    let graph = dir.join("g.txt");
+    std::fs::write(&graph, "0 1\n1 2\n2 0\n0 2\n2 1\n").unwrap();
+    // Explicit budget and disabled cache both answer successfully.
+    for extra in [&["--walk-cache", "2"][..], &["--no-walk-cache"][..]] {
+        let mut args = vec![
+            "query",
+            graph.to_str().unwrap(),
+            "--source",
+            "0",
+            "--seed",
+            "1",
+            "--top",
+            "3",
+        ];
+        args.extend_from_slice(extra);
+        let out = prsim(&args);
+        assert!(out.status.success(), "{:?}: {}", extra, stderr(&out));
+        assert!(stdout(&out).contains("query node 0"));
+    }
+    // The two flags conflict.
+    let out = prsim(&[
+        "query",
+        graph.to_str().unwrap(),
+        "--source",
+        "0",
+        "--walk-cache",
+        "4",
+        "--no-walk-cache",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+    // A budget over the validation ceiling is rejected by the engine.
+    let out = prsim(&[
+        "query",
+        graph.to_str().unwrap(),
+        "--source",
+        "0",
+        "--walk-cache",
+        "99999999",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("walk_cache_budget"),
+        "{}",
+        stderr(&out)
+    );
+}

@@ -67,6 +67,18 @@ pub struct PrsimConfig {
     /// against the `eps` budget, so [`PrsimConfig::validate`] rejects the
     /// combination with an `eps` small enough for that charge to matter.
     pub reserve_precision: ReservePrecision,
+    /// Number of top-reverse-PageRank nodes whose √c-walk terminal
+    /// distributions (and η-pair verdicts) are **pre-sampled** into the
+    /// walk-engine cache ([`crate::walkcache::WalkCache`]); `0` disables
+    /// the cache entirely. Queries consume the pre-drawn samples through
+    /// without-replacement cursors with a per-query random rotation, so
+    /// every single answer remains an honest Monte-Carlo estimate —
+    /// what the cache trades away is *independence between answers*
+    /// (repeated queries share pool samples; see the `walkcache` module
+    /// docs for the correlation caveat). CLI: `--walk-cache N` /
+    /// `--no-walk-cache`. Validated against
+    /// [`PrsimConfig::MAX_WALK_CACHE_BUDGET`].
+    pub walk_cache_budget: usize,
 }
 
 impl Default for PrsimConfig {
@@ -80,6 +92,7 @@ impl Default for PrsimConfig {
             query: QueryParams::Practical { c_mult: 3.0 },
             build_threads: 4,
             reserve_precision: ReservePrecision::F64,
+            walk_cache_budget: 256,
         }
     }
 }
@@ -222,6 +235,11 @@ pub(crate) fn validate_reserve_precision(
 }
 
 impl PrsimConfig {
+    /// Ceiling on [`PrsimConfig::walk_cache_budget`]: beyond ~4M cached
+    /// nodes the pool arena and invalidation masks dwarf the index
+    /// itself, so larger values are almost certainly a units mistake.
+    pub const MAX_WALK_CACHE_BUDGET: usize = 1 << 22;
+
     /// √c, the per-step survival probability of the reverse walks.
     #[inline]
     pub fn sqrt_c(&self) -> f64 {
@@ -257,6 +275,13 @@ impl PrsimConfig {
             return Err(PrsimError::InvalidConfig(
                 "build_threads must be at least 1".into(),
             ));
+        }
+        if self.walk_cache_budget > Self::MAX_WALK_CACHE_BUDGET {
+            return Err(PrsimError::InvalidConfig(format!(
+                "walk_cache_budget {} exceeds the ceiling {} (use 0 to disable the cache)",
+                self.walk_cache_budget,
+                Self::MAX_WALK_CACHE_BUDGET
+            )));
         }
         validate_reserve_precision(self.reserve_precision, self.eps, self.c)?;
         Ok(())
@@ -323,9 +348,33 @@ mod tests {
                     ..Default::default()
                 },
             ),
+            (
+                "walk_cache_budget over ceiling",
+                PrsimConfig {
+                    walk_cache_budget: PrsimConfig::MAX_WALK_CACHE_BUDGET + 1,
+                    ..Default::default()
+                },
+            ),
         ] {
             assert!(cfg.validate().is_err(), "{field} accepted");
         }
+    }
+
+    #[test]
+    fn walk_cache_budget_bounds() {
+        // 0 (disabled) and the ceiling itself are both valid.
+        PrsimConfig {
+            walk_cache_budget: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap();
+        PrsimConfig {
+            walk_cache_budget: PrsimConfig::MAX_WALK_CACHE_BUDGET,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

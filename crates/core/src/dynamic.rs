@@ -93,6 +93,10 @@ pub struct UpdateStats {
     /// Whether the repair tripped a postings-arena compaction (tombstoned
     /// runs outnumbered live postings).
     pub index_compacted: bool,
+    /// Walk-cache pools this update invalidated and refilled (pools whose
+    /// walks can traverse the changed adjacency; 0 when the cache is
+    /// disabled or the update was absorbed by a full rebuild).
+    pub cache_invalidated_pools: usize,
 }
 
 /// Lifetime totals of a [`DynamicPrsim`] (observability / benchmarks).
@@ -110,6 +114,8 @@ pub struct DynamicTotals {
     pub compactions: usize,
     /// Postings-arena compactions inside the hub index.
     pub index_compactions: usize,
+    /// Walk-cache pool invalidations (pools refilled across all updates).
+    pub cache_invalidations: usize,
 }
 
 /// A PRSim engine over an evolving edge set.
@@ -302,7 +308,7 @@ impl DynamicPrsim {
         let snapshot = self.delta.snapshot();
         stats.compacted = self.delta.compactions() > compactions_before;
 
-        let (_, mut pi, mut index, config) = self
+        let (_, mut pi, mut index, config, mut cache) = self
             .engine
             .take()
             .expect("incremental engine is always built")
@@ -323,26 +329,51 @@ impl DynamicPrsim {
         if self.drift > params.drift_budget {
             // Too much π movement since the hubs were selected: re-pick
             // hubs and rebuild every search (the amortized escape hatch).
+            // The walk cache follows the same escape hatch: drop it and
+            // let the reassembly redraw pools for the re-ranked top-π.
             stats.rebuilt = true;
             index = self.rebuild_index_for(&snapshot, &pi);
-        } else if !dirty.is_empty() {
-            let compactions_before = index.stats().compactions;
-            index.repair_hubs(
-                &snapshot,
-                &dirty,
-                &mut self.touch,
-                config.sqrt_c(),
-                config.r_max(),
-                config.max_level,
-                config.build_threads,
-            );
-            let compacted = index.stats().compactions - compactions_before;
-            stats.index_compacted = compacted > 0;
-            self.totals.index_compactions += compacted;
-            self.totals.repaired_hubs += dirty.len();
+            cache = None;
+        } else {
+            if !dirty.is_empty() {
+                let compactions_before = index.stats().compactions;
+                index.repair_hubs(
+                    &snapshot,
+                    &dirty,
+                    &mut self.touch,
+                    config.sqrt_c(),
+                    config.r_max(),
+                    config.max_level,
+                    config.build_threads,
+                );
+                let compacted = index.stats().compactions - compactions_before;
+                stats.index_compacted = compacted > 0;
+                self.totals.index_compactions += compacted;
+                self.totals.repaired_hubs += dirty.len();
+            }
+            if let Some(cache) = cache.as_mut() {
+                // Invalidate against the *pre-update* reachability masks
+                // (the exact dirty criterion for inserts and deletes
+                // alike — see walkcache's module docs), then fold an
+                // inserted edge into the masks and refill the dirty
+                // pools against the updated snapshot.
+                cache.ensure_nodes(n);
+                let dirty_pools = cache.dirty_pools(b);
+                stats.cache_invalidated_pools = dirty_pools.len();
+                self.totals.cache_invalidations += dirty_pools.len();
+                if update.is_insert() {
+                    cache.note_insert(&snapshot, a, b);
+                }
+                if !dirty_pools.is_empty() {
+                    let geom = crate::walk::GeomLenTable::new(config.sqrt_c(), config.max_level);
+                    cache.refill(&snapshot, &geom, &dirty_pools);
+                }
+            }
         }
 
-        self.engine = Some(Prsim::from_parts(snapshot, pi, index, config)?);
+        let mut engine = Prsim::from_parts_full(snapshot, pi, index, config, cache, None)?;
+        engine.ensure_cache_masks();
+        self.engine = Some(engine);
         Ok(stats)
     }
 
@@ -391,7 +422,10 @@ impl DynamicPrsim {
                     &mut pi,
                 );
                 let index = self.rebuild_index_for(&snapshot, &pi);
-                self.engine = Some(Prsim::from_parts(snapshot, pi, index, self.config.clone())?);
+                let mut engine =
+                    Prsim::from_parts_full(snapshot, pi, index, self.config.clone(), None, None)?;
+                engine.ensure_cache_masks();
+                self.engine = Some(engine);
             }
             UpdateMode::RebuildOnBatch { .. } => {
                 self.engine = Some(Prsim::build(snapshot, self.config.clone())?);
@@ -594,8 +628,16 @@ mod tests {
     fn similarity_responds_to_edits() {
         // star_out: leaves share the hub as only in-neighbor, s = c.
         // After deleting a leaf's in-edge its similarity must drop to 0.
+        // dr is raised beyond the other tests' budget because cached
+        // queries share their source pool's realization: the pool draw
+        // adds a correlated noise term on top of the per-query window,
+        // and the 0.06 tolerance needs both comfortably inside 4σ.
         let g0 = prsim_gen::toys::star_out(5);
-        let mut engine = DynamicPrsim::new_incremental(&g0, config()).unwrap();
+        let cfg = PrsimConfig {
+            query: QueryParams::Explicit { dr: 8_000, fr: 1 },
+            ..config()
+        };
+        let mut engine = DynamicPrsim::new_incremental(&g0, cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let (before, _) = engine.single_source(1, &mut rng).unwrap();
         assert!((before.get(2) - 0.6).abs() < 0.06);
@@ -621,6 +663,63 @@ mod tests {
         }
         assert!(compactions >= 1, "threshold 3 must compact within 9 edits");
         assert_eq!(engine.totals().compactions, compactions);
+    }
+
+    #[test]
+    fn cache_invalidation_counters_report_dirty_pools() {
+        // star_out(5): hub 0 feeds leaves 1..4; walks from a leaf visit
+        // only {leaf, 0}. With every node cached, an edge into leaf 2
+        // dirties exactly the pools whose walks can visit 2 — pool 2
+        // itself (plus any node that out-reaches 2; here none but 2).
+        let g0 = prsim_gen::toys::star_out(5);
+        let cfg = PrsimConfig {
+            walk_cache_budget: 8,
+            ..config()
+        };
+        // Permissive drift budget: a drift rebuild redraws the whole
+        // cache (and legitimately reports 0 invalidations), which is not
+        // the path under test here.
+        let params = DynamicParams {
+            drift_budget: 1e9,
+            ..Default::default()
+        };
+        let mut engine = DynamicPrsim::new(&g0, cfg, UpdateMode::Incremental(params)).unwrap();
+        let eng = engine.engine().unwrap();
+        let cache = eng.walk_cache().expect("cache enabled");
+        assert!(cache.has_masks(), "dynamic engine must build masks");
+        assert_eq!(cache.pool_count(), 5);
+
+        let stats = engine.insert_edge(1, 2).unwrap();
+        assert!(stats.applied);
+        assert_eq!(
+            stats.cache_invalidated_pools, 1,
+            "only node 2's own pool can walk through node 2"
+        );
+        // An edge into the hub 0 dirties every pool: all leaves' walks
+        // traverse 0.
+        let stats = engine.insert_edge(3, 0).unwrap();
+        assert!(stats.applied);
+        assert_eq!(stats.cache_invalidated_pools, 5);
+        assert_eq!(engine.totals().cache_invalidations, 6);
+        // No-op updates skip cache maintenance entirely.
+        let noop = engine.insert_edge(1, 2).unwrap();
+        assert!(!noop.applied);
+        assert_eq!(noop.cache_invalidated_pools, 0);
+        assert_eq!(engine.totals().cache_invalidations, 6);
+        // Cache disabled: counters stay zero across applied updates.
+        let mut plain = DynamicPrsim::new(
+            &prsim_gen::toys::star_out(5),
+            PrsimConfig {
+                walk_cache_budget: 0,
+                ..config()
+            },
+            UpdateMode::Incremental(params),
+        )
+        .unwrap();
+        let stats = plain.insert_edge(1, 2).unwrap();
+        assert!(stats.applied);
+        assert_eq!(stats.cache_invalidated_pools, 0);
+        assert_eq!(plain.totals().cache_invalidations, 0);
     }
 
     #[test]

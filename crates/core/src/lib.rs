@@ -72,14 +72,16 @@ pub mod scores;
 pub mod topk;
 pub mod vbbw;
 pub mod walk;
+pub mod walkcache;
 pub mod workspace;
 
 pub use config::{DynamicParams, HubCount, PrsimConfig, QueryParams};
 pub use dynamic::{DynamicPrsim, DynamicTotals, UpdateMode, UpdateStats};
 pub use index::{HubTouchSets, IndexStats, Postings, PrsimIndex, ReservePrecision};
-pub use query::Prsim;
+pub use query::{Prsim, QueryStats};
 pub use scores::SimRankScores;
 pub use topk::{TopKParams, TopKResult};
+pub use walkcache::WalkCache;
 pub use workspace::QueryWorkspace;
 
 /// Errors produced while building or querying a PRSim engine.

@@ -36,9 +36,15 @@
 //! between a fresh and a reused workspace, so the allocating entry
 //! points simply construct a transient one.
 //!
-//! The walk phases run 8-lane interleaved (terminals, then η pair
-//! tests) so their dependent random loads overlap in the memory
-//! pipeline. The index part `ŝ_I` reads each accepted hub terminal as
+//! The walk phases run as **sorted wavefronts** (terminals, then the η
+//! pair tests): all in-flight walks advance level-synchronously with the
+//! frontier radix-binned by current node id, so one level's CSR reads
+//! sweep the adjacency arrays in ascending order instead of chasing
+//! independent pointers, and walks arriving at a node cached by the
+//! [`crate::walkcache::WalkCache`] retire immediately on a pre-drawn
+//! sample (the top-π nodes carry most of the walk mass, so most walks
+//! end within a hop or two of leaving the source). The index part `ŝ_I`
+//! reads each accepted hub terminal as
 //! one *sequential scan* of a postings run in the flat arena
 //! ([`crate::index`]); its aggregation is adaptive — random scatter
 //! into the dense accumulator while that array is cache-resident
@@ -62,16 +68,29 @@ use crate::pagerank::{rank_by_pagerank, reverse_pagerank};
 use crate::scores::SimRankScores;
 use crate::vbbw::variance_bounded_backward_walk_with_workspace;
 use crate::walk::{
-    sample_pairs_meet_interleaved, sample_terminals_interleaved, sample_walks_meet_with_table,
-    GeomLenTable,
+    sample_pairs_meet_wavefront, sample_terminals_wavefront, sample_walk_phase_interleaved,
+    sample_walks_meet_with_table, GeomLenTable, NoDraws, TerminalDraws, WaveScratch, WaveStats,
 };
+use crate::walkcache::{pool_samples, WalkCache};
 use crate::workspace::{DenseScratch, QueryWorkspace};
 use crate::PrsimError;
 
-/// Node-count ceiling for the scatter variant of the `ŝ_I` aggregation:
-/// up to this size the dense accumulator (16 bytes per node) stays
-/// cache-resident and random adds beat the streaming sort path.
+/// Node-count ceiling for the scatter variant of the `ŝ_I`/`ŝ_B`
+/// aggregation: up to this size the dense accumulator (16 bytes per
+/// node) stays cache-resident and random adds beat the streaming sort
+/// path.
 const SCATTER_NODES_MAX: usize = 32_768;
+
+/// Walk-count floor for the sorted-wavefront kernels: below it the walk
+/// phase runs the fused 8-lane interleaved kernel, whose memory-level
+/// parallelism wins when the frontier is too sparse for radix-binned CSR
+/// reads to coalesce (measured decisively on the benchmark box at
+/// per-query sizes — see `BENCH_query.json`'s protocol note); at or
+/// above it the level-synchronous wavefront takes over, where one
+/// level's sorted sweep amortizes across many walks per adjacency
+/// region. Both kernels consume the same cache hooks and workspace
+/// scratch, so the switch is purely an execution-strategy decision.
+const WAVEFRONT_MIN_WALKS: usize = 4_096;
 
 /// Instrumentation counters for one single-source query.
 #[derive(Clone, Copy, Debug, Default)]
@@ -88,7 +107,20 @@ pub struct QueryStats {
     pub backward_cost: usize,
     /// Index entries scanned while assembling `ŝ_I`.
     pub index_entries: usize,
+    /// Walks resolved by a cached terminal draw (the walk hit a cached
+    /// node and consumed a pre-drawn sample instead of chasing pointers).
+    pub cached_terminals: usize,
+    /// η tests resolved by a cached verdict bit (no pair walk run).
+    pub cached_eta: usize,
+    /// Largest wavefront frontier carried across a level in this query.
+    pub wavefront_peak: usize,
 }
+
+/// Fixed base seed of the engine-built walk-cache pools (mixed per pool
+/// and per refill generation inside [`WalkCache`]). A constant keeps
+/// engine builds deterministic: two engines over the same graph and
+/// config hold identical pools.
+const WALK_CACHE_SEED: u64 = 0x57A1_CACE_0BEA_CE5D;
 
 /// A built PRSim engine, ready to answer single-source queries.
 #[derive(Clone, Debug)]
@@ -99,6 +131,9 @@ pub struct Prsim {
     config: PrsimConfig,
     /// Survival table for geometric walk-length draws (one per engine).
     geom: GeomLenTable,
+    /// Pre-drawn terminal/η pools for the top-π nodes (None when
+    /// `walk_cache_budget` is 0).
+    cache: Option<WalkCache>,
     dr: usize,
     fr: usize,
 }
@@ -117,7 +152,10 @@ impl Prsim {
         let j0 = config
             .hubs
             .resolve(graph.node_count(), graph.avg_degree(), config.eps);
-        let hubs: Vec<NodeId> = rank_by_pagerank(&pi).into_iter().take(j0).collect();
+        // One π ranking serves both consumers: the top j₀ become index
+        // hubs, the top `walk_cache_budget` get pre-sampled walk pools.
+        let order = rank_by_pagerank(&pi);
+        let hubs: Vec<NodeId> = order.iter().take(j0).copied().collect();
         let (index, _) = PrsimIndex::build_tracked_with(
             &graph,
             hubs,
@@ -127,7 +165,7 @@ impl Prsim {
             config.build_threads,
             config.reserve_precision,
         );
-        Self::from_parts(graph, pi, index, config)
+        Self::from_parts_full(graph, pi, index, config, None, Some(order))
     }
 
     /// Assembles an engine from precomputed parts (e.g. a deserialized
@@ -137,6 +175,22 @@ impl Prsim {
         pi: Vec<f64>,
         index: PrsimIndex,
         config: PrsimConfig,
+    ) -> Result<Self, PrsimError> {
+        Self::from_parts_full(graph, pi, index, config, None, None)
+    }
+
+    /// [`Prsim::from_parts`] with an optional pre-built walk cache (the
+    /// dynamic engine threads its incrementally-maintained cache through
+    /// here instead of redrawing pools on every update) and an optional
+    /// precomputed descending-π ranking (saves the `O(n log n)` re-rank
+    /// when the caller — [`Prsim::build`] — already holds one).
+    pub(crate) fn from_parts_full(
+        graph: DiGraph,
+        pi: Vec<f64>,
+        index: PrsimIndex,
+        config: PrsimConfig,
+        cache: Option<WalkCache>,
+        order_hint: Option<Vec<NodeId>>,
     ) -> Result<Self, PrsimError> {
         config.validate()?;
         // A deserialized index carries its own precision; hold it to the
@@ -159,22 +213,61 @@ impl Prsim {
             .query
             .resolve(graph.node_count(), config.c, config.eps, config.delta);
         let geom = GeomLenTable::new(config.sqrt_c(), config.max_level);
+        let cache = match cache {
+            Some(cache) => Some(cache),
+            None if config.walk_cache_budget > 0 => {
+                let order = order_hint.unwrap_or_else(|| rank_by_pagerank(&pi));
+                Some(WalkCache::build(
+                    &graph,
+                    &geom,
+                    &order,
+                    config.walk_cache_budget,
+                    pool_samples(dr * fr),
+                    WALK_CACHE_SEED,
+                ))
+            }
+            None => None,
+        };
         Ok(Prsim {
             graph,
             pi,
             index,
             config,
             geom,
+            cache,
             dr,
             fr,
         })
     }
 
     /// Disassembles the engine into its parts. The dynamic engine uses
-    /// this to mutate graph/π/index in place and cheaply reassemble via
-    /// [`Prsim::from_parts`] without cloning CSR-sized state.
-    pub(crate) fn into_parts(self) -> (DiGraph, Vec<f64>, PrsimIndex, PrsimConfig) {
-        (self.graph, self.pi, self.index, self.config)
+    /// this to mutate graph/π/index/cache in place and cheaply reassemble
+    /// via [`Prsim::from_parts_full`] without cloning CSR-sized state.
+    #[allow(clippy::type_complexity)] // the engine's five parts, once
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        DiGraph,
+        Vec<f64>,
+        PrsimIndex,
+        PrsimConfig,
+        Option<WalkCache>,
+    ) {
+        (self.graph, self.pi, self.index, self.config, self.cache)
+    }
+
+    /// The walk-engine terminal-sample cache, when enabled.
+    pub fn walk_cache(&self) -> Option<&WalkCache> {
+        self.cache.as_ref()
+    }
+
+    /// Builds the cache's dynamic-invalidation masks over the engine's
+    /// graph if the cache exists and lacks them (no-op otherwise). Called
+    /// by [`crate::DynamicPrsim`] after every (re)assembly.
+    pub(crate) fn ensure_cache_masks(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.ensure_masks(&self.graph, self.config.max_level);
+        }
     }
 
     /// The underlying (out-sorted) graph.
@@ -424,36 +517,100 @@ impl Prsim {
             median_buf,
             ix_buf,
             ix_tmp,
+            bw_buf,
+            wave,
+            cache_cursors,
+            pair_idx,
+            pair_met,
+            sample_buf,
         } = ws;
         let index = &self.index;
+        let cache = self.cache.as_ref();
+        if let Some(cache) = cache {
+            // Arm the without-replacement cursors: one generation per
+            // query, spanning all of its rounds.
+            cache_cursors.begin(cache.pool_count());
+        }
         hub_memo.begin(n);
         terminals.clear();
         round_entries.clear();
-        if fr > 1 {
+        bw_buf.clear();
+        // Accumulation strategy for ŝ_B and ŝ_I alike: while the dense
+        // per-node accumulator is cache-resident (small graphs), random
+        // scatter into it is nearly free; above SCATTER_NODES_MAX every
+        // contribution is streamed into a flat buffer and duplicates are
+        // resolved by a stable radix sort + coalesce — no random writes
+        // over the (large) node universe at all. Chronological per-node
+        // addition order is identical either way, so the two strategies
+        // produce bit-identical sums.
+        let scatter = n <= SCATTER_NODES_MAX;
+        if scatter && fr > 1 {
             acc.begin(n);
         }
 
         for _ in 0..fr {
-            // Per-round backward estimator ŝ_B^i on dense scratch. With a
-            // single round ŝ_B is the final backward part, so accumulate
-            // straight into `acc` and skip the merge.
+            // Per-round backward estimator ŝ_B^i. Scatter mode runs it on
+            // dense scratch (with a single round ŝ_B is the final
+            // backward part, so it accumulates straight into `acc` and
+            // skips the merge); streaming mode appends to `bw_buf`, which
+            // is coalesced per round (fr > 1) or once at the end (fr = 1).
             let round: &mut DenseScratch = if fr == 1 { &mut *acc } else { &mut *round };
-            round.begin(n);
+            if scatter {
+                round.begin(n);
+            } else if fr > 1 {
+                bw_buf.clear();
+            }
 
-            // Phase 1: the round's √c-walk terminals, interleaved so the
-            // walks' dependent random loads overlap.
-            term_buf.clear();
+            // Phases 1+2: the round's √c-walk terminals and their η
+            // verdicts, consuming cached pre-drawn samples wherever a
+            // walk arrives at (or terminates on) a cached node. Execution
+            // strategy is adaptive (see [`WAVEFRONT_MIN_WALKS`]): fused
+            // 8-lane interleaving at per-query sizes, sorted wavefront on
+            // large frontiers.
+            sample_buf.clear();
             stats.walks += dr;
-            stats.died +=
-                sample_terminals_interleaved(&self.graph, &self.geom, u, dr, term_buf, rng);
-
-            // Phase 2: η rejection — one walk pair per surviving terminal.
-            pair_buf.clear();
-            pair_buf.extend(term_buf.iter().map(|&(w, _)| (w, w)));
-            sample_pairs_meet_interleaved(&self.graph, &self.geom, pair_buf, met_buf, rng);
+            let wstats: WaveStats = match cache {
+                Some(cache) => {
+                    let mut session = cache.session(cache_cursors);
+                    walk_phase(
+                        &self.graph,
+                        &self.geom,
+                        u,
+                        dr,
+                        &mut session,
+                        sample_buf,
+                        term_buf,
+                        pair_buf,
+                        pair_idx,
+                        pair_met,
+                        met_buf,
+                        wave,
+                        rng,
+                    )
+                }
+                None => walk_phase(
+                    &self.graph,
+                    &self.geom,
+                    u,
+                    dr,
+                    &mut NoDraws,
+                    sample_buf,
+                    term_buf,
+                    pair_buf,
+                    pair_idx,
+                    pair_met,
+                    met_buf,
+                    wave,
+                    rng,
+                ),
+            };
+            stats.died += wstats.died;
+            stats.cached_terminals += wstats.cache_hits;
+            stats.cached_eta += wstats.eta_hits;
+            stats.wavefront_peak = stats.wavefront_peak.max(wstats.peak_frontier);
 
             // Phase 3: fold accepted samples into η̂π and ŝ_B.
-            for (&(w, level), &met) in term_buf.iter().zip(met_buf.iter()) {
+            for &(w, level, met) in sample_buf.iter() {
                 if met {
                     stats.pair_met += 1;
                     continue;
@@ -471,18 +628,41 @@ impl Prsim {
                         rng,
                     );
                     stats.backward_cost += est.cost();
-                    for (v, pi_hat) in est.iter() {
-                        round.add(v, pi_hat * backward_scale);
+                    if scatter {
+                        for (v, pi_hat) in est.iter() {
+                            round.add(v, pi_hat * backward_scale);
+                        }
+                    } else {
+                        for (v, pi_hat) in est.iter() {
+                            bw_buf.push((v, pi_hat * backward_scale));
+                        }
                     }
                 }
             }
             if fr > 1 {
-                // No per-round sort: round_entries is sorted globally by
-                // node id below, and the median pass re-sorts each node's
-                // values anyway.
-                for (v, s) in round.iter() {
-                    round_entries.push((v, s));
+                if scatter {
+                    // No per-round sort: round_entries is sorted globally
+                    // by node id below, and the median pass re-sorts each
+                    // node's values anyway.
+                    for (v, s) in round.iter() {
+                        round_entries.push((v, s));
+                    }
+                } else {
+                    // Coalesce the round's stream (per-round per-node sums
+                    // are what the median ranks) and bank it.
+                    crate::workspace::radix_sort_pairs(bw_buf, ix_tmp);
+                    coalesce_sorted(bw_buf);
+                    round_entries.extend_from_slice(bw_buf);
                 }
+            }
+        }
+        if !scatter {
+            if fr == 1 {
+                // Single round: the stream *is* ŝ_B; coalesce it once.
+                crate::workspace::radix_sort_pairs(bw_buf, ix_tmp);
+                coalesce_sorted(bw_buf);
+            } else {
+                bw_buf.clear(); // rebuilt below from the medians
             }
         }
 
@@ -509,7 +689,14 @@ impl Prsim {
                     0.5 * (median_buf[mid - 1] + median_buf[mid])
                 };
                 if med != 0.0 {
-                    acc.add(v, med);
+                    if scatter {
+                        acc.add(v, med);
+                    } else {
+                        // round_entries is sorted by node, so the medians
+                        // emerge in ascending order: bw_buf becomes the
+                        // sorted coalesced ŝ_B directly.
+                        bw_buf.push((v, med));
+                    }
                 }
             }
         }
@@ -519,15 +706,14 @@ impl Prsim {
         // per-(w, ℓ) counts and fixes the deterministic accumulation order
         // the old sorted-hash-map iteration provided.
         //
-        // Postings aggregation is adaptive: when the dense accumulator is
-        // cache-resident (small graphs) random scatter into it is nearly
-        // free, so postings add straight into `acc`; above that size each
+        // Postings aggregation follows the same `scatter` strategy the
+        // rounds chose for ŝ_B above: scatter straight into `acc` while
+        // the dense accumulator is cache-resident; above that size each
         // accepted hub terminal's run is *streamed sequentially* out of
         // the arena into a flat scaled buffer and duplicates are resolved
         // by a stable radix sort + coalesce over the (small) buffer —
         // no random writes over the (large) node universe at all.
         let threshold = self.config.eps * alpha2 / 12.0;
-        let scatter = n <= SCATTER_NODES_MAX;
         terminals.sort_unstable();
         ix_buf.clear();
         let mut i = 0usize;
@@ -571,43 +757,132 @@ impl Prsim {
         // order (= accepted-terminal order), then coalesce adjacent runs.
         // (No-op on the scatter path: ix_buf stays empty.)
         crate::workspace::radix_sort_pairs(ix_buf, ix_tmp);
-        let mut write = 0usize;
-        let mut read = 0usize;
-        while read < ix_buf.len() {
-            let (v, mut sum) = ix_buf[read];
-            read += 1;
-            while read < ix_buf.len() && ix_buf[read].0 == v {
-                sum += ix_buf[read].1;
-                read += 1;
-            }
-            ix_buf[write] = (v, sum);
-            write += 1;
-        }
-        ix_buf.truncate(write);
+        coalesce_sorted(ix_buf);
 
         // Final assembly ŝ = ŝ_B + ŝ_I: two-pointer merge of the sorted
-        // backward accumulator and the sorted index buffer.
-        acc.sort_touched();
-        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(acc.len() + ix_buf.len() + 1);
-        let mut b_iter = acc.iter().peekable();
-        let mut j = 0usize;
-        while let Some(&(bv, bs)) = b_iter.peek() {
-            while j < ix_buf.len() && ix_buf[j].0 < bv {
-                entries.push(ix_buf[j]);
-                j += 1;
-            }
-            if j < ix_buf.len() && ix_buf[j].0 == bv {
-                entries.push((bv, bs + ix_buf[j].1));
-                j += 1;
-            } else {
-                entries.push((bv, bs));
-            }
-            b_iter.next();
-        }
-        entries.extend_from_slice(&ix_buf[j..]);
+        // backward part (dense accumulator in scatter mode, coalesced
+        // stream in streaming mode) and the sorted index buffer.
+        let entries: Vec<(NodeId, f64)> = if scatter {
+            acc.sort_touched();
+            let mut entries = Vec::with_capacity(acc.len() + ix_buf.len() + 1);
+            merge_sorted_into(acc.iter(), ix_buf, &mut entries);
+            entries
+        } else {
+            let mut entries = Vec::with_capacity(bw_buf.len() + ix_buf.len() + 1);
+            merge_sorted_into(bw_buf.iter().copied(), ix_buf, &mut entries);
+            entries
+        };
         let scores = SimRankScores::from_sorted_entries(u, n, entries);
         Ok((scores, stats))
     }
+}
+
+/// One round's walk phase: `dr` √c-walk terminals from `u` with η
+/// verdicts, resolved into `sample_buf` as `(w, ℓ, met)` triples.
+/// Strategy-adaptive (see [`WAVEFRONT_MIN_WALKS`]): the fused
+/// interleaved kernel below the threshold, the sorted wavefront pair of
+/// kernels at or above it — both consuming the same [`TerminalDraws`]
+/// cache hooks.
+#[allow(clippy::too_many_arguments)] // threads the workspace's split borrows
+fn walk_phase<R: Rng + ?Sized, C: TerminalDraws>(
+    graph: &DiGraph,
+    geom: &GeomLenTable,
+    u: NodeId,
+    dr: usize,
+    cache: &mut C,
+    sample_buf: &mut Vec<(NodeId, u32, bool)>,
+    term_buf: &mut Vec<(NodeId, u32)>,
+    pair_buf: &mut Vec<(NodeId, NodeId)>,
+    pair_idx: &mut Vec<u32>,
+    pair_met: &mut Vec<bool>,
+    met_buf: &mut Vec<bool>,
+    wave: &mut WaveScratch,
+    rng: &mut R,
+) -> WaveStats {
+    if dr < WAVEFRONT_MIN_WALKS {
+        return sample_walk_phase_interleaved(graph, geom, u, dr, cache, sample_buf, rng);
+    }
+    // Wavefront regime: terminals level-synchronously with radix-binned
+    // CSR reads, then η — cached bits first, the remainder through the
+    // wavefront pair kernel. Level-0 terminals are diagonal-only (the
+    // engine pins ŝ(u,u) = 1) and dropped before the η phase, matching
+    // the fused kernel's contract.
+    term_buf.clear();
+    let mut stats = sample_terminals_wavefront(graph, geom, u, dr, cache, term_buf, wave, rng);
+    let before = term_buf.len();
+    term_buf.retain(|&(_, l)| l > 0);
+    stats.diagonal += before - term_buf.len();
+    met_buf.clear();
+    met_buf.resize(term_buf.len(), false);
+    pair_buf.clear();
+    pair_idx.clear();
+    for (i, &(w, _)) in term_buf.iter().enumerate() {
+        match cache.try_eta(w, rng) {
+            Some(met) => {
+                met_buf[i] = met;
+                stats.eta_hits += 1;
+            }
+            None => {
+                pair_buf.push((w, w));
+                pair_idx.push(i as u32);
+            }
+        }
+    }
+    sample_pairs_meet_wavefront(graph, geom, pair_buf, pair_met, wave, rng);
+    for (&i, &m) in pair_idx.iter().zip(pair_met.iter()) {
+        met_buf[i as usize] = m;
+    }
+    sample_buf.extend(
+        term_buf
+            .iter()
+            .zip(met_buf.iter())
+            .map(|(&(w, l), &m)| (w, l, m)),
+    );
+    stats
+}
+
+/// Sums adjacent runs of equal node ids in a sorted `(node, value)`
+/// buffer in place (append order within a run = chronological order, so
+/// the float sums match a dense accumulator bit for bit).
+fn coalesce_sorted(buf: &mut Vec<(NodeId, f64)>) {
+    let mut write = 0usize;
+    let mut read = 0usize;
+    while read < buf.len() {
+        let (v, mut sum) = buf[read];
+        read += 1;
+        while read < buf.len() && buf[read].0 == v {
+            sum += buf[read].1;
+            read += 1;
+        }
+        buf[write] = (v, sum);
+        write += 1;
+    }
+    buf.truncate(write);
+}
+
+/// Two-pointer merge of a sorted backward part and the sorted index
+/// buffer into `out`, summing nodes present in both.
+fn merge_sorted_into(
+    backward: impl Iterator<Item = (NodeId, f64)>,
+    ix_buf: &[(NodeId, f64)],
+    out: &mut Vec<(NodeId, f64)>,
+) {
+    let mut b_iter = backward.peekable();
+    let mut j = 0usize;
+    while let Some(&(bv, bs)) = b_iter.peek() {
+        while j < ix_buf.len() && ix_buf[j].0 < bv {
+            out.push(ix_buf[j]);
+            j += 1;
+        }
+        if j < ix_buf.len() && ix_buf[j].0 == bv {
+            out.push((bv, bs + ix_buf[j].1));
+            j += 1;
+        } else {
+            out.push((bv, bs));
+        }
+        b_iter.next();
+    }
+    out.extend_from_slice(&ix_buf[j..]);
 }
 
 #[cfg(test)]
@@ -810,7 +1085,7 @@ mod tests {
         )
         .unwrap();
         let bytes = narrow.index().to_bytes();
-        let (graph, pi, _, _) = narrow.into_parts();
+        let (graph, pi, _, _, _) = narrow.into_parts();
         let loaded = PrsimIndex::from_bytes(&bytes, graph.node_count()).unwrap();
         assert_eq!(loaded.precision(), ReservePrecision::F32);
         // Same index, tiny eps, default (f64) config precision: rejected.

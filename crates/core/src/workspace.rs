@@ -360,6 +360,21 @@ pub struct QueryWorkspace {
     pub(crate) ix_buf: Vec<(NodeId, f64)>,
     /// Ping-pong buffer for the radix sort of `ix_buf`.
     pub(crate) ix_tmp: Vec<(NodeId, f64)>,
+    /// Scaled backward-walk estimates, streamed flat and radix-coalesced
+    /// by node — the scatter-free `ŝ_B` path on large graphs (the `ŝ_I`
+    /// strategy applied to the backward fold).
+    pub(crate) bw_buf: Vec<(NodeId, f64)>,
+    /// Frontier + radix scratch of the sorted-wavefront walk kernels.
+    pub(crate) wave: crate::walk::WaveScratch,
+    /// Per-query consumption cursors over the terminal-sample cache.
+    pub(crate) cache_cursors: crate::walkcache::CacheCursors,
+    /// Positions (into `term_buf`) of terminals whose η test runs live.
+    pub(crate) pair_idx: Vec<u32>,
+    /// Verdicts of the live pair batch, aligned with `pair_buf`.
+    pub(crate) pair_met: Vec<bool>,
+    /// One round's resolved `(w, ℓ, met)` samples — the walk phase's
+    /// unified output across the interleaved and wavefront kernels.
+    pub(crate) sample_buf: Vec<(NodeId, u32, bool)>,
 }
 
 impl QueryWorkspace {

@@ -85,6 +85,37 @@ fn median_rounds_are_workspace_invariant_too() {
 }
 
 #[test]
+fn cached_source_queries_are_workspace_invariant() {
+    // Queries from a *cached* source drive the cache's hardest path:
+    // every walk consumes a pool draw at step 0, the cursor sweeps most
+    // of the source pool, and η verdicts come from the bit pool. Reused
+    // cursors (epoch-stamped in the workspace) must behave bit-identically
+    // to fresh ones, and the cache must actually be serving draws.
+    let e = engine(11); // default config: walk cache on
+    let hub = e.index().hubs()[0]; // top-π node: cached by construction
+    assert!(e.walk_cache().expect("cache on by default").is_cached(hub));
+    let mut reused = QueryWorkspace::new();
+    for (i, u) in [hub, 0, hub, hub].into_iter().enumerate() {
+        let seed = 7_000 + i as u64;
+        let (fresh, fresh_stats) = e
+            .try_single_source(u, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let (warm, warm_stats) = e
+            .try_single_source_with_workspace(u, &mut reused, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(fresh_stats.cached_terminals, warm_stats.cached_terminals);
+        assert_eq!(fresh_stats.cached_eta, warm_stats.cached_eta);
+        if u == hub {
+            assert!(
+                fresh_stats.cached_terminals > 0,
+                "query {i}: cached source must consume pool draws"
+            );
+        }
+        assert_eq!(fresh.max_abs_diff(&warm), 0.0, "query {i} (u = {u})");
+    }
+}
+
+#[test]
 fn batch_matches_serial_for_every_thread_count() {
     let e = engine(31);
     let queries = [0u32, 7, 33, 99, 45, 12, 80, 211, 5, 298, 150];

@@ -32,7 +32,22 @@ fn config() -> PrsimConfig {
     PrsimConfig {
         eps: DIFF_TOL,
         query: QueryParams::Explicit { dr: DR, fr: 1 },
+        // The cache-invalidation regime opts in explicitly; the other
+        // regimes isolate the index/graph maintenance under test.
+        walk_cache_budget: 0,
         ..Default::default()
+    }
+}
+
+/// The cache-invalidation regime's config: every node of the (≤ 44-node)
+/// universe gets a pre-sampled pool, so each update must invalidate and
+/// refill exactly the pools whose walks can traverse the changed
+/// adjacency — any missed invalidation leaves a pool answering for the
+/// old graph and blows the differential bound.
+fn cached_config() -> PrsimConfig {
+    PrsimConfig {
+        walk_cache_budget: 64,
+        ..config()
     }
 }
 
@@ -46,7 +61,7 @@ fn render_stream(stream: &[EdgeUpdate]) -> String {
 }
 
 /// Builds a fresh engine over the dynamic engine's current edge set.
-fn fresh_over(engine: &DynamicPrsim) -> Prsim {
+fn fresh_over(engine: &DynamicPrsim, cfg: &PrsimConfig) -> Prsim {
     let mut b = GraphBuilder::new();
     b.ensure_nodes(engine.node_count());
     for (u, v) in engine
@@ -57,20 +72,22 @@ fn fresh_over(engine: &DynamicPrsim) -> Prsim {
     {
         b.add_edge(u, v);
     }
-    Prsim::build(b.build(), config()).unwrap()
+    Prsim::build(b.build(), cfg.clone()).unwrap()
 }
 
 /// Core differential check: replay `stream` on an incremental engine,
 /// probing after every `probe_every`-th update and at the end; each probe
-/// compares a set of sources against a fresh build.
-fn check_stream(
+/// compares a set of sources against a fresh build (both engines under
+/// the same `cfg`, so the cache regime compares cached vs cached).
+fn check_stream_with(
+    cfg: PrsimConfig,
     base: &DiGraph,
     stream: &[EdgeUpdate],
     params: DynamicParams,
     probe_every: usize,
     seed: u64,
 ) -> Result<(), String> {
-    let mut engine = DynamicPrsim::new(base, config(), UpdateMode::Incremental(params))
+    let mut engine = DynamicPrsim::new(base, cfg.clone(), UpdateMode::Incremental(params))
         .map_err(|e| e.to_string())?;
     let context = |at: usize| {
         format!(
@@ -82,7 +99,7 @@ fn check_stream(
         )
     };
     let probe = |engine: &mut DynamicPrsim, at: usize| -> Result<(), String> {
-        let fresh = fresh_over(engine);
+        let fresh = fresh_over(engine, &cfg);
         let n = engine.node_count() as u32;
         let sources = [0u32, n / 2, n.saturating_sub(1)];
         for &u in &sources {
@@ -147,7 +164,7 @@ proptest! {
     #[test]
     fn incremental_matches_fresh_on_random_streams(base in arb_base(), stream in arb_stream()) {
         let params = DynamicParams { drift_budget: 1e9, ..Default::default() };
-        check_stream(&base, &stream, params, 5, 0xD1FF)?;
+        check_stream_with(config(), &base, &stream, params, 5, 0xD1FF)?;
     }
 
     /// Tiny drift budget: every update goes through the full-rebuild
@@ -156,7 +173,7 @@ proptest! {
     #[test]
     fn incremental_matches_fresh_under_constant_rebuilds(base in arb_base(), stream in arb_stream()) {
         let params = DynamicParams { drift_budget: 1e-12, ..Default::default() };
-        check_stream(&base, &stream, params, 7, 0xBEEF)?;
+        check_stream_with(config(), &base, &stream, params, 7, 0xBEEF)?;
     }
 
     /// Aggressive compaction: overlay folds into the CSR base every
@@ -169,7 +186,56 @@ proptest! {
             compact_threshold: 2,
             ..Default::default()
         };
-        check_stream(&base, &stream, params, 6, 0xC0DE)?;
+        check_stream_with(config(), &base, &stream, params, 6, 0xC0DE)?;
+    }
+
+    /// Cache-invalidation regime: walk cache enabled on both engines,
+    /// permissive drift budget so updates repair (never drop) the cache.
+    /// Incremental answers after any stream must match a fresh cached
+    /// build within eps — a missed pool invalidation would leave stale
+    /// pre-drawn walks answering for a graph that no longer exists.
+    #[test]
+    fn incremental_matches_fresh_with_cache_enabled(base in arb_base(), stream in arb_stream()) {
+        let params = DynamicParams { drift_budget: 1e9, ..Default::default() };
+        check_stream_with(cached_config(), &base, &stream, params, 5, 0xCAC4E)?;
+    }
+}
+
+/// Deterministic cache-invalidation check with counter assertions: the
+/// stream touches reachable adjacency, so pools must actually be
+/// invalidated (and the totals must say so), while answers track a fresh
+/// cached build.
+#[test]
+fn cache_invalidation_counters_flow_and_stay_correct() {
+    let base = prsim::gen::chung_lu_undirected(prsim::gen::ChungLuConfig::new(30, 4.0, 2.0, 11));
+    let params = DynamicParams {
+        drift_budget: 1e9,
+        ..Default::default()
+    };
+    let mut engine =
+        DynamicPrsim::new(&base, cached_config(), UpdateMode::Incremental(params)).unwrap();
+    assert!(engine.engine().unwrap().walk_cache().is_some());
+    let mut invalidated = 0usize;
+    for i in 0..8u32 {
+        let stats = engine.insert_edge(i % 30, (i * 7 + 3) % 30).unwrap();
+        if stats.applied {
+            invalidated += stats.cache_invalidated_pools;
+        }
+    }
+    assert!(
+        invalidated > 0,
+        "edge inserts into a connected region must dirty some pools"
+    );
+    assert_eq!(engine.totals().cache_invalidations, invalidated);
+    // Differential: the maintained cache answers like a fresh one.
+    let fresh = fresh_over(&engine, &cached_config());
+    for u in [0u32, 15, 29] {
+        let (inc, _) = engine
+            .single_source(u, &mut StdRng::seed_from_u64(77 ^ u as u64))
+            .unwrap();
+        let fr = fresh.single_source(u, &mut StdRng::seed_from_u64(77 ^ u as u64));
+        let diff = inc.max_abs_diff(&fr);
+        assert!(diff <= DIFF_TOL, "source {u}: diff {diff}");
     }
 }
 
@@ -189,7 +255,7 @@ fn directed_insert_then_delete_everything() {
         compact_threshold: 4,
         ..Default::default()
     };
-    check_stream(&base, &stream, params, 1, 42).unwrap();
+    check_stream_with(config(), &base, &stream, params, 1, 42).unwrap();
 }
 
 #[test]
@@ -203,7 +269,7 @@ fn stream_that_empties_the_graph_entirely() {
         drift_budget: 1e9,
         ..Default::default()
     };
-    check_stream(&base, &stream, params, 1, 3).unwrap();
+    check_stream_with(config(), &base, &stream, params, 1, 3).unwrap();
 }
 
 #[test]
@@ -219,7 +285,7 @@ fn rebuild_mode_is_differentially_correct_at_batch_boundaries() {
         let (inc, _) = engine
             .single_source(2, &mut StdRng::seed_from_u64(11))
             .unwrap();
-        let fresh = fresh_over(&engine);
+        let fresh = fresh_over(&engine, &config());
         let fr = fresh.single_source(2, &mut StdRng::seed_from_u64(11));
         let diff = inc.max_abs_diff(&fr);
         assert!(diff <= DIFF_TOL, "update {i}: diff {diff}");

@@ -19,6 +19,11 @@ use prsim::graph::DiGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Every engine in this suite keeps the walk cache **off** unless a test
+/// explicitly opts in: the cached-walk regimes below assert the cache's
+/// own accuracy, while the rest of the suite pins the live sampler.
+const NO_CACHE: usize = 0;
+
 const C: f64 = 0.6;
 const EPS: f64 = 0.1;
 const DELTA: f64 = 1e-3;
@@ -36,6 +41,7 @@ fn accuracy_config(dr: usize, fr: usize) -> PrsimConfig {
         c: C,
         eps: EPS,
         query: QueryParams::Explicit { dr, fr },
+        walk_cache_budget: NO_CACHE,
         ..Default::default()
     }
 }
@@ -137,6 +143,57 @@ fn f32_reserve_regime_beats_eps_at_the_same_sample_counts() {
             "f32 vs f64 engines diverge by {diff} at source {u}"
         );
     }
+}
+
+#[test]
+fn cached_walk_regime_beats_eps() {
+    // The terminal-sample cache substitutes pre-drawn walk remainders and
+    // η verdicts for live sampling. Every node is cached here (budget ≥
+    // n), so the whole walk phase runs off the pools — the estimates must
+    // meet the *same* Hoeffding-derived bound at the *same* d_r as live
+    // sampling, because each query's draws are an honest without-
+    // replacement window over i.i.d. pool samples.
+    let g = prsim::gen::chung_lu_undirected(prsim::gen::ChungLuConfig::new(60, 5.0, 2.0, 101));
+    let sources = [0u32, 17, 59];
+    let dr = hoeffding_dr(sources.len() * g.node_count(), EPS, DELTA);
+    let config = PrsimConfig {
+        walk_cache_budget: g.node_count(),
+        ..accuracy_config(dr, 1)
+    };
+    let engine = Prsim::build(g.clone(), config).unwrap();
+    // The cache must actually be carrying the walk phase.
+    let (_, stats) = engine
+        .try_single_source(0, &mut StdRng::seed_from_u64(1))
+        .unwrap();
+    assert!(
+        stats.cached_terminals > 0,
+        "fully cached engine must serve terminal draws from pools"
+    );
+    assert!(
+        stats.cached_eta > 0,
+        "fully cached engine must serve eta verdicts from pools"
+    );
+    assert_within_eps(&engine, &g, &sources, 0xACC);
+}
+
+#[test]
+fn cached_walk_regime_beats_eps_with_f32_reserves() {
+    // Cache and quantized arena together: both error sources (pool
+    // correlation is zero *within* a query; f32 rounding is ≤ 2⁻²⁴
+    // relative) must still fit the same ε with the same sample counts.
+    let g = prsim::gen::chung_lu_undirected(prsim::gen::ChungLuConfig::new(60, 5.0, 2.0, 101));
+    let sources = [0u32, 17, 59];
+    let dr = hoeffding_dr(sources.len() * g.node_count(), EPS, DELTA);
+    let config = PrsimConfig {
+        walk_cache_budget: g.node_count(),
+        reserve_precision: ReservePrecision::F32,
+        hubs: HubCount::Fixed(g.node_count()),
+        ..accuracy_config(dr, 1)
+    };
+    let engine = Prsim::build(g.clone(), config).unwrap();
+    assert_eq!(engine.index().precision(), ReservePrecision::F32);
+    assert!(engine.walk_cache().is_some());
+    assert_within_eps(&engine, &g, &sources, 0xACB);
 }
 
 #[test]

@@ -96,14 +96,44 @@ pub trait SampleUniform: Sized {
     fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
 }
 
+/// Lemire's multiply-shift rejection sampler: draws uniformly from
+/// `[0, span)` for `span >= 1` with **zero bias**.
+///
+/// The widening multiply `x · span` maps a 64-bit word into `span`
+/// buckets of the 128-bit product space; buckets are not all the same
+/// size when `2^64 % span != 0`, so draws whose low 64 bits fall below
+/// the threshold `2^64 mod span` (the overhang that makes some buckets
+/// one element larger) are rejected and redrawn. The threshold check
+/// `lo < span` short-circuits the `%` on the overwhelmingly common path:
+/// rejection probability is `span / 2^64` at worst, so the expected cost
+/// is one multiply per draw. Replaces the previous rejection-free
+/// reduction (bias `O(2^-64)`) and classic modulo/retry loops; the
+/// `uniformity` tests pin the exactness with a chi-square bound.
+#[inline]
+pub fn lemire_u64<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    debug_assert!(span > 0, "lemire_u64: empty span");
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        // 2^64 mod span, computed without 128-bit division.
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! impl_sample_uniform_int {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
             fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
                 debug_assert!(lo < hi, "gen_range: empty range");
-                let span = (hi as i128 - lo as i128) as u128;
-                // Widening-multiply range reduction; bias is O(2^-64).
-                let scaled = ((rng.next_u64() as u128) * span) >> 64;
+                // Every supported type spans at most 64 bits, so the
+                // half-open width always fits in u64.
+                let span = (hi as i128 - lo as i128) as u64;
+                let scaled = lemire_u64(span, rng);
                 (lo as i128 + scaled as i128) as $t
             }
         }
@@ -144,13 +174,13 @@ macro_rules! impl_sample_range_inclusive {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = self.into_inner();
                 if hi == <$t>::MAX {
-                    // Fall back to rejection-free widening over the full span.
                     if lo == 0 && hi == <$t>::MAX {
+                        // Full span: every 64-bit word is already uniform.
                         return <$t>::standard_sample(rng);
                     }
-                    let span = (hi - lo) as u128 + 1;
-                    let scaled = ((rng.next_u64() as u128) * span) >> 64;
-                    return lo + scaled as $t;
+                    // hi = MAX with lo > 0: the span still fits in u64.
+                    let span = (hi - lo) as u64 + 1;
+                    return lo + lemire_u64(span, rng) as $t;
                 }
                 <$t>::sample_half_open(lo, hi + 1, rng)
             }
@@ -311,6 +341,63 @@ mod tests {
             if len >= 8 {
                 assert!(buf.iter().any(|&b| b != 0));
             }
+        }
+    }
+
+    /// Pearson chi-square statistic of `draws` uniform draws over
+    /// `span` buckets produced by `f`.
+    fn chi_square(span: u64, draws: usize, mut f: impl FnMut() -> u64) -> f64 {
+        let mut counts = vec![0usize; span as usize];
+        for _ in 0..draws {
+            let x = f();
+            assert!(x < span, "draw {x} outside [0, {span})");
+            counts[x as usize] += 1;
+        }
+        let expect = draws as f64 / span as f64;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum()
+    }
+
+    #[test]
+    fn lemire_uniformity_chi_square() {
+        // Spans chosen so 2^64 mod span != 0 (the rejection threshold is
+        // live) and so a modulo-biased or truncation-biased sampler would
+        // skew low buckets. dof = span - 1; the p = 0.001 critical values
+        // are ~32.9 (dof 12) and ~36.1 (dof 14) — use 40 as a generous
+        // deterministic bound (the seeds are fixed, so this is a pinned
+        // computation, and the bound says the pin is representative).
+        let mut r = StdRng::seed_from_u64(0x1E14_13E5);
+        let x2 = chi_square(13, 130_000, || lemire_u64(13, &mut r));
+        assert!(x2 < 40.0, "span 13: chi-square {x2:.1}");
+        let mut r = StdRng::seed_from_u64(0xCAFE_F00D);
+        let x2 = chi_square(15, 150_000, || r.gen_range(0u64..15));
+        assert!(x2 < 40.0, "gen_range span 15: chi-square {x2:.1}");
+        // Inclusive ranges route through the same reduction.
+        let mut r = StdRng::seed_from_u64(7);
+        let x2 = chi_square(11, 110_000, || r.gen_range(3u64..=13) - 3);
+        assert!(x2 < 40.0, "inclusive span 11: chi-square {x2:.1}");
+    }
+
+    #[test]
+    fn lemire_exercises_rejection_on_huge_spans() {
+        // span just above 2^63: threshold = 2^64 mod span = 2^64 - span
+        // is nearly 2^63, so ~half of all words are rejected — the loop
+        // must still terminate and stay in range.
+        let span = (1u64 << 63) + 3;
+        let mut r = StdRng::seed_from_u64(99);
+        for _ in 0..1_000 {
+            assert!(lemire_u64(span, &mut r) < span);
+        }
+        // span = 1 is the degenerate single-bucket case.
+        assert_eq!(lemire_u64(1, &mut r), 0);
+        // Powers of two have threshold 0: never reject, always in range.
+        for _ in 0..1_000 {
+            assert!(lemire_u64(1u64 << 40, &mut r) < (1u64 << 40));
         }
     }
 
