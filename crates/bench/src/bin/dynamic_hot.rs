@@ -11,7 +11,14 @@
 //! * **query freshness**: the latency from an update arriving to a fully
 //!   fresh single-source answer (apply + query, p50/p95);
 //! * **rebuild** baseline: the same engine in `RebuildOnBatch {{ batch: 1 }}`
-//!   mode — the paper's literal contract — and the derived `speedup`.
+//!   mode — the paper's literal contract — and the derived `speedup`;
+//! * **serve**: sustained query throughput through `prsim-server`'s
+//!   epoch-snapshot host, idle vs. under a concurrent WAL-backed update
+//!   stream — the contention case snapshot isolation exists for. Queries
+//!   run on the caller thread against `Arc`-swapped snapshots while a
+//!   writer thread streams durable update batches; the block records
+//!   both rates, the epochs published, and the update throughput
+//!   sustained *during* the query window.
 //!
 //! Everything is seeded, so two runs on the same machine measure the same
 //! work — the JSON is machine-comparable, not machine-portable.
@@ -96,6 +103,23 @@ struct BenchRow {
     reb_updates_per_sec: f64,
     reb_applied: usize,
     speedup: f64,
+    serve: ServeRow,
+}
+
+/// The `serve` scenario's measurements.
+struct ServeRow {
+    /// Queries answered per second with no writer running.
+    qps_idle: f64,
+    /// Queries answered per second while the writer streams batches.
+    qps_under_updates: f64,
+    /// Ratio under/idle (1.0 = updates never block queries).
+    qps_retained: f64,
+    /// Epochs the applier published during the contended window.
+    epochs_published: u64,
+    /// Updates the writer pushed through the WAL during that window.
+    updates_during: u64,
+    /// Durable update throughput sustained while queries ran.
+    concurrent_updates_per_sec: f64,
 }
 
 /// Seeded single-edge update stream: alternating deletes of live edges
@@ -138,6 +162,99 @@ impl StreamGen {
                 }
             }
         }
+    }
+}
+
+/// Sustained-qps-under-concurrent-updates scenario: queries against the
+/// epoch-snapshot host, first idle, then with a writer thread streaming
+/// durable batches through the WAL the whole time.
+fn run_serve(
+    graph: &prsim_graph::DiGraph,
+    edges: Vec<(NodeId, NodeId)>,
+    spec: &DatasetSpec,
+    queries: usize,
+) -> ServeRow {
+    use prsim_server::{EngineHost, HostOptions};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let wal_dir = std::env::temp_dir().join(format!(
+        "prsim_bench_serve_{}_{}",
+        spec.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let host = EngineHost::open(graph, &wal_dir, HostOptions::new(hot_bench_config()))
+        .expect("bench config is valid");
+    let n = graph.node_count() as NodeId;
+
+    let run_queries = |tag: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ tag);
+        let mut guard = 0.0f64;
+        let t = Instant::now();
+        for _ in 0..queries {
+            let u = rng.gen_range(0..n);
+            let snap = host.snapshot();
+            let (scores, _) = snap.query(u, u64::from(u) ^ tag).expect("u in range");
+            guard += scores.get(u);
+        }
+        assert!(guard.is_finite());
+        queries as f64 / t.elapsed().as_secs_f64()
+    };
+
+    let qps_idle = run_queries(0x1D7E);
+
+    // The contended window must genuinely overlap durable writes: on a
+    // starved box the nominal query count can finish before the writer
+    // thread is ever scheduled, so the query loop keeps going until the
+    // writer has committed MIN_BATCHES. The writer in turn caps itself
+    // at MAX_BATCHES so the post-window applier drain stays bounded.
+    const MIN_BATCHES: u64 = 4;
+    const MAX_BATCHES: u64 = 25;
+    const BATCH: usize = 4;
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+    let before = host.stats();
+    let mut qps_under_updates = 0.0;
+    let mut window_s = 0.0;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut gen = StreamGen::new(edges, n as usize, spec.seed ^ 0x5E7E);
+            while !stop.load(Ordering::Acquire) && committed.load(Ordering::Acquire) < MAX_BATCHES {
+                let batch: Vec<EdgeUpdate> = (0..BATCH).map(|_| gen.next()).collect();
+                host.update(batch).expect("updates stay in range");
+                committed.fetch_add(1, Ordering::Release);
+            }
+        });
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xC0DE);
+        let mut guard = 0.0f64;
+        let mut ran = 0usize;
+        let t = Instant::now();
+        while ran < queries || committed.load(Ordering::Acquire) < MIN_BATCHES {
+            let u = rng.gen_range(0..n);
+            let snap = host.snapshot();
+            let (scores, _) = snap.query(u, u64::from(u) ^ 0xC0DE).expect("u in range");
+            guard += scores.get(u);
+            ran += 1;
+        }
+        window_s = t.elapsed().as_secs_f64();
+        assert!(guard.is_finite());
+        qps_under_updates = ran as f64 / window_s;
+        stop.store(true, Ordering::Release);
+        writer.join().expect("writer thread");
+    });
+    host.sync().expect("applier drains");
+    let after = host.stats();
+    host.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let updates_during = committed.load(Ordering::Acquire) * BATCH as u64;
+    ServeRow {
+        qps_idle,
+        qps_under_updates,
+        qps_retained: qps_under_updates / qps_idle.max(1e-12),
+        epochs_published: after.epoch - before.epoch,
+        updates_during,
+        concurrent_updates_per_sec: updates_during as f64 / window_s.max(1e-12),
     }
 }
 
@@ -211,7 +328,7 @@ fn run_dataset(spec: &DatasetSpec, updates: usize) -> BenchRow {
         UpdateMode::RebuildOnBatch { batch: 1 },
     )
     .expect("bench config is valid");
-    let mut gen2 = StreamGen::new(edges, n, spec.seed ^ 0xD15C);
+    let mut gen2 = StreamGen::new(edges.clone(), n, spec.seed ^ 0xD15C);
     let reb_start = Instant::now();
     for _ in 0..spec.rebuild_updates {
         let up = gen2.next();
@@ -221,6 +338,9 @@ fn run_dataset(spec: &DatasetSpec, updates: usize) -> BenchRow {
     }
     let reb_secs = reb_start.elapsed().as_secs_f64();
     let reb_updates_per_sec = spec.rebuild_updates as f64 / reb_secs;
+
+    // Phase 4: the serving host under concurrent updates.
+    let serve = run_serve(&graph, edges, spec, updates.clamp(20, 60));
 
     assert!(guard.is_finite());
     BenchRow {
@@ -240,6 +360,7 @@ fn run_dataset(spec: &DatasetSpec, updates: usize) -> BenchRow {
         reb_updates_per_sec,
         reb_applied: spec.rebuild_updates,
         speedup: inc_updates_per_sec / reb_updates_per_sec,
+        serve,
     }
 }
 
@@ -271,8 +392,10 @@ fn render_json(rows: &[BenchRow], updates: usize, pre_pr: Option<&str>) -> Strin
     }
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        // The serve block rides on the same row; --check ignores it, so
+        // adding it stays backward-compatible with committed baselines.
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"incremental\": {{\"updates_per_sec\": {:.2}, \"applied\": {}, \"mean_repair_fraction\": {:.4}, \"max_repair_fraction\": {:.4}, \"mean_pr_iterations\": {:.2}, \"rebuilds\": {}, \"compactions\": {}, \"freshness_p50_ms\": {:.2}, \"freshness_p95_ms\": {:.2}}}, \"rebuild\": {{\"updates_per_sec\": {:.3}, \"applied\": {}}}, \"speedup\": {:.1}}}",
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"incremental\": {{\"updates_per_sec\": {:.2}, \"applied\": {}, \"mean_repair_fraction\": {:.4}, \"max_repair_fraction\": {:.4}, \"mean_pr_iterations\": {:.2}, \"rebuilds\": {}, \"compactions\": {}, \"freshness_p50_ms\": {:.2}, \"freshness_p95_ms\": {:.2}}}, \"rebuild\": {{\"updates_per_sec\": {:.3}, \"applied\": {}}}, \"speedup\": {:.1}, \"serve\": {{\"qps_idle\": {:.1}, \"qps_under_updates\": {:.1}, \"qps_retained\": {:.3}, \"epochs_published\": {}, \"updates_during\": {}, \"concurrent_updates_per_sec\": {:.1}}}}}",
             r.name,
             r.n,
             r.m,
@@ -289,6 +412,12 @@ fn render_json(rows: &[BenchRow], updates: usize, pre_pr: Option<&str>) -> Strin
             r.reb_updates_per_sec,
             r.reb_applied,
             r.speedup,
+            r.serve.qps_idle,
+            r.serve.qps_under_updates,
+            r.serve.qps_retained,
+            r.serve.epochs_published,
+            r.serve.updates_during,
+            r.serve.concurrent_updates_per_sec,
         ));
         if i + 1 < rows.len() {
             out.push(',');

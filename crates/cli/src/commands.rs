@@ -9,9 +9,7 @@ use prsim_gen::{
     planted_partition, ChungLuConfig,
 };
 use prsim_graph::degrees::{degree_stats, powerlaw_exponent_ccdf_fit, DegreeKind};
-use prsim_graph::io::{
-    read_binary_file, read_edge_list_file, write_binary_file, write_edge_list_file,
-};
+use prsim_graph::io::{read_binary_file, read_edge_list_file};
 use prsim_graph::DiGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,6 +46,12 @@ USAGE:
       [--probe U] [--seed N] [--out FILE]
       replay an edge-update file (+/- u v per line) through the dynamic
       engine, reporting updates/sec and repair statistics
+  prsim serve GRAPH --wal DIR [--listen ADDR] [--segment-bytes N]
+      [--eps E] [--hubs N|sqrt] [--walk-cache B] [--no-walk-cache]
+      resident engine: queries over immutable epoch snapshots, updates
+      through a durable fsync-on-commit WAL in DIR (replayed on restart).
+      Speaks a line protocol (query/update/sync/stats/checkpoint/shutdown)
+      on stdin/stdout, or on ADDR with --listen (prints `listening <addr>`)
 ";
 
 fn load_graph(path: &str) -> Result<DiGraph, String> {
@@ -60,12 +64,37 @@ fn load_graph(path: &str) -> Result<DiGraph, String> {
 }
 
 fn save_graph(g: &DiGraph, path: &str) -> Result<(), String> {
-    let result = if path.ends_with(".bin") {
-        write_binary_file(g, path)
+    // Serialize by the FINAL path's extension, then write atomically: an
+    // interrupted run leaves the old file intact, never a torn one.
+    let bytes = if path.ends_with(".bin") {
+        prsim_graph::io::to_binary(g).to_vec()
     } else {
-        write_edge_list_file(g, path)
+        let mut buf = Vec::new();
+        prsim_graph::io::write_edge_list(g, &mut buf)
+            .map_err(|e| format!("cannot serialize graph for {path}: {e}"))?;
+        buf
     };
-    result.map_err(|e| format!("cannot write graph {path}: {e}"))
+    write_file_atomic(path, &bytes).map_err(|e| format!("cannot write graph {path}: {e}"))
+}
+
+/// Writes `bytes` to `path` via a same-directory temp file + fsync +
+/// rename, so readers only ever observe the old or the complete new
+/// content (the same discipline the server's WAL checkpoints use).
+fn write_file_atomic(path: &str, bytes: &[u8]) -> Result<(), String> {
+    use std::io::Write;
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    let result = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(|e| e.to_string())
 }
 
 /// `prsim generate` — synthesize a graph.
@@ -212,7 +241,7 @@ pub fn build(argv: &[String]) -> Result<(), String> {
     let start = std::time::Instant::now();
     let engine = Prsim::build(g, config).map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
-    std::fs::write(index_path, engine.index().to_bytes())
+    write_file_atomic(index_path, &engine.index().to_bytes())
         .map_err(|e| format!("cannot write index {index_path}: {e}"))?;
     if let Some(sorted_out) = args.get("sorted-out") {
         save_graph(engine.graph(), sorted_out)?;
@@ -494,13 +523,53 @@ pub fn update(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Checks a path is writable before heavy work (fail fast for scripts).
-#[allow(dead_code)]
-fn ensure_parent_exists(path: &str) -> Result<(), String> {
-    if let Some(parent) = Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() && !parent.exists() {
-            return Err(format!("directory {} does not exist", parent.display()));
+/// `prsim serve` — resident engine over a durable WAL, speaking the
+/// line protocol on stdin/stdout or TCP.
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: prsim serve GRAPH --wal DIR [--listen ADDR]")?;
+    let wal_dir = args.require("wal")?;
+    let config = config_from(&args)?;
+    let segment_bytes: u64 = args.get_parsed("segment-bytes", 4 << 20)?;
+
+    let g = load_graph(path)?;
+    let options = prsim_server::HostOptions {
+        config,
+        segment_bytes,
+    };
+    let start = std::time::Instant::now();
+    let host = prsim_server::EngineHost::open(&g, Path::new(wal_dir), options)
+        .map_err(|e| e.to_string())?;
+    let recovery = host.recovery();
+    eprintln!(
+        "serving in {:.3}s: {} nodes, {} edges; recovery: checkpoint={} replayed {} records \
+         ({} updates), truncated {} bytes",
+        start.elapsed().as_secs_f64(),
+        host.snapshot().engine().graph().node_count(),
+        host.snapshot().engine().graph().edge_count(),
+        recovery
+            .checkpoint_lsn
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "none".into()),
+        recovery.replayed_records,
+        recovery.replayed_updates,
+        recovery.truncated_bytes,
+    );
+    match args.get("listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+            // Scripts (and the CI crash test) parse this line to learn the
+            // ephemeral port when ADDR ends in :0.
+            println!("listening {local}");
+            prsim_server::protocol::serve_tcp(&host, listener).map_err(|e| e.to_string())
         }
+        None => prsim_server::protocol::serve_stdio(&host).map_err(|e| e.to_string()),
     }
-    Ok(())
 }

@@ -8,6 +8,7 @@
 //! prsim query    GRAPH --source U [options]       single-source top-k query
 //! prsim pair     GRAPH --u A --v B [options]      single-pair estimate
 //! prsim update   GRAPH --stream FILE [options]    replay an edge-update stream
+//! prsim serve    GRAPH --wal DIR [options]        resident engine over a durable WAL
 //! ```
 //!
 //! Graph files ending in `.bin` use the compact binary format; anything
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "topk" => commands::topk(rest),
         "pair" => commands::pair(rest),
         "update" => commands::update(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

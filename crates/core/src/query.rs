@@ -48,7 +48,7 @@
 //! one *sequential scan* of a postings run in the flat arena
 //! ([`crate::index`]); its aggregation is adaptive — random scatter
 //! into the dense accumulator while that array is cache-resident
-//! (small graphs), and above [`SCATTER_NODES_MAX`] a scatter-free
+//! (small graphs), and above `SCATTER_NODES_MAX` a scatter-free
 //! stream into a flat buffer that is radix-sorted, coalesced, and
 //! two-pointer merged with the (bwalk-only, hence small) accumulator
 //! into the final sorted score vector. Fully fused/interleaved variants

@@ -123,7 +123,7 @@ const MIN_POOL_SAMPLES: usize = 32;
 /// Top-rank pool size for a query budget of `nr = d_r·f_r` walks: twice
 /// the per-query draw, so the per-query random rotation decorrelates
 /// consecutive queries' consumption windows, capped at
-/// [`MAX_POOL_SAMPLES`].
+/// `MAX_POOL_SAMPLES`.
 pub fn pool_samples(nr: usize) -> usize {
     (2 * nr.max(1)).min(MAX_POOL_SAMPLES)
 }

@@ -1,0 +1,457 @@
+//! The engine host: recovery, the background applier thread, and the
+//! durable update path.
+//!
+//! Threading model: the host owns a [`SnapshotHandle`] plus a WAL behind
+//! a mutex; a single background *applier* thread owns the mutable
+//! [`DynamicPrsim`]. `update()` appends the batch to the WAL (fsync —
+//! the ack point) and enqueues it; the applier drains the queue,
+//! coalescing every batch it finds before cloning the engine into one
+//! new [`EpochSnapshot`] and atomically publishing it. Queries touch
+//! only the snapshot handle, so they are never blocked by an in-flight
+//! batch — the property the `serve` bench scenario measures.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use prsim_core::{DynamicPrsim, DynamicTotals, PrsimConfig, PrsimIndex};
+use prsim_graph::{DiGraph, EdgeUpdate};
+
+use crate::snapshot::{EpochSnapshot, SnapshotHandle};
+use crate::wal::{self, Wal, WalStats};
+use crate::ServerError;
+
+/// Host configuration.
+#[derive(Clone, Debug)]
+pub struct HostOptions {
+    /// Engine configuration (must match across restarts for recovery to
+    /// reproduce the pre-crash state).
+    pub config: PrsimConfig,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+}
+
+impl HostOptions {
+    /// Options with the default 4 MiB segment size.
+    pub fn new(config: PrsimConfig) -> Self {
+        HostOptions {
+            config,
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+/// What recovery found when the host opened its WAL directory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// LSN of the checkpoint recovery started from, if any.
+    pub checkpoint_lsn: Option<u64>,
+    /// WAL records re-applied behind the checkpoint.
+    pub replayed_records: usize,
+    /// Individual edge updates inside those records.
+    pub replayed_updates: usize,
+    /// Bytes removed by torn-tail / corrupt-record repair.
+    pub truncated_bytes: u64,
+    /// Whole segments dropped after a mid-log corruption.
+    pub dropped_segments: usize,
+}
+
+/// Result of a completed checkpoint request.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointInfo {
+    /// LSN the image covers.
+    pub lsn: u64,
+    /// Image size in bytes.
+    pub bytes: u64,
+}
+
+/// Point-in-time server observability, rendered by `stats`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerStats {
+    /// Currently published epoch.
+    pub epoch: u64,
+    /// Highest LSN the published snapshot reflects.
+    pub applied_lsn: u64,
+    /// Highest LSN fsynced to the WAL (≥ `applied_lsn`).
+    pub durable_lsn: u64,
+    /// Update batches waiting for the applier.
+    pub queue_depth: usize,
+    /// Nodes in the served graph.
+    pub nodes: usize,
+    /// Edges in the served graph.
+    pub edges: usize,
+    /// Hubs in the served index.
+    pub hubs: usize,
+    /// WAL file statistics.
+    pub wal: WalStats,
+    /// Checkpoints written by this process.
+    pub checkpoints: u64,
+    /// What recovery replayed at boot.
+    pub recovery: RecoveryReport,
+    /// Lifetime engine totals (repairs, rebuilds, compactions).
+    pub totals: DynamicTotals,
+}
+
+impl ServerStats {
+    /// Renders the stats as one `key=value` line (the `stats` protocol
+    /// response payload).
+    pub fn render(&self) -> String {
+        format!(
+            "epoch={} applied_lsn={} durable_lsn={} queue_depth={} nodes={} edges={} hubs={} \
+             wal_bytes={} wal_segments={} wal_syncs={} checkpoints={} \
+             replayed_records={} replayed_updates={} truncated_bytes={} \
+             applied_updates={} noop_updates={} repaired_hubs={} rebuilds={}",
+            self.epoch,
+            self.applied_lsn,
+            self.durable_lsn,
+            self.queue_depth,
+            self.nodes,
+            self.edges,
+            self.hubs,
+            self.wal.bytes,
+            self.wal.segments,
+            self.wal.syncs,
+            self.checkpoints,
+            self.recovery.replayed_records,
+            self.recovery.replayed_updates,
+            self.recovery.truncated_bytes,
+            self.totals.applied_updates,
+            self.totals.noop_updates,
+            self.totals.repaired_hubs,
+            self.totals.rebuilds,
+        )
+    }
+}
+
+/// Work items for the applier thread.
+enum Task {
+    /// A durable batch to apply (already fsynced under `lsn`).
+    Batch { lsn: u64, updates: Vec<EdgeUpdate> },
+    /// Checkpoint the applied state and report back.
+    Checkpoint {
+        done: mpsc::Sender<Result<CheckpointInfo, String>>,
+    },
+}
+
+/// Applier-published progress, waited on by `sync`/`checkpoint`.
+struct Progress {
+    epoch: u64,
+    applied_lsn: u64,
+    totals: DynamicTotals,
+    checkpoints: u64,
+}
+
+struct Shared {
+    snapshot: SnapshotHandle,
+    wal: Mutex<Wal>,
+    queue: Mutex<VecDeque<Task>>,
+    queue_cond: Condvar,
+    progress: Mutex<Progress>,
+    progress_cond: Condvar,
+    shutdown: AtomicBool,
+    /// Set (with the error message) if the applier thread died.
+    failure: Mutex<Option<String>>,
+}
+
+/// A resident PRSim engine over a durable WAL. See the crate docs for
+/// the recovery guarantee.
+pub struct EngineHost {
+    shared: Arc<Shared>,
+    applier: Mutex<Option<JoinHandle<()>>>,
+    recovery: RecoveryReport,
+}
+
+impl std::fmt::Debug for EngineHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHost")
+            .field("recovery", &self.recovery)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineHost {
+    /// Opens the host: recover from the newest valid checkpoint in
+    /// `wal_dir` (falling back to `base_graph`), replay the WAL suffix
+    /// through the incremental repair path, publish epoch 1 and start
+    /// the applier thread. `base_graph` is only the seed for a log
+    /// directory without a checkpoint — a recovering host ignores it in
+    /// favor of the checkpoint image.
+    pub fn open(
+        base_graph: &DiGraph,
+        wal_dir: &Path,
+        options: HostOptions,
+    ) -> Result<EngineHost, ServerError> {
+        let checkpoint = wal::latest_checkpoint(wal_dir)?;
+        let (base, start_lsn, checkpoint_lsn) = match checkpoint {
+            Some(ckpt) => {
+                // The image must be self-consistent before we trust it.
+                PrsimIndex::from_bytes(&ckpt.index_bytes, ckpt.graph.node_count())?;
+                (ckpt.graph, ckpt.lsn, Some(ckpt.lsn))
+            }
+            None => (base_graph.clone(), 0, None),
+        };
+        let mut dynamic = DynamicPrsim::new_incremental(&base, options.config.clone())?;
+        let (wal, outcome) = Wal::open(wal_dir, options.segment_bytes, start_lsn)?;
+        let mut applied_lsn = start_lsn;
+        let mut replayed_updates = 0usize;
+        for record in &outcome.records {
+            for &update in &record.updates {
+                dynamic.apply(update)?;
+                replayed_updates += 1;
+            }
+            applied_lsn = record.lsn;
+        }
+        let recovery = RecoveryReport {
+            checkpoint_lsn,
+            replayed_records: outcome.records.len(),
+            replayed_updates,
+            truncated_bytes: outcome.truncated_bytes,
+            dropped_segments: outcome.dropped_segments,
+        };
+
+        let engine = dynamic
+            .engine()
+            .expect("incremental engine is always built")
+            .clone();
+        let totals = dynamic.totals();
+        let shared = Arc::new(Shared {
+            snapshot: SnapshotHandle::new(EpochSnapshot::new(1, applied_lsn, engine)),
+            wal: Mutex::new(wal),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+            progress: Mutex::new(Progress {
+                epoch: 1,
+                applied_lsn,
+                totals,
+                checkpoints: 0,
+            }),
+            progress_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        });
+        let applier_shared = Arc::clone(&shared);
+        let applier = std::thread::Builder::new()
+            .name("prsim-applier".into())
+            .spawn(move || applier_loop(applier_shared, dynamic, applied_lsn))
+            .map_err(ServerError::Io)?;
+        Ok(EngineHost {
+            shared,
+            applier: Mutex::new(Some(applier)),
+            recovery,
+        })
+    }
+
+    /// What recovery replayed when this host booted.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The currently published snapshot (lock-free queries run here).
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.shared.snapshot.current()
+    }
+
+    /// Appends one batch to the WAL, fsyncs it (the durability ack), and
+    /// queues it for the applier. Returns the batch's LSN.
+    pub fn update(&self, updates: Vec<EdgeUpdate>) -> Result<u64, ServerError> {
+        self.check_applier()?;
+        // The WAL lock is held across the enqueue so the queue sees
+        // batches in LSN order.
+        let mut wal = self.shared.wal.lock().expect("wal lock poisoned");
+        let lsn = wal.append(&updates)?;
+        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+        queue.push_back(Task::Batch { lsn, updates });
+        self.shared.queue_cond.notify_one();
+        Ok(lsn)
+    }
+
+    /// Blocks until every batch durable at the time of the call has been
+    /// applied and published; returns `(applied_lsn, epoch)`. This is
+    /// the protocol's barrier for tests and scripted clients.
+    pub fn sync(&self) -> Result<(u64, u64), ServerError> {
+        let target = {
+            let wal = self.shared.wal.lock().expect("wal lock poisoned");
+            wal.stats().next_lsn.saturating_sub(1)
+        };
+        let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+        while progress.applied_lsn < target {
+            self.check_applier()?;
+            let (next, timeout) = self
+                .shared
+                .progress_cond
+                .wait_timeout(progress, std::time::Duration::from_millis(100))
+                .expect("progress lock poisoned");
+            progress = next;
+            if timeout.timed_out() {
+                // Loop re-checks applier health so a dead applier cannot
+                // strand the caller.
+                continue;
+            }
+        }
+        Ok((progress.applied_lsn, progress.epoch))
+    }
+
+    /// Checkpoints the applied state: the applier writes the image (and
+    /// garbage-collects covered segments) after finishing the batches
+    /// queued ahead of this call.
+    pub fn checkpoint(&self) -> Result<CheckpointInfo, ServerError> {
+        self.check_applier()?;
+        let (done, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            queue.push_back(Task::Checkpoint { done });
+            self.shared.queue_cond.notify_one();
+        }
+        match rx.recv() {
+            Ok(Ok(info)) => Ok(info),
+            Ok(Err(msg)) => Err(ServerError::ApplierDead(msg)),
+            Err(_) => {
+                self.check_applier()?;
+                Err(ServerError::ApplierDead("checkpoint reply lost".into()))
+            }
+        }
+    }
+
+    /// Current observability snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let snap = self.shared.snapshot.current();
+        let wal = self.shared.wal.lock().expect("wal lock poisoned").stats();
+        let queue_depth = self.shared.queue.lock().expect("queue lock poisoned").len();
+        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        ServerStats {
+            epoch: progress.epoch,
+            applied_lsn: progress.applied_lsn,
+            durable_lsn: wal.next_lsn.saturating_sub(1),
+            queue_depth,
+            nodes: snap.engine().graph().node_count(),
+            edges: snap.engine().graph().edge_count(),
+            hubs: snap.engine().index().hub_count(),
+            wal,
+            checkpoints: progress.checkpoints,
+            recovery: self.recovery,
+            totals: progress.totals,
+        }
+    }
+
+    /// Stops the applier (after it drains the queue) and joins it.
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown(&self) -> Result<(), ServerError> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cond.notify_all();
+        let handle = self.applier.lock().expect("applier lock poisoned").take();
+        if let Some(handle) = handle {
+            handle
+                .join()
+                .map_err(|_| ServerError::ApplierDead("applier panicked".into()))?;
+        }
+        self.check_applier()
+    }
+
+    fn check_applier(&self) -> Result<(), ServerError> {
+        let failure = self.shared.failure.lock().expect("failure lock poisoned");
+        match failure.as_ref() {
+            Some(msg) => Err(ServerError::ApplierDead(msg.clone())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for EngineHost {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// The applier thread: drain → apply → publish, until shutdown.
+fn applier_loop(shared: Arc<Shared>, mut dynamic: DynamicPrsim, mut applied_lsn: u64) {
+    loop {
+        let mut tasks = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            while queue.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+                queue = shared.queue_cond.wait(queue).expect("queue lock poisoned");
+            }
+            if queue.is_empty() {
+                return; // clean shutdown: queue fully drained
+            }
+            std::mem::take(&mut *queue)
+        };
+        // Coalesce: apply every drained batch, publish one epoch at the
+        // end (checkpoints force an intermediate publish so the image
+        // LSN always matches a published snapshot).
+        let mut dirty = false;
+        for task in tasks.drain(..) {
+            match task {
+                Task::Batch { lsn, updates } => {
+                    for update in updates {
+                        if let Err(err) = dynamic.apply(update) {
+                            fail(&shared, format!("apply(lsn {lsn}): {err}"));
+                            return;
+                        }
+                    }
+                    applied_lsn = lsn;
+                    dirty = true;
+                }
+                Task::Checkpoint { done } => {
+                    if dirty {
+                        publish(&shared, &dynamic, applied_lsn);
+                        dirty = false;
+                    }
+                    let result = write_checkpoint(&shared, &dynamic, applied_lsn);
+                    if result.is_ok() {
+                        let mut progress = shared.progress.lock().expect("progress lock poisoned");
+                        progress.checkpoints += 1;
+                    }
+                    let _ = done.send(result);
+                }
+            }
+        }
+        if dirty {
+            publish(&shared, &dynamic, applied_lsn);
+        }
+    }
+}
+
+/// Clones the repaired engine into a fresh epoch and swaps it in.
+fn publish(shared: &Shared, dynamic: &DynamicPrsim, applied_lsn: u64) {
+    let engine = dynamic
+        .engine()
+        .expect("incremental engine is always built")
+        .clone();
+    let mut progress = shared.progress.lock().expect("progress lock poisoned");
+    let epoch = progress.epoch + 1;
+    shared
+        .snapshot
+        .publish(Arc::new(EpochSnapshot::new(epoch, applied_lsn, engine)));
+    progress.epoch = epoch;
+    progress.applied_lsn = applied_lsn;
+    progress.totals = dynamic.totals();
+    shared.progress_cond.notify_all();
+}
+
+fn write_checkpoint(
+    shared: &Shared,
+    dynamic: &DynamicPrsim,
+    applied_lsn: u64,
+) -> Result<CheckpointInfo, String> {
+    let engine = dynamic
+        .engine()
+        .expect("incremental engine is always built");
+    let index_bytes = engine.index().to_bytes();
+    let mut wal = shared.wal.lock().expect("wal lock poisoned");
+    wal.write_checkpoint(applied_lsn, engine.graph(), &index_bytes)
+        .map(|bytes| CheckpointInfo {
+            lsn: applied_lsn,
+            bytes,
+        })
+        .map_err(|e| format!("checkpoint at lsn {applied_lsn}: {e}"))
+}
+
+/// Records the applier's terminal error and wakes every waiter.
+fn fail(shared: &Shared, msg: String) {
+    eprintln!("prsim-applier: fatal: {msg}");
+    *shared.failure.lock().expect("failure lock poisoned") = Some(msg);
+    shared.shutdown.store(true, Ordering::Release);
+    shared.progress_cond.notify_all();
+}

@@ -1,0 +1,116 @@
+//! Resident PRSim engine host: epoch-snapshot reads over a durable
+//! update WAL.
+//!
+//! The CLI's one-shot commands rebuild or reload the index on every
+//! invocation, which never exercises the incremental machinery the way
+//! production traffic would. This crate keeps one engine alive:
+//!
+//! * **Queries** run against an immutable [`EpochSnapshot`] — a cheap
+//!   clone of the whole engine (the postings arena, walk cache, π vector
+//!   and graph are contiguous buffers) behind an `Arc` that readers grab
+//!   lock-free relative to updates. A snapshot is never mutated, so an
+//!   in-flight update batch can never block or tear a query.
+//! * **Updates** are appended to a write-ahead log ([`wal`]) and fsynced
+//!   *before* they are acknowledged, then drained by a background
+//!   applier thread through [`prsim_core::DynamicPrsim`]'s repair path
+//!   (tombstone repair, walk-cache invalidation, drift-budget rebuilds).
+//!   Each drained batch run publishes a fresh epoch by atomically
+//!   swapping the snapshot `Arc`.
+//! * **Recovery** replays the log on start. [`DynamicPrsim`]'s repair is
+//!   deterministic in the initial graph, configuration and update
+//!   sequence, so a process that crashes — even SIGKILL mid-write — and
+//!   restarts over the same log serves *bit-identical* query responses
+//!   to an uninterrupted process that applied the same committed prefix.
+//!   Checkpoints ([`wal::Wal::write_checkpoint`]) are rebuild points:
+//!   recovery from a checkpoint re-selects hubs from the checkpointed
+//!   graph exactly like a drift-budget rebuild would, and is itself
+//!   deterministic — every recovery from the same (checkpoint, log) pair
+//!   yields the same engine.
+//!
+//! [`protocol`] exposes the host over a single-line text protocol
+//! (`query` / `update` / `sync` / `stats` / `checkpoint` / `shutdown`)
+//! on stdin/stdout or TCP; `prsim serve` is the CLI entry point.
+//!
+//! [`DynamicPrsim`]: prsim_core::DynamicPrsim
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod protocol;
+pub mod snapshot;
+pub mod wal;
+
+pub use host::{CheckpointInfo, EngineHost, HostOptions, RecoveryReport, ServerStats};
+pub use snapshot::{EpochSnapshot, SnapshotHandle};
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServerError {
+    /// WAL, checkpoint or socket I/O failed.
+    Io(io::Error),
+    /// The engine rejected a configuration, update or rebuild.
+    Engine(prsim_core::PrsimError),
+    /// A checkpoint's graph section failed to decode.
+    Graph(prsim_graph::GraphError),
+    /// The background applier thread died; the message is its last error.
+    ApplierDead(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o: {e}"),
+            ServerError::Engine(e) => write!(f, "engine: {e}"),
+            ServerError::Graph(e) => write!(f, "graph: {e}"),
+            ServerError::ApplierDead(msg) => write!(f, "applier thread died: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<prsim_core::PrsimError> for ServerError {
+    fn from(e: prsim_core::PrsimError) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+impl From<prsim_graph::GraphError> for ServerError {
+    fn from(e: prsim_graph::GraphError) -> Self {
+        ServerError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! Compile-time audit that everything crossing the applier/reader
+    //! boundary is [`Send`] + [`Sync`]: the snapshot types here, and the
+    //! engine/workspace/cache types they embed from `prsim-core` (none
+    //! of which use interior mutability).
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_types_are_send_sync() {
+        assert_send_sync::<prsim_graph::DiGraph>();
+        assert_send_sync::<prsim_core::PrsimIndex>();
+        assert_send_sync::<prsim_core::WalkCache>();
+        assert_send_sync::<prsim_core::Prsim>();
+        assert_send_sync::<prsim_core::QueryWorkspace>();
+        assert_send_sync::<prsim_core::DynamicPrsim>();
+        assert_send_sync::<crate::EpochSnapshot>();
+        assert_send_sync::<crate::SnapshotHandle>();
+        assert_send_sync::<crate::EngineHost>();
+        assert_send_sync::<crate::wal::Wal>();
+    }
+}

@@ -1,0 +1,183 @@
+//! Line protocol for `prsim serve`.
+//!
+//! One request per line, one response line per request. Responses start
+//! with `ok` or `err`. The grammar (tokens are space-separated):
+//!
+//! | request | response |
+//! |---|---|
+//! | `query U [top=K] [seed=S]` | `ok epoch=E lsn=L node=U entries=N top K v:score …` |
+//! | `update + U V [- U V …]` | `ok lsn=L queued=K` (sent after fsync) |
+//! | `sync` | `ok applied_lsn=L epoch=E` (barrier: durable ⇒ applied) |
+//! | `stats` | `ok epoch=… applied_lsn=… …` (see [`crate::host::ServerStats::render`]) |
+//! | `checkpoint` | `ok checkpoint lsn=L bytes=B` |
+//! | `shutdown` | `ok bye`, then the server exits |
+//!
+//! `query` is seed-deterministic: the same `U`, `seed` and engine state
+//! produce the same response bytes (scores are printed with Rust's
+//! shortest round-trip `f64` formatting), which is what the
+//! crash-recovery CI gate compares. The default seed is derived from
+//! `U` so even seedless queries are reproducible.
+//!
+//! Transport is stdin/stdout by default or TCP with `--listen` (the
+//! server prints `listening <addr>` once the socket is bound;
+//! connections are served sequentially and the host outlives them — a
+//! client disconnect never tears down served state).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use prsim_graph::EdgeUpdate;
+
+use crate::host::EngineHost;
+
+/// Default `top=` for `query` responses.
+const DEFAULT_TOP: usize = 10;
+
+/// Seed mixer for seedless queries (keeps them deterministic per node).
+const DEFAULT_SEED_SALT: u64 = 0x5EED_CAFE;
+
+/// Handles one request line; the `bool` is true when the client asked
+/// the server to shut down.
+pub fn handle_line(host: &EngineHost, line: &str) -> (String, bool) {
+    let mut tokens = line.split_whitespace();
+    let response = match tokens.next() {
+        None => return (String::new(), false), // blank line: no response
+        Some("query") => handle_query(host, tokens),
+        Some("update") => handle_update(host, tokens),
+        Some("sync") => match host.sync() {
+            Ok((applied_lsn, epoch)) => Ok(format!("ok applied_lsn={applied_lsn} epoch={epoch}")),
+            Err(e) => Err(e.to_string()),
+        },
+        Some("stats") => Ok(format!("ok {}", host.stats().render())),
+        Some("checkpoint") => match host.checkpoint() {
+            Ok(info) => Ok(format!(
+                "ok checkpoint lsn={} bytes={}",
+                info.lsn, info.bytes
+            )),
+            Err(e) => Err(e.to_string()),
+        },
+        Some("shutdown") => return ("ok bye".into(), true),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    match response {
+        Ok(line) => (line, false),
+        Err(msg) => (format!("err {msg}"), false),
+    }
+}
+
+fn handle_query<'a>(
+    host: &EngineHost,
+    mut tokens: impl Iterator<Item = &'a str>,
+) -> Result<String, String> {
+    let u: u32 = tokens
+        .next()
+        .ok_or("query needs a node id")?
+        .parse()
+        .map_err(|_| "query node id must be a u32".to_string())?;
+    let mut top = DEFAULT_TOP;
+    let mut seed = u64::from(u) ^ DEFAULT_SEED_SALT;
+    for token in tokens {
+        if let Some(v) = token.strip_prefix("top=") {
+            top = v.parse().map_err(|_| format!("bad top= value {v:?}"))?;
+        } else if let Some(v) = token.strip_prefix("seed=") {
+            seed = v.parse().map_err(|_| format!("bad seed= value {v:?}"))?;
+        } else {
+            return Err(format!("unknown query option {token:?}"));
+        }
+    }
+    let snapshot = host.snapshot();
+    let (scores, _) = snapshot.query(u, seed).map_err(|e| e.to_string())?;
+    let ranked = scores.top_k(top);
+    let mut out = format!(
+        "ok epoch={} lsn={} node={u} entries={} top {}",
+        snapshot.epoch(),
+        snapshot.last_lsn(),
+        scores.len(),
+        ranked.len()
+    );
+    for (v, s) in ranked {
+        out.push_str(&format!(" {v}:{s}"));
+    }
+    Ok(out)
+}
+
+fn handle_update<'a>(
+    host: &EngineHost,
+    tokens: impl Iterator<Item = &'a str>,
+) -> Result<String, String> {
+    let tokens: Vec<&str> = tokens.collect();
+    if tokens.is_empty() {
+        return Err("update needs at least one `+ U V` or `- U V` triple".into());
+    }
+    if tokens.len() % 3 != 0 {
+        return Err("update arguments must be (op, u, v) triples".into());
+    }
+    let mut updates = Vec::with_capacity(tokens.len() / 3);
+    for triple in tokens.chunks_exact(3) {
+        let u: u32 = triple[1]
+            .parse()
+            .map_err(|_| format!("bad node id {:?}", triple[1]))?;
+        let v: u32 = triple[2]
+            .parse()
+            .map_err(|_| format!("bad node id {:?}", triple[2]))?;
+        updates.push(match triple[0] {
+            "+" => EdgeUpdate::Insert(u, v),
+            "-" => EdgeUpdate::Delete(u, v),
+            op => return Err(format!("bad update op {op:?} (want + or -)")),
+        });
+    }
+    let queued = updates.len();
+    let lsn = host.update(updates).map_err(|e| e.to_string())?;
+    Ok(format!("ok lsn={lsn} queued={queued}"))
+}
+
+/// Serves one request stream until EOF or `shutdown`; returns whether
+/// shutdown was requested. Responses are flushed per line so interactive
+/// and scripted clients both see acks promptly.
+pub fn serve_stream<R: BufRead, W: Write>(
+    host: &EngineHost,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        let (response, quit) = handle_line(host, &line);
+        if !response.is_empty() {
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+        }
+        if quit {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves stdin/stdout until EOF or `shutdown`, then shuts the host
+/// down cleanly.
+pub fn serve_stdio(host: &EngineHost) -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout().lock();
+    serve_stream(host, stdin.lock(), &mut stdout)?;
+    host.shutdown().map_err(|e| io::Error::other(e.to_string()))
+}
+
+/// Serves TCP connections sequentially until a client sends `shutdown`,
+/// then shuts the host down cleanly. The bound address is printed as
+/// `listening <addr>` by the CLI before this is called.
+pub fn serve_tcp(host: &EngineHost, listener: TcpListener) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let mut writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        // A client that disconnects mid-line must not kill the server.
+        match serve_stream(host, reader, &mut writer) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(err) if err.kind() == io::ErrorKind::BrokenPipe => {}
+            Err(err) if err.kind() == io::ErrorKind::ConnectionReset => {}
+            Err(err) => return Err(err),
+        }
+    }
+    host.shutdown().map_err(|e| io::Error::other(e.to_string()))
+}

@@ -1,0 +1,88 @@
+//! Immutable epoch snapshots and the swap handle readers share.
+//!
+//! The applier thread never mutates a published engine: it repairs its
+//! own private [`prsim_core::DynamicPrsim`], clones the resulting
+//! [`Prsim`] (cheap — the arena, π vector, walk cache and CSR graph are
+//! flat buffers) and *swaps* the `Arc` behind [`SnapshotHandle`].
+//! Readers clone the `Arc` out and then query entirely lock-free; a
+//! reader holding epoch `e` keeps it alive for the duration of its query
+//! even while epoch `e+1` is being published.
+
+use prsim_core::{Prsim, PrsimError, QueryStats, SimRankScores};
+use prsim_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, RwLock};
+
+/// One immutable published engine state.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    last_lsn: u64,
+    engine: Prsim,
+}
+
+impl EpochSnapshot {
+    /// Wraps an engine clone as epoch `epoch`, current through WAL
+    /// record `last_lsn`.
+    pub fn new(epoch: u64, last_lsn: u64, engine: Prsim) -> Self {
+        EpochSnapshot {
+            epoch,
+            last_lsn,
+            engine,
+        }
+    }
+
+    /// Monotone epoch counter (1 is the boot snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Highest WAL LSN whose updates this snapshot reflects.
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+
+    /// The frozen engine.
+    pub fn engine(&self) -> &Prsim {
+        &self.engine
+    }
+
+    /// Answers a single-source query with a seed-deterministic RNG: the
+    /// same `(u, seed)` against the same snapshot state always returns
+    /// the same scores, which is what lets the crash-recovery test
+    /// compare servers bit-for-bit.
+    pub fn query(&self, u: NodeId, seed: u64) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.engine.try_single_source(u, &mut rng)
+    }
+}
+
+/// Shared slot holding the current [`EpochSnapshot`].
+///
+/// `current()` is a read-lock held only long enough to clone the `Arc`
+/// (publish takes the write lock equally briefly), so queries never wait
+/// on update application — only on the pointer swap itself.
+#[derive(Debug)]
+pub struct SnapshotHandle {
+    slot: RwLock<Arc<EpochSnapshot>>,
+}
+
+impl SnapshotHandle {
+    /// Creates the handle with its boot snapshot.
+    pub fn new(first: EpochSnapshot) -> Self {
+        SnapshotHandle {
+            slot: RwLock::new(Arc::new(first)),
+        }
+    }
+
+    /// The current snapshot; the caller keeps it alive across publishes.
+    pub fn current(&self) -> Arc<EpochSnapshot> {
+        self.slot.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Atomically replaces the published snapshot.
+    pub fn publish(&self, next: Arc<EpochSnapshot>) {
+        *self.slot.write().expect("snapshot lock poisoned") = next;
+    }
+}

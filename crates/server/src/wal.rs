@@ -1,0 +1,819 @@
+//! Durable write-ahead log for the update stream.
+//!
+//! Every [`crate::EngineHost::update`] call appends one *record* — an
+//! LSN-stamped [`EdgeUpdate`] batch — to the live segment and fsyncs it
+//! before the caller is acknowledged, so an acknowledged batch survives
+//! any crash (including SIGKILL mid-write). Restart replays the log
+//! deterministically: the engine host re-applies every decodable record
+//! through the exact incremental-repair path that produced the served
+//! state, which makes the recovered engine bit-identical to the
+//! pre-crash process (see the crate docs for the precise guarantee).
+//!
+//! ## On-disk format
+//!
+//! A log directory holds numbered segment files plus checkpoint images:
+//!
+//! ```text
+//! wal-0000000000.log     segments: header + records, append-only
+//! wal-0000000001.log
+//! ckpt-000000000000042.snap   checkpoint image taken at LSN 42
+//! ```
+//!
+//! Each segment starts with a 20-byte header and carries length-prefixed,
+//! checksummed records:
+//!
+//! | field | bytes | meaning |
+//! |---|---|---|
+//! | magic | 8 | `PRSIMWAL` |
+//! | version | 4 | format version, little-endian `u32` (currently 1) |
+//! | first_lsn | 8 | LSN of the segment's first record |
+//!
+//! | record field | bytes | meaning |
+//! |---|---|---|
+//! | len | 4 | body length in bytes, little-endian `u32` |
+//! | lsn | 8 | record LSN, little-endian `u64`, strictly `prev + 1` |
+//! | checksum | 8 | FNV-1a 64 over `lsn ‖ body` |
+//! | body | len | `count: u32`, then `count × (op: u8, u: u32, v: u32)` |
+//!
+//! The checksum is FNV-1a (torn-write detection, not cryptography): a
+//! crash can leave at most a prefix of the final record on disk, and any
+//! such torn tail fails the length or checksum test. Replay truncates
+//! the segment at the first invalid byte and discards any later
+//! segments, so the surviving log is always the exact committed prefix.
+//!
+//! ## Checkpoints
+//!
+//! A checkpoint file freezes the applied state at one LSN: the merged
+//! graph in the `PRSIMG1` binary format plus the serving hub index in
+//! its v3 (`PRSIMIX3`) serialization — the same bytes `prsim build
+//! --index` writes, so a checkpoint's index section is directly usable
+//! by `prsim query --index`. Checkpoints are written to a temp file,
+//! fsynced and atomically renamed into place; recovery starts from the
+//! newest *valid* checkpoint and replays only the WAL suffix behind it.
+//! Segments wholly covered by a checkpoint are garbage-collected.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use prsim_graph::{DiGraph, EdgeUpdate};
+
+/// Magic bytes opening every WAL segment.
+const SEGMENT_MAGIC: &[u8; 8] = b"PRSIMWAL";
+
+/// Magic bytes opening every checkpoint image.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"PRSIMCKP";
+
+/// Current format version of segments and checkpoints alike.
+const FORMAT_VERSION: u32 = 1;
+
+/// Segment header size: magic + version + first_lsn.
+const SEGMENT_HEADER: usize = 8 + 4 + 8;
+
+/// Record header size: len + lsn + checksum.
+const RECORD_HEADER: usize = 4 + 8 + 8;
+
+/// Per-update encoding width inside a record body: op + two node ids.
+const UPDATE_BYTES: usize = 1 + 4 + 4;
+
+/// Hard ceiling on one record's body (64 MiB ≈ 7.4M updates): anything
+/// larger in a length prefix is treated as corruption, which bounds the
+/// allocation a hostile or torn length field can cause.
+const MAX_RECORD_BODY: usize = 64 << 20;
+
+/// One durable record: an LSN-stamped batch of edge updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number (1-based, gap-free within one log).
+    pub lsn: u64,
+    /// The batch, applied in order under this single LSN.
+    pub updates: Vec<EdgeUpdate>,
+}
+
+/// FNV-1a 64-bit checksum (torn-write detection only).
+fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Encodes a record body: update count + per-update triples.
+pub fn encode_body(updates: &[EdgeUpdate]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(4 + updates.len() * UPDATE_BYTES);
+    body.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+    for up in updates {
+        let (u, v) = up.endpoints();
+        body.push(if up.is_insert() { 0 } else { 1 });
+        body.extend_from_slice(&u.to_le_bytes());
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    body
+}
+
+/// Decodes a record body; rejects unknown ops, bad counts and trailing
+/// bytes (all of which replay treats as corruption).
+pub fn decode_body(body: &[u8]) -> Result<Vec<EdgeUpdate>, String> {
+    if body.len() < 4 {
+        return Err("body shorter than its count field".into());
+    }
+    let count = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+    let want = 4 + count * UPDATE_BYTES;
+    if body.len() != want {
+        return Err(format!(
+            "body length {} does not match count {count} (want {want})",
+            body.len()
+        ));
+    }
+    let mut updates = Vec::with_capacity(count);
+    for chunk in body[4..].chunks_exact(UPDATE_BYTES) {
+        let u = u32::from_le_bytes(chunk[1..5].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(chunk[5..9].try_into().expect("4 bytes"));
+        updates.push(match chunk[0] {
+            0 => EdgeUpdate::Insert(u, v),
+            1 => EdgeUpdate::Delete(u, v),
+            op => return Err(format!("unknown update op byte {op}")),
+        });
+    }
+    Ok(updates)
+}
+
+/// What [`Wal::open`] recovered from a log directory.
+#[derive(Debug, Default)]
+pub struct ReplayOutcome {
+    /// Every decodable record with `lsn > start_lsn`, in LSN order.
+    pub records: Vec<WalRecord>,
+    /// Records skipped because a checkpoint already covers them.
+    pub skipped_records: usize,
+    /// Bytes cut off the log by torn-tail / corrupt-record repair.
+    pub truncated_bytes: u64,
+    /// Whole later segments discarded after a mid-log corruption.
+    pub dropped_segments: usize,
+}
+
+/// Live statistics of one [`Wal`] (folded into `ServerStats`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalStats {
+    /// Total bytes across all live segment files.
+    pub bytes: u64,
+    /// Live segment files.
+    pub segments: usize,
+    /// Records fsynced by this process.
+    pub syncs: u64,
+    /// Next LSN to be assigned.
+    pub next_lsn: u64,
+}
+
+/// An open write-ahead log: one append-only live segment plus rotation
+/// and checkpoint bookkeeping over the log directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    /// Rotation threshold: a segment exceeding this many bytes is sealed
+    /// and a fresh one opened for the next record.
+    segment_bytes: u64,
+    file: File,
+    segment_seq: u64,
+    segment_len: u64,
+    next_lsn: u64,
+    total_bytes: u64,
+    syncs: u64,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:010}.log"))
+}
+
+fn checkpoint_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("ckpt-{lsn:015}.snap"))
+}
+
+/// Sorted `(seq, path)` list of the directory's segment files.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Sorted `(lsn, path)` list of the directory's checkpoint files.
+fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(lsn) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".snap"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push((lsn, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Best-effort directory fsync (segment creation / checkpoint rename
+/// durability; ignored on filesystems that reject directory handles).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir`, replaying every committed
+    /// record with `lsn > start_lsn` (pass the recovery checkpoint's LSN,
+    /// or 0 for a full replay). Torn tails are truncated in place; a
+    /// corrupt record additionally drops all later segments, so the log
+    /// that remains on disk is exactly the replayed prefix. After replay
+    /// the log is positioned to append the next record.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        segment_bytes: u64,
+        start_lsn: u64,
+    ) -> io::Result<(Wal, ReplayOutcome)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+        let mut outcome = ReplayOutcome::default();
+        let mut next_lsn: u64 = start_lsn + 1;
+        let mut poisoned = false;
+
+        for (i, (seq, path)) in segments.iter().enumerate() {
+            if poisoned {
+                // A corrupt record invalidates everything behind it: later
+                // segments would leave an LSN gap, so they are dropped.
+                fs::remove_file(path)?;
+                outcome.dropped_segments += 1;
+                continue;
+            }
+            let data = fs::read(path)?;
+            let consumed = replay_segment(&data, *seq, &mut next_lsn, start_lsn, &mut outcome)?;
+            if consumed < data.len() {
+                // Torn tail or corrupt record: repair the file so a
+                // subsequent open sees a clean log.
+                outcome.truncated_bytes += (data.len() - consumed) as u64;
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(consumed as u64)?;
+                f.sync_all()?;
+                if i + 1 < segments.len() {
+                    poisoned = true;
+                }
+            }
+        }
+
+        // Append position: reuse the newest surviving segment, or start a
+        // fresh one. (A repaired segment shrunk to its header alone is
+        // still appendable — its first_lsn matters only for records it
+        // actually holds.)
+        let (segment_seq, file, segment_len) = match list_segments(&dir)?.last() {
+            Some((seq, path)) => {
+                let file = OpenOptions::new().append(true).open(path)?;
+                let len = file.metadata()?.len();
+                (*seq, file, len)
+            }
+            None => {
+                let (file, len) = create_segment(&dir, 0, next_lsn)?;
+                (0, file, len)
+            }
+        };
+        let total_bytes = list_segments(&dir)?
+            .iter()
+            .map(|(_, p)| fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+            .sum();
+
+        Ok((
+            Wal {
+                dir,
+                segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
+                file,
+                segment_seq,
+                segment_len,
+                next_lsn,
+                total_bytes,
+                syncs: 0,
+            },
+            outcome,
+        ))
+    }
+
+    /// Appends one batch as a single record, fsyncs it, and returns its
+    /// LSN. The batch is durable when this returns `Ok`.
+    pub fn append(&mut self, updates: &[EdgeUpdate]) -> io::Result<u64> {
+        let lsn = self.next_lsn;
+        let body = encode_body(updates);
+        let record_len = (RECORD_HEADER + body.len()) as u64;
+        if self.segment_len > SEGMENT_HEADER as u64
+            && self.segment_len + record_len > self.segment_bytes
+        {
+            self.rotate()?;
+        }
+        let lsn_le = lsn.to_le_bytes();
+        let checksum = fnv1a64(&[&lsn_le, &body]);
+        let mut buf = Vec::with_capacity(RECORD_HEADER + body.len());
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&lsn_le);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf.extend_from_slice(&body);
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.syncs += 1;
+        self.segment_len += record_len;
+        self.total_bytes += record_len;
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    /// Seals the live segment and opens the next one.
+    fn rotate(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.segment_seq += 1;
+        let (file, len) = create_segment(&self.dir, self.segment_seq, self.next_lsn)?;
+        self.file = file;
+        self.segment_len = len;
+        self.total_bytes += len;
+        Ok(())
+    }
+
+    /// Writes a checkpoint image of the applied state at `lsn` (the
+    /// merged graph plus the serving index's v3 bytes), atomically via
+    /// temp-file + rename, then garbage-collects segments and older
+    /// checkpoints the new image fully covers. Returns the image size.
+    pub fn write_checkpoint(
+        &mut self,
+        lsn: u64,
+        graph: &DiGraph,
+        index_bytes: &[u8],
+    ) -> io::Result<u64> {
+        let graph_bytes = prsim_graph::io::to_binary(graph);
+        let mut payload = Vec::with_capacity(8 + 2 * 8 + graph_bytes.len() + index_bytes.len());
+        payload.extend_from_slice(&lsn.to_le_bytes());
+        payload.extend_from_slice(&(graph_bytes.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&graph_bytes);
+        payload.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+        payload.extend_from_slice(index_bytes);
+        let checksum = fnv1a64(&[&payload]);
+
+        let final_path = checkpoint_path(&self.dir, lsn);
+        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(CHECKPOINT_MAGIC)?;
+            f.write_all(&FORMAT_VERSION.to_le_bytes())?;
+            f.write_all(&checksum.to_le_bytes())?;
+            f.write_all(&payload)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir);
+        self.gc(lsn)?;
+        Ok((8 + 4 + 8 + payload.len()) as u64)
+    }
+
+    /// Garbage collection after a checkpoint at `lsn`. The newest *older*
+    /// image is retained as a bit-rot fallback (anything older goes), and
+    /// segments are deleted only back to that fallback's horizon — so
+    /// recovery from the fallback can still replay to the tip. A segment
+    /// is provably covered when the *next* segment's `first_lsn` is within
+    /// the horizon.
+    fn gc(&mut self, lsn: u64) -> io::Result<()> {
+        let checkpoints = list_checkpoints(&self.dir)?;
+        let fallback = checkpoints
+            .iter()
+            .map(|&(l, _)| l)
+            .filter(|&l| l < lsn)
+            .max();
+        for (ck_lsn, path) in &checkpoints {
+            if *ck_lsn < lsn && Some(*ck_lsn) != fallback {
+                fs::remove_file(path)?;
+            }
+        }
+        let horizon = fallback.unwrap_or(lsn);
+        let segments = list_segments(&self.dir)?;
+        for window in segments.windows(2) {
+            let (seq, path) = &window[0];
+            let (_, next_path) = &window[1];
+            if *seq == self.segment_seq {
+                break; // never delete the live segment
+            }
+            let next_first = read_segment_first_lsn(next_path)?;
+            if next_first <= horizon + 1 {
+                let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(path)?;
+                self.total_bytes = self.total_bytes.saturating_sub(len);
+            } else {
+                break;
+            }
+        }
+        sync_dir(&self.dir);
+        Ok(())
+    }
+
+    /// Live log statistics.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            bytes: self.total_bytes,
+            segments: list_segments(&self.dir).map(|s| s.len()).unwrap_or(0),
+            syncs: self.syncs,
+            next_lsn: self.next_lsn,
+        }
+    }
+}
+
+/// Creates segment `seq` with its header written and fsynced; returns
+/// the open handle and the header length.
+fn create_segment(dir: &Path, seq: u64, first_lsn: u64) -> io::Result<(File, u64)> {
+    let path = segment_path(dir, seq);
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)?;
+    file.write_all(SEGMENT_MAGIC)?;
+    file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    file.write_all(&first_lsn.to_le_bytes())?;
+    file.sync_all()?;
+    sync_dir(dir);
+    Ok((file, SEGMENT_HEADER as u64))
+}
+
+/// Reads a segment's `first_lsn` header field.
+fn read_segment_first_lsn(path: &Path) -> io::Result<u64> {
+    let mut f = File::open(path)?;
+    let mut header = [0u8; SEGMENT_HEADER];
+    f.seek(SeekFrom::Start(0))?;
+    f.read_exact(&mut header)?;
+    if &header[..8] != SEGMENT_MAGIC {
+        return Err(corrupt(format!(
+            "{} has a bad segment magic",
+            path.display()
+        )));
+    }
+    Ok(u64::from_le_bytes(
+        header[12..20].try_into().expect("8 bytes"),
+    ))
+}
+
+/// Replays one segment's bytes, pushing decodable records onto
+/// `outcome`. Returns the number of bytes consumed; anything shorter
+/// than `data.len()` means the caller must truncate there. A non-WAL
+/// file (bad magic or version) is an error — it is user data this module
+/// must not repair away.
+fn replay_segment(
+    data: &[u8],
+    seq: u64,
+    next_lsn: &mut u64,
+    start_lsn: u64,
+    outcome: &mut ReplayOutcome,
+) -> io::Result<usize> {
+    if data.len() < SEGMENT_HEADER {
+        // A segment torn inside its own header can only be the freshly
+        // rotated tail of the log: empty of records, safe to truncate.
+        return Ok(0);
+    }
+    if &data[..8] != SEGMENT_MAGIC {
+        return Err(corrupt(format!("segment {seq} has a bad magic")));
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "segment {seq} has unsupported version {version}"
+        )));
+    }
+    let mut pos = SEGMENT_HEADER;
+    loop {
+        let Some(header) = data.get(pos..pos + RECORD_HEADER) else {
+            return Ok(pos); // torn inside a record header
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD_BODY {
+            return Ok(pos); // corrupt length field
+        }
+        let lsn = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let Some(body) = data.get(pos + RECORD_HEADER..pos + RECORD_HEADER + len) else {
+            return Ok(pos); // torn inside the body
+        };
+        if fnv1a64(&[&lsn.to_le_bytes(), body]) != checksum {
+            return Ok(pos); // bit rot or a torn overwrite
+        }
+        let Ok(updates) = decode_body(body) else {
+            return Ok(pos);
+        };
+        if lsn <= start_lsn {
+            // Covered by the recovery checkpoint; already applied.
+            outcome.skipped_records += 1;
+        } else if lsn == *next_lsn {
+            outcome.records.push(WalRecord { lsn, updates });
+            *next_lsn += 1;
+        } else {
+            return Ok(pos); // LSN discontinuity: treat as corruption
+        }
+        pos += RECORD_HEADER + len;
+    }
+}
+
+/// A recovered checkpoint image.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// LSN the image was taken at (replay resumes after it).
+    pub lsn: u64,
+    /// The merged graph at that LSN.
+    pub graph: DiGraph,
+    /// The serving index's v3 serialization at that LSN.
+    pub index_bytes: Vec<u8>,
+}
+
+/// Loads the newest checkpoint in `dir` that decodes and checksums
+/// cleanly (corrupt or torn images are skipped — an older image plus a
+/// longer replay is always a sound fallback). `Ok(None)` when none
+/// exists.
+pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    for (lsn, path) in list_checkpoints(dir)?.into_iter().rev() {
+        match read_checkpoint(&path) {
+            Ok(ckpt) => {
+                debug_assert_eq!(ckpt.lsn, lsn, "file name vs payload LSN");
+                return Ok(Some(ckpt));
+            }
+            Err(err) => {
+                eprintln!("wal: skipping corrupt checkpoint {}: {err}", path.display());
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn read_checkpoint(path: &Path) -> io::Result<Checkpoint> {
+    let data = fs::read(path)?;
+    if data.len() < 8 + 4 + 8 || &data[..8] != CHECKPOINT_MAGIC {
+        return Err(corrupt("bad checkpoint magic or truncated header"));
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!("unsupported checkpoint version {version}")));
+    }
+    let checksum = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+    let payload = &data[20..];
+    if fnv1a64(&[payload]) != checksum {
+        return Err(corrupt("checkpoint checksum mismatch"));
+    }
+    if payload.len() < 16 {
+        return Err(corrupt("checkpoint payload truncated"));
+    }
+    let lsn = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let graph_len = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")) as usize;
+    let rest = &payload[16..];
+    if rest.len() < graph_len + 8 {
+        return Err(corrupt("checkpoint graph section truncated"));
+    }
+    let graph = prsim_graph::io::from_binary(&rest[..graph_len])
+        .map_err(|e| corrupt(format!("checkpoint graph: {e}")))?;
+    let idx_len =
+        u64::from_le_bytes(rest[graph_len..graph_len + 8].try_into().expect("8 bytes")) as usize;
+    let index_bytes = rest[graph_len + 8..].to_vec();
+    if index_bytes.len() != idx_len {
+        return Err(corrupt("checkpoint index section truncated"));
+    }
+    Ok(Checkpoint {
+        lsn,
+        graph,
+        index_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prsim_graph::EdgeUpdate::{Delete, Insert};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("prsim_wal_test_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batches() -> Vec<Vec<EdgeUpdate>> {
+        vec![
+            vec![Insert(0, 1)],
+            vec![Delete(0, 1), Insert(2, 3)],
+            vec![],
+            vec![Insert(7, 8), Insert(8, 7), Delete(2, 3)],
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let dir = tmpdir("round_trip");
+        let mut lsns = Vec::new();
+        {
+            let (mut wal, outcome) = Wal::open(&dir, 1 << 20, 0).unwrap();
+            assert!(outcome.records.is_empty());
+            for batch in batches() {
+                lsns.push(wal.append(&batch).unwrap());
+            }
+        }
+        assert_eq!(lsns, vec![1, 2, 3, 4]);
+        let (wal, outcome) = Wal::open(&dir, 1 << 20, 0).unwrap();
+        assert_eq!(outcome.records.len(), 4);
+        assert_eq!(outcome.truncated_bytes, 0);
+        for (record, (lsn, batch)) in outcome.records.iter().zip(lsns.iter().zip(batches())) {
+            assert_eq!(record.lsn, *lsn);
+            assert_eq!(record.updates, batch);
+        }
+        assert_eq!(wal.stats().next_lsn, 5);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = tmpdir("rotation");
+        {
+            // Tiny threshold: every record rotates into its own segment.
+            let (mut wal, _) = Wal::open(&dir, 40, 0).unwrap();
+            for i in 0..5u32 {
+                wal.append(&[Insert(i, i + 1)]).unwrap();
+            }
+            assert!(wal.stats().segments >= 4, "rotation must split segments");
+        }
+        let (_, outcome) = Wal::open(&dir, 40, 0).unwrap();
+        assert_eq!(outcome.records.len(), 5);
+        assert_eq!(outcome.records.last().unwrap().updates, vec![Insert(4, 5)]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_acknowledged_prefix_survives() {
+        let dir = tmpdir("torn_tail");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1 << 20, 0).unwrap();
+            for batch in batches() {
+                wal.append(&batch).unwrap();
+            }
+        }
+        // Simulate a crash mid-write: append a partial record.
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x21, 0x00, 0x00, 0x00, 0xAA, 0xBB]).unwrap();
+        drop(f);
+        let before = fs::metadata(&seg).unwrap().len();
+
+        let (mut wal, outcome) = Wal::open(&dir, 1 << 20, 0).unwrap();
+        assert_eq!(outcome.records.len(), 4, "committed prefix survives");
+        assert_eq!(outcome.truncated_bytes, 6);
+        assert!(fs::metadata(&seg).unwrap().len() < before, "file repaired");
+        // The repaired log keeps accepting appends with contiguous LSNs.
+        assert_eq!(wal.append(&[Insert(9, 9)]).unwrap(), 5);
+    }
+
+    #[test]
+    fn corrupt_checksum_truncates_and_drops_later_segments() {
+        let dir = tmpdir("corrupt_mid");
+        {
+            let (mut wal, _) = Wal::open(&dir, 40, 0).unwrap();
+            for i in 0..4u32 {
+                wal.append(&[Insert(i, i + 1)]).unwrap();
+            }
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Flip a body byte of the second segment's record.
+        let (_, victim) = &segments[1];
+        let mut bytes = fs::read(victim).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0xFF;
+        fs::write(victim, &bytes).unwrap();
+
+        let (mut wal, outcome) = Wal::open(&dir, 40, 0).unwrap();
+        assert_eq!(outcome.records.len(), 1, "only the pre-corruption prefix");
+        assert!(outcome.truncated_bytes > 0);
+        assert!(outcome.dropped_segments >= 1, "later segments dropped");
+        // The log stays usable and LSNs continue from the surviving prefix.
+        assert_eq!(wal.append(&[Insert(8, 9)]).unwrap(), 2);
+        let (_, outcome) = Wal::open(&dir, 40, 0).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+    }
+
+    #[test]
+    fn lsn_discontinuity_is_treated_as_corruption() {
+        let dir = tmpdir("lsn_gap");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1 << 20, 0).unwrap();
+            wal.append(&[Insert(0, 1)]).unwrap();
+            wal.append(&[Insert(1, 2)]).unwrap();
+        }
+        // Rewrite record 2's LSN to 7 (with a valid checksum!): replay
+        // must still refuse the gap.
+        let seg = segment_path(&dir, 0);
+        let data = fs::read(&seg).unwrap();
+        let first_len =
+            u32::from_le_bytes(data[SEGMENT_HEADER..SEGMENT_HEADER + 4].try_into().unwrap())
+                as usize;
+        let second = SEGMENT_HEADER + RECORD_HEADER + first_len;
+        let body_len = u32::from_le_bytes(data[second..second + 4].try_into().unwrap()) as usize;
+        let body = data[second + RECORD_HEADER..second + RECORD_HEADER + body_len].to_vec();
+        let mut patched = data.clone();
+        let fake_lsn = 7u64.to_le_bytes();
+        patched[second + 4..second + 12].copy_from_slice(&fake_lsn);
+        let fixed = fnv1a64(&[&fake_lsn, &body]);
+        patched[second + 12..second + 20].copy_from_slice(&fixed.to_le_bytes());
+        fs::write(&seg, &patched).unwrap();
+
+        let (_, outcome) = Wal::open(&dir, 1 << 20, 0).unwrap();
+        assert_eq!(outcome.records.len(), 1, "gap record rejected");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_and_gc() {
+        let dir = tmpdir("checkpoint");
+        let graph = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let index_bytes = vec![1u8, 2, 3, 4, 5];
+        {
+            let (mut wal, _) = Wal::open(&dir, 40, 0).unwrap();
+            for i in 0..4u32 {
+                wal.append(&[Insert(i, (i + 2) % 4)]).unwrap();
+            }
+            let segments_before = wal.stats().segments;
+            wal.write_checkpoint(4, &graph, &index_bytes).unwrap();
+            assert!(
+                wal.stats().segments < segments_before,
+                "covered segments collected"
+            );
+        }
+        let ckpt = latest_checkpoint(&dir).unwrap().expect("checkpoint exists");
+        assert_eq!(ckpt.lsn, 4);
+        assert_eq!(ckpt.graph, graph);
+        assert_eq!(ckpt.index_bytes, index_bytes);
+        // Replay from the checkpoint: everything is covered.
+        let (_, outcome) = Wal::open(&dir, 40, ckpt.lsn).unwrap();
+        assert!(outcome.records.is_empty());
+        // Full replay would be refused records <= start only; from 0 the
+        // surviving segments may hold a suffix — all its LSNs > some
+        // earlier record's, so replay from 0 sees a discontinuity and
+        // stops, which is why recovery always goes through the newest
+        // checkpoint.
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_older_image() {
+        let dir = tmpdir("ckpt_fallback");
+        let g1 = DiGraph::from_edges(3, &[(0, 1)]);
+        let g2 = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        {
+            let (mut wal, _) = Wal::open(&dir, 1 << 20, 0).unwrap();
+            wal.append(&[Insert(1, 2)]).unwrap();
+            wal.write_checkpoint(0, &g1, &[]).unwrap();
+            wal.write_checkpoint(1, &g2, &[9, 9]).unwrap();
+        }
+        // Corrupt the newest image: recovery must fall back to LSN 0.
+        let newest = checkpoint_path(&dir, 1);
+        let mut bytes = fs::read(&newest).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+        let ckpt = latest_checkpoint(&dir).unwrap().expect("fallback image");
+        assert_eq!(ckpt.lsn, 0);
+        assert_eq!(ckpt.graph, g1);
+    }
+
+    #[test]
+    fn body_codec_rejects_malformed_input() {
+        assert!(decode_body(&[]).is_err());
+        assert!(decode_body(&[1, 0, 0]).is_err());
+        // Count claims more updates than the bytes hold.
+        let mut body = encode_body(&[Insert(1, 2)]);
+        body[0] = 2;
+        assert!(decode_body(&body).is_err());
+        // Unknown op byte.
+        let mut body = encode_body(&[Insert(1, 2)]);
+        body[4] = 9;
+        assert!(decode_body(&body).is_err());
+        // Trailing bytes.
+        let mut body = encode_body(&[Delete(3, 4)]);
+        body.push(0);
+        assert!(decode_body(&body).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Integration tests for [`EngineHost`]: recovery equivalence (a
+//! restarted host serves bit-identical scores to the host it replaced),
+//! epoch snapshot semantics, and checkpoint determinism.
+
+use prsim_core::{HubCount, PrsimConfig, QueryParams};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use prsim_graph::{DiGraph, EdgeUpdate};
+use prsim_server::{EngineHost, HostOptions};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prsim_host_test_{name}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_graph() -> DiGraph {
+    chung_lu_undirected(ChungLuConfig::new(300, 6.0, 2.0, 42))
+}
+
+fn options() -> HostOptions {
+    HostOptions {
+        config: PrsimConfig {
+            eps: 0.2,
+            hubs: HubCount::Fixed(12),
+            query: QueryParams::Practical { c_mult: 1.0 },
+            walk_cache_budget: 32,
+            build_threads: 2,
+            ..Default::default()
+        },
+        segment_bytes: 512, // tiny: every test exercises rotation
+    }
+}
+
+/// Deterministic update stream: alternating deletes of live edges and
+/// inserts of fresh ones, batched in threes.
+fn batches(g: &DiGraph, count: usize) -> Vec<Vec<EdgeUpdate>> {
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let n = g.node_count() as u32;
+    (0..count)
+        .map(|i| {
+            (0..3)
+                .map(|j| {
+                    let k = i * 3 + j;
+                    if k % 2 == 0 {
+                        let (u, v) = edges[(k * 7) % edges.len()];
+                        EdgeUpdate::Delete(u, v)
+                    } else {
+                        EdgeUpdate::Insert((k as u32 * 13) % n, (k as u32 * 31 + 1) % n)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fingerprints the served state: exact top-k response text for a spread
+/// of sources (the same rendering the protocol uses, so equality here is
+/// the protocol-level bit-identical guarantee).
+fn fingerprint(host: &EngineHost) -> Vec<String> {
+    let snap = host.snapshot();
+    (0..10u32)
+        .map(|i| {
+            let u = i * 17 % snap.engine().graph().node_count() as u32;
+            let (scores, _) = snap.query(u, 0xF00D ^ u64::from(u)).unwrap();
+            let mut line = format!("{u}:");
+            for (v, s) in scores.top_k(8) {
+                line.push_str(&format!(" {v}:{s}"));
+            }
+            line
+        })
+        .collect()
+}
+
+#[test]
+fn restart_replays_to_bit_identical_state() {
+    let dir = tmpdir("restart");
+    let g = test_graph();
+    let stream = batches(&g, 8);
+
+    let before = {
+        let host = EngineHost::open(&g, &dir, options()).unwrap();
+        for batch in &stream {
+            host.update(batch.clone()).unwrap();
+        }
+        let (applied, _) = host.sync().unwrap();
+        assert_eq!(applied, stream.len() as u64);
+        let f = fingerprint(&host);
+        host.shutdown().unwrap();
+        f
+    };
+
+    // Restart over the same WAL directory: replay must rebuild the exact
+    // pre-shutdown state.
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let recovery = host.recovery();
+    assert_eq!(recovery.checkpoint_lsn, None);
+    assert_eq!(recovery.replayed_records, stream.len());
+    assert_eq!(recovery.replayed_updates, stream.len() * 3);
+    assert_eq!(host.snapshot().last_lsn(), stream.len() as u64);
+    assert_eq!(
+        fingerprint(&host),
+        before,
+        "recovered state must be bit-identical"
+    );
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_matches_uninterrupted_application() {
+    // Reference: a host that applies the stream live, never restarting.
+    let g = test_graph();
+    let stream = batches(&g, 6);
+    let dir_live = tmpdir("live");
+    let live = EngineHost::open(&g, &dir_live, options()).unwrap();
+    for batch in &stream {
+        live.update(batch.clone()).unwrap();
+    }
+    live.sync().unwrap();
+    let expected = fingerprint(&live);
+    live.shutdown().unwrap();
+
+    // Candidate: same stream, but restarted after every single batch —
+    // recovery composes with itself at arbitrary cut points.
+    let dir_chopped = tmpdir("chopped");
+    for batch in &stream {
+        let host = EngineHost::open(&g, &dir_chopped, options()).unwrap();
+        host.update(batch.clone()).unwrap();
+        host.sync().unwrap();
+        host.shutdown().unwrap();
+    }
+    let host = EngineHost::open(&g, &dir_chopped, options()).unwrap();
+    assert_eq!(
+        fingerprint(&host),
+        expected,
+        "N restarts must serve the same bytes as zero restarts"
+    );
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir_live).ok();
+    fs::remove_dir_all(&dir_chopped).ok();
+}
+
+#[test]
+fn epochs_advance_and_old_snapshots_stay_queryable() {
+    let dir = tmpdir("epochs");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let boot = host.snapshot();
+    assert_eq!(boot.epoch(), 1);
+    assert_eq!(boot.last_lsn(), 0);
+
+    let stream = batches(&g, 4);
+    for batch in &stream {
+        host.update(batch.clone()).unwrap();
+    }
+    let (applied, epoch) = host.sync().unwrap();
+    assert_eq!(applied, 4);
+    assert!(epoch >= 2, "applying batches must publish new epochs");
+
+    let current = host.snapshot();
+    assert!(current.epoch() > boot.epoch());
+    assert_eq!(current.last_lsn(), 4);
+    // The pre-update snapshot is immutable and still answers queries
+    // even though newer epochs have been published over it.
+    let (scores, _) = boot.query(5, 99).unwrap();
+    assert_eq!(scores.get(5), 1.0);
+
+    let stats = host.stats();
+    assert_eq!(stats.applied_lsn, 4);
+    assert_eq!(stats.durable_lsn, 4);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.totals.applied_updates + stats.totals.noop_updates == 12);
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_recovery_is_deterministic_and_gcs_the_log() {
+    let dir = tmpdir("checkpoint");
+    let g = test_graph();
+    let stream = batches(&g, 6);
+    {
+        let host = EngineHost::open(&g, &dir, options()).unwrap();
+        for batch in &stream[..4] {
+            host.update(batch.clone()).unwrap();
+        }
+        let info = host.checkpoint().unwrap();
+        assert_eq!(info.lsn, 4, "checkpoint covers every queued batch");
+        assert!(info.bytes > 0);
+        for batch in &stream[4..] {
+            host.update(batch.clone()).unwrap();
+        }
+        host.sync().unwrap();
+        host.shutdown().unwrap();
+    }
+
+    // Two independent recoveries from the same (checkpoint, WAL suffix)
+    // must agree bit-for-bit — the checkpoint is a deterministic rebuild
+    // point even though it re-selects hubs.
+    let fp1 = {
+        let host = EngineHost::open(&g, &dir, options()).unwrap();
+        let recovery = host.recovery();
+        assert_eq!(recovery.checkpoint_lsn, Some(4));
+        assert_eq!(recovery.replayed_records, 2, "only the suffix replays");
+        let f = fingerprint(&host);
+        host.shutdown().unwrap();
+        f
+    };
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    assert_eq!(fingerprint(&host), fp1, "recovery must be deterministic");
+    assert_eq!(host.stats().applied_lsn, 6);
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_batches_and_noop_updates_are_durable_noops() {
+    let dir = tmpdir("noop");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let lsn = host.update(vec![]).unwrap();
+    assert_eq!(lsn, 1);
+    // A duplicate insert is a no-op for the graph but still consumes an
+    // LSN — recovery must count it identically.
+    let (u, v) = g.edges().next().unwrap();
+    host.update(vec![EdgeUpdate::Insert(u, v)]).unwrap();
+    let (applied, _) = host.sync().unwrap();
+    assert_eq!(applied, 2);
+    let edges_before = host.snapshot().engine().graph().edge_count();
+    host.shutdown().unwrap();
+
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    assert_eq!(host.snapshot().last_lsn(), 2);
+    assert_eq!(host.snapshot().engine().graph().edge_count(), edges_before);
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}

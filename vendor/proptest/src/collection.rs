@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+/// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
 pub trait SizeRange {
     /// Draws a length.
     fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -34,7 +34,7 @@ pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> 
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S, Z> {
     element: S,
     size: Z,
