@@ -16,9 +16,12 @@
 //!   epoch-snapshot host, idle vs. under a concurrent WAL-backed update
 //!   stream — the contention case snapshot isolation exists for. Queries
 //!   run on the caller thread against `Arc`-swapped snapshots while a
-//!   writer thread streams durable update batches; the block records
-//!   both rates, the epochs published, and the update throughput
-//!   sustained *during* the query window.
+//!   writer thread streams durable update batches through a deliberately
+//!   tight admission queue; the block records both rates, the epochs
+//!   published, the update throughput sustained *during* the query
+//!   window, plus overload telemetry: `BUSY` rejections the writer
+//!   retried through, the deepest the applier queue got, and p99
+//!   single-query latency under contention.
 //!
 //! Everything is seeded, so two runs on the same machine measure the same
 //! work — the JSON is machine-comparable, not machine-portable.
@@ -120,6 +123,13 @@ struct ServeRow {
     updates_during: u64,
     /// Durable update throughput sustained while queries ran.
     concurrent_updates_per_sec: f64,
+    /// `BUSY` rejections the bounded admission queue handed the writer
+    /// (each one retried until admitted).
+    busy_rejects: u64,
+    /// Deepest the applier queue got, in batches.
+    max_queue_depth: u64,
+    /// p99 single-query latency during the contended window, ms.
+    p99_query_ms: f64,
 }
 
 /// Seeded single-edge update stream: alternating deletes of live edges
@@ -183,8 +193,13 @@ fn run_serve(
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&wal_dir);
-    let host = EngineHost::open(graph, &wal_dir, HostOptions::new(hot_bench_config()))
-        .expect("bench config is valid");
+    // A deliberately tight admission bound so the bench exercises (and
+    // records) the backpressure path instead of hiding it behind a deep
+    // queue. The writer retries BUSY, so nothing is lost.
+    let mut options = HostOptions::new(hot_bench_config());
+    options.queue_depth = 4;
+    options.busy_timeout = std::time::Duration::from_millis(1);
+    let host = EngineHost::open(graph, &wal_dir, options).expect("bench config is valid");
     let n = graph.node_count() as NodeId;
 
     let run_queries = |tag: u64| -> f64 {
@@ -216,12 +231,19 @@ fn run_serve(
     let before = host.stats();
     let mut qps_under_updates = 0.0;
     let mut window_s = 0.0;
+    let mut lat_ms: Vec<f64> = Vec::new();
     std::thread::scope(|scope| {
         let writer = scope.spawn(|| {
             let mut gen = StreamGen::new(edges, n as usize, spec.seed ^ 0x5E7E);
             while !stop.load(Ordering::Acquire) && committed.load(Ordering::Acquire) < MAX_BATCHES {
                 let batch: Vec<EdgeUpdate> = (0..BATCH).map(|_| gen.next()).collect();
-                host.update(batch).expect("updates stay in range");
+                loop {
+                    match host.update(batch.clone()) {
+                        Ok(_) => break,
+                        Err(e) if e.retryable() => continue,
+                        Err(e) => panic!("updates stay in range: {e}"),
+                    }
+                }
                 committed.fetch_add(1, Ordering::Release);
             }
         });
@@ -231,8 +253,10 @@ fn run_serve(
         let t = Instant::now();
         while ran < queries || committed.load(Ordering::Acquire) < MIN_BATCHES {
             let u = rng.gen_range(0..n);
+            let tq = Instant::now();
             let snap = host.snapshot();
             let (scores, _) = snap.query(u, u64::from(u) ^ 0xC0DE).expect("u in range");
+            lat_ms.push(tq.elapsed().as_secs_f64() * 1e3);
             guard += scores.get(u);
             ran += 1;
         }
@@ -248,6 +272,7 @@ fn run_serve(
     let _ = std::fs::remove_dir_all(&wal_dir);
 
     let updates_during = committed.load(Ordering::Acquire) * BATCH as u64;
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     ServeRow {
         qps_idle,
         qps_under_updates,
@@ -255,6 +280,9 @@ fn run_serve(
         epochs_published: after.epoch - before.epoch,
         updates_during,
         concurrent_updates_per_sec: updates_during as f64 / window_s.max(1e-12),
+        busy_rejects: after.busy_rejects - before.busy_rejects,
+        max_queue_depth: after.max_queue_depth as u64,
+        p99_query_ms: percentile(&lat_ms, 0.99),
     }
 }
 
@@ -395,7 +423,7 @@ fn render_json(rows: &[BenchRow], updates: usize, pre_pr: Option<&str>) -> Strin
         // The serve block rides on the same row; --check ignores it, so
         // adding it stays backward-compatible with committed baselines.
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"incremental\": {{\"updates_per_sec\": {:.2}, \"applied\": {}, \"mean_repair_fraction\": {:.4}, \"max_repair_fraction\": {:.4}, \"mean_pr_iterations\": {:.2}, \"rebuilds\": {}, \"compactions\": {}, \"freshness_p50_ms\": {:.2}, \"freshness_p95_ms\": {:.2}}}, \"rebuild\": {{\"updates_per_sec\": {:.3}, \"applied\": {}}}, \"speedup\": {:.1}, \"serve\": {{\"qps_idle\": {:.1}, \"qps_under_updates\": {:.1}, \"qps_retained\": {:.3}, \"epochs_published\": {}, \"updates_during\": {}, \"concurrent_updates_per_sec\": {:.1}}}}}",
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"incremental\": {{\"updates_per_sec\": {:.2}, \"applied\": {}, \"mean_repair_fraction\": {:.4}, \"max_repair_fraction\": {:.4}, \"mean_pr_iterations\": {:.2}, \"rebuilds\": {}, \"compactions\": {}, \"freshness_p50_ms\": {:.2}, \"freshness_p95_ms\": {:.2}}}, \"rebuild\": {{\"updates_per_sec\": {:.3}, \"applied\": {}}}, \"speedup\": {:.1}, \"serve\": {{\"qps_idle\": {:.1}, \"qps_under_updates\": {:.1}, \"qps_retained\": {:.3}, \"epochs_published\": {}, \"updates_during\": {}, \"concurrent_updates_per_sec\": {:.1}, \"busy_rejects\": {}, \"max_queue_depth\": {}, \"p99_query_ms\": {:.2}}}}}",
             r.name,
             r.n,
             r.m,
@@ -418,6 +446,9 @@ fn render_json(rows: &[BenchRow], updates: usize, pre_pr: Option<&str>) -> Strin
             r.serve.epochs_published,
             r.serve.updates_during,
             r.serve.concurrent_updates_per_sec,
+            r.serve.busy_rejects,
+            r.serve.max_queue_depth,
+            r.serve.p99_query_ms,
         ));
         if i + 1 < rows.len() {
             out.push(',');

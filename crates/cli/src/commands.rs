@@ -48,10 +48,19 @@ USAGE:
       engine, reporting updates/sec and repair statistics
   prsim serve GRAPH --wal DIR [--listen ADDR] [--segment-bytes N]
       [--eps E] [--hubs N|sqrt] [--walk-cache B] [--no-walk-cache]
+      [--queue-depth N] [--queue-bytes N] [--busy-timeout-ms N]
+      [--client-timeout-ms N] [--fault-seed S] [--applier-delay-ms N]
+      [--chaos-applier-panic-lsn L]
       resident engine: queries over immutable epoch snapshots, updates
       through a durable fsync-on-commit WAL in DIR (replayed on restart).
-      Speaks a line protocol (query/update/sync/stats/checkpoint/shutdown)
-      on stdin/stdout, or on ADDR with --listen (prints `listening <addr>`)
+      Speaks a line protocol (query/update/sync/stats/health/checkpoint/
+      shutdown) on stdin/stdout, or on ADDR with --listen (prints
+      `listening <addr>`). The applier queue is bounded (--queue-depth/
+      --queue-bytes); updates past the bound block --busy-timeout-ms then
+      fail `err retryable busy`. --client-timeout-ms drops TCP clients
+      that stall. --fault-seed runs the WAL over deterministic fault
+      injection; the remaining --chaos-* / --applier-delay-ms flags are
+      test hooks (see README, Failure model)
 ";
 
 fn load_graph(path: &str) -> Result<DiGraph, String> {
@@ -533,16 +542,58 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         .ok_or("usage: prsim serve GRAPH --wal DIR [--listen ADDR]")?;
     let wal_dir = args.require("wal")?;
     let config = config_from(&args)?;
-    let segment_bytes: u64 = args.get_parsed("segment-bytes", 4 << 20)?;
+
+    let mut options = prsim_server::HostOptions::new(config);
+    options.segment_bytes = args.get_parsed("segment-bytes", options.segment_bytes)?;
+    options.queue_depth = args.get_parsed("queue-depth", options.queue_depth)?;
+    options.queue_bytes = args.get_parsed("queue-bytes", options.queue_bytes)?;
+    options.busy_timeout = std::time::Duration::from_millis(
+        args.get_parsed("busy-timeout-ms", options.busy_timeout.as_millis() as u64)?,
+    );
+    // Chaos hooks, exposed so the CI smoke/chaos jobs can exercise the
+    // overload and supervision paths through the real binary.
+    options.applier_delay =
+        std::time::Duration::from_millis(args.get_parsed("applier-delay-ms", 0u64)?);
+    options.applier_panic_at_lsn = match args.get("chaos-applier-panic-lsn") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value {v:?} for --chaos-applier-panic-lsn"))?,
+        ),
+        None => None,
+    };
+    let client_timeout = match args.get_parsed("client-timeout-ms", 0u64)? {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
 
     let g = load_graph(path)?;
-    let options = prsim_server::HostOptions {
-        config,
-        segment_bytes,
-    };
     let start = std::time::Instant::now();
-    let host = prsim_server::EngineHost::open(&g, Path::new(wal_dir), options)
-        .map_err(|e| e.to_string())?;
+    // --fault-seed runs the WAL on the deterministic fault-injecting
+    // storage backend (armed only after recovery, so startup always
+    // succeeds): the crash-under-chaos CI job drives this.
+    let host = match args.get("fault-seed") {
+        Some(v) => {
+            let seed: u64 = v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for --fault-seed"))?;
+            let faulty = std::sync::Arc::new(prsim_server::FaultyStorage::new_disarmed(
+                std::sync::Arc::new(prsim_server::FsStorage),
+                prsim_server::FaultPlan::from_seed(seed),
+            ));
+            let host = prsim_server::EngineHost::open_with_storage(
+                &g,
+                Path::new(wal_dir),
+                options,
+                faulty.clone(),
+            )
+            .map_err(|e| e.to_string())?;
+            faulty.set_armed(true);
+            eprintln!("fault injection armed: seed={seed}");
+            host
+        }
+        None => prsim_server::EngineHost::open(&g, Path::new(wal_dir), options)
+            .map_err(|e| e.to_string())?,
+    };
     let recovery = host.recovery();
     eprintln!(
         "serving in {:.3}s: {} nodes, {} edges; recovery: checkpoint={} replayed {} records \
@@ -568,7 +619,8 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             // Scripts (and the CI crash test) parse this line to learn the
             // ephemeral port when ADDR ends in :0.
             println!("listening {local}");
-            prsim_server::protocol::serve_tcp(&host, listener).map_err(|e| e.to_string())
+            prsim_server::protocol::serve_tcp(&host, listener, client_timeout)
+                .map_err(|e| e.to_string())
         }
         None => prsim_server::protocol::serve_stdio(&host).map_err(|e| e.to_string()),
     }

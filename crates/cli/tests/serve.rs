@@ -54,10 +54,17 @@ const ENGINE_FLAGS: &[&str] = &["--eps", "0.2", "--hubs", "16", "--walk-cache", 
 /// Starts `prsim serve --listen 127.0.0.1:0` and returns the child plus
 /// the bound address parsed from its `listening` line.
 fn spawn_tcp_server(graph: &str, wal: &Path) -> (Child, String) {
+    spawn_tcp_server_with(graph, wal, &[])
+}
+
+/// [`spawn_tcp_server`] with extra serve flags (chaos hooks, queue
+/// bounds) appended.
+fn spawn_tcp_server_with(graph: &str, wal: &Path, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_prsim"))
         .args(["serve", graph, "--wal", wal.to_str().unwrap()])
         .args(ENGINE_FLAGS)
         .args(["--segment-bytes", "4096", "--listen", "127.0.0.1:0"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -267,6 +274,175 @@ fn sigkill_recovery_is_bit_identical_to_uninterrupted_run() {
     assert_eq!(
         recovered, reference,
         "crash recovery must serve bit-identical scores"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn health_probe_busy_rejection_and_timed_queries() {
+    let dir = tmpdir("busy");
+    let graph = make_graph(&dir);
+    let wal = dir.join("wal");
+
+    // One batch inflight at a time, held for 600 ms, with a 50 ms busy
+    // budget: the second back-to-back update must get BUSY.
+    let (server, addr) = spawn_tcp_server_with(
+        &graph,
+        &wal,
+        &[
+            "--queue-depth",
+            "1",
+            "--applier-delay-ms",
+            "600",
+            "--busy-timeout-ms",
+            "50",
+            "--client-timeout-ms",
+            "120000",
+        ],
+    );
+    let mut client = ProtocolClient::connect(&addr);
+    assert_eq!(client.request("health"), "ok health=ok");
+
+    // Timed queries report their degradation flag; a generous budget
+    // finishes the full sample.
+    let timed = client.request("query 5 top=3 seed=7 timeout=60000");
+    assert!(
+        timed.starts_with("ok ") && timed.ends_with(" degraded=false"),
+        "{timed}"
+    );
+    // Untimed queries keep their exact legacy shape (no flag).
+    let untimed = client.request("query 5 top=3 seed=7");
+    assert!(
+        untimed.starts_with("ok ") && !untimed.contains("degraded"),
+        "{untimed}"
+    );
+
+    assert!(
+        client.request(&update_line(0)).starts_with("ok "),
+        "first update admitted"
+    );
+    let busy = client.request(&update_line(1));
+    assert!(busy.starts_with("err retryable busy"), "{busy}");
+    // Overload is not an outage: health stays ok, reads keep serving,
+    // and the same update succeeds once the applier drains.
+    assert_eq!(client.request("health"), "ok health=ok");
+    client.request("sync");
+    let retried = client.request(&update_line(1));
+    assert_eq!(field(&retried, "lsn="), 2, "{retried}");
+    client.request("sync");
+    let stats = client.request("stats");
+    assert_eq!(field(&stats, "busy_rejects="), 1, "{stats}");
+    assert!(field(&stats, "max_queue_bytes=") > 0, "{stats}");
+    assert!(stats.contains(" health=ok"), "{stats}");
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn applier_panic_degrades_to_read_only_but_keeps_serving() {
+    let dir = tmpdir("degraded");
+    let graph = make_graph(&dir);
+    let wal = dir.join("wal");
+
+    let (server, addr) = spawn_tcp_server_with(&graph, &wal, &["--chaos-applier-panic-lsn", "2"]);
+    let mut client = ProtocolClient::connect(&addr);
+    assert!(client.request(&update_line(0)).starts_with("ok "));
+    client.request("sync");
+    let before = fingerprint(&mut client);
+
+    // LSN 2 is acked durable, then its application panics.
+    assert!(client.request(&update_line(1)).starts_with("ok "));
+    let sync = client.request("sync");
+    assert!(sync.starts_with("err fatal "), "{sync}");
+
+    // Degraded mode: reads still serve the last published epoch, writes
+    // fail fatally, health says why.
+    let health = client.request("health");
+    assert!(health.starts_with("ok health=degraded reason="), "{health}");
+    assert_eq!(
+        fingerprint(&mut client),
+        before,
+        "reads serve the pre-panic epoch"
+    );
+    let refused = client.request(&update_line(2));
+    assert!(refused.starts_with("err fatal "), "{refused}");
+    let stats = client.request("stats");
+    assert!(stats.contains(" health=degraded"), "{stats}");
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server
+        .wait_with_output()
+        .expect("degraded server still exits cleanly");
+
+    // The acked-but-unapplied record is on the log: a restart without
+    // the chaos hook applies it and reports healthy.
+    let (server, addr) = spawn_tcp_server(&graph, &wal);
+    let mut client = ProtocolClient::connect(&addr);
+    let stats = client.request("stats");
+    assert_eq!(field(&stats, "applied_lsn="), 2, "{stats}");
+    assert_eq!(client.request("health"), "ok health=ok");
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_under_fault_injection_recovers_exactly_the_acked_updates() {
+    let dir = tmpdir("chaos_kill");
+    let graph = make_graph(&dir);
+    let wal_chaos = dir.join("wal_chaos");
+
+    // Phase 1: stream updates through a fault-injecting WAL, reading
+    // every ack (a failed append repairs its tail before responding, so
+    // after each exchange the log is exactly the acked batches), then
+    // SIGKILL the server.
+    const SENT: usize = 30;
+    let (mut server, addr) = spawn_tcp_server_with(&graph, &wal_chaos, &["--fault-seed", "9034"]);
+    let mut client = ProtocolClient::connect(&addr);
+    let mut acked: Vec<String> = Vec::new();
+    for i in 0..SENT {
+        let line = update_line(i);
+        let resp = client.request(&line);
+        if resp.starts_with("ok ") {
+            assert_eq!(field(&resp, "lsn="), acked.len() as u64 + 1, "{resp}");
+            acked.push(line);
+        } else {
+            assert!(
+                resp.starts_with("err retryable "),
+                "injected faults are transient: {resp}"
+            );
+        }
+    }
+    assert!(!acked.is_empty(), "some updates must survive the schedule");
+    server.kill().expect("SIGKILL delivered");
+    server.wait().expect("reaped");
+
+    // Phase 2: restart on clean storage. Replay must surface exactly
+    // the acked updates — an errored append never reaches the log.
+    let (server, addr) = spawn_tcp_server(&graph, &wal_chaos);
+    let mut client = ProtocolClient::connect(&addr);
+    let stats = client.request("stats");
+    assert_eq!(field(&stats, "applied_lsn="), acked.len() as u64, "{stats}");
+    let recovered = fingerprint(&mut client);
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+
+    // Phase 3: a reference server fed exactly the acked updates, no
+    // faults, must serve bit-identical scores.
+    let wal_ref = dir.join("wal_ref");
+    let (server, addr) = spawn_tcp_server(&graph, &wal_ref);
+    let mut client = ProtocolClient::connect(&addr);
+    for line in &acked {
+        assert!(client.request(line).starts_with("ok "));
+    }
+    client.request("sync");
+    let reference = fingerprint(&mut client);
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+
+    assert_eq!(
+        recovered, reference,
+        "chaos-era log replays to the acked-only state"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

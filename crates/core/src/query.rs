@@ -58,6 +58,8 @@
 //! latency-bound hosts; on the benchmark box the phase-separated loop
 //! measures faster, so it is what the engine runs.
 
+use std::time::{Duration, Instant};
+
 use prsim_graph::ordering::sort_out_by_in_degree;
 use prsim_graph::{DiGraph, NodeId};
 use rand::{Rng, SeedableRng};
@@ -92,6 +94,14 @@ const SCATTER_NODES_MAX: usize = 32_768;
 /// scratch, so the switch is purely an execution-strategy decision.
 const WAVEFRONT_MIN_WALKS: usize = 4_096;
 
+/// Walk-draw granularity of deadline-bounded queries: the wall clock is
+/// consulted only between chunks of this many √c-walks (each folded into
+/// the estimators immediately), so the worst-case overrun past a
+/// deadline is one chunk's sampling plus its backward walks, while the
+/// fused walk kernel still gets frontiers large enough to amortize its
+/// lane setup.
+const DEADLINE_CHUNK_WALKS: usize = 1_024;
+
 /// Instrumentation counters for one single-source query.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QueryStats {
@@ -114,6 +124,10 @@ pub struct QueryStats {
     pub cached_eta: usize,
     /// Largest wavefront frontier carried across a level in this query.
     pub wavefront_peak: usize,
+    /// Whether a per-request deadline cut the query short: the scores
+    /// are an unbiased estimate over the (fewer) samples actually drawn,
+    /// at correspondingly higher variance.
+    pub degraded: bool,
 }
 
 /// Fixed base seed of the engine-built walk-cache pools (mixed per pool
@@ -484,6 +498,44 @@ impl Prsim {
         self.run_query(u, self.dr, self.fr, ws, rng)
     }
 
+    /// Checked single-source query under an optional wall-clock budget.
+    ///
+    /// `timeout = None` *is* [`Prsim::try_single_source`] — the same
+    /// code path, the same RNG stream, bit-identical scores. With a
+    /// budget, the walk phase draws in `DEADLINE_CHUNK_WALKS`-sized
+    /// chunks and stops sampling once the deadline passes: the returned
+    /// scores are the estimate over the samples drawn so far (every
+    /// estimator denominator is rescaled to the realized sample count,
+    /// so truncation costs variance, not bias) and
+    /// [`QueryStats::degraded`] reports whether any work was shed.
+    pub fn try_single_source_with_deadline<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        timeout: Option<Duration>,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        let mut ws = QueryWorkspace::new();
+        self.try_single_source_with_deadline_with_workspace(u, timeout, &mut ws, rng)
+    }
+
+    /// [`Prsim::try_single_source_with_deadline`] against a caller-owned
+    /// scratch workspace.
+    pub fn try_single_source_with_deadline_with_workspace<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        timeout: Option<Duration>,
+        ws: &mut QueryWorkspace,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        match timeout {
+            None => self.run_query(u, self.dr, self.fr, ws, rng),
+            Some(budget) => {
+                let deadline = Instant::now() + budget;
+                self.run_query_deadline(u, self.dr, self.fr, deadline, ws, rng)
+            }
+        }
+    }
+
     fn run_query<R: Rng + ?Sized>(
         &self,
         u: NodeId,
@@ -775,6 +827,215 @@ impl Prsim {
         let scores = SimRankScores::from_sorted_entries(u, n, entries);
         Ok((scores, stats))
     }
+
+    /// Deadline-bounded variant of [`Prsim::run_query`]: the same
+    /// estimator pipeline, but the per-round √c-walks are drawn in
+    /// [`DEADLINE_CHUNK_WALKS`]-sized chunks that are folded into the
+    /// estimators immediately, and sampling stops at the deadline. The
+    /// backward scale `1/(α²·d_r)` and the joint-estimator denominator
+    /// `1/n_r` are computed from the walks *actually drawn* — backward
+    /// estimates are banked unscaled and rescaled once the round's
+    /// realized sample count is known — so a truncated query returns an
+    /// unbiased estimate over its smaller sample. Accumulation always
+    /// runs in streaming mode (the deferred rescale is a flat multiply
+    /// over the round's buffer there); the median trick ranks only the
+    /// rounds that ran.
+    fn run_query_deadline<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        dr: usize,
+        fr: usize,
+        deadline: Instant,
+        ws: &mut QueryWorkspace,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        let n = self.graph.node_count();
+        if u as usize >= n {
+            return Err(PrsimError::NodeOutOfRange { node: u, n });
+        }
+        let sqrt_c = self.config.sqrt_c();
+        let alpha = 1.0 - sqrt_c;
+        let alpha2 = alpha * alpha;
+        let mut stats = QueryStats::default();
+
+        let QueryWorkspace {
+            backward,
+            hub_memo,
+            terminals,
+            round_entries,
+            median_buf,
+            ix_buf,
+            ix_tmp,
+            bw_buf,
+            cache_cursors,
+            sample_buf,
+            ..
+        } = ws;
+        let index = &self.index;
+        let cache = self.cache.as_ref();
+        if let Some(cache) = cache {
+            cache_cursors.begin(cache.pool_count());
+        }
+        hub_memo.begin(n);
+        terminals.clear();
+        round_entries.clear();
+
+        let mut total_walks = 0usize;
+        let mut rounds_done = 0usize;
+        let mut cut = false;
+        for _ in 0..fr {
+            bw_buf.clear();
+            let mut round_walks = 0usize;
+            while round_walks < dr {
+                let chunk = (dr - round_walks).min(DEADLINE_CHUNK_WALKS);
+                sample_buf.clear();
+                let wstats: WaveStats = match cache {
+                    Some(cache) => {
+                        let mut session = cache.session(cache_cursors);
+                        sample_walk_phase_interleaved(
+                            &self.graph,
+                            &self.geom,
+                            u,
+                            chunk,
+                            &mut session,
+                            sample_buf,
+                            rng,
+                        )
+                    }
+                    None => sample_walk_phase_interleaved(
+                        &self.graph,
+                        &self.geom,
+                        u,
+                        chunk,
+                        &mut NoDraws,
+                        sample_buf,
+                        rng,
+                    ),
+                };
+                round_walks += chunk;
+                stats.walks += chunk;
+                stats.died += wstats.died;
+                stats.cached_terminals += wstats.cache_hits;
+                stats.cached_eta += wstats.eta_hits;
+                stats.wavefront_peak = stats.wavefront_peak.max(wstats.peak_frontier);
+                // Fold the chunk now (phase 3), banking backward
+                // estimates *unscaled*: the round's realized d_r is only
+                // known once the deadline has had its say.
+                for &(w, level, met) in sample_buf.iter() {
+                    if met {
+                        stats.pair_met += 1;
+                        continue;
+                    }
+                    terminals.push((w, level));
+                    if !hub_memo.get_or_insert_with(w, || index.contains(w)) {
+                        stats.backward_walks += 1;
+                        let est = variance_bounded_backward_walk_with_workspace(
+                            &self.graph,
+                            sqrt_c,
+                            w,
+                            level as usize,
+                            backward,
+                            rng,
+                        );
+                        stats.backward_cost += est.cost();
+                        for (v, pi_hat) in est.iter() {
+                            bw_buf.push((v, pi_hat));
+                        }
+                    }
+                }
+                if Instant::now() >= deadline {
+                    cut = round_walks < dr;
+                    break;
+                }
+            }
+            total_walks += round_walks;
+            rounds_done += 1;
+            // Bank the round: coalesce the stream, then apply the
+            // realized-sample backward scale.
+            crate::workspace::radix_sort_pairs(bw_buf, ix_tmp);
+            coalesce_sorted(bw_buf);
+            let backward_scale = 1.0 / (alpha2 * round_walks as f64);
+            for entry in bw_buf.iter_mut() {
+                entry.1 *= backward_scale;
+            }
+            round_entries.extend_from_slice(bw_buf);
+            if Instant::now() >= deadline {
+                cut = cut || rounds_done < fr;
+                break;
+            }
+        }
+
+        // Median trick over the rounds that actually ran. With a single
+        // round `bw_buf` already holds the final sorted coalesced ŝ_B.
+        if rounds_done > 1 {
+            bw_buf.clear();
+            round_entries.sort_unstable_by_key(|&(v, _)| v);
+            let mut i = 0usize;
+            while i < round_entries.len() {
+                let v = round_entries[i].0;
+                median_buf.clear();
+                while i < round_entries.len() && round_entries[i].0 == v {
+                    median_buf.push(round_entries[i].1);
+                    i += 1;
+                }
+                median_buf.resize(rounds_done, 0.0);
+                median_buf.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+                let mid = median_buf.len() / 2;
+                let med = if median_buf.len() % 2 == 1 {
+                    median_buf[mid]
+                } else {
+                    0.5 * (median_buf[mid - 1] + median_buf[mid])
+                };
+                if med != 0.0 {
+                    bw_buf.push((v, med));
+                }
+            }
+        }
+
+        // Index part ŝ_I, with the η̂π denominator rescaled to the walks
+        // actually drawn.
+        let inv_nr = 1.0 / total_walks as f64;
+        let threshold = self.config.eps * alpha2 / 12.0;
+        terminals.sort_unstable();
+        ix_buf.clear();
+        let mut i = 0usize;
+        while i < terminals.len() {
+            let key = terminals[i];
+            let start = i;
+            while i < terminals.len() && terminals[i] == key {
+                i += 1;
+            }
+            let ep = (i - start) as f64 * inv_nr;
+            let (w, level) = key;
+            if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
+                continue;
+            }
+            if let Some(postings) = index.postings(w, level as usize) {
+                stats.index_entries += postings.len();
+                let scale = ep / alpha2;
+                match postings {
+                    Postings::F64 { nodes, reserves } => {
+                        for (&v, &psi) in nodes.iter().zip(reserves) {
+                            ix_buf.push((v, scale * psi));
+                        }
+                    }
+                    Postings::F32 { nodes, reserves } => {
+                        for (&v, &psi) in nodes.iter().zip(reserves) {
+                            ix_buf.push((v, scale * f64::from(psi)));
+                        }
+                    }
+                }
+            }
+        }
+        crate::workspace::radix_sort_pairs(ix_buf, ix_tmp);
+        coalesce_sorted(ix_buf);
+
+        stats.degraded = cut;
+        let mut entries = Vec::with_capacity(bw_buf.len() + ix_buf.len() + 1);
+        merge_sorted_into(bw_buf.iter().copied(), ix_buf, &mut entries);
+        let scores = SimRankScores::from_sorted_entries(u, n, entries);
+        Ok((scores, stats))
+    }
 }
 
 /// One round's walk phase: `dr` √c-walk terminals from `u` with η
@@ -1035,6 +1296,64 @@ mod tests {
             hw,
             "huge batches saturate exactly the hardware"
         );
+    }
+
+    #[test]
+    fn no_deadline_is_bit_identical_to_untimed() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(150, 5.0, 2.0, 11));
+        let engine = Prsim::build(g, cfg(0.1)).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let (a, _) = engine.try_single_source(7, &mut rng_a).unwrap();
+        let (b, stats) = engine
+            .try_single_source_with_deadline(7, None, &mut rng_b)
+            .unwrap();
+        assert_eq!(a.max_abs_diff(&b), 0.0, "timeout=None must not perturb");
+        assert!(!stats.degraded);
+    }
+
+    #[test]
+    fn generous_deadline_completes_undegraded() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(120, 5.0, 2.0, 13));
+        let config = PrsimConfig {
+            query: QueryParams::Explicit { dr: 800, fr: 3 },
+            ..cfg(0.1)
+        };
+        let engine = Prsim::build(g, config).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let (a, _) = engine.try_single_source(3, &mut rng_a).unwrap();
+        let (b, stats) = engine
+            .try_single_source_with_deadline(3, Some(Duration::from_secs(120)), &mut rng_b)
+            .unwrap();
+        assert!(!stats.degraded);
+        assert_eq!(stats.walks, 2400, "all rounds must run to completion");
+        // Same samples, same estimators; only the accumulation strategy
+        // (streaming vs scatter) may differ, which reorders float adds.
+        let diff = a.max_abs_diff(&b);
+        assert!(diff < 1e-9, "generous deadline drifted by {diff}");
+    }
+
+    #[test]
+    fn tight_deadline_degrades_gracefully() {
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(200, 6.0, 2.0, 17));
+        let config = PrsimConfig {
+            query: QueryParams::Explicit { dr: 200_000, fr: 3 },
+            ..cfg(0.1)
+        };
+        let engine = Prsim::build(g, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (s, stats) = engine
+            .try_single_source_with_deadline(0, Some(Duration::ZERO), &mut rng)
+            .unwrap();
+        // An already-expired deadline still processes the first chunk —
+        // a degraded answer is an estimate, never an empty one.
+        assert!(stats.degraded);
+        assert!(stats.walks >= 1 && stats.walks < 600_000);
+        assert_eq!(s.get(0), 1.0);
+        for (_, val) in s.iter() {
+            assert!(val.is_finite() && val >= 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! [`FaultyStorage`] wraps any [`Storage`] backend and fails a
+//! seed-scheduled fraction of its durability-relevant operations:
+//! fsyncs, writes (short/torn prefixes and disk-full), reads, renames
+//! and segment creation. The schedule is a pure function of the seed
+//! and a global operation counter, so a chaos test that performs the
+//! same operation sequence twice sees the same faults twice — shrunk
+//! proptest failures replay exactly.
+//!
+//! ## What is never faulted
+//!
+//! [`Storage::truncate`] and [`Storage::remove_file`] form the WAL's
+//! *repair surface*: after a failed append, the WAL cuts the segment
+//! back to its last known-good length so an errored (unacknowledged)
+//! record can never survive to replay. By default the injector leaves
+//! that surface reliable — the modeled failure is a transient I/O
+//! error, not a disk that refuses repair. Tests that want to exercise
+//! the unrepairable path (WAL broken → degraded serving → backoff
+//! retry) opt in via [`FaultPlan::truncate_per_mille`]. Metadata reads
+//! (`list`, `file_len`, `exists`) and directory syncs are also left
+//! reliable; their failure modes add noise without exercising any new
+//! recovery logic.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::storage::{Storage, WalFile};
+
+/// Per-operation fault probabilities, in permille (0 = never,
+/// 1000 = always), plus the seed that schedules them.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// `sync_data` / `sync_all` failures (data may already be on disk).
+    pub fsync_per_mille: u16,
+    /// Short writes: a strict prefix of the buffer is persisted, then
+    /// the write errors.
+    pub short_write_per_mille: u16,
+    /// Full write failures (disk-full: nothing is persisted).
+    pub enospc_per_mille: u16,
+    /// Whole-file read failures.
+    pub read_per_mille: u16,
+    /// Rename failures (checkpoint publication).
+    pub rename_per_mille: u16,
+    /// Segment/checkpoint file creation failures.
+    pub create_per_mille: u16,
+    /// Truncate failures — 0 by default; see the module docs.
+    pub truncate_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// A moderate all-round schedule derived from `seed`: roughly one
+    /// operation in ten fails, spread across every fault kind, with the
+    /// repair surface (truncate) reliable.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fsync_per_mille: 120,
+            short_write_per_mille: 80,
+            enospc_per_mille: 50,
+            read_per_mille: 40,
+            rename_per_mille: 80,
+            create_per_mille: 80,
+            truncate_per_mille: 0,
+        }
+    }
+
+    /// A schedule that injects nothing (useful as a baseline).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fsync_per_mille: 0,
+            short_write_per_mille: 0,
+            enospc_per_mille: 0,
+            read_per_mille: 0,
+            rename_per_mille: 0,
+            create_per_mille: 0,
+            truncate_per_mille: 0,
+        }
+    }
+}
+
+/// SplitMix64 — tiny, high-quality mixing for the fault schedule (kept
+/// local so the injector does not depend on the `rand` stand-in).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Shared schedule state: one operation counter across the storage and
+/// every file handle it opens, so the fault sequence is a function of
+/// the global operation order.
+#[derive(Debug)]
+struct FaultCore {
+    plan: FaultPlan,
+    ops: AtomicU64,
+    injected: AtomicU64,
+    armed: AtomicBool,
+}
+
+impl FaultCore {
+    /// Rolls the schedule for one operation. Returns the mix value when
+    /// the operation should fail. The counter advances on every call —
+    /// armed or not — so arming mid-run keeps the schedule aligned with
+    /// the operation sequence.
+    fn roll(&self, per_mille: u16) -> Option<u64> {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if per_mille == 0 || !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let h = splitmix64(self.plan.seed ^ n.wrapping_mul(0xA076_1D64_78BD_642F));
+        if h % 1000 < u64::from(per_mille) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            Some(h)
+        } else {
+            None
+        }
+    }
+}
+
+fn injected(kind: &str, path: &Path) -> io::Error {
+    io::Error::other(format!("injected {kind} fault: {}", path.display()))
+}
+
+/// A [`Storage`] wrapper that injects deterministic faults per
+/// [`FaultPlan`]. Clones share one schedule, so a test can keep a handle
+/// to arm/disarm injection while the WAL owns another.
+#[derive(Clone)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    core: Arc<FaultCore>,
+}
+
+impl std::fmt::Debug for FaultyStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyStorage")
+            .field("plan", &self.core.plan)
+            .field("ops", &self.core.ops.load(Ordering::Relaxed))
+            .field("injected", &self.core.injected.load(Ordering::Relaxed))
+            .field("armed", &self.core.armed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with the given schedule, armed from the start.
+    pub fn new(inner: Arc<dyn Storage>, plan: FaultPlan) -> FaultyStorage {
+        FaultyStorage {
+            inner,
+            core: Arc::new(FaultCore {
+                plan,
+                ops: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+                armed: AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// Wraps `inner` disarmed: no faults until [`set_armed`] flips it.
+    /// Lets a server boot cleanly and face chaos only once serving.
+    ///
+    /// [`set_armed`]: FaultyStorage::set_armed
+    pub fn new_disarmed(inner: Arc<dyn Storage>, plan: FaultPlan) -> FaultyStorage {
+        let s = FaultyStorage::new(inner, plan);
+        s.set_armed(false);
+        s
+    }
+
+    /// Enables or disables injection (the operation counter keeps
+    /// advancing either way, preserving schedule determinism).
+    pub fn set_armed(&self, armed: bool) {
+        self.core.armed.store(armed, Ordering::Relaxed);
+    }
+
+    /// Total faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.core.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total operations rolled so far (faulted or not).
+    pub fn operations(&self) -> u64 {
+        self.core.ops.load(Ordering::Relaxed)
+    }
+}
+
+/// A file handle whose writes and syncs roll the shared schedule.
+struct FaultyFile {
+    inner: Box<dyn WalFile>,
+    core: Arc<FaultCore>,
+    path: PathBuf,
+}
+
+impl WalFile for FaultyFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self.core.roll(self.core.plan.enospc_per_mille).is_some() {
+            return Err(injected("disk-full write", &self.path));
+        }
+        if let Some(h) = self.core.roll(self.core.plan.short_write_per_mille) {
+            if !buf.is_empty() {
+                // Persist a strict prefix, then fail: the torn tail the
+                // WAL's truncate-repair (and crash replay) must handle.
+                let keep = (h >> 16) as usize % buf.len();
+                self.inner.write_all(&buf[..keep])?;
+                return Err(injected("short write", &self.path));
+            }
+        }
+        self.inner.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        if self.core.roll(self.core.plan.fsync_per_mille).is_some() {
+            // The write itself went through: the record may be fully on
+            // disk even though the caller sees an error. Exactly the
+            // case the WAL's tail repair exists for.
+            return Err(injected("fsync", &self.path));
+        }
+        self.inner.sync_data()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        if self.core.roll(self.core.plan.fsync_per_mille).is_some() {
+            return Err(injected("fsync", &self.path));
+        }
+        self.inner.sync_all()
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.core.roll(self.core.plan.read_per_mille).is_some() {
+            return Err(injected("read", path));
+        }
+        self.inner.read(path)
+    }
+
+    fn read_prefix(&self, path: &Path, n: usize) -> io::Result<Vec<u8>> {
+        if self.core.roll(self.core.plan.read_per_mille).is_some() {
+            return Err(injected("read", path));
+        }
+        self.inner.read_prefix(path, n)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.open_append(path)?,
+            core: Arc::clone(&self.core),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        if self.core.roll(self.core.plan.create_per_mille).is_some() {
+            return Err(injected("create", path));
+        }
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.create_new(path)?,
+            core: Arc::clone(&self.core),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        if self.core.roll(self.core.plan.create_per_mille).is_some() {
+            return Err(injected("create", path));
+        }
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.create(path)?,
+            core: Arc::clone(&self.core),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        if self.core.roll(self.core.plan.truncate_per_mille).is_some() {
+            return Err(injected("truncate", path));
+        }
+        self.inner.truncate(path, len)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.core.roll(self.core.plan.rename_per_mille).is_some() {
+            return Err(injected("rename", from));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) {
+        self.inner.sync_dir(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::FsStorage;
+
+    /// The schedule is a pure function of seed and operation order.
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = |seed: u64| {
+            let s = FaultyStorage::new(Arc::new(FsStorage), FaultPlan::from_seed(seed));
+            let dir = std::env::temp_dir();
+            let mut outcomes = Vec::new();
+            for i in 0..200u32 {
+                // The probe files don't exist, so a clean roll surfaces
+                // ENOENT; only schedule hits say "injected".
+                let p = dir.join(format!("fault_probe_{i}"));
+                outcomes.push(match s.read(&p) {
+                    Err(e) => e.to_string().contains("injected"),
+                    Ok(_) => false,
+                });
+            }
+            (outcomes, s.faults_injected())
+        };
+        let (a, fa) = run(42);
+        let (b, fb) = run(42);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        let (c, _) = run(43);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    /// Disarmed schedules advance the counter without injecting.
+    #[test]
+    fn disarmed_injects_nothing_but_counts_ops() {
+        let s = FaultyStorage::new_disarmed(Arc::new(FsStorage), FaultPlan::from_seed(7));
+        for _ in 0..50 {
+            let _ = s.read(Path::new("/nonexistent/fault_probe"));
+        }
+        assert_eq!(s.faults_injected(), 0);
+        assert_eq!(s.operations(), 50);
+    }
+}

@@ -3,25 +3,80 @@
 //!
 //! Threading model: the host owns a [`SnapshotHandle`] plus a WAL behind
 //! a mutex; a single background *applier* thread owns the mutable
-//! [`DynamicPrsim`]. `update()` appends the batch to the WAL (fsync —
-//! the ack point) and enqueues it; the applier drains the queue,
-//! coalescing every batch it finds before cloning the engine into one
-//! new [`EpochSnapshot`] and atomically publishing it. Queries touch
-//! only the snapshot handle, so they are never blocked by an in-flight
-//! batch — the property the `serve` bench scenario measures.
+//! [`DynamicPrsim`]. `update()` reserves queue space (the backpressure
+//! bound), appends the batch to the WAL (fsync — the ack point) and
+//! enqueues it; the applier drains the queue, coalescing every batch it
+//! finds before cloning the engine into one new [`EpochSnapshot`] and
+//! atomically publishing it. Queries touch only the snapshot handle, so
+//! they are never blocked by an in-flight batch — the property the
+//! `serve` bench scenario measures.
+//!
+//! ## Overload and failure behavior
+//!
+//! The applier queue is bounded by batch count *and* bytes, where the
+//! accounted "inflight" work covers both queued batches and the batch
+//! the applier is currently applying (otherwise the applier's
+//! drain-everything strategy would make any count bound meaningless).
+//! An `update` past the bound blocks up to
+//! [`HostOptions::busy_timeout`], then fails with the retryable
+//! [`ServerError::Busy`]. The applier body runs under `catch_unwind`:
+//! a panic (or an unappliable record) marks the host *degraded* — reads
+//! keep serving the last published epoch, writes fail fast, and
+//! [`EngineHost::health`] reports the reason. A WAL whose failed append
+//! could not be repaired is retried with exponential backoff on
+//! subsequent `update` calls rather than poisoning the process.
+//!
+//! Every internal lock acquisition recovers from poisoning
+//! (`lock_recover`): the shared structures are updated atomically
+//! under their locks, so a panicking peer cannot leave them mid-update,
+//! and degraded-mode reporting — not process death — is the designed
+//! response to a dead thread.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use prsim_core::{DynamicPrsim, DynamicTotals, PrsimConfig, PrsimIndex};
 use prsim_graph::{DiGraph, EdgeUpdate};
 
 use crate::snapshot::{EpochSnapshot, SnapshotHandle};
+use crate::storage::{FsStorage, Storage};
 use crate::wal::{self, Wal, WalStats};
 use crate::ServerError;
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned
+/// it. Safe here by construction: every critical section in this crate
+/// leaves the protected value consistent at each await-free step (plain
+/// field writes, queue pushes), and the panic that poisoned the lock is
+/// separately surfaced through degraded-mode health reporting.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cond.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery.
+fn wait_timeout_recover<'a, T>(
+    cond: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cond.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(e) => {
+            let (g, t) = e.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
 
 /// Host configuration.
 #[derive(Clone, Debug)]
@@ -31,14 +86,46 @@ pub struct HostOptions {
     pub config: PrsimConfig,
     /// WAL segment rotation threshold in bytes.
     pub segment_bytes: u64,
+    /// Maximum inflight update batches (queued + being applied) before
+    /// `update` blocks. A single batch is always admitted when the
+    /// queue is empty, so no batch can be too large to ever accept.
+    pub queue_depth: usize,
+    /// Maximum inflight update bytes (WAL record encoding size) before
+    /// `update` blocks; the same empty-queue exception applies.
+    pub queue_bytes: usize,
+    /// How long `update` blocks for queue space before failing with the
+    /// retryable [`ServerError::Busy`].
+    pub busy_timeout: Duration,
+    /// First retry delay after the WAL breaks (doubles per failed
+    /// repair attempt, capped at [`HostOptions::wal_retry_cap`]).
+    pub wal_retry_base: Duration,
+    /// Ceiling for the WAL repair backoff delay.
+    pub wal_retry_cap: Duration,
+    /// Chaos/testing hook: sleep this long before applying each batch,
+    /// so tests can hold the queue full deterministically. Zero in
+    /// production.
+    pub applier_delay: Duration,
+    /// Chaos/testing hook: panic inside the applier when it reaches
+    /// this LSN, to exercise the supervision path end-to-end. `None` in
+    /// production.
+    pub applier_panic_at_lsn: Option<u64>,
 }
 
 impl HostOptions {
-    /// Options with the default 4 MiB segment size.
+    /// Options with the default 4 MiB segments, a 256-batch / 16 MiB
+    /// queue bound, a 250 ms busy budget and a 100 ms..10 s WAL retry
+    /// backoff.
     pub fn new(config: PrsimConfig) -> Self {
         HostOptions {
             config,
             segment_bytes: 4 << 20,
+            queue_depth: 256,
+            queue_bytes: 16 << 20,
+            busy_timeout: Duration::from_millis(250),
+            wal_retry_base: Duration::from_millis(100),
+            wal_retry_cap: Duration::from_secs(10),
+            applier_delay: Duration::ZERO,
+            applier_panic_at_lsn: None,
         }
     }
 }
@@ -67,8 +154,36 @@ pub struct CheckpointInfo {
     pub bytes: u64,
 }
 
+/// Serving health, reported by `stats` and the `health` protocol verb.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Fully operational.
+    Ok,
+    /// Read-only (applier dead) or write-degraded (WAL broken, healing
+    /// with backoff); reads keep serving the last published epoch.
+    Degraded {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl Health {
+    /// Whether the host is degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Health::Degraded { .. })
+    }
+
+    /// Protocol rendering: `ok` or `degraded reason=<cause>`.
+    pub fn render(&self) -> String {
+        match self {
+            Health::Ok => "ok".into(),
+            Health::Degraded { reason } => format!("degraded reason={reason}"),
+        }
+    }
+}
+
 /// Point-in-time server observability, rendered by `stats`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerStats {
     /// Currently published epoch.
     pub epoch: u64,
@@ -78,6 +193,16 @@ pub struct ServerStats {
     pub durable_lsn: u64,
     /// Update batches waiting for the applier.
     pub queue_depth: usize,
+    /// Inflight update bytes (queued + being applied).
+    pub queue_bytes: usize,
+    /// Updates rejected with `BUSY` after the busy budget expired.
+    pub busy_rejects: u64,
+    /// High-water mark of inflight batches.
+    pub max_queue_depth: usize,
+    /// High-water mark of inflight bytes.
+    pub max_queue_bytes: usize,
+    /// Current serving health.
+    pub health: Health,
     /// Nodes in the served graph.
     pub nodes: usize,
     /// Edges in the served graph.
@@ -102,7 +227,9 @@ impl ServerStats {
             "epoch={} applied_lsn={} durable_lsn={} queue_depth={} nodes={} edges={} hubs={} \
              wal_bytes={} wal_segments={} wal_syncs={} checkpoints={} \
              replayed_records={} replayed_updates={} truncated_bytes={} \
-             applied_updates={} noop_updates={} repaired_hubs={} rebuilds={}",
+             applied_updates={} noop_updates={} repaired_hubs={} rebuilds={} \
+             health={} queue_bytes={} busy_rejects={} max_queue_depth={} max_queue_bytes={} \
+             wal_failed_appends={}",
             self.epoch,
             self.applied_lsn,
             self.durable_lsn,
@@ -121,6 +248,16 @@ impl ServerStats {
             self.totals.noop_updates,
             self.totals.repaired_hubs,
             self.totals.rebuilds,
+            if self.health.is_degraded() {
+                "degraded"
+            } else {
+                "ok"
+            },
+            self.queue_bytes,
+            self.busy_rejects,
+            self.max_queue_depth,
+            self.max_queue_bytes,
+            self.wal.failed_appends,
         )
     }
 }
@@ -128,11 +265,58 @@ impl ServerStats {
 /// Work items for the applier thread.
 enum Task {
     /// A durable batch to apply (already fsynced under `lsn`).
-    Batch { lsn: u64, updates: Vec<EdgeUpdate> },
+    Batch {
+        lsn: u64,
+        updates: Vec<EdgeUpdate>,
+        /// WAL-encoded size, released from the inflight budget after
+        /// the batch is applied.
+        bytes: usize,
+    },
     /// Checkpoint the applied state and report back.
     Checkpoint {
         done: mpsc::Sender<Result<CheckpointInfo, String>>,
     },
+}
+
+/// The bounded applier queue plus its admission-control accounting.
+struct QueueState {
+    tasks: VecDeque<Task>,
+    /// Batches reserved but not yet applied (includes the batch the
+    /// applier drained and is currently applying).
+    inflight_batches: usize,
+    /// WAL-encoded bytes of those batches.
+    inflight_bytes: usize,
+    busy_rejects: u64,
+    max_inflight_batches: usize,
+    max_inflight_bytes: usize,
+}
+
+/// Degraded-mode bookkeeping: why, and when to retry the WAL.
+struct HealthState {
+    /// The applier's terminal error, if it died.
+    applier_dead: Option<String>,
+    /// The WAL's unrepaired-failure reason, if it is broken.
+    wal_broken: Option<String>,
+    /// Failed repair attempts since the WAL broke (drives the backoff
+    /// exponent).
+    wal_repair_failures: u32,
+    /// Earliest instant the next repair attempt may run.
+    wal_retry_at: Option<Instant>,
+}
+
+struct Shared {
+    opts: HostOptions,
+    snapshot: SnapshotHandle,
+    wal: Mutex<Wal>,
+    queue: Mutex<QueueState>,
+    /// Wakes the applier when work arrives.
+    queue_cond: Condvar,
+    /// Wakes blocked updaters when inflight space frees up.
+    space_cond: Condvar,
+    progress: Mutex<Progress>,
+    progress_cond: Condvar,
+    shutdown: AtomicBool,
+    health: Mutex<HealthState>,
 }
 
 /// Applier-published progress, waited on by `sync`/`checkpoint`.
@@ -143,20 +327,8 @@ struct Progress {
     checkpoints: u64,
 }
 
-struct Shared {
-    snapshot: SnapshotHandle,
-    wal: Mutex<Wal>,
-    queue: Mutex<VecDeque<Task>>,
-    queue_cond: Condvar,
-    progress: Mutex<Progress>,
-    progress_cond: Condvar,
-    shutdown: AtomicBool,
-    /// Set (with the error message) if the applier thread died.
-    failure: Mutex<Option<String>>,
-}
-
 /// A resident PRSim engine over a durable WAL. See the crate docs for
-/// the recovery guarantee.
+/// the recovery guarantee and the failure model.
 pub struct EngineHost {
     shared: Arc<Shared>,
     applier: Mutex<Option<JoinHandle<()>>>,
@@ -172,18 +344,30 @@ impl std::fmt::Debug for EngineHost {
 }
 
 impl EngineHost {
-    /// Opens the host: recover from the newest valid checkpoint in
-    /// `wal_dir` (falling back to `base_graph`), replay the WAL suffix
-    /// through the incremental repair path, publish epoch 1 and start
-    /// the applier thread. `base_graph` is only the seed for a log
-    /// directory without a checkpoint — a recovering host ignores it in
-    /// favor of the checkpoint image.
+    /// Opens the host on the real filesystem. See
+    /// [`EngineHost::open_with_storage`].
     pub fn open(
         base_graph: &DiGraph,
         wal_dir: &Path,
         options: HostOptions,
     ) -> Result<EngineHost, ServerError> {
-        let checkpoint = wal::latest_checkpoint(wal_dir)?;
+        EngineHost::open_with_storage(base_graph, wal_dir, options, Arc::new(FsStorage))
+    }
+
+    /// Opens the host on the given storage backend: recover from the
+    /// newest valid checkpoint in `wal_dir` (falling back to
+    /// `base_graph`), replay the WAL suffix through the incremental
+    /// repair path, publish epoch 1 and start the applier thread.
+    /// `base_graph` is only the seed for a log directory without a
+    /// checkpoint — a recovering host ignores it in favor of the
+    /// checkpoint image.
+    pub fn open_with_storage(
+        base_graph: &DiGraph,
+        wal_dir: &Path,
+        options: HostOptions,
+        storage: Arc<dyn Storage>,
+    ) -> Result<EngineHost, ServerError> {
+        let checkpoint = wal::latest_checkpoint_with_storage(storage.as_ref(), wal_dir)?;
         let (base, start_lsn, checkpoint_lsn) = match checkpoint {
             Some(ckpt) => {
                 // The image must be self-consistent before we trust it.
@@ -193,7 +377,8 @@ impl EngineHost {
             None => (base_graph.clone(), 0, None),
         };
         let mut dynamic = DynamicPrsim::new_incremental(&base, options.config.clone())?;
-        let (wal, outcome) = Wal::open(wal_dir, options.segment_bytes, start_lsn)?;
+        let (wal, outcome) =
+            Wal::open_with_storage(storage, wal_dir, options.segment_bytes, start_lsn)?;
         let mut applied_lsn = start_lsn;
         let mut replayed_updates = 0usize;
         for record in &outcome.records {
@@ -217,10 +402,19 @@ impl EngineHost {
             .clone();
         let totals = dynamic.totals();
         let shared = Arc::new(Shared {
+            opts: options,
             snapshot: SnapshotHandle::new(EpochSnapshot::new(1, applied_lsn, engine)),
             wal: Mutex::new(wal),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                inflight_batches: 0,
+                inflight_bytes: 0,
+                busy_rejects: 0,
+                max_inflight_batches: 0,
+                max_inflight_bytes: 0,
+            }),
             queue_cond: Condvar::new(),
+            space_cond: Condvar::new(),
             progress: Mutex::new(Progress {
                 epoch: 1,
                 applied_lsn,
@@ -229,7 +423,12 @@ impl EngineHost {
             }),
             progress_cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            failure: Mutex::new(None),
+            health: Mutex::new(HealthState {
+                applier_dead: None,
+                wal_broken: None,
+                wal_repair_failures: 0,
+                wal_retry_at: None,
+            }),
         });
         let applier_shared = Arc::clone(&shared);
         let applier = std::thread::Builder::new()
@@ -253,18 +452,155 @@ impl EngineHost {
         self.shared.snapshot.current()
     }
 
+    /// Current serving health.
+    pub fn health(&self) -> Health {
+        let h = lock_recover(&self.shared.health);
+        if let Some(msg) = &h.applier_dead {
+            Health::Degraded {
+                reason: format!("applier dead: {msg}"),
+            }
+        } else if let Some(msg) = &h.wal_broken {
+            Health::Degraded {
+                reason: format!("wal broken: {msg}"),
+            }
+        } else {
+            Health::Ok
+        }
+    }
+
     /// Appends one batch to the WAL, fsyncs it (the durability ack), and
     /// queues it for the applier. Returns the batch's LSN.
+    ///
+    /// Backpressure: when the inflight queue is at its count or byte
+    /// bound, blocks up to [`HostOptions::busy_timeout`] for space, then
+    /// fails with the retryable [`ServerError::Busy`]. On any error the
+    /// batch is **not** durable and was not applied.
     pub fn update(&self, updates: Vec<EdgeUpdate>) -> Result<u64, ServerError> {
         self.check_applier()?;
+        let bytes = wal::encoded_len(&updates);
+        self.admit(bytes)?;
+        let result = self.append_and_enqueue(updates, bytes);
+        if result.is_err() {
+            // The reservation from `admit` will never reach the applier;
+            // hand the space back to any blocked updater.
+            let mut q = lock_recover(&self.shared.queue);
+            q.inflight_batches -= 1;
+            q.inflight_bytes -= bytes;
+            self.shared.space_cond.notify_one();
+        }
+        result
+    }
+
+    /// Blocks until the inflight queue has room for `bytes`, reserving
+    /// the space on success.
+    fn admit(&self, bytes: usize) -> Result<(), ServerError> {
+        let opts = &self.shared.opts;
+        let start = Instant::now();
+        let deadline = start + opts.busy_timeout;
+        let mut q = lock_recover(&self.shared.queue);
+        loop {
+            self.check_applier()?;
+            // An empty queue always admits (a batch larger than the byte
+            // budget must still be serviceable), otherwise both bounds
+            // must hold.
+            let fits = q.inflight_batches == 0
+                || (q.inflight_batches < opts.queue_depth
+                    && q.inflight_bytes + bytes <= opts.queue_bytes);
+            if fits {
+                q.inflight_batches += 1;
+                q.inflight_bytes += bytes;
+                q.max_inflight_batches = q.max_inflight_batches.max(q.inflight_batches);
+                q.max_inflight_bytes = q.max_inflight_bytes.max(q.inflight_bytes);
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                q.busy_rejects += 1;
+                return Err(ServerError::Busy {
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            let (next, _) = wait_timeout_recover(&self.shared.space_cond, q, deadline - now);
+            q = next;
+        }
+    }
+
+    /// The durability half of `update`: append under the WAL lock and
+    /// enqueue in LSN order. WAL failures are mapped to the retryable
+    /// [`ServerError::WalWrite`] and, when the log breaks, tracked for
+    /// backoff-gated repair.
+    fn append_and_enqueue(
+        &self,
+        updates: Vec<EdgeUpdate>,
+        bytes: usize,
+    ) -> Result<u64, ServerError> {
         // The WAL lock is held across the enqueue so the queue sees
         // batches in LSN order.
-        let mut wal = self.shared.wal.lock().expect("wal lock poisoned");
-        let lsn = wal.append(&updates)?;
-        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
-        queue.push_back(Task::Batch { lsn, updates });
-        self.shared.queue_cond.notify_one();
-        Ok(lsn)
+        let mut wal = lock_recover(&self.shared.wal);
+        if wal.broken_reason().is_some() {
+            self.retry_broken_wal(&mut wal)?;
+        }
+        match wal.append(&updates) {
+            Ok(lsn) => {
+                let mut q = lock_recover(&self.shared.queue);
+                q.tasks.push_back(Task::Batch {
+                    lsn,
+                    updates,
+                    bytes,
+                });
+                self.shared.queue_cond.notify_one();
+                Ok(lsn)
+            }
+            Err(err) => {
+                let mut h = lock_recover(&self.shared.health);
+                if let Some(reason) = wal.broken_reason() {
+                    // The tail repair failed too: enter degraded mode and
+                    // schedule the first backoff-gated repair attempt.
+                    if h.wal_broken.is_none() {
+                        h.wal_broken = Some(reason.to_string());
+                        h.wal_repair_failures = 0;
+                        h.wal_retry_at = Some(Instant::now() + self.shared.opts.wal_retry_base);
+                    }
+                }
+                Err(ServerError::WalWrite(err.to_string()))
+            }
+        }
+    }
+
+    /// Backoff-gated repair of a broken WAL: fails fast inside the
+    /// backoff window, otherwise retries the tail repair, doubling the
+    /// window on failure and clearing degraded state on success.
+    fn retry_broken_wal(&self, wal: &mut Wal) -> Result<(), ServerError> {
+        let reason = wal.broken_reason().unwrap_or("unknown").to_string();
+        let mut h = lock_recover(&self.shared.health);
+        if let Some(at) = h.wal_retry_at {
+            if Instant::now() < at {
+                return Err(ServerError::WalWrite(format!(
+                    "wal degraded ({reason}); repair backoff in effect"
+                )));
+            }
+        }
+        match wal.try_repair() {
+            Ok(()) => {
+                h.wal_broken = None;
+                h.wal_repair_failures = 0;
+                h.wal_retry_at = None;
+                Ok(())
+            }
+            Err(err) => {
+                h.wal_repair_failures = h.wal_repair_failures.saturating_add(1);
+                let exp = h.wal_repair_failures.min(10);
+                let delay = self
+                    .shared
+                    .opts
+                    .wal_retry_base
+                    .saturating_mul(1u32 << exp)
+                    .min(self.shared.opts.wal_retry_cap);
+                h.wal_retry_at = Some(Instant::now() + delay);
+                h.wal_broken = Some(reason);
+                Err(ServerError::WalWrite(format!("wal repair failed: {err}")))
+            }
+        }
     }
 
     /// Blocks until every batch durable at the time of the call has been
@@ -272,23 +608,20 @@ impl EngineHost {
     /// the protocol's barrier for tests and scripted clients.
     pub fn sync(&self) -> Result<(u64, u64), ServerError> {
         let target = {
-            let wal = self.shared.wal.lock().expect("wal lock poisoned");
+            let wal = lock_recover(&self.shared.wal);
             wal.stats().next_lsn.saturating_sub(1)
         };
-        let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+        let mut progress = lock_recover(&self.shared.progress);
         while progress.applied_lsn < target {
             self.check_applier()?;
-            let (next, timeout) = self
-                .shared
-                .progress_cond
-                .wait_timeout(progress, std::time::Duration::from_millis(100))
-                .expect("progress lock poisoned");
+            let (next, _) = wait_timeout_recover(
+                &self.shared.progress_cond,
+                progress,
+                Duration::from_millis(100),
+            );
+            // Loop re-checks applier health so a dead applier cannot
+            // strand the caller.
             progress = next;
-            if timeout.timed_out() {
-                // Loop re-checks applier health so a dead applier cannot
-                // strand the caller.
-                continue;
-            }
         }
         Ok((progress.applied_lsn, progress.epoch))
     }
@@ -300,8 +633,8 @@ impl EngineHost {
         self.check_applier()?;
         let (done, rx) = mpsc::channel();
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
-            queue.push_back(Task::Checkpoint { done });
+            let mut queue = lock_recover(&self.shared.queue);
+            queue.tasks.push_back(Task::Checkpoint { done });
             self.shared.queue_cond.notify_one();
         }
         match rx.recv() {
@@ -317,14 +650,29 @@ impl EngineHost {
     /// Current observability snapshot.
     pub fn stats(&self) -> ServerStats {
         let snap = self.shared.snapshot.current();
-        let wal = self.shared.wal.lock().expect("wal lock poisoned").stats();
-        let queue_depth = self.shared.queue.lock().expect("queue lock poisoned").len();
-        let progress = self.shared.progress.lock().expect("progress lock poisoned");
+        let wal = lock_recover(&self.shared.wal).stats();
+        let (queue_depth, queue_bytes, busy_rejects, max_queue_depth, max_queue_bytes) = {
+            let q = lock_recover(&self.shared.queue);
+            (
+                q.tasks.len(),
+                q.inflight_bytes,
+                q.busy_rejects,
+                q.max_inflight_batches,
+                q.max_inflight_bytes,
+            )
+        };
+        let health = self.health();
+        let progress = lock_recover(&self.shared.progress);
         ServerStats {
             epoch: progress.epoch,
             applied_lsn: progress.applied_lsn,
             durable_lsn: wal.next_lsn.saturating_sub(1),
             queue_depth,
+            queue_bytes,
+            busy_rejects,
+            max_queue_depth,
+            max_queue_bytes,
+            health,
             nodes: snap.engine().graph().node_count(),
             edges: snap.engine().graph().edge_count(),
             hubs: snap.engine().index().hub_count(),
@@ -336,22 +684,30 @@ impl EngineHost {
     }
 
     /// Stops the applier (after it drains the queue) and joins it.
-    /// Idempotent; also run by `Drop`.
+    /// Idempotent; also run by `Drop`. Always succeeds: an applier that
+    /// died earlier is already reported through [`EngineHost::health`],
+    /// and shutdown's job is only to stop serving cleanly.
     pub fn shutdown(&self) -> Result<(), ServerError> {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cond.notify_all();
-        let handle = self.applier.lock().expect("applier lock poisoned").take();
+        self.shared.space_cond.notify_all();
+        let handle = lock_recover(&self.applier).take();
         if let Some(handle) = handle {
-            handle
-                .join()
-                .map_err(|_| ServerError::ApplierDead("applier panicked".into()))?;
+            if handle.join().is_err() {
+                // Can only happen if a panic escaped catch_unwind (e.g.
+                // inside the drain loop itself); record it.
+                let mut h = lock_recover(&self.shared.health);
+                if h.applier_dead.is_none() {
+                    h.applier_dead = Some("applier panicked outside supervision".into());
+                }
+            }
         }
-        self.check_applier()
+        Ok(())
     }
 
     fn check_applier(&self) -> Result<(), ServerError> {
-        let failure = self.shared.failure.lock().expect("failure lock poisoned");
-        match failure.as_ref() {
+        let health = lock_recover(&self.shared.health);
+        match health.applier_dead.as_ref() {
             Some(msg) => Err(ServerError::ApplierDead(msg.clone())),
             None => Ok(()),
         }
@@ -364,18 +720,20 @@ impl Drop for EngineHost {
     }
 }
 
-/// The applier thread: drain → apply → publish, until shutdown.
+/// The applier thread: drain → apply (supervised) → publish, until
+/// shutdown or a terminal failure (which leaves the host serving
+/// read-only from the last published epoch).
 fn applier_loop(shared: Arc<Shared>, mut dynamic: DynamicPrsim, mut applied_lsn: u64) {
     loop {
         let mut tasks = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
-            while queue.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
-                queue = shared.queue_cond.wait(queue).expect("queue lock poisoned");
+            let mut q = lock_recover(&shared.queue);
+            while q.tasks.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+                q = wait_recover(&shared.queue_cond, q);
             }
-            if queue.is_empty() {
+            if q.tasks.is_empty() {
                 return; // clean shutdown: queue fully drained
             }
-            std::mem::take(&mut *queue)
+            std::mem::take(&mut q.tasks)
         };
         // Coalesce: apply every drained batch, publish one epoch at the
         // end (checkpoints force an intermediate publish so the image
@@ -383,15 +741,49 @@ fn applier_loop(shared: Arc<Shared>, mut dynamic: DynamicPrsim, mut applied_lsn:
         let mut dirty = false;
         for task in tasks.drain(..) {
             match task {
-                Task::Batch { lsn, updates } => {
-                    for update in updates {
-                        if let Err(err) = dynamic.apply(update) {
+                Task::Batch {
+                    lsn,
+                    updates,
+                    bytes,
+                } => {
+                    if !shared.opts.applier_delay.is_zero() {
+                        std::thread::sleep(shared.opts.applier_delay);
+                    }
+                    let panic_at = shared.opts.applier_panic_at_lsn;
+                    // AssertUnwindSafe: on panic the closure's only
+                    // captured mutable state, `dynamic`, is never touched
+                    // again — the loop records the failure and returns,
+                    // and the host serves the last *published* clone.
+                    let applied = catch_unwind(AssertUnwindSafe(|| {
+                        if panic_at == Some(lsn) {
+                            panic!("injected applier panic at lsn {lsn}");
+                        }
+                        for update in updates {
+                            dynamic.apply(update)?;
+                        }
+                        Ok::<(), prsim_core::PrsimError>(())
+                    }));
+                    release_inflight(&shared, bytes);
+                    match applied {
+                        Ok(Ok(())) => {
+                            applied_lsn = lsn;
+                            dirty = true;
+                        }
+                        Ok(Err(err)) => {
                             fail(&shared, format!("apply(lsn {lsn}): {err}"));
                             return;
                         }
+                        Err(payload) => {
+                            fail(
+                                &shared,
+                                format!(
+                                    "panicked applying lsn {lsn}: {}",
+                                    panic_message(payload.as_ref())
+                                ),
+                            );
+                            return;
+                        }
                     }
-                    applied_lsn = lsn;
-                    dirty = true;
                 }
                 Task::Checkpoint { done } => {
                     if dirty {
@@ -400,7 +792,7 @@ fn applier_loop(shared: Arc<Shared>, mut dynamic: DynamicPrsim, mut applied_lsn:
                     }
                     let result = write_checkpoint(&shared, &dynamic, applied_lsn);
                     if result.is_ok() {
-                        let mut progress = shared.progress.lock().expect("progress lock poisoned");
+                        let mut progress = lock_recover(&shared.progress);
                         progress.checkpoints += 1;
                     }
                     let _ = done.send(result);
@@ -413,13 +805,32 @@ fn applier_loop(shared: Arc<Shared>, mut dynamic: DynamicPrsim, mut applied_lsn:
     }
 }
 
+/// Returns one batch's reservation to the inflight budget.
+fn release_inflight(shared: &Shared, bytes: usize) {
+    let mut q = lock_recover(&shared.queue);
+    q.inflight_batches = q.inflight_batches.saturating_sub(1);
+    q.inflight_bytes = q.inflight_bytes.saturating_sub(bytes);
+    shared.space_cond.notify_one();
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
 /// Clones the repaired engine into a fresh epoch and swaps it in.
 fn publish(shared: &Shared, dynamic: &DynamicPrsim, applied_lsn: u64) {
     let engine = dynamic
         .engine()
         .expect("incremental engine is always built")
         .clone();
-    let mut progress = shared.progress.lock().expect("progress lock poisoned");
+    let mut progress = lock_recover(&shared.progress);
     let epoch = progress.epoch + 1;
     shared
         .snapshot
@@ -439,7 +850,7 @@ fn write_checkpoint(
         .engine()
         .expect("incremental engine is always built");
     let index_bytes = engine.index().to_bytes();
-    let mut wal = shared.wal.lock().expect("wal lock poisoned");
+    let mut wal = lock_recover(&shared.wal);
     wal.write_checkpoint(applied_lsn, engine.graph(), &index_bytes)
         .map(|bytes| CheckpointInfo {
             lsn: applied_lsn,
@@ -448,10 +859,18 @@ fn write_checkpoint(
         .map_err(|e| format!("checkpoint at lsn {applied_lsn}: {e}"))
 }
 
-/// Records the applier's terminal error and wakes every waiter.
+/// Records the applier's terminal error, flips the host to degraded
+/// read-only serving, and wakes every waiter so nothing stays blocked
+/// on progress that will never come.
 fn fail(shared: &Shared, msg: String) {
     eprintln!("prsim-applier: fatal: {msg}");
-    *shared.failure.lock().expect("failure lock poisoned") = Some(msg);
+    {
+        let mut h = lock_recover(&shared.health);
+        if h.applier_dead.is_none() {
+            h.applier_dead = Some(msg);
+        }
+    }
     shared.shutdown.store(true, Ordering::Release);
     shared.progress_cond.notify_all();
+    shared.space_cond.notify_all();
 }

@@ -27,22 +27,48 @@
 //!   deterministic — every recovery from the same (checkpoint, log) pair
 //!   yields the same engine.
 //!
+//! ## Failure model
+//!
+//! The serving layer is built to *degrade*, not die:
+//!
+//! * All WAL I/O runs through the injectable [`storage`] layer, and the
+//!   chaos suite drives it with [`fault::FaultyStorage`] schedules. The
+//!   durability invariant under any schedule: **no acked update is ever
+//!   lost, no unacked update is ever half-applied** — a failed append
+//!   repairs its own tail before returning the error.
+//! * The applier queue is bounded by batch count *and* bytes; an
+//!   `update` past the bound blocks up to a budget, then fails with the
+//!   retryable [`ServerError::Busy`].
+//! * Every [`ServerError`] is classified [retryable or
+//!   fatal](ServerError::retryable), and the line protocol surfaces the
+//!   class (`err retryable …` / `err fatal …`).
+//! * The applier runs under `catch_unwind`; a panic or unappliable
+//!   record flips the host to a read-only *degraded* state that keeps
+//!   serving the last published epoch (`health=degraded`), and a broken
+//!   WAL is retried with exponential backoff instead of poisoning every
+//!   future call.
+//!
 //! [`protocol`] exposes the host over a single-line text protocol
-//! (`query` / `update` / `sync` / `stats` / `checkpoint` / `shutdown`)
-//! on stdin/stdout or TCP; `prsim serve` is the CLI entry point.
+//! (`query` / `update` / `sync` / `stats` / `health` / `checkpoint` /
+//! `shutdown`) on stdin/stdout or TCP; `prsim serve` is the CLI entry
+//! point.
 //!
 //! [`DynamicPrsim`]: prsim_core::DynamicPrsim
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod host;
 pub mod protocol;
 pub mod snapshot;
+pub mod storage;
 pub mod wal;
 
-pub use host::{CheckpointInfo, EngineHost, HostOptions, RecoveryReport, ServerStats};
+pub use fault::{FaultPlan, FaultyStorage};
+pub use host::{CheckpointInfo, EngineHost, Health, HostOptions, RecoveryReport, ServerStats};
 pub use snapshot::{EpochSnapshot, SnapshotHandle};
+pub use storage::{FsStorage, Storage, WalFile};
 
 use std::fmt;
 use std::io;
@@ -57,7 +83,28 @@ pub enum ServerError {
     /// A checkpoint's graph section failed to decode.
     Graph(prsim_graph::GraphError),
     /// The background applier thread died; the message is its last error.
+    /// The host keeps serving reads from the last published epoch.
     ApplierDead(String),
+    /// The bounded applier queue stayed full past the busy budget; the
+    /// update was not accepted and can be retried.
+    Busy {
+        /// How long the call blocked waiting for queue space.
+        waited_ms: u64,
+    },
+    /// The WAL rejected or failed the write; the update was **not**
+    /// committed and can be retried (the host heals the log with
+    /// exponential backoff).
+    WalWrite(String),
+}
+
+impl ServerError {
+    /// Whether a client may retry the exact same call and reasonably
+    /// expect it to succeed. `Busy` and `WalWrite` are transient
+    /// (overload, healing I/O); everything else is fatal for the
+    /// request or the process.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ServerError::Busy { .. } | ServerError::WalWrite(_))
+    }
 }
 
 impl fmt::Display for ServerError {
@@ -67,6 +114,10 @@ impl fmt::Display for ServerError {
             ServerError::Engine(e) => write!(f, "engine: {e}"),
             ServerError::Graph(e) => write!(f, "graph: {e}"),
             ServerError::ApplierDead(msg) => write!(f, "applier thread died: {msg}"),
+            ServerError::Busy { waited_ms } => {
+                write!(f, "busy: queue full after waiting {waited_ms} ms")
+            }
+            ServerError::WalWrite(msg) => write!(f, "wal write failed: {msg}"),
         }
     }
 }
@@ -112,5 +163,7 @@ mod send_sync_audit {
         assert_send_sync::<crate::SnapshotHandle>();
         assert_send_sync::<crate::EngineHost>();
         assert_send_sync::<crate::wal::Wal>();
+        assert_send_sync::<crate::FsStorage>();
+        assert_send_sync::<crate::FaultyStorage>();
     }
 }

@@ -5,30 +5,47 @@
 //!
 //! | request | response |
 //! |---|---|
-//! | `query U [top=K] [seed=S]` | `ok epoch=E lsn=L node=U entries=N top K v:score …` |
+//! | `query U [top=K] [seed=S] [timeout=MS]` | `ok epoch=E lsn=L node=U entries=N top K v:score …` |
 //! | `update + U V [- U V …]` | `ok lsn=L queued=K` (sent after fsync) |
 //! | `sync` | `ok applied_lsn=L epoch=E` (barrier: durable ⇒ applied) |
 //! | `stats` | `ok epoch=… applied_lsn=… …` (see [`crate::host::ServerStats::render`]) |
+//! | `health` | `ok health=ok` or `ok health=degraded reason=…` |
 //! | `checkpoint` | `ok checkpoint lsn=L bytes=B` |
 //! | `shutdown` | `ok bye`, then the server exits |
+//!
+//! ## Error taxonomy
+//!
+//! Server-side failures render as `err retryable <msg>` (transient —
+//! the same request may succeed if retried: a full applier queue, a
+//! healing WAL) or `err fatal <msg>` (it will not: unappliable update,
+//! dead applier). Malformed requests stay bare `err <msg>` — there is
+//! nothing to retry.
 //!
 //! `query` is seed-deterministic: the same `U`, `seed` and engine state
 //! produce the same response bytes (scores are printed with Rust's
 //! shortest round-trip `f64` formatting), which is what the
 //! crash-recovery CI gate compares. The default seed is derived from
-//! `U` so even seedless queries are reproducible.
+//! `U` so even seedless queries are reproducible. A `timeout=MS` query
+//! may stop sampling at the deadline; it then reports the estimate over
+//! the samples drawn so far and appends ` degraded=true` (timed queries
+//! that finish append ` degraded=false`, untimed queries append
+//! nothing, keeping their response bytes stable across versions).
 //!
 //! Transport is stdin/stdout by default or TCP with `--listen` (the
 //! server prints `listening <addr>` once the socket is bound;
 //! connections are served sequentially and the host outlives them — a
-//! client disconnect never tears down served state).
+//! client disconnect never tears down served state, and a client that
+//! stalls past the configured socket timeout is dropped with a logged
+//! warning rather than wedging the accept loop).
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::time::Duration;
 
 use prsim_graph::EdgeUpdate;
 
 use crate::host::EngineHost;
+use crate::ServerError;
 
 /// Default `top=` for `query` responses.
 const DEFAULT_TOP: usize = 10;
@@ -36,57 +53,96 @@ const DEFAULT_TOP: usize = 10;
 /// Seed mixer for seedless queries (keeps them deterministic per node).
 const DEFAULT_SEED_SALT: u64 = 0x5EED_CAFE;
 
+/// A handler's verdict, carrying enough structure to render the error
+/// taxonomy: protocol-level garbage is not retryable-or-fatal, it is
+/// just wrong.
+enum Reply {
+    /// Rendered `ok …` line.
+    Ok(String),
+    /// Malformed request: bare `err <msg>`.
+    BadRequest(String),
+    /// The host failed the request: `err retryable|fatal <msg>`.
+    Failed(ServerError),
+}
+
+impl Reply {
+    fn render(self) -> String {
+        match self {
+            Reply::Ok(line) => line,
+            Reply::BadRequest(msg) => format!("err {msg}"),
+            Reply::Failed(e) => {
+                let class = if e.retryable() { "retryable" } else { "fatal" };
+                format!("err {class} {e}")
+            }
+        }
+    }
+}
+
 /// Handles one request line; the `bool` is true when the client asked
 /// the server to shut down.
 pub fn handle_line(host: &EngineHost, line: &str) -> (String, bool) {
     let mut tokens = line.split_whitespace();
-    let response = match tokens.next() {
+    let reply = match tokens.next() {
         None => return (String::new(), false), // blank line: no response
         Some("query") => handle_query(host, tokens),
         Some("update") => handle_update(host, tokens),
         Some("sync") => match host.sync() {
-            Ok((applied_lsn, epoch)) => Ok(format!("ok applied_lsn={applied_lsn} epoch={epoch}")),
-            Err(e) => Err(e.to_string()),
+            Ok((applied_lsn, epoch)) => {
+                Reply::Ok(format!("ok applied_lsn={applied_lsn} epoch={epoch}"))
+            }
+            Err(e) => Reply::Failed(e),
         },
-        Some("stats") => Ok(format!("ok {}", host.stats().render())),
+        Some("stats") => Reply::Ok(format!("ok {}", host.stats().render())),
+        Some("health") => Reply::Ok(format!("ok health={}", host.health().render())),
         Some("checkpoint") => match host.checkpoint() {
-            Ok(info) => Ok(format!(
+            Ok(info) => Reply::Ok(format!(
                 "ok checkpoint lsn={} bytes={}",
                 info.lsn, info.bytes
             )),
-            Err(e) => Err(e.to_string()),
+            Err(e) => Reply::Failed(e),
         },
         Some("shutdown") => return ("ok bye".into(), true),
-        Some(other) => Err(format!("unknown command {other:?}")),
+        Some(other) => Reply::BadRequest(format!("unknown command {other:?}")),
     };
-    match response {
-        Ok(line) => (line, false),
-        Err(msg) => (format!("err {msg}"), false),
-    }
+    (reply.render(), false)
 }
 
-fn handle_query<'a>(
-    host: &EngineHost,
-    mut tokens: impl Iterator<Item = &'a str>,
-) -> Result<String, String> {
-    let u: u32 = tokens
-        .next()
-        .ok_or("query needs a node id")?
-        .parse()
-        .map_err(|_| "query node id must be a u32".to_string())?;
+fn handle_query<'a>(host: &EngineHost, mut tokens: impl Iterator<Item = &'a str>) -> Reply {
+    let u: u32 = match tokens.next() {
+        None => return Reply::BadRequest("query needs a node id".into()),
+        Some(t) => match t.parse() {
+            Ok(u) => u,
+            Err(_) => return Reply::BadRequest("query node id must be a u32".into()),
+        },
+    };
     let mut top = DEFAULT_TOP;
     let mut seed = u64::from(u) ^ DEFAULT_SEED_SALT;
+    let mut timeout = None;
     for token in tokens {
         if let Some(v) = token.strip_prefix("top=") {
-            top = v.parse().map_err(|_| format!("bad top= value {v:?}"))?;
+            top = match v.parse() {
+                Ok(k) => k,
+                Err(_) => return Reply::BadRequest(format!("bad top= value {v:?}")),
+            };
         } else if let Some(v) = token.strip_prefix("seed=") {
-            seed = v.parse().map_err(|_| format!("bad seed= value {v:?}"))?;
+            seed = match v.parse() {
+                Ok(s) => s,
+                Err(_) => return Reply::BadRequest(format!("bad seed= value {v:?}")),
+            };
+        } else if let Some(v) = token.strip_prefix("timeout=") {
+            timeout = match v.parse::<u64>() {
+                Ok(ms) => Some(Duration::from_millis(ms)),
+                Err(_) => return Reply::BadRequest(format!("bad timeout= value {v:?}")),
+            };
         } else {
-            return Err(format!("unknown query option {token:?}"));
+            return Reply::BadRequest(format!("unknown query option {token:?}"));
         }
     }
     let snapshot = host.snapshot();
-    let (scores, _) = snapshot.query(u, seed).map_err(|e| e.to_string())?;
+    let (scores, stats) = match snapshot.query_with_deadline(u, seed, timeout) {
+        Ok(r) => r,
+        Err(e) => return Reply::Failed(ServerError::Engine(e)),
+    };
     let ranked = scores.top_k(top);
     let mut out = format!(
         "ok epoch={} lsn={} node={u} entries={} top {}",
@@ -98,37 +154,41 @@ fn handle_query<'a>(
     for (v, s) in ranked {
         out.push_str(&format!(" {v}:{s}"));
     }
-    Ok(out)
+    if timeout.is_some() {
+        out.push_str(&format!(" degraded={}", stats.degraded));
+    }
+    Reply::Ok(out)
 }
 
-fn handle_update<'a>(
-    host: &EngineHost,
-    tokens: impl Iterator<Item = &'a str>,
-) -> Result<String, String> {
+fn handle_update<'a>(host: &EngineHost, tokens: impl Iterator<Item = &'a str>) -> Reply {
     let tokens: Vec<&str> = tokens.collect();
     if tokens.is_empty() {
-        return Err("update needs at least one `+ U V` or `- U V` triple".into());
+        return Reply::BadRequest("update needs at least one `+ U V` or `- U V` triple".into());
     }
     if tokens.len() % 3 != 0 {
-        return Err("update arguments must be (op, u, v) triples".into());
+        return Reply::BadRequest("update arguments must be (op, u, v) triples".into());
     }
     let mut updates = Vec::with_capacity(tokens.len() / 3);
     for triple in tokens.chunks_exact(3) {
-        let u: u32 = triple[1]
-            .parse()
-            .map_err(|_| format!("bad node id {:?}", triple[1]))?;
-        let v: u32 = triple[2]
-            .parse()
-            .map_err(|_| format!("bad node id {:?}", triple[2]))?;
+        let u: u32 = match triple[1].parse() {
+            Ok(u) => u,
+            Err(_) => return Reply::BadRequest(format!("bad node id {:?}", triple[1])),
+        };
+        let v: u32 = match triple[2].parse() {
+            Ok(v) => v,
+            Err(_) => return Reply::BadRequest(format!("bad node id {:?}", triple[2])),
+        };
         updates.push(match triple[0] {
             "+" => EdgeUpdate::Insert(u, v),
             "-" => EdgeUpdate::Delete(u, v),
-            op => return Err(format!("bad update op {op:?} (want + or -)")),
+            op => return Reply::BadRequest(format!("bad update op {op:?} (want + or -)")),
         });
     }
     let queued = updates.len();
-    let lsn = host.update(updates).map_err(|e| e.to_string())?;
-    Ok(format!("ok lsn={lsn} queued={queued}"))
+    match host.update(updates) {
+        Ok(lsn) => Reply::Ok(format!("ok lsn={lsn} queued={queued}")),
+        Err(e) => Reply::Failed(e),
+    }
 }
 
 /// Serves one request stream until EOF or `shutdown`; returns whether
@@ -162,20 +222,53 @@ pub fn serve_stdio(host: &EngineHost) -> io::Result<()> {
     host.shutdown().map_err(|e| io::Error::other(e.to_string()))
 }
 
+/// Whether a `serve_stream` error means *this client* timed out or went
+/// away (drop the connection, keep the server) as opposed to a server
+/// I/O failure worth propagating.
+fn is_client_error(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    )
+}
+
 /// Serves TCP connections sequentially until a client sends `shutdown`,
 /// then shuts the host down cleanly. The bound address is printed as
 /// `listening <addr>` by the CLI before this is called.
-pub fn serve_tcp(host: &EngineHost, listener: TcpListener) -> io::Result<()> {
+///
+/// `client_timeout`, when set, becomes each accepted socket's read *and*
+/// write timeout: a connection that stalls past it (a client that
+/// connects and never sends a line, or stops draining responses) is
+/// dropped with a warning on stderr so the sequential accept loop can
+/// serve the next client instead of wedging.
+pub fn serve_tcp(
+    host: &EngineHost,
+    listener: TcpListener,
+    client_timeout: Option<Duration>,
+) -> io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
+        if let Some(budget) = client_timeout {
+            stream.set_read_timeout(Some(budget))?;
+            stream.set_write_timeout(Some(budget))?;
+        }
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
         let mut writer = stream.try_clone()?;
         let reader = BufReader::new(stream);
-        // A client that disconnects mid-line must not kill the server.
+        // A client that disconnects or stalls mid-line must not kill
+        // the server.
         match serve_stream(host, reader, &mut writer) {
             Ok(true) => break,
             Ok(false) => {}
-            Err(err) if err.kind() == io::ErrorKind::BrokenPipe => {}
-            Err(err) if err.kind() == io::ErrorKind::ConnectionReset => {}
+            Err(err) if is_client_error(&err) => {
+                eprintln!("prsim serve: dropping client {peer}: {err}");
+            }
             Err(err) => return Err(err),
         }
     }

@@ -13,6 +13,7 @@ use prsim_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 /// One immutable published engine state.
 #[derive(Debug)]
@@ -56,6 +57,21 @@ impl EpochSnapshot {
         let mut rng = StdRng::seed_from_u64(seed);
         self.engine.try_single_source(u, &mut rng)
     }
+
+    /// [`EpochSnapshot::query`] under an optional wall-clock budget.
+    /// `timeout = None` is bit-identical to the untimed entry point;
+    /// with a budget the engine stops sampling at the deadline and the
+    /// returned [`QueryStats::degraded`] says whether work was shed.
+    pub fn query_with_deadline(
+        &self,
+        u: NodeId,
+        seed: u64,
+        timeout: Option<Duration>,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.engine
+            .try_single_source_with_deadline(u, timeout, &mut rng)
+    }
 }
 
 /// Shared slot holding the current [`EpochSnapshot`].
@@ -77,12 +93,19 @@ impl SnapshotHandle {
     }
 
     /// The current snapshot; the caller keeps it alive across publishes.
+    ///
+    /// Recovers from lock poisoning: a snapshot is immutable once
+    /// published, so a panic while some thread held the lock cannot have
+    /// left the *pointed-to* state torn — serving the last published
+    /// epoch is exactly the degraded-mode contract.
     pub fn current(&self) -> Arc<EpochSnapshot> {
-        self.slot.read().expect("snapshot lock poisoned").clone()
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
-    /// Atomically replaces the published snapshot.
+    /// Atomically replaces the published snapshot. Recovers from lock
+    /// poisoning for the same reason as [`SnapshotHandle::current`]: the
+    /// slot only ever holds a complete `Arc`.
     pub fn publish(&self, next: Arc<EpochSnapshot>) {
-        *self.slot.write().expect("snapshot lock poisoned") = next;
+        *self.slot.write().unwrap_or_else(|e| e.into_inner()) = next;
     }
 }

@@ -1,0 +1,158 @@
+//! Injectable storage layer behind the write-ahead log.
+//!
+//! [`crate::wal`] performs every filesystem operation through the
+//! [`Storage`] and [`WalFile`] traits instead of calling `std::fs`
+//! directly. Production uses [`FsStorage`], a thin passthrough; tests
+//! swap in [`crate::fault::FaultyStorage`], which injects a
+//! deterministic, seed-scheduled mix of fsync failures, short writes,
+//! disk-full errors, read errors and rename failures — so the whole
+//! durability path (append → rotate → checkpoint → replay) can be
+//! driven through chaos schedules without touching a real disk's
+//! failure modes.
+//!
+//! The trait surface is exactly the set of operations the WAL needs,
+//! not a general filesystem: that keeps the fault matrix enumerable
+//! (every method is either faultable or documented as repair-path
+//! reliable — see `fault.rs`).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// An open, append-only log file handle.
+///
+/// Handles are append-positioned by construction (the WAL never seeks);
+/// truncation happens by path through [`Storage::truncate`] so a repair
+/// can run even when the writing handle is suspect.
+pub trait WalFile: Send + Sync {
+    /// Appends `buf` in full (or fails, possibly after a partial write —
+    /// the caller repairs via [`Storage::truncate`]).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flushes data and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem surface the WAL runs on.
+///
+/// Methods that matter for durability can fail (and are fault-injected
+/// in tests); [`truncate`](Storage::truncate) and
+/// [`remove_file`](Storage::remove_file) are the *repair* surface the
+/// WAL uses to undo a failed operation, so implementations must keep
+/// them as reliable as the underlying filesystem allows.
+pub trait Storage: Send + Sync {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Lists the entries of `dir` (files only, any order).
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Reads exactly the first `n` bytes of a file.
+    fn read_prefix(&self, path: &Path, n: usize) -> io::Result<Vec<u8>>;
+    /// Opens an existing file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+    /// Creates a new file for appending; fails if it already exists.
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+    /// Creates (or truncates) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+    /// Truncates the file at `path` to `len` bytes and fsyncs it.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically renames `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// The file's current length in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Whether the path exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Best-effort directory fsync (ignored where unsupported).
+    fn sync_dir(&self, dir: &Path);
+}
+
+/// The production backend: a direct passthrough to `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FsStorage;
+
+impl WalFile for File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+}
+
+impl Storage for FsStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_prefix(&self, path: &Path, n: usize) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; n];
+        File::open(path)?.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(OpenOptions::new().append(true).open(path)?))
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(
+            OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(path)?,
+        ))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn sync_dir(&self, dir: &Path) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}

@@ -9,6 +9,19 @@
 //! state, which makes the recovered engine bit-identical to the
 //! pre-crash process (see the crate docs for the precise guarantee).
 //!
+//! All filesystem access goes through the injectable [`Storage`] layer
+//! (see [`crate::storage`]): production uses the direct
+//! [`FsStorage`] backend, while chaos tests
+//! substitute [`FaultyStorage`](crate::fault::FaultyStorage) to inject
+//! fsync failures, short writes, disk-full, read and rename errors.
+//! A failed append *repairs its own tail*: the segment is truncated
+//! back to its last known-good length before the error is returned, so
+//! a record whose append errored — even one fully written but not
+//! fsynced — can never survive to replay. If the repair itself fails,
+//! the log marks itself broken and refuses further appends until
+//! [`Wal::try_repair`] succeeds (the host drives that with exponential
+//! backoff and serves read-only in the meantime).
+//!
 //! ## On-disk format
 //!
 //! A log directory holds numbered segment files plus checkpoint images:
@@ -52,11 +65,13 @@
 //! newest *valid* checkpoint and replays only the WAL suffix behind it.
 //! Segments wholly covered by a checkpoint are garbage-collected.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use prsim_graph::{DiGraph, EdgeUpdate};
+
+use crate::storage::{FsStorage, Storage, WalFile};
 
 /// Magic bytes opening every WAL segment.
 const SEGMENT_MAGIC: &[u8; 8] = b"PRSIMWAL";
@@ -115,6 +130,13 @@ pub fn encode_body(updates: &[EdgeUpdate]) -> Vec<u8> {
     body
 }
 
+/// The exact number of log bytes one batch occupies as a record
+/// (header + body). Used by the host's queue-bytes admission control so
+/// the memory bound tracks what the WAL and applier actually hold.
+pub fn encoded_len(updates: &[EdgeUpdate]) -> usize {
+    RECORD_HEADER + 4 + updates.len() * UPDATE_BYTES
+}
+
 /// Decodes a record body; rejects unknown ops, bad counts and trailing
 /// bytes (all of which replay treats as corruption).
 pub fn decode_body(body: &[u8]) -> Result<Vec<EdgeUpdate>, String> {
@@ -166,22 +188,44 @@ pub struct WalStats {
     pub syncs: u64,
     /// Next LSN to be assigned.
     pub next_lsn: u64,
+    /// Appends that returned an error (each repaired or marked broken).
+    pub failed_appends: u64,
 }
 
 /// An open write-ahead log: one append-only live segment plus rotation
 /// and checkpoint bookkeeping over the log directory.
-#[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
+    storage: Arc<dyn Storage>,
     /// Rotation threshold: a segment exceeding this many bytes is sealed
     /// and a fresh one opened for the next record.
     segment_bytes: u64,
-    file: File,
+    file: Box<dyn WalFile>,
     segment_seq: u64,
+    /// Known-good length of the live segment — the truncation target
+    /// when an append fails partway.
     segment_len: u64,
     next_lsn: u64,
     total_bytes: u64,
     syncs: u64,
+    failed_appends: u64,
+    /// `Some(reason)` once a failed append could not be repaired; the
+    /// log refuses further appends until [`Wal::try_repair`] succeeds.
+    broken: Option<String>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("segment_bytes", &self.segment_bytes)
+            .field("segment_seq", &self.segment_seq)
+            .field("segment_len", &self.segment_len)
+            .field("next_lsn", &self.next_lsn)
+            .field("total_bytes", &self.total_bytes)
+            .field("broken", &self.broken)
+            .finish_non_exhaustive()
+    }
 }
 
 fn segment_path(dir: &Path, seq: u64) -> PathBuf {
@@ -193,18 +237,18 @@ fn checkpoint_path(dir: &Path, lsn: u64) -> PathBuf {
 }
 
 /// Sorted `(seq, path)` list of the directory's segment files.
-fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+fn list_segments(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    for path in storage.list(dir)? {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
         if let Some(seq) = name
             .strip_prefix("wal-")
             .and_then(|rest| rest.strip_suffix(".log"))
             .and_then(|digits| digits.parse::<u64>().ok())
         {
-            out.push((seq, entry.path()));
+            out.push((seq, path));
         }
     }
     out.sort();
@@ -212,18 +256,18 @@ fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 }
 
 /// Sorted `(lsn, path)` list of the directory's checkpoint files.
-fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+fn list_checkpoints(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    for path in storage.list(dir)? {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
         if let Some(lsn) = name
             .strip_prefix("ckpt-")
             .and_then(|rest| rest.strip_suffix(".snap"))
             .and_then(|digits| digits.parse::<u64>().ok())
         {
-            out.push((lsn, entry.path()));
+            out.push((lsn, path));
         }
     }
     out.sort();
@@ -234,29 +278,33 @@ fn corrupt(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Best-effort directory fsync (segment creation / checkpoint rename
-/// durability; ignored on filesystems that reject directory handles).
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
-}
-
 impl Wal {
-    /// Opens (or creates) the log in `dir`, replaying every committed
-    /// record with `lsn > start_lsn` (pass the recovery checkpoint's LSN,
-    /// or 0 for a full replay). Torn tails are truncated in place; a
-    /// corrupt record additionally drops all later segments, so the log
-    /// that remains on disk is exactly the replayed prefix. After replay
-    /// the log is positioned to append the next record.
+    /// Opens (or creates) the log in `dir` on the real filesystem. See
+    /// [`Wal::open_with_storage`].
     pub fn open(
         dir: impl Into<PathBuf>,
         segment_bytes: u64,
         start_lsn: u64,
     ) -> io::Result<(Wal, ReplayOutcome)> {
+        Wal::open_with_storage(Arc::new(FsStorage), dir, segment_bytes, start_lsn)
+    }
+
+    /// Opens (or creates) the log in `dir` on the given storage backend,
+    /// replaying every committed record with `lsn > start_lsn` (pass the
+    /// recovery checkpoint's LSN, or 0 for a full replay). Torn tails
+    /// are truncated in place; a corrupt record additionally drops all
+    /// later segments, so the log that remains on disk is exactly the
+    /// replayed prefix. After replay the log is positioned to append the
+    /// next record.
+    pub fn open_with_storage(
+        storage: Arc<dyn Storage>,
+        dir: impl Into<PathBuf>,
+        segment_bytes: u64,
+        start_lsn: u64,
+    ) -> io::Result<(Wal, ReplayOutcome)> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        let segments = list_segments(&dir)?;
+        storage.create_dir_all(&dir)?;
+        let segments = list_segments(storage.as_ref(), &dir)?;
         let mut outcome = ReplayOutcome::default();
         let mut next_lsn: u64 = start_lsn + 1;
         let mut poisoned = false;
@@ -265,19 +313,17 @@ impl Wal {
             if poisoned {
                 // A corrupt record invalidates everything behind it: later
                 // segments would leave an LSN gap, so they are dropped.
-                fs::remove_file(path)?;
+                storage.remove_file(path)?;
                 outcome.dropped_segments += 1;
                 continue;
             }
-            let data = fs::read(path)?;
+            let data = storage.read(path)?;
             let consumed = replay_segment(&data, *seq, &mut next_lsn, start_lsn, &mut outcome)?;
             if consumed < data.len() {
                 // Torn tail or corrupt record: repair the file so a
                 // subsequent open sees a clean log.
                 outcome.truncated_bytes += (data.len() - consumed) as u64;
-                let f = OpenOptions::new().write(true).open(path)?;
-                f.set_len(consumed as u64)?;
-                f.sync_all()?;
+                storage.truncate(path, consumed as u64)?;
                 if i + 1 < segments.len() {
                     poisoned = true;
                 }
@@ -288,25 +334,26 @@ impl Wal {
         // fresh one. (A repaired segment shrunk to its header alone is
         // still appendable — its first_lsn matters only for records it
         // actually holds.)
-        let (segment_seq, file, segment_len) = match list_segments(&dir)?.last() {
+        let (segment_seq, file, segment_len) = match list_segments(storage.as_ref(), &dir)?.last() {
             Some((seq, path)) => {
-                let file = OpenOptions::new().append(true).open(path)?;
-                let len = file.metadata()?.len();
+                let file = storage.open_append(path)?;
+                let len = storage.file_len(path)?;
                 (*seq, file, len)
             }
             None => {
-                let (file, len) = create_segment(&dir, 0, next_lsn)?;
+                let (file, len) = create_segment(storage.as_ref(), &dir, 0, next_lsn)?;
                 (0, file, len)
             }
         };
-        let total_bytes = list_segments(&dir)?
+        let total_bytes = list_segments(storage.as_ref(), &dir)?
             .iter()
-            .map(|(_, p)| fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+            .map(|(_, p)| storage.file_len(p).unwrap_or(0))
             .sum();
 
         Ok((
             Wal {
                 dir,
+                storage,
                 segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
                 file,
                 segment_seq,
@@ -314,21 +361,36 @@ impl Wal {
                 next_lsn,
                 total_bytes,
                 syncs: 0,
+                failed_appends: 0,
+                broken: None,
             },
             outcome,
         ))
     }
 
     /// Appends one batch as a single record, fsyncs it, and returns its
-    /// LSN. The batch is durable when this returns `Ok`.
+    /// LSN. The batch is durable when this returns `Ok`. On `Err` the
+    /// batch is *not* committed: the segment tail is truncated back to
+    /// its pre-append length, so the failed record can never replay. If
+    /// even that repair fails, the log flips to
+    /// [broken](Wal::broken_reason) and rejects appends until
+    /// [`Wal::try_repair`] succeeds.
     pub fn append(&mut self, updates: &[EdgeUpdate]) -> io::Result<u64> {
+        if let Some(reason) = &self.broken {
+            return Err(io::Error::other(format!("wal unavailable: {reason}")));
+        }
         let lsn = self.next_lsn;
         let body = encode_body(updates);
         let record_len = (RECORD_HEADER + body.len()) as u64;
         if self.segment_len > SEGMENT_HEADER as u64
             && self.segment_len + record_len > self.segment_bytes
         {
-            self.rotate()?;
+            // Rotation failure leaves the sealed segment untouched and
+            // nothing written, so there is no tail to repair.
+            if let Err(err) = self.rotate() {
+                self.failed_appends += 1;
+                return Err(err);
+            }
         }
         let lsn_le = lsn.to_le_bytes();
         let checksum = fnv1a64(&[&lsn_le, &body]);
@@ -337,24 +399,75 @@ impl Wal {
         buf.extend_from_slice(&lsn_le);
         buf.extend_from_slice(&checksum.to_le_bytes());
         buf.extend_from_slice(&body);
-        self.file.write_all(&buf)?;
-        self.file.sync_data()?;
-        self.syncs += 1;
-        self.segment_len += record_len;
-        self.total_bytes += record_len;
-        self.next_lsn += 1;
-        Ok(lsn)
+        let written = self
+            .file
+            .write_all(&buf)
+            .and_then(|()| self.file.sync_data());
+        match written {
+            Ok(()) => {
+                self.syncs += 1;
+                self.segment_len += record_len;
+                self.total_bytes += record_len;
+                self.next_lsn += 1;
+                Ok(lsn)
+            }
+            Err(err) => {
+                // The failure may have left anything from nothing to the
+                // complete record on disk (an fsync error fires *after* a
+                // successful write). Cut the tail back so the errored
+                // record cannot survive to replay.
+                self.failed_appends += 1;
+                let path = segment_path(&self.dir, self.segment_seq);
+                if let Err(repair) = self.storage.truncate(&path, self.segment_len) {
+                    self.broken = Some(format!(
+                        "append failed ({err}) and tail repair failed ({repair})"
+                    ));
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// `Some(reason)` when a failed append could not be repaired and the
+    /// log is refusing writes.
+    pub fn broken_reason(&self) -> Option<&str> {
+        self.broken.as_deref()
+    }
+
+    /// Retries the tail repair of a [broken](Wal::broken_reason) log.
+    /// On success the log accepts appends again, positioned exactly
+    /// after its last committed record. No-op on a healthy log.
+    pub fn try_repair(&mut self) -> io::Result<()> {
+        if self.broken.is_none() {
+            return Ok(());
+        }
+        let path = segment_path(&self.dir, self.segment_seq);
+        self.storage.truncate(&path, self.segment_len)?;
+        self.broken = None;
+        Ok(())
     }
 
     /// Seals the live segment and opens the next one.
     fn rotate(&mut self) -> io::Result<()> {
         self.file.sync_all()?;
-        self.segment_seq += 1;
-        let (file, len) = create_segment(&self.dir, self.segment_seq, self.next_lsn)?;
-        self.file = file;
-        self.segment_len = len;
-        self.total_bytes += len;
-        Ok(())
+        let seq = self.segment_seq + 1;
+        match create_segment(self.storage.as_ref(), &self.dir, seq, self.next_lsn) {
+            Ok((file, len)) => {
+                self.segment_seq = seq;
+                self.file = file;
+                self.segment_len = len;
+                self.total_bytes += len;
+                Ok(())
+            }
+            Err(err) => {
+                // A half-created segment (torn header) would poison the
+                // replay of every later segment; remove it before
+                // reporting the failure so the next append can retry the
+                // rotation cleanly.
+                let _ = self.storage.remove_file(&segment_path(&self.dir, seq));
+                Err(err)
+            }
+        }
     }
 
     /// Writes a checkpoint image of the applied state at `lsn` (the
@@ -378,17 +491,26 @@ impl Wal {
 
         let final_path = checkpoint_path(&self.dir, lsn);
         let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
-        {
-            let mut f = File::create(&tmp_path)?;
+        let written = (|| -> io::Result<()> {
+            let mut f = self.storage.create(&tmp_path)?;
             f.write_all(CHECKPOINT_MAGIC)?;
             f.write_all(&FORMAT_VERSION.to_le_bytes())?;
             f.write_all(&checksum.to_le_bytes())?;
             f.write_all(&payload)?;
-            f.sync_all()?;
+            f.sync_all()
+        })();
+        if let Err(err) = written {
+            // The half-written image was never renamed into place, so it
+            // can never be loaded; remove the debris and report.
+            let _ = self.storage.remove_file(&tmp_path);
+            return Err(err);
         }
-        fs::rename(&tmp_path, &final_path)?;
-        sync_dir(&self.dir);
-        self.gc(lsn)?;
+        self.storage.rename(&tmp_path, &final_path)?;
+        self.storage.sync_dir(&self.dir);
+        if let Err(err) = self.gc(lsn) {
+            // The image is durable; deferred collection only costs disk.
+            eprintln!("wal: checkpoint gc deferred: {err}");
+        }
         Ok((8 + 4 + 8 + payload.len()) as u64)
     }
 
@@ -399,7 +521,7 @@ impl Wal {
     /// is provably covered when the *next* segment's `first_lsn` is within
     /// the horizon.
     fn gc(&mut self, lsn: u64) -> io::Result<()> {
-        let checkpoints = list_checkpoints(&self.dir)?;
+        let checkpoints = list_checkpoints(self.storage.as_ref(), &self.dir)?;
         let fallback = checkpoints
             .iter()
             .map(|&(l, _)| l)
@@ -407,27 +529,27 @@ impl Wal {
             .max();
         for (ck_lsn, path) in &checkpoints {
             if *ck_lsn < lsn && Some(*ck_lsn) != fallback {
-                fs::remove_file(path)?;
+                self.storage.remove_file(path)?;
             }
         }
         let horizon = fallback.unwrap_or(lsn);
-        let segments = list_segments(&self.dir)?;
+        let segments = list_segments(self.storage.as_ref(), &self.dir)?;
         for window in segments.windows(2) {
             let (seq, path) = &window[0];
             let (_, next_path) = &window[1];
             if *seq == self.segment_seq {
                 break; // never delete the live segment
             }
-            let next_first = read_segment_first_lsn(next_path)?;
+            let next_first = read_segment_first_lsn(self.storage.as_ref(), next_path)?;
             if next_first <= horizon + 1 {
-                let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-                fs::remove_file(path)?;
+                let len = self.storage.file_len(path).unwrap_or(0);
+                self.storage.remove_file(path)?;
                 self.total_bytes = self.total_bytes.saturating_sub(len);
             } else {
                 break;
             }
         }
-        sync_dir(&self.dir);
+        self.storage.sync_dir(&self.dir);
         Ok(())
     }
 
@@ -435,35 +557,37 @@ impl Wal {
     pub fn stats(&self) -> WalStats {
         WalStats {
             bytes: self.total_bytes,
-            segments: list_segments(&self.dir).map(|s| s.len()).unwrap_or(0),
+            segments: list_segments(self.storage.as_ref(), &self.dir)
+                .map(|s| s.len())
+                .unwrap_or(0),
             syncs: self.syncs,
             next_lsn: self.next_lsn,
+            failed_appends: self.failed_appends,
         }
     }
 }
 
 /// Creates segment `seq` with its header written and fsynced; returns
 /// the open handle and the header length.
-fn create_segment(dir: &Path, seq: u64, first_lsn: u64) -> io::Result<(File, u64)> {
+fn create_segment(
+    storage: &dyn Storage,
+    dir: &Path,
+    seq: u64,
+    first_lsn: u64,
+) -> io::Result<(Box<dyn WalFile>, u64)> {
     let path = segment_path(dir, seq);
-    let mut file = OpenOptions::new()
-        .create_new(true)
-        .append(true)
-        .open(&path)?;
+    let mut file = storage.create_new(&path)?;
     file.write_all(SEGMENT_MAGIC)?;
     file.write_all(&FORMAT_VERSION.to_le_bytes())?;
     file.write_all(&first_lsn.to_le_bytes())?;
     file.sync_all()?;
-    sync_dir(dir);
+    storage.sync_dir(dir);
     Ok((file, SEGMENT_HEADER as u64))
 }
 
 /// Reads a segment's `first_lsn` header field.
-fn read_segment_first_lsn(path: &Path) -> io::Result<u64> {
-    let mut f = File::open(path)?;
-    let mut header = [0u8; SEGMENT_HEADER];
-    f.seek(SeekFrom::Start(0))?;
-    f.read_exact(&mut header)?;
+fn read_segment_first_lsn(storage: &dyn Storage, path: &Path) -> io::Result<u64> {
+    let header = storage.read_prefix(path, SEGMENT_HEADER)?;
     if &header[..8] != SEGMENT_MAGIC {
         return Err(corrupt(format!(
             "{} has a bad segment magic",
@@ -546,15 +670,25 @@ pub struct Checkpoint {
 }
 
 /// Loads the newest checkpoint in `dir` that decodes and checksums
-/// cleanly (corrupt or torn images are skipped — an older image plus a
-/// longer replay is always a sound fallback). `Ok(None)` when none
-/// exists.
+/// cleanly, via the real filesystem. See
+/// [`latest_checkpoint_with_storage`].
 pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
-    if !dir.exists() {
+    latest_checkpoint_with_storage(&FsStorage, dir)
+}
+
+/// Loads the newest checkpoint in `dir` that decodes and checksums
+/// cleanly (corrupt, torn, or unreadable images are skipped — an older
+/// image plus a longer replay is always a sound fallback). `Ok(None)`
+/// when none exists.
+pub fn latest_checkpoint_with_storage(
+    storage: &dyn Storage,
+    dir: &Path,
+) -> io::Result<Option<Checkpoint>> {
+    if !storage.exists(dir) {
         return Ok(None);
     }
-    for (lsn, path) in list_checkpoints(dir)?.into_iter().rev() {
-        match read_checkpoint(&path) {
+    for (lsn, path) in list_checkpoints(storage, dir)?.into_iter().rev() {
+        match read_checkpoint(storage, &path) {
             Ok(ckpt) => {
                 debug_assert_eq!(ckpt.lsn, lsn, "file name vs payload LSN");
                 return Ok(Some(ckpt));
@@ -567,8 +701,8 @@ pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
     Ok(None)
 }
 
-fn read_checkpoint(path: &Path) -> io::Result<Checkpoint> {
-    let data = fs::read(path)?;
+fn read_checkpoint(storage: &dyn Storage, path: &Path) -> io::Result<Checkpoint> {
+    let data = storage.read(path)?;
     if data.len() < 8 + 4 + 8 || &data[..8] != CHECKPOINT_MAGIC {
         return Err(corrupt("bad checkpoint magic or truncated header"));
     }
@@ -608,7 +742,9 @@ fn read_checkpoint(path: &Path) -> io::Result<Checkpoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultyStorage};
     use prsim_graph::EdgeUpdate::{Delete, Insert};
+    use std::fs::{self, OpenOptions};
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir =
@@ -677,7 +813,7 @@ mod tests {
         // Simulate a crash mid-write: append a partial record.
         let seg = segment_path(&dir, 0);
         let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
-        f.write_all(&[0x21, 0x00, 0x00, 0x00, 0xAA, 0xBB]).unwrap();
+        std::io::Write::write_all(&mut f, &[0x21, 0x00, 0x00, 0x00, 0xAA, 0xBB]).unwrap();
         drop(f);
         let before = fs::metadata(&seg).unwrap().len();
 
@@ -698,7 +834,7 @@ mod tests {
                 wal.append(&[Insert(i, i + 1)]).unwrap();
             }
         }
-        let segments = list_segments(&dir).unwrap();
+        let segments = list_segments(&FsStorage, &dir).unwrap();
         assert!(segments.len() >= 3);
         // Flip a body byte of the second segment's record.
         let (_, victim) = &segments[1];
@@ -815,5 +951,89 @@ mod tests {
         let mut body = encode_body(&[Delete(3, 4)]);
         body.push(0);
         assert!(decode_body(&body).is_err());
+    }
+
+    /// An append whose fsync fails leaves the record fully on disk —
+    /// the tail repair must still remove it, so replay sees exactly the
+    /// acked records and the next append reuses the failed LSN.
+    #[test]
+    fn failed_fsync_append_is_truncated_away() {
+        let dir = tmpdir("fsync_fault");
+        let plan = FaultPlan {
+            fsync_per_mille: 1000,
+            ..FaultPlan::none(1)
+        };
+        let faulty = FaultyStorage::new_disarmed(Arc::new(FsStorage), plan);
+        let storage: Arc<dyn Storage> = Arc::new(faulty.clone());
+        let (mut wal, _) = Wal::open_with_storage(storage, &dir, 1 << 20, 0).unwrap();
+        assert_eq!(wal.append(&[Insert(0, 1)]).unwrap(), 1);
+
+        faulty.set_armed(true);
+        let err = wal.append(&[Insert(5, 6)]).unwrap_err();
+        assert!(err.to_string().contains("injected fsync fault"), "{err}");
+        assert!(wal.broken_reason().is_none(), "repair must have succeeded");
+        faulty.set_armed(false);
+
+        // The errored record's LSN is reissued to the next batch.
+        assert_eq!(wal.append(&[Insert(2, 3)]).unwrap(), 2);
+        let (_, outcome) = Wal::open(&dir, 1 << 20, 0).unwrap();
+        let all: Vec<_> = outcome.records.iter().flat_map(|r| &r.updates).collect();
+        assert_eq!(all, vec![&Insert(0, 1), &Insert(2, 3)], "no errored record");
+    }
+
+    /// A short (torn) write persists a prefix of the record; repair cuts
+    /// it back so the log is byte-identical to never having appended.
+    #[test]
+    fn short_write_append_is_truncated_away() {
+        let dir = tmpdir("short_write_fault");
+        let plan = FaultPlan {
+            short_write_per_mille: 1000,
+            ..FaultPlan::none(3)
+        };
+        let faulty = FaultyStorage::new_disarmed(Arc::new(FsStorage), plan);
+        let storage: Arc<dyn Storage> = Arc::new(faulty.clone());
+        let (mut wal, _) = Wal::open_with_storage(storage, &dir, 1 << 20, 0).unwrap();
+        wal.append(&[Insert(0, 1)]).unwrap();
+        let clean = fs::read(segment_path(&dir, 0)).unwrap();
+
+        faulty.set_armed(true);
+        assert!(wal.append(&[Insert(1, 2), Insert(3, 4)]).is_err());
+        faulty.set_armed(false);
+        assert_eq!(
+            fs::read(segment_path(&dir, 0)).unwrap(),
+            clean,
+            "segment bytes unchanged after repair"
+        );
+        assert_eq!(wal.append(&[Insert(7, 7)]).unwrap(), 2);
+    }
+
+    /// When the tail repair itself fails, the log flips to broken and
+    /// refuses appends; `try_repair` heals it once truncation works.
+    #[test]
+    fn unrepairable_append_breaks_the_log_until_repair() {
+        let dir = tmpdir("broken_wal");
+        let plan = FaultPlan {
+            fsync_per_mille: 1000,
+            truncate_per_mille: 1000,
+            ..FaultPlan::none(5)
+        };
+        let faulty = FaultyStorage::new_disarmed(Arc::new(FsStorage), plan);
+        let storage: Arc<dyn Storage> = Arc::new(faulty.clone());
+        let (mut wal, _) = Wal::open_with_storage(storage, &dir, 1 << 20, 0).unwrap();
+        wal.append(&[Insert(0, 1)]).unwrap();
+
+        faulty.set_armed(true);
+        assert!(wal.append(&[Insert(1, 2)]).is_err());
+        assert!(wal.broken_reason().is_some(), "repair failed -> broken");
+        let err = wal.append(&[Insert(2, 3)]).unwrap_err();
+        assert!(err.to_string().contains("wal unavailable"), "{err}");
+
+        faulty.set_armed(false);
+        wal.try_repair().unwrap();
+        assert!(wal.broken_reason().is_none());
+        assert_eq!(wal.append(&[Insert(2, 3)]).unwrap(), 2);
+        let (_, outcome) = Wal::open(&dir, 1 << 20, 0).unwrap();
+        let all: Vec<_> = outcome.records.iter().flat_map(|r| &r.updates).collect();
+        assert_eq!(all, vec![&Insert(0, 1), &Insert(2, 3)]);
     }
 }

@@ -1,0 +1,259 @@
+//! Chaos property tests: the durability pipeline driven through
+//! seed-scheduled fault injection ([`prsim_server::FaultyStorage`]).
+//!
+//! The invariant under *any* fault schedule, at both the WAL and the
+//! host level: **no acked update is ever lost, no unacked update is
+//! ever half-applied** — replay after chaos yields exactly the acked
+//! prefix, bit for bit. Fault schedules are pure functions of their
+//! seed, so shrunk failures replay exactly.
+
+use proptest::prelude::*;
+use prsim_core::{HubCount, PrsimConfig, QueryParams};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use prsim_graph::{DiGraph, EdgeUpdate};
+use prsim_server::wal::{self, Wal};
+use prsim_server::{EngineHost, FaultPlan, FaultyStorage, FsStorage, HostOptions};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn tmpdir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "prsim_chaos_prop_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn arb_update() -> impl Strategy<Value = EdgeUpdate> {
+    (0u8..2, 0u32..1_000, 0u32..1_000).prop_map(|(op, u, v)| {
+        if op == 0 {
+            EdgeUpdate::Insert(u, v)
+        } else {
+            EdgeUpdate::Delete(u, v)
+        }
+    })
+}
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<EdgeUpdate>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_update(), 0..6), 1..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Appending through an armed fault schedule (fsync failures, torn
+    /// writes, disk-full, create failures — repair surface reliable),
+    /// then replaying on clean storage, recovers *exactly* the acked
+    /// batches: contiguous LSNs, identical contents, nothing extra.
+    #[test]
+    fn wal_chaos_replays_exactly_the_acked_prefix(
+        seed in 0u64..u64::MAX,
+        batches in arb_batches(),
+        seg in 64u64..2048,
+    ) {
+        let dir = tmpdir();
+        let faulty = Arc::new(FaultyStorage::new_disarmed(
+            Arc::new(FsStorage),
+            FaultPlan::from_seed(seed),
+        ));
+        let (mut wal, outcome) =
+            Wal::open_with_storage(faulty.clone(), &dir, seg, 0).unwrap();
+        prop_assert!(outcome.records.is_empty());
+
+        faulty.set_armed(true);
+        let mut acked: Vec<Vec<EdgeUpdate>> = Vec::new();
+        for batch in &batches {
+            match wal.append(batch) {
+                Ok(lsn) => {
+                    // A failed append reissues its LSN: acks stay gap-free.
+                    prop_assert_eq!(lsn, acked.len() as u64 + 1);
+                    acked.push(batch.clone());
+                }
+                Err(_) => {
+                    // The repair surface is reliable in this plan, so a
+                    // failed append heals in place instead of breaking
+                    // the log.
+                    prop_assert!(wal.broken_reason().is_none());
+                }
+            }
+        }
+        faulty.set_armed(false);
+        drop(wal);
+
+        let (_, outcome) = Wal::open(&dir, seg, 0).unwrap();
+        prop_assert_eq!(outcome.records.len(), acked.len(), "replay = acked prefix");
+        for (i, record) in outcome.records.iter().enumerate() {
+            prop_assert_eq!(record.lsn, i as u64 + 1);
+            prop_assert_eq!(&record.updates, &acked[i]);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Checkpoint publication is atomic under chaos: a checkpoint that
+    /// reported success is durable and wins `latest_checkpoint`; failed
+    /// attempts (torn tmp writes, failed renames) leave no visible
+    /// image — the newest *successful* image is always what loads.
+    #[test]
+    fn checkpoint_chaos_publishes_atomically(
+        seed in 0u64..u64::MAX,
+        attempts in 1usize..6,
+    ) {
+        let dir = tmpdir();
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let index_bytes = prsim_core::PrsimIndex::empty(5).to_bytes();
+        let faulty = Arc::new(FaultyStorage::new_disarmed(
+            Arc::new(FsStorage),
+            FaultPlan::from_seed(seed),
+        ));
+        let (mut wal, _) =
+            Wal::open_with_storage(faulty.clone(), &dir, 1 << 20, 0).unwrap();
+        for lsn in 0..attempts as u64 {
+            wal.append(&[EdgeUpdate::Insert(lsn as u32 % 5, (lsn as u32 + 1) % 5)]).unwrap();
+        }
+
+        faulty.set_armed(true);
+        let mut last_ok: Option<u64> = None;
+        for lsn in 1..=attempts as u64 {
+            if wal.write_checkpoint(lsn, &g, &index_bytes).is_ok() {
+                last_ok = Some(lsn);
+            }
+        }
+        faulty.set_armed(false);
+        drop(wal);
+
+        let found = wal::latest_checkpoint(&dir).unwrap();
+        match last_ok {
+            Some(lsn) => {
+                let ckpt = found.expect("successful checkpoint must be loadable");
+                prop_assert_eq!(ckpt.lsn, lsn, "newest successful image wins");
+                prop_assert_eq!(ckpt.graph.node_count(), 5);
+            }
+            None => prop_assert!(found.is_none(), "no success, no visible image"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---- host-level chaos ------------------------------------------------
+
+fn host_options() -> HostOptions {
+    let mut options = HostOptions::new(PrsimConfig {
+        eps: 0.3,
+        hubs: HubCount::Fixed(8),
+        query: QueryParams::Practical { c_mult: 1.0 },
+        walk_cache_budget: 16,
+        build_threads: 1,
+        ..Default::default()
+    });
+    options.segment_bytes = 512; // rotation under fire
+    options
+}
+
+fn host_graph() -> DiGraph {
+    chung_lu_undirected(ChungLuConfig::new(80, 4.0, 2.0, 11))
+}
+
+/// Deterministic update stream over the host graph (mirrors the
+/// integration tests' shape: deletes of live edges + fresh inserts).
+fn host_batches(g: &DiGraph, count: usize) -> Vec<Vec<EdgeUpdate>> {
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let n = g.node_count() as u32;
+    (0..count)
+        .map(|i| {
+            (0..2)
+                .map(|j| {
+                    let k = i * 2 + j;
+                    if k % 2 == 0 {
+                        let (u, v) = edges[(k * 7) % edges.len()];
+                        EdgeUpdate::Delete(u, v)
+                    } else {
+                        EdgeUpdate::Insert((k as u32 * 13) % n, (k as u32 * 31 + 1) % n)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Protocol-grade fingerprint: exact top-k response text for a spread
+/// of sources.
+fn fingerprint(host: &EngineHost) -> Vec<String> {
+    let snap = host.snapshot();
+    (0..4u32)
+        .map(|i| {
+            let u = i * 19 % snap.engine().graph().node_count() as u32;
+            let (scores, _) = snap.query(u, 0xC0FFEE ^ u64::from(u)).unwrap();
+            let mut line = format!("{u}:");
+            for (v, s) in scores.top_k(6) {
+                line.push_str(&format!(" {v}:{s}"));
+            }
+            line
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Interleaving injected fsync failures with live acks: the serving
+    /// host only ever applies — and recovery only ever replays — the
+    /// updates it acked. An errored `update` never surfaces, a restart
+    /// over the chaos-era WAL matches a reference host that was handed
+    /// exactly the acked batches, bit for bit.
+    #[test]
+    fn host_acked_prefix_survives_fsync_chaos(seed in 0u64..u64::MAX, nbatches in 4usize..10) {
+        let g = host_graph();
+        let stream = host_batches(&g, nbatches);
+        let plan = FaultPlan {
+            fsync_per_mille: 350,
+            ..FaultPlan::none(seed)
+        };
+
+        let chaos_dir = tmpdir();
+        let faulty = Arc::new(FaultyStorage::new_disarmed(Arc::new(FsStorage), plan));
+        let host =
+            EngineHost::open_with_storage(&g, &chaos_dir, host_options(), faulty.clone())
+                .unwrap();
+        faulty.set_armed(true);
+        let mut acked: Vec<Vec<EdgeUpdate>> = Vec::new();
+        for batch in &stream {
+            match host.update(batch.clone()) {
+                Ok(lsn) => {
+                    prop_assert_eq!(lsn, acked.len() as u64 + 1);
+                    acked.push(batch.clone());
+                }
+                Err(e) => prop_assert!(e.retryable(), "fsync chaos is transient: {e}"),
+            }
+        }
+        faulty.set_armed(false);
+        let (applied, _) = host.sync().unwrap();
+        prop_assert_eq!(applied, acked.len() as u64, "applier saw exactly the acks");
+        let live_fp = fingerprint(&host);
+        host.shutdown().unwrap();
+
+        // Restart over the chaos-era log with clean storage.
+        let host = EngineHost::open(&g, &chaos_dir, host_options()).unwrap();
+        prop_assert_eq!(host.snapshot().last_lsn(), acked.len() as u64);
+        prop_assert_eq!(&fingerprint(&host), &live_fp, "recovery = live state");
+        host.shutdown().unwrap();
+
+        // Reference host fed exactly the acked batches, no chaos.
+        let ref_dir = tmpdir();
+        let reference = EngineHost::open(&g, &ref_dir, host_options()).unwrap();
+        for batch in &acked {
+            reference.update(batch.clone()).unwrap();
+        }
+        reference.sync().unwrap();
+        prop_assert_eq!(&fingerprint(&reference), &live_fp, "chaos host = acked-only host");
+        reference.shutdown().unwrap();
+
+        fs::remove_dir_all(&chaos_dir).ok();
+        fs::remove_dir_all(&ref_dir).ok();
+    }
+}

@@ -5,9 +5,11 @@
 use prsim_core::{HubCount, PrsimConfig, QueryParams};
 use prsim_gen::{chung_lu_undirected, ChungLuConfig};
 use prsim_graph::{DiGraph, EdgeUpdate};
-use prsim_server::{EngineHost, HostOptions};
+use prsim_server::{EngineHost, FaultPlan, FaultyStorage, FsStorage, HostOptions, ServerError};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("prsim_host_test_{name}_{}", std::process::id()));
@@ -21,17 +23,16 @@ fn test_graph() -> DiGraph {
 }
 
 fn options() -> HostOptions {
-    HostOptions {
-        config: PrsimConfig {
-            eps: 0.2,
-            hubs: HubCount::Fixed(12),
-            query: QueryParams::Practical { c_mult: 1.0 },
-            walk_cache_budget: 32,
-            build_threads: 2,
-            ..Default::default()
-        },
-        segment_bytes: 512, // tiny: every test exercises rotation
-    }
+    let mut options = HostOptions::new(PrsimConfig {
+        eps: 0.2,
+        hubs: HubCount::Fixed(12),
+        query: QueryParams::Practical { c_mult: 1.0 },
+        walk_cache_budget: 32,
+        build_threads: 2,
+        ..Default::default()
+    });
+    options.segment_bytes = 512; // tiny: every test exercises rotation
+    options
 }
 
 /// Deterministic update stream: alternating deletes of live edges and
@@ -235,6 +236,154 @@ fn empty_batches_and_noop_updates_are_durable_noops() {
     let host = EngineHost::open(&g, &dir, options()).unwrap();
     assert_eq!(host.snapshot().last_lsn(), 2);
     assert_eq!(host.snapshot().engine().graph().edge_count(), edges_before);
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_queue_returns_retryable_busy_then_recovers() {
+    let dir = tmpdir("busy");
+    let g = test_graph();
+    let mut opts = options();
+    // One batch inflight at a time, held there long enough for the
+    // second update to exhaust its (short) busy budget.
+    opts.queue_depth = 1;
+    opts.applier_delay = Duration::from_millis(400);
+    opts.busy_timeout = Duration::from_millis(50);
+    let host = EngineHost::open(&g, &dir, opts).unwrap();
+
+    let stream = batches(&g, 2);
+    host.update(stream[0].clone()).unwrap();
+    let err = host.update(stream[1].clone()).unwrap_err();
+    match &err {
+        ServerError::Busy { waited_ms } => assert!(*waited_ms >= 50, "waited {waited_ms} ms"),
+        other => panic!("want Busy, got {other}"),
+    }
+    assert!(err.retryable(), "Busy must be retryable");
+
+    // Overload is not an outage: reads keep working and the same update
+    // succeeds once the applier drains.
+    let (scores, _) = host.snapshot().query(1, 7).unwrap();
+    assert_eq!(scores.get(1), 1.0);
+    host.sync().unwrap();
+    host.update(stream[1].clone()).unwrap();
+    let (applied, _) = host.sync().unwrap();
+    assert_eq!(applied, 2, "retry consumes the next LSN, nothing is lost");
+
+    let stats = host.stats();
+    assert_eq!(stats.busy_rejects, 1);
+    assert!(stats.max_queue_depth >= 1);
+    assert!(stats.max_queue_bytes > 0);
+    assert!(!stats.health.is_degraded());
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn byte_bound_admits_oversized_batch_only_when_queue_is_empty() {
+    let dir = tmpdir("bytebound");
+    let g = test_graph();
+    let mut opts = options();
+    opts.queue_bytes = 1; // every real batch is oversized
+    opts.applier_delay = Duration::from_millis(400);
+    opts.busy_timeout = Duration::from_millis(50);
+    let host = EngineHost::open(&g, &dir, opts).unwrap();
+
+    let stream = batches(&g, 2);
+    // Empty-queue exception: an oversized batch is never unacceptable.
+    host.update(stream[0].clone()).unwrap();
+    // But it fills the byte budget, so the next one must wait its turn.
+    let err = host.update(stream[1].clone()).unwrap_err();
+    assert!(matches!(err, ServerError::Busy { .. }), "got {err}");
+    host.sync().unwrap();
+    host.update(stream[1].clone()).unwrap();
+    host.sync().unwrap();
+    assert_eq!(host.stats().busy_rejects, 1);
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn applier_panic_degrades_to_read_only_service() {
+    let dir = tmpdir("panic");
+    let g = test_graph();
+    let mut opts = options();
+    opts.applier_panic_at_lsn = Some(2);
+    let host = EngineHost::open(&g, &dir, opts).unwrap();
+
+    let stream = batches(&g, 3);
+    host.update(stream[0].clone()).unwrap();
+    host.sync().unwrap();
+    let before = fingerprint(&host);
+
+    // LSN 2 is durable (acked) but its application panics.
+    host.update(stream[1].clone()).unwrap();
+    let err = host.sync().unwrap_err();
+    assert!(matches!(err, ServerError::ApplierDead(_)), "got {err}");
+
+    // Degraded, not dead: health says so, reads still serve the last
+    // published epoch, writes fail fatally.
+    assert!(host.health().is_degraded());
+    let stats = host.stats();
+    assert!(stats.health.is_degraded());
+    assert_eq!(stats.applied_lsn, 1, "the panicked batch never published");
+    assert_eq!(
+        fingerprint(&host),
+        before,
+        "read path must keep serving the pre-panic epoch"
+    );
+    let err = host.update(stream[2].clone()).unwrap_err();
+    assert!(
+        !err.retryable(),
+        "writes to a dead applier are fatal: {err}"
+    );
+    host.shutdown().unwrap();
+
+    // The acked-but-unapplied batch is on the log: a restart (without
+    // the chaos hook) applies it — durability survived the panic.
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    assert_eq!(host.snapshot().last_lsn(), 2);
+    assert!(!host.health().is_degraded());
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn broken_wal_heals_with_backoff() {
+    let dir = tmpdir("heal");
+    let g = test_graph();
+    let mut opts = options();
+    opts.wal_retry_base = Duration::from_millis(1);
+    let plan = FaultPlan {
+        fsync_per_mille: 1000,    // every append fails...
+        truncate_per_mille: 1000, // ...and so does its tail repair
+        ..FaultPlan::none(7)
+    };
+    let faulty = Arc::new(FaultyStorage::new_disarmed(Arc::new(FsStorage), plan));
+    let host = EngineHost::open_with_storage(&g, &dir, opts, faulty.clone()).unwrap();
+
+    let stream = batches(&g, 2);
+    faulty.set_armed(true);
+    let err = host.update(stream[0].clone()).unwrap_err();
+    assert!(matches!(err, ServerError::WalWrite(_)), "got {err}");
+    assert!(err.retryable(), "a healing WAL is worth retrying");
+    assert!(host.health().is_degraded());
+
+    // Storage comes back; the host repairs the log behind its backoff
+    // window and accepts the retried update on a fresh LSN.
+    faulty.set_armed(false);
+    std::thread::sleep(Duration::from_millis(20));
+    host.update(stream[0].clone()).unwrap();
+    let (applied, _) = host.sync().unwrap();
+    assert_eq!(applied, 1);
+    assert!(!host.health().is_degraded(), "healed host reports ok");
+    assert!(host.stats().wal.failed_appends >= 1);
+    host.shutdown().unwrap();
+
+    // The failed attempt left no half-record behind: recovery sees
+    // exactly the acked update.
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    assert_eq!(host.snapshot().last_lsn(), 1);
     host.shutdown().unwrap();
     fs::remove_dir_all(&dir).ok();
 }
