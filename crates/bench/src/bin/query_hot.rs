@@ -41,7 +41,7 @@
 
 use prsim_bench::hot::{hot_bench_config, percentile, HOT_C_MULT};
 use prsim_bench::json as mini_json;
-use prsim_core::{Prsim, PrsimConfig, QueryWorkspace, ReservePrecision, SimRankScores};
+use prsim_core::{Prsim, PrsimConfig, QueryPlan, QueryWorkspace, ReservePrecision, SimRankScores};
 use prsim_gen::{chung_lu_undirected, ChungLuConfig};
 use prsim_graph::NodeId;
 use rand::rngs::StdRng;
@@ -57,6 +57,13 @@ const CHECK_TOLERANCE: f64 = 3.0;
 /// committed value (the build is seeded, so any real growth is a layout
 /// regression, not noise).
 const SIZE_TOLERANCE: f64 = 1.1;
+
+/// Plan-regression tolerance of `--check`: fail when the fused plan's
+/// p50, *normalized by the same-run reference-plan p50* (the two plans
+/// run interleaved per query, so the ratio cancels box drift that moves
+/// absolute microseconds by ±50% between runs), regresses more than
+/// 1.1x against the committed normalized p50.
+const PLAN_TOLERANCE: f64 = 1.1;
 
 struct DatasetSpec {
     name: &'static str,
@@ -139,11 +146,26 @@ struct CacheRow {
     wavefront_peak_mean: f64,
 }
 
+/// The reference-plan half of the interleaved fused-vs-reference run:
+/// both plans answer every query back to back from identically seeded
+/// RNGs, alternating which goes first, so the speedup is a paired
+/// per-query statistic rather than a cross-run comparison.
+struct PlanRow {
+    p50_us: f64,
+    qps: f64,
+    /// Median over per-query `reference_us / fused_us` ratios.
+    fused_speedup_paired: f64,
+    /// Worst |ŝ_fused − ŝ_reference| over the query set — reassociation
+    /// only, expected ~1e-16.
+    max_abs_diff: f64,
+}
+
 struct BenchRow {
     name: String,
     n: usize,
     m: usize,
     build_ms: f64,
+    plan: String,
     p50_us: f64,
     p95_us: f64,
     mean_us: f64,
@@ -153,6 +175,7 @@ struct BenchRow {
     nocache_qps: f64,
     f32_p50_us: f64,
     f32_qps: f64,
+    reference: PlanRow,
     cache: CacheRow,
     index: IndexRow,
     batch: Vec<BatchPoint>,
@@ -200,6 +223,60 @@ fn serial_latencies(
     (lat_us, qps)
 }
 
+/// Interleaved fused-vs-reference measurement on one engine: each query
+/// is answered by both plans back to back from identically seeded RNGs
+/// (the order alternates per query to cancel cache-warming asymmetry),
+/// yielding the reference-plan latency distribution, the paired
+/// per-query speedup median, and the worst plan-to-plan estimate
+/// divergence. The engine is handed back in its original plan.
+fn paired_plan_latencies(engine: &mut Prsim, sources: &[NodeId], guard: &mut f64) -> PlanRow {
+    let original = engine.config().plan;
+    let mut ws = QueryWorkspace::new();
+    for (i, &u) in sources.iter().take(10).enumerate() {
+        for plan in [QueryPlan::Reference, QueryPlan::Fused] {
+            engine.set_query_plan(plan);
+            let mut rng = StdRng::seed_from_u64(0xDEAD + i as u64);
+            *guard += sink(&engine.single_source_with_workspace(u, &mut ws, &mut rng));
+        }
+    }
+    let mut ref_us: Vec<f64> = Vec::with_capacity(sources.len());
+    let mut ratios: Vec<f64> = Vec::with_capacity(sources.len());
+    let mut max_abs_diff = 0.0f64;
+    for (i, &u) in sources.iter().enumerate() {
+        let order = if i % 2 == 0 {
+            [QueryPlan::Reference, QueryPlan::Fused]
+        } else {
+            [QueryPlan::Fused, QueryPlan::Reference]
+        };
+        let mut pair_us = [0.0f64; 2]; // [reference, fused]
+        let mut answers: Vec<SimRankScores> = Vec::with_capacity(2);
+        for plan in order {
+            engine.set_query_plan(plan);
+            let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
+            let t = Instant::now();
+            let (scores, _) = engine
+                .try_single_source_with_workspace(u, &mut ws, &mut rng)
+                .expect("sources pre-checked");
+            pair_us[(plan == QueryPlan::Fused) as usize] = t.elapsed().as_secs_f64() * 1e6;
+            *guard += sink(&scores);
+            answers.push(scores);
+        }
+        max_abs_diff = max_abs_diff.max(answers[0].max_abs_diff(&answers[1]));
+        ref_us.push(pair_us[0]);
+        ratios.push(pair_us[0] / pair_us[1]);
+    }
+    engine.set_query_plan(original);
+    let total_ref_secs = ref_us.iter().sum::<f64>() / 1e6;
+    ref_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    PlanRow {
+        p50_us: percentile(&ref_us, 0.50),
+        qps: sources.len() as f64 / total_ref_secs.max(f64::MIN_POSITIVE),
+        fused_speedup_paired: percentile(&ratios, 0.50),
+        max_abs_diff,
+    }
+}
+
 /// Resident-size estimate of the pre-arena nested layout for the same
 /// postings: `Vec<(u32, f64)>` stores 16 bytes per entry after padding,
 /// plus a 24-byte `Vec` header per (hub, level) list and per hub, plus
@@ -220,7 +297,8 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
     let m = graph.edge_count();
 
     let t0 = Instant::now();
-    let engine = Prsim::build(graph.clone(), hot_bench_config()).expect("bench config is valid");
+    let mut engine =
+        Prsim::build(graph.clone(), hot_bench_config()).expect("bench config is valid");
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Seeded query set: uniform random sources, fixed across runs.
@@ -247,6 +325,11 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
             wavefront_peak_mean: agg.wavefront_peak_mean(),
         }
     };
+
+    // Interleaved fused-vs-reference: the reference plan is the frozen
+    // PR 5 back half, so this paired run is the same-box baseline the
+    // committed `pr5` block and the `--check` plan gate are built on.
+    let reference = paired_plan_latencies(&mut engine, &sources, &mut guard);
 
     // Secondary: the allocating entry point (fresh transient workspace
     // per query), i.e. what a naive caller pays.
@@ -311,6 +394,7 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         n,
         m,
         build_ms,
+        plan: engine.query_plan().to_string(),
         p50_us: percentile(&lat_us, 0.50),
         p95_us: percentile(&lat_us, 0.95),
         mean_us,
@@ -320,6 +404,7 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         nocache_qps,
         f32_p50_us: percentile(&f32_lat_us, 0.50),
         f32_qps,
+        reference,
         cache: cache_row,
         index: IndexRow {
             hubs: stats.hubs,
@@ -366,16 +451,23 @@ fn render_json(rows: &[BenchRow], queries: usize, preserved: &[(&str, String)]) 
             r.name, r.n, r.m, r.build_ms
         ));
         out.push_str(&format!(
-            "     \"single_source\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"mean_us\": {:.1}, \"qps\": {:.1}, \"alloc_qps\": {:.1}}},\n",
-            r.p50_us, r.p95_us, r.mean_us, r.qps, r.alloc_qps
+            "     \"single_source\": {{\"plan\": \"{}\", \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"mean_us\": {:.1}, \"qps\": {:.1}, \"alloc_qps\": {:.1}}},\n",
+            r.plan, r.p50_us, r.p95_us, r.mean_us, r.qps, r.alloc_qps
         ));
         out.push_str(&format!(
-            "     \"single_source_nocache\": {{\"p50_us\": {:.1}, \"qps\": {:.1}}},\n",
-            r.nocache_p50_us, r.nocache_qps
+            "     \"single_source_reference\": {{\"plan\": \"reference\", \"p50_us\": {:.1}, \"qps\": {:.1}, \"fused_speedup_paired\": {:.3}, \"max_abs_diff_vs_fused\": {:.3e}}},\n",
+            r.reference.p50_us,
+            r.reference.qps,
+            r.reference.fused_speedup_paired,
+            r.reference.max_abs_diff
         ));
         out.push_str(&format!(
-            "     \"single_source_f32\": {{\"p50_us\": {:.1}, \"qps\": {:.1}}},\n",
-            r.f32_p50_us, r.f32_qps
+            "     \"single_source_nocache\": {{\"plan\": \"{}\", \"p50_us\": {:.1}, \"qps\": {:.1}}},\n",
+            r.plan, r.nocache_p50_us, r.nocache_qps
+        ));
+        out.push_str(&format!(
+            "     \"single_source_f32\": {{\"plan\": \"{}\", \"p50_us\": {:.1}, \"qps\": {:.1}}},\n",
+            r.plan, r.f32_p50_us, r.f32_qps
         ));
         let c = &r.cache;
         out.push_str(&format!(
@@ -413,6 +505,25 @@ fn render_json(rows: &[BenchRow], queries: usize, preserved: &[(&str, String)]) 
     out
 }
 
+/// The `pr5` baseline block: reference-plan latency per dataset from
+/// this run's interleaved measurement, plus the paired speedup the fused
+/// plan achieved against it on the same box, same queries, same minute.
+fn render_pr5_block(rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"note\": \"reference plan = frozen PR 5 back half, measured interleaved with the fused plan (paired per-query, alternating order); speedup is the per-query ratio median\", \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"p50_us\": {:.1}, \"qps\": {:.1}, \"fused_speedup_paired\": {:.3}}}",
+            r.name, r.reference.p50_us, r.reference.qps, r.reference.fused_speedup_paired
+        ));
+        if i + 1 < rows.len() {
+            out.push_str(", ");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
@@ -439,6 +550,13 @@ fn main() {
         eprintln!("running {} (n = {}) ...", spec.name, spec.n);
         let row = run_dataset(spec, queries);
         eprintln!(
+            "  plan {} | reference p50 {:.0} us | paired speedup {:.2}x | plan diff {:.1e}",
+            row.plan,
+            row.reference.p50_us,
+            row.reference.fused_speedup_paired,
+            row.reference.max_abs_diff,
+        );
+        eprintln!(
             "  build {:.1} ms | p50 {:.0} us | p95 {:.0} us | {:.0} qps serial ({:.0} nocache, {:.0} f32) | {:.0} qps batch | index {} B (f32 {} B) | cache {} B, hit {:.2}/{:.2}, peak {:.0}",
             row.build_ms,
             row.p50_us,
@@ -457,10 +575,17 @@ fn main() {
         rows.push(row);
     }
 
-    let preserved: Vec<(&str, String)> = ["pre_pr", "pr3", "pr4"]
+    let mut preserved: Vec<(&str, String)> = ["pre_pr", "pr3", "pr4", "pr5"]
         .iter()
         .filter_map(|&k| preserved_block(&out_path, k).map(|b| (k, b)))
         .collect();
+    // First regeneration after the fused plan landed: snapshot the
+    // reference plan (the frozen PR 5 back half) as the `pr5` baseline
+    // block, measured in this very run interleaved with the fused plan —
+    // a same-box baseline, unlike the pre-fused absolute numbers.
+    if !preserved.iter().any(|(k, _)| *k == "pr5") {
+        preserved.push(("pr5", render_pr5_block(&rows)));
+    }
     let json = render_json(&rows, queries, &preserved);
     // Self-check: what we write must parse.
     mini_json::parse(&json).expect("query_hot produced malformed JSON");
@@ -511,6 +636,40 @@ fn check_against_baseline(rows: &[BenchRow], path: &str) {
                     "OK: {} p50 {:.0} us vs committed {:.0} us",
                     row.name, row.p50_us, base
                 );
+            }
+        }
+        // Plan guardrail: the fused plan must not regress against its
+        // own committed p50. Absolute microseconds drift with box state,
+        // so both sides are normalized by their same-run reference-plan
+        // p50 (the interleaved pair cancels the drift): fail when
+        // fresh(fused/reference) > committed(fused/reference) × 1.1.
+        let committed_ref_p50 = committed_row
+            .and_then(|r| r.get("single_source_reference"))
+            .and_then(|s| s.get("p50_us"))
+            .and_then(mini_json::Value::as_f64);
+        match (committed_p50, committed_ref_p50) {
+            (Some(base), Some(base_ref)) if base_ref > 0.0 => {
+                let committed_norm = base / base_ref;
+                let fresh_norm = row.p50_us / row.reference.p50_us;
+                if fresh_norm > committed_norm * PLAN_TOLERANCE {
+                    eprintln!(
+                        "FAIL: {} fused plan regressed: p50/reference-p50 {:.3} vs committed {:.3} (> {PLAN_TOLERANCE}x)",
+                        row.name, fresh_norm, committed_norm
+                    );
+                    failures += 1;
+                } else {
+                    eprintln!(
+                        "OK: {} fused p50/reference-p50 {:.3} vs committed {:.3}",
+                        row.name, fresh_norm, committed_norm
+                    );
+                }
+            }
+            _ => {
+                eprintln!(
+                    "FAIL: baseline has no single_source_reference.p50_us entry for {} (regenerate BENCH_query.json)",
+                    row.name
+                );
+                failures += 1;
             }
         }
         // Memory guardrail: the committed row must carry the index block

@@ -186,6 +186,21 @@ impl Postings<'_> {
         self.len() == 0
     }
 
+    /// Folds the run into a dense accumulator as `acc[v] += scale·ψ`,
+    /// through the branchless 8-lane scatter
+    /// ([`crate::workspace::DenseScratch::scatter_scaled`]) — the fused
+    /// query plan's `ŝ_I` consumption path: one `bounds` probe resolved
+    /// this slice, and this call is the entire per-run aggregation (no
+    /// intermediate scaled stream, no radix sort). Nodes within a run
+    /// ascend, so the dense writes sweep forward prefetch-friendly.
+    #[inline]
+    pub fn scatter_into(&self, acc: &mut crate::workspace::DenseScratch, scale: f64) {
+        match *self {
+            Postings::F64 { nodes, reserves } => acc.scatter_scaled(nodes, reserves, scale),
+            Postings::F32 { nodes, reserves } => acc.scatter_scaled_f32(nodes, reserves, scale),
+        }
+    }
+
     /// Iterates `(v, ψ)` pairs, widening reserves to f64 (convenience for
     /// tests and cold callers; the query loop matches the variants).
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
@@ -674,6 +689,26 @@ impl PrsimIndex {
     #[inline]
     pub fn precision(&self) -> ReservePrecision {
         self.reserves.precision()
+    }
+
+    /// Whether the postings arena is fully memory-resident. Always true
+    /// today — the arena lives in `Vec`s — but the fused query plan's
+    /// `Auto` resolution ([`crate::Prsim::query_plan`]) keys off this so
+    /// the planned out-of-core buffer manager (ROADMAP) can flip paged
+    /// arenas back to the reference pipeline without touching the
+    /// engine.
+    #[inline]
+    pub fn is_resident(&self) -> bool {
+        true
+    }
+
+    /// Hints the CPU to pull `w`'s hub-membership line toward L1 —
+    /// issued one terminal ahead of the [`Self::contains`] /
+    /// [`Self::postings`] probe on the fused fold loop. Draw-free and
+    /// result-free, like every prefetch in the suite.
+    #[inline]
+    pub fn prefetch_lookup(&self, w: NodeId) {
+        prsim_graph::mem::prefetch_read(&self.hub_pos, w as usize);
     }
 
     /// Whether `w` is an indexed hub (one offset-table probe).

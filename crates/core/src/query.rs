@@ -64,14 +64,18 @@ use prsim_graph::ordering::sort_out_by_in_degree;
 use prsim_graph::{DiGraph, NodeId};
 use rand::{Rng, SeedableRng};
 
-use crate::config::PrsimConfig;
+use crate::config::{PrsimConfig, QueryPlan};
 use crate::index::{Postings, PrsimIndex};
 use crate::pagerank::{rank_by_pagerank, reverse_pagerank};
 use crate::scores::SimRankScores;
-use crate::vbbw::variance_bounded_backward_walk_with_workspace;
+use crate::vbbw::{
+    variance_bounded_backward_walk_fold_with_workspace,
+    variance_bounded_backward_walk_with_workspace,
+};
 use crate::walk::{
     sample_pairs_meet_wavefront, sample_terminals_wavefront, sample_walk_phase_interleaved,
-    sample_walks_meet_with_table, GeomLenTable, NoDraws, TerminalDraws, WaveScratch, WaveStats,
+    sample_walk_phase_interleaved_prefetch, sample_walks_meet_with_table, GeomLenTable, NoDraws,
+    TerminalDraws, WaveScratch, WaveStats,
 };
 use crate::walkcache::{pool_samples, WalkCache};
 use crate::workspace::{DenseScratch, QueryWorkspace};
@@ -103,7 +107,7 @@ const WAVEFRONT_MIN_WALKS: usize = 4_096;
 const DEADLINE_CHUNK_WALKS: usize = 1_024;
 
 /// Instrumentation counters for one single-source query.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// √c-walks sampled from the query node.
     pub walks: usize,
@@ -302,6 +306,15 @@ impl Prsim {
     /// The engine configuration.
     pub fn config(&self) -> &PrsimConfig {
         &self.config
+    }
+
+    /// Overrides the configured [`QueryPlan`] in place. Both plans draw
+    /// the same RNG stream, so flipping the plan between queries is a
+    /// measurement tool (the interleaved fused-vs-reference protocol in
+    /// `query_hot`), not a semantic switch: estimates differ only by the
+    /// final-level reassociation bound documented on [`QueryPlan`].
+    pub fn set_query_plan(&mut self, plan: QueryPlan) {
+        self.config.plan = plan;
     }
 
     /// Resolved per-round sample count `d_r` and round count `f_r`.
@@ -536,7 +549,275 @@ impl Prsim {
         }
     }
 
+    /// The query plan this engine actually runs: the configured
+    /// [`QueryPlan`], with `Auto` resolved to `Fused` while the postings
+    /// arena is memory-resident (see [`PrsimIndex::is_resident`]) and
+    /// `Reference` otherwise. Both plans consume identical RNG streams;
+    /// see [`QueryPlan`] for the numeric contract between them.
+    pub fn query_plan(&self) -> QueryPlan {
+        match self.config.plan {
+            QueryPlan::Fused => QueryPlan::Fused,
+            QueryPlan::Reference => QueryPlan::Reference,
+            QueryPlan::Auto => {
+                if self.index.is_resident() {
+                    QueryPlan::Fused
+                } else {
+                    QueryPlan::Reference
+                }
+            }
+        }
+    }
+
     fn run_query<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        dr: usize,
+        fr: usize,
+        ws: &mut QueryWorkspace,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        match self.query_plan() {
+            QueryPlan::Reference => self.run_query_reference(u, dr, fr, ws, rng),
+            _ => self.run_query_fused(u, dr, fr, ws, rng),
+        }
+    }
+
+    /// The fused query plan ([`QueryPlan::Fused`]): same sampling phases
+    /// and RNG stream as the reference pipeline, but the back half never
+    /// materializes an intermediate sorted buffer —
+    ///
+    /// * each non-hub terminal's VBBW folds its final level straight
+    ///   into the dense accumulator
+    ///   ([`variance_bounded_backward_walk_fold_with_workspace`]), with
+    ///   next-level CSR lines prefetched inside the walk and the next
+    ///   terminal's root adjacency prefetched across walks;
+    /// * each accepted hub terminal's postings run — resolved by one
+    ///   `bounds` offset probe ([`PrsimIndex::postings`]) — is scattered
+    ///   into the same accumulator by the branchless 8-lane kernel
+    ///   ([`Postings::scatter_into`]);
+    /// * final assembly is one radix sort of the touched node ids; no
+    ///   per-entry pair sort, no coalesce, no two-pointer merge.
+    ///
+    /// The dense accumulator is written unconditionally at every graph
+    /// size (the reference plan's streaming mode exists to avoid random
+    /// writes over a large node universe, but the measured crossover
+    /// favors the scatter once the pair sort is gone — see
+    /// `BENCH_query.json`). Per-node addition order is chronological
+    /// exactly as in the reference plan, so estimates differ only by the
+    /// documented final-level fold reassociation.
+    fn run_query_fused<R: Rng + ?Sized>(
+        &self,
+        u: NodeId,
+        dr: usize,
+        fr: usize,
+        ws: &mut QueryWorkspace,
+        rng: &mut R,
+    ) -> Result<(SimRankScores, QueryStats), PrsimError> {
+        let n = self.graph.node_count();
+        if u as usize >= n {
+            return Err(PrsimError::NodeOutOfRange { node: u, n });
+        }
+        let sqrt_c = self.config.sqrt_c();
+        let alpha = 1.0 - sqrt_c;
+        let alpha2 = alpha * alpha;
+        let nr = dr * fr;
+        let inv_nr = 1.0 / nr as f64;
+        let backward_scale = 1.0 / (alpha2 * dr as f64);
+        let mut stats = QueryStats::default();
+
+        let QueryWorkspace {
+            backward,
+            round,
+            acc,
+            hub_memo,
+            terminals,
+            term_buf,
+            pair_buf,
+            met_buf,
+            round_entries,
+            median_buf,
+            wave,
+            cache_cursors,
+            pair_idx,
+            pair_met,
+            sample_buf,
+            ..
+        } = ws;
+        let graph = &self.graph;
+        let index = &self.index;
+        let cache = self.cache.as_ref();
+        if let Some(cache) = cache {
+            cache_cursors.begin(cache.pool_count());
+        }
+        hub_memo.begin(n);
+        terminals.clear();
+        round_entries.clear();
+        if fr > 1 {
+            acc.begin(n);
+        }
+
+        for _ in 0..fr {
+            // Per-round backward estimator ŝ_B^i, always on dense
+            // scratch; with a single round it accumulates straight into
+            // `acc` alongside ŝ_I.
+            let round: &mut DenseScratch = if fr == 1 { &mut *acc } else { &mut *round };
+            round.begin(n);
+
+            sample_buf.clear();
+            stats.walks += dr;
+            let wstats: WaveStats = match cache {
+                Some(cache) => {
+                    let mut session = cache.session(cache_cursors);
+                    walk_phase::<_, _, true>(
+                        graph,
+                        &self.geom,
+                        u,
+                        dr,
+                        &mut session,
+                        sample_buf,
+                        term_buf,
+                        pair_buf,
+                        pair_idx,
+                        pair_met,
+                        met_buf,
+                        wave,
+                        rng,
+                    )
+                }
+                None => walk_phase::<_, _, true>(
+                    graph,
+                    &self.geom,
+                    u,
+                    dr,
+                    &mut NoDraws,
+                    sample_buf,
+                    term_buf,
+                    pair_buf,
+                    pair_idx,
+                    pair_met,
+                    met_buf,
+                    wave,
+                    rng,
+                ),
+            };
+            stats.died += wstats.died;
+            stats.cached_terminals += wstats.cache_hits;
+            stats.cached_eta += wstats.eta_hits;
+            stats.wavefront_peak = stats.wavefront_peak.max(wstats.peak_frontier);
+
+            // Phase 3, fused: accepted samples fold into η̂π and straight
+            // into the round accumulator. A two-deep software pipeline
+            // runs across terminals: while terminal i's walk chases its
+            // frontier, terminal i+1's root adjacency is already on its
+            // way up the cache hierarchy.
+            for i in 0..sample_buf.len() {
+                let (w, level, met) = sample_buf[i];
+                if let Some(&(wn, _, met_n)) = sample_buf.get(i + 1) {
+                    if !met_n {
+                        hub_memo.prefetch(wn);
+                        index.prefetch_lookup(wn);
+                        graph.prefetch_out_offsets(wn);
+                        graph.prefetch_out_lists(wn);
+                    }
+                }
+                if met {
+                    stats.pair_met += 1;
+                    continue;
+                }
+                terminals.push((w, level));
+                if !hub_memo.get_or_insert_with(w, || index.contains(w)) {
+                    stats.backward_walks += 1;
+                    stats.backward_cost += variance_bounded_backward_walk_fold_with_workspace(
+                        graph,
+                        sqrt_c,
+                        w,
+                        level as usize,
+                        backward,
+                        rng,
+                        |v, pi_hat| round.add(v, pi_hat * backward_scale),
+                    );
+                }
+            }
+            if fr > 1 {
+                // Bank the round for the median pass; no per-round sort
+                // (round_entries is sorted globally below).
+                for (v, s) in round.iter() {
+                    round_entries.push((v, s));
+                }
+            }
+        }
+
+        // Median trick over the f_r rounds (identical to the reference
+        // plan's scatter mode).
+        if fr > 1 {
+            round_entries.sort_unstable_by_key(|&(v, _)| v);
+            let mut i = 0usize;
+            while i < round_entries.len() {
+                let v = round_entries[i].0;
+                median_buf.clear();
+                while i < round_entries.len() && round_entries[i].0 == v {
+                    median_buf.push(round_entries[i].1);
+                    i += 1;
+                }
+                median_buf.resize(fr, 0.0);
+                median_buf.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+                let mid = median_buf.len() / 2;
+                let med = if median_buf.len() % 2 == 1 {
+                    median_buf[mid]
+                } else {
+                    0.5 * (median_buf[mid - 1] + median_buf[mid])
+                };
+                if med != 0.0 {
+                    acc.add(v, med);
+                }
+            }
+        }
+
+        // Index part ŝ_I, fused: every accepted run is resolved by one
+        // offset probe and scattered branchlessly into `acc` — the run
+        // *is* the aggregation unit; nothing is streamed or re-sorted.
+        let threshold = self.config.eps * alpha2 / 12.0;
+        terminals.sort_unstable();
+        let mut i = 0usize;
+        while i < terminals.len() {
+            let key = terminals[i];
+            let start = i;
+            while i < terminals.len() && terminals[i] == key {
+                i += 1;
+            }
+            let ep = (i - start) as f64 * inv_nr;
+            // The next run's membership probe overlaps this run's
+            // scatter instead of heading the next iteration's chain.
+            if let Some(&(wn, _)) = terminals.get(i) {
+                hub_memo.prefetch(wn);
+                index.prefetch_lookup(wn);
+            }
+            let (w, level) = key;
+            if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
+                continue;
+            }
+            if let Some(postings) = index.postings(w, level as usize) {
+                stats.index_entries += postings.len();
+                postings.scatter_into(acc, ep / alpha2);
+            }
+        }
+
+        // Final assembly: the accumulator already holds ŝ = ŝ_B + ŝ_I;
+        // the terminal drain runs the touched-id radix sort with the
+        // value gather fused into its last pass.
+        let mut entries = Vec::new();
+        acc.drain_sorted_into(&mut entries);
+        let scores = SimRankScores::from_sorted_entries(u, n, entries);
+        Ok((scores, stats))
+    }
+
+    /// The reference query plan ([`QueryPlan::Reference`]): the
+    /// phase-separated pipeline (materialized backward estimates,
+    /// size-adaptive scatter/streaming aggregation, radix sort +
+    /// coalesce + merge). Kept intact as the differential baseline for
+    /// the fused plan — and as the landing path for non-resident
+    /// (paged) arenas once the out-of-core buffer manager exists.
+    fn run_query_reference<R: Rng + ?Sized>(
         &self,
         u: NodeId,
         dr: usize,
@@ -624,7 +905,7 @@ impl Prsim {
             let wstats: WaveStats = match cache {
                 Some(cache) => {
                     let mut session = cache.session(cache_cursors);
-                    walk_phase(
+                    walk_phase::<_, _, false>(
                         &self.graph,
                         &self.geom,
                         u,
@@ -640,7 +921,7 @@ impl Prsim {
                         rng,
                     )
                 }
-                None => walk_phase(
+                None => walk_phase::<_, _, false>(
                     &self.graph,
                     &self.geom,
                     u,
@@ -776,6 +1057,12 @@ impl Prsim {
                 i += 1;
             }
             let ep = (i - start) as f64 * inv_nr;
+            // The next run's membership probe overlaps this run's
+            // scatter instead of heading the next iteration's chain.
+            if let Some(&(wn, _)) = terminals.get(i) {
+                hub_memo.prefetch(wn);
+                index.prefetch_lookup(wn);
+            }
             let (w, level) = key;
             if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                 continue;
@@ -1006,6 +1293,12 @@ impl Prsim {
                 i += 1;
             }
             let ep = (i - start) as f64 * inv_nr;
+            // The next run's membership probe overlaps this run's
+            // scatter instead of heading the next iteration's chain.
+            if let Some(&(wn, _)) = terminals.get(i) {
+                hub_memo.prefetch(wn);
+                index.prefetch_lookup(wn);
+            }
             let (w, level) = key;
             if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                 continue;
@@ -1045,7 +1338,7 @@ impl Prsim {
 /// kernels at or above it — both consuming the same [`TerminalDraws`]
 /// cache hooks.
 #[allow(clippy::too_many_arguments)] // threads the workspace's split borrows
-fn walk_phase<R: Rng + ?Sized, C: TerminalDraws>(
+fn walk_phase<R: Rng + ?Sized, C: TerminalDraws, const PF: bool>(
     graph: &DiGraph,
     geom: &GeomLenTable,
     u: NodeId,
@@ -1061,7 +1354,15 @@ fn walk_phase<R: Rng + ?Sized, C: TerminalDraws>(
     rng: &mut R,
 ) -> WaveStats {
     if dr < WAVEFRONT_MIN_WALKS {
-        return sample_walk_phase_interleaved(graph, geom, u, dr, cache, sample_buf, rng);
+        // `PF` picks the prefetch-hinted kernel (fused plan) or the
+        // unhinted baseline (reference plan); both are draw-for-draw
+        // identical. The wavefront regime below already reads the CSR
+        // level-synchronously in sorted batches, so it takes no hint.
+        return if PF {
+            sample_walk_phase_interleaved_prefetch(graph, geom, u, dr, cache, sample_buf, rng)
+        } else {
+            sample_walk_phase_interleaved(graph, geom, u, dr, cache, sample_buf, rng)
+        };
     }
     // Wavefront regime: terminals level-synchronously with radix-binned
     // CSR reads, then η — cached bits first, the remainder through the
@@ -1262,6 +1563,41 @@ mod tests {
         assert_eq!(stats.walks, dr * fr);
         assert!(stats.died + stats.pair_met <= stats.walks);
         assert!(stats.backward_walks <= stats.walks - stats.died - stats.pair_met);
+    }
+
+    #[test]
+    fn fused_and_reference_plans_report_identical_stats() {
+        // Stats parity is part of the fused plan's contract: every
+        // counter (wavefront_peak, cached_terminals, cached_eta, walk
+        // accounting, index_entries, …) must read the same as the
+        // reference plan on the same RNG stream — the fused plan changes
+        // the execution schedule, never what is counted.
+        let g = prsim_gen::chung_lu_undirected(prsim_gen::ChungLuConfig::new(600, 6.0, 2.0, 19));
+        let mut engine = Prsim::build(g, cfg(0.1)).unwrap();
+        let mut exercised = QueryStats::default();
+        for u in [0u32, 17, 255, 404] {
+            engine.set_query_plan(QueryPlan::Fused);
+            let mut rng = StdRng::seed_from_u64(100 + u as u64);
+            let (sf, fused) = engine.try_single_source(u, &mut rng).unwrap();
+            engine.set_query_plan(QueryPlan::Reference);
+            let mut rng = StdRng::seed_from_u64(100 + u as u64);
+            let (sr, reference) = engine.try_single_source(u, &mut rng).unwrap();
+            assert_eq!(fused, reference, "stats diverged at source {u}");
+            let diff = sf.max_abs_diff(&sr);
+            assert!(diff < 1e-12, "plans diverged by {diff} at source {u}");
+            exercised.pair_met += fused.pair_met;
+            exercised.backward_walks += fused.backward_walks;
+            exercised.index_entries += fused.index_entries;
+            exercised.cached_terminals += fused.cached_terminals;
+            exercised.cached_eta += fused.cached_eta;
+        }
+        // The parity claim is vacuous if the workload never exercises
+        // the counters; this graph and seed set must light them all up.
+        assert!(exercised.pair_met > 0, "no pair rejections exercised");
+        assert!(exercised.backward_walks > 0, "no backward walks");
+        assert!(exercised.index_entries > 0, "no index entries scanned");
+        assert!(exercised.cached_terminals > 0, "no cache hits");
+        assert!(exercised.cached_eta > 0, "no cached eta verdicts");
     }
 
     #[test]

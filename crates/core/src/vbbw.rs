@@ -270,6 +270,116 @@ pub fn variance_bounded_backward_walk_with_workspace<'ws, R: Rng + ?Sized>(
     }
 }
 
+/// Fold-variant of [`variance_bounded_backward_walk_with_workspace`]:
+/// the walk's estimates are handed to `fold(v, π̂_ℓ(v,w))` instead of
+/// being materialized as a sorted output, and the next level's CSR lines
+/// are prefetched while the current level is still being processed.
+/// Returns the neighbor-visit cost. This is the fused query plan's
+/// backward kernel ([`crate::QueryPlan::Fused`]).
+///
+/// Two deliberate contracts versus the materializing walk:
+///
+/// * **Identical RNG stream.** The frontier sequence through the final
+///   level is the same (levels before the last still coalesce into
+///   `cur`), so every coin and tail draw is consumed in the same order —
+///   a fused query draws bit-for-bit the same walks as a reference
+///   query. Prefetches are pure scheduling hints and draw nothing.
+/// * **Final level folds raw.** The last level's propagations are
+///   emitted in push order without the final coalesce, so a node
+///   receiving two increments `d₁, d₂` reaches the accumulator as
+///   `s·d₁ + s·d₂` instead of `s·(d₁+d₂)` — the one reassociation the
+///   fused plan admits (`QueryPlan` docs; pinned at `1e-9` by the
+///   differential suite).
+pub fn variance_bounded_backward_walk_fold_with_workspace<R, F>(
+    g: &DiGraph,
+    sqrt_c: f64,
+    w: NodeId,
+    level: usize,
+    ws: &mut BackwardWorkspace,
+    rng: &mut R,
+    mut fold: F,
+) -> usize
+where
+    R: Rng + ?Sized,
+    F: FnMut(NodeId, f64),
+{
+    assert_sorted(g);
+    let alpha = 1.0 - sqrt_c;
+    let mut cost = 1usize;
+    if level == 0 {
+        // π̂_0 = {w: 1−√c} exactly; no draws, matching the reference walk.
+        fold(w, alpha);
+        return cost;
+    }
+    ws.cur.clear();
+    ws.cur.push((w, alpha));
+    ws.next.clear();
+
+    for depth in (1..=level).rev() {
+        let last = depth == 1;
+        // Deterministic frontier order (see simple_backward_walk).
+        for i in 0..ws.cur.len() {
+            let (x, mass) = ws.cur[i];
+            cost += 1;
+            if rng.gen::<f64>() >= sqrt_c {
+                continue; // the walk mass at x stops here
+            }
+            let (neigh, degs) = g.out_neighbors_with_in_degrees(x);
+            let det_bound = mass / alpha;
+            let mut idx = 0usize;
+            while idx < neigh.len() {
+                let d = degs[idx] as f64;
+                if d > det_bound {
+                    break;
+                }
+                cost += 1;
+                let y = neigh[idx];
+                if last {
+                    fold(y, mass / d);
+                } else {
+                    // y is (probably) next level's frontier: start its
+                    // offset line toward the cache now.
+                    g.prefetch_out_offsets(y);
+                    ws.next.push((y, mass / d));
+                }
+                idx += 1;
+            }
+            if idx < neigh.len() {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let tail_bound = mass / (r * alpha);
+                while idx < neigh.len() {
+                    if degs[idx] as f64 > tail_bound {
+                        break;
+                    }
+                    cost += 1;
+                    let y = neigh[idx];
+                    if last {
+                        fold(y, alpha);
+                    } else {
+                        g.prefetch_out_offsets(y);
+                        ws.next.push((y, alpha));
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        if !last {
+            // The offsets prefetched above have had a level's worth of
+            // work to arrive: chase them into adjacency-data prefetches,
+            // then coalesce — by the time the next level's scan issues
+            // its demand loads the lines are in flight.
+            for &(y, _) in ws.next.iter() {
+                g.prefetch_out_lists(y);
+            }
+            ws.coalesce_next_into_cur();
+            if ws.cur.is_empty() {
+                return cost;
+            }
+        }
+    }
+    cost
+}
+
 /// Runs one Variance Bounded Backward Walk per `(w, ℓ)` request with
 /// `LANES`-way interleaving: up to eight walks advance round-robin, one
 /// frontier node per turn, so their dependent random loads (out-list
@@ -480,6 +590,60 @@ mod tests {
             assert_eq!(via_ws.len(), fresh.estimates.len());
             let collected: Vec<(NodeId, f64)> = via_ws.iter().collect();
             assert_eq!(collected, fresh.estimates, "trial {trial} diverged");
+        }
+    }
+
+    #[test]
+    fn fold_kernel_matches_materialized_walk_and_rng_stream() {
+        // The fused query plan consumes the fold kernel; the reference
+        // plan materializes. Same seed ⇒ same RNG consumption (checked by
+        // drawing one more value afterwards), same cost, and per-node
+        // sums equal up to the documented final-level reassociation.
+        use rand::RngCore;
+        let g = sorted(prsim_gen::chung_lu_undirected(
+            prsim_gen::ChungLuConfig::new(150, 5.0, 2.0, 21),
+        ));
+        let mut ws_a = BackwardWorkspace::new();
+        let mut ws_b = BackwardWorkspace::new();
+        for (trial, (w, level)) in [(3u32, 4usize), (17, 1), (3, 6), (90, 3), (0, 0)]
+            .into_iter()
+            .enumerate()
+        {
+            let seed = 400 + trial as u64;
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut folded: std::collections::BTreeMap<NodeId, f64> = Default::default();
+            let cost_a = variance_bounded_backward_walk_fold_with_workspace(
+                &g,
+                SQRT_C,
+                w,
+                level,
+                &mut ws_a,
+                &mut rng_a,
+                |v, x| *folded.entry(v).or_insert(0.0) += x,
+            );
+            let out = variance_bounded_backward_walk_with_workspace(
+                &g, SQRT_C, w, level, &mut ws_b, &mut rng_b,
+            );
+            assert_eq!(cost_a, out.cost(), "trial {trial} cost diverged");
+            assert_eq!(
+                rng_a.next_u64(),
+                rng_b.next_u64(),
+                "trial {trial}: fold must consume the exact RNG stream"
+            );
+            let materialized: std::collections::BTreeMap<NodeId, f64> = out.iter().collect();
+            assert_eq!(
+                folded.len(),
+                materialized.len(),
+                "trial {trial} support diverged"
+            );
+            for (v, x) in &folded {
+                let y = materialized[v];
+                assert!(
+                    (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+                    "trial {trial} node {v}: fold {x} vs materialized {y}"
+                );
+            }
         }
     }
 

@@ -856,6 +856,37 @@ pub fn sample_walk_phase_interleaved<R: Rng + ?Sized, C: TerminalDraws>(
     out: &mut Vec<(NodeId, u32, bool)>,
     rng: &mut R,
 ) -> WaveStats {
+    sample_walk_phase_interleaved_impl::<R, C, false>(g, table, source, count, cache, out, rng)
+}
+
+/// [`sample_walk_phase_interleaved`] with software prefetch on every
+/// lane advance: when a walk steps to `nxt`, the in-offset and in-list
+/// lines `nxt` will need on the lane's *next* turn are requested now,
+/// so the seven other lanes' work hides the miss instead of the lane
+/// stalling on it. Draw-free — the output and the RNG stream are
+/// bit-identical to the plain kernel — so the fused query plan can use
+/// it while the reference plan keeps the unhinted baseline kernel.
+pub fn sample_walk_phase_interleaved_prefetch<R: Rng + ?Sized, C: TerminalDraws>(
+    g: &DiGraph,
+    table: &GeomLenTable,
+    source: NodeId,
+    count: usize,
+    cache: &mut C,
+    out: &mut Vec<(NodeId, u32, bool)>,
+    rng: &mut R,
+) -> WaveStats {
+    sample_walk_phase_interleaved_impl::<R, C, true>(g, table, source, count, cache, out, rng)
+}
+
+fn sample_walk_phase_interleaved_impl<R: Rng + ?Sized, C: TerminalDraws, const PF: bool>(
+    g: &DiGraph,
+    table: &GeomLenTable,
+    source: NodeId,
+    count: usize,
+    cache: &mut C,
+    out: &mut Vec<(NodeId, u32, bool)>,
+    rng: &mut R,
+) -> WaveStats {
     const LANES: usize = 8;
     let cap = table.cap() as u32;
     #[derive(Clone, Copy)]
@@ -904,6 +935,10 @@ pub fn sample_walk_phase_interleaved<R: Rng + ?Sized, C: TerminalDraws>(
                         out.push(($w, $level, false));
                         false
                     } else {
+                        if PF {
+                            g.prefetch_in_offsets($w);
+                            g.prefetch_in_lists($w);
+                        }
                         lanes[$slot] = Lane {
                             a: $w,
                             b: $w,
@@ -1020,6 +1055,10 @@ pub fn sample_walk_phase_interleaved<R: Rng + ?Sized, C: TerminalDraws>(
                                 retire_lane!(lane);
                             }
                         } else {
+                            if PF {
+                                g.prefetch_in_offsets(nxt);
+                                g.prefetch_in_lists(nxt);
+                            }
                             lanes[lane].a = nxt;
                             lanes[lane].rem = rem - 1;
                             lane += 1;
@@ -1048,6 +1087,12 @@ pub fn sample_walk_phase_interleaved<R: Rng + ?Sized, C: TerminalDraws>(
                 out.push((w, level, na == nb));
                 retire_lane!(lane);
             } else {
+                if PF {
+                    g.prefetch_in_offsets(na);
+                    g.prefetch_in_lists(na);
+                    g.prefetch_in_offsets(nb);
+                    g.prefetch_in_lists(nb);
+                }
                 lanes[lane].a = na;
                 lanes[lane].b = nb;
                 lanes[lane].rem = rem - 1;

@@ -109,6 +109,102 @@ impl DenseScratch {
         }
     }
 
+    /// Branchless sibling of [`Self::add_scaled`]: the fused query
+    /// plan's postings fold. Instead of the stamp *branch* per entry,
+    /// each lane runs straight-line code — an arithmetic select over the
+    /// stamp comparison (`base = stale ? 0.0 : value`, a cmov/blend),
+    /// unconditional value+stamp stores, and a branch-free conditional
+    /// append to the touched list (`touched[len] = v; len += fresh`) —
+    /// processed in a manual 8-lane unroll over the SoA run (`u32`
+    /// nodes + reserves) so the multiplies pipeline without `std::simd`.
+    /// The accumulated values and the touched list are **bit-identical**
+    /// to a loop of [`Self::add`] calls: only control flow differs.
+    /// (The prefetch hints this pairs with on the query path are
+    /// `#[cfg(target_arch)]`-gated in `prsim_graph`; this scatter is
+    /// portable straight-line Rust.)
+    pub fn scatter_scaled(&mut self, nodes: &[NodeId], values: &[f64], scale: f64) {
+        self.scatter_scaled_impl(nodes, values, scale, |x| x);
+    }
+
+    /// [`DenseScratch::scatter_scaled`] over f32 values (quantized
+    /// reserve arenas), widening each value before the multiply.
+    pub fn scatter_scaled_f32(&mut self, nodes: &[NodeId], values: &[f32], scale: f64) {
+        self.scatter_scaled_impl(nodes, values, scale, f64::from);
+    }
+
+    #[inline]
+    fn scatter_scaled_impl<T: Copy>(
+        &mut self,
+        nodes: &[NodeId],
+        values: &[T],
+        scale: f64,
+        widen: impl Fn(T) -> f64 + Copy,
+    ) {
+        assert_eq!(nodes.len(), values.len(), "SoA run slices must parallel");
+        let epoch = self.epoch;
+        // Over-extend the touched list once, write every lane's id
+        // unconditionally, advance the cursor only on fresh slots, and
+        // truncate back. The zero-fill is one memset over the run; the
+        // per-lane append is a predictable in-bounds store, no branch on
+        // `fresh`.
+        let old_len = self.touched.len();
+        self.touched.resize(old_len + nodes.len(), 0);
+        let mut len = old_len;
+        let slots = &mut self.slots;
+        let touched = &mut self.touched;
+        #[inline(always)]
+        fn lane<T: Copy>(
+            slots: &mut [Slot],
+            touched: &mut [NodeId],
+            epoch: u32,
+            len: &mut usize,
+            (v, x): (NodeId, T),
+            scale: f64,
+            widen: impl Fn(T) -> f64,
+        ) {
+            let slot = &mut slots[v as usize];
+            let fresh = slot.stamp != epoch;
+            // Arithmetic select (no branch): a stale slot contributes 0.
+            let base = if fresh { 0.0 } else { slot.value };
+            slot.value = base + scale * widen(x);
+            slot.stamp = epoch;
+            // Branch-free append: always write, conditionally advance.
+            touched[*len] = v;
+            *len += fresh as usize;
+        }
+        // Slot probes are random against a dense array the hardware
+        // prefetcher cannot predict, but the whole probe set is known up
+        // front: sweep the run once issuing write-intent prefetches at
+        // full rate (the probes are independent, so they overlap up to
+        // the machine's miss parallelism), then run the read-modify-write
+        // sweep over lines that are resident or already in flight. A
+        // postings run (~hundreds of entries) fits L1 comfortably.
+        for &v in nodes.iter() {
+            prsim_graph::mem::prefetch_write(&*slots, v as usize);
+        }
+        let nodes_rem = nodes.chunks_exact(8).remainder();
+        let values_rem = values.chunks_exact(8).remainder();
+        for (nc, vc) in nodes.chunks_exact(8).zip(values.chunks_exact(8)) {
+            // Manual 8-lane unroll: the fixed-trip inner loop unrolls
+            // fully, so the eight scaled multiplies issue back to back.
+            for k in 0..8 {
+                lane(
+                    slots,
+                    touched,
+                    epoch,
+                    &mut len,
+                    (nc[k], vc[k]),
+                    scale,
+                    widen,
+                );
+            }
+        }
+        for (&v, &x) in nodes_rem.iter().zip(values_rem) {
+            lane(slots, touched, epoch, &mut len, (v, x), scale, widen);
+        }
+        self.touched.truncate(len);
+    }
+
     /// Current value for `v` (0.0 when absent).
     #[inline]
     pub fn get(&self, v: NodeId) -> f64 {
@@ -146,11 +242,96 @@ impl DenseScratch {
         radix_sort_ids(&mut self.touched, &mut self.sort_buf);
     }
 
-    /// Iterates live `(v, value)` pairs in touched-list order.
+    /// Iterates live `(v, value)` pairs in touched-list order. The slot
+    /// gather is random (touched order is id order, slots are dense), so
+    /// each probe is issued a fixed distance ahead of its demand read.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.touched
-            .iter()
-            .map(move |&v| (v, self.slots[v as usize].value))
+        const PF_AHEAD: usize = 16;
+        self.touched.iter().enumerate().map(move |(i, &v)| {
+            if let Some(&ahead) = self.touched.get(i + PF_AHEAD) {
+                prsim_graph::mem::prefetch_read(&self.slots, ahead as usize);
+            }
+            (v, self.slots[v as usize].value)
+        })
+    }
+
+    /// Sorts the touched list and emits the live `(v, value)` entries
+    /// into `out` in ascending id order — `sort_touched` plus the
+    /// [`Self::iter`] gather, fused: the *final* radix pass scatters
+    /// finished pairs straight into `out`, gathering each slot value as
+    /// its id streams by (with the probe prefetched a fixed distance
+    /// ahead), so the ids make one fewer trip through memory and the
+    /// gather rides the pass that was already running. `out` is cleared
+    /// first and reserved one entry beyond the live count (the caller's
+    /// diagonal upsert); the touched list is left in unspecified order —
+    /// this is the accumulator's terminal drain for the query.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(NodeId, f64)>) {
+        const CUTOFF: usize = 96;
+        const BITS: u32 = 11;
+        const BUCKETS: usize = 1 << BITS;
+        const PF_AHEAD: usize = 16;
+        let len = self.touched.len();
+        out.clear();
+        out.reserve(len + 1);
+        if len == 0 {
+            return;
+        }
+        if len <= CUTOFF {
+            self.touched.sort_unstable();
+            out.extend(
+                self.touched
+                    .iter()
+                    .map(|&v| (v, self.slots[v as usize].value)),
+            );
+            return;
+        }
+        let max = *self.touched.iter().max().expect("len > 0");
+        let mut passes = 0u32;
+        {
+            let mut shift = 0u32;
+            while shift < 32 && (max >> shift) > 0 {
+                passes += 1;
+                shift += BITS;
+            }
+        }
+        // All but the last digit pass move ids alone (the usual LSD
+        // ping-pong between `touched` and `sort_buf`).
+        self.sort_buf.clear();
+        self.sort_buf.resize(len, 0);
+        let mut shift = 0u32;
+        for _ in 1..passes {
+            let mut counts = [0usize; BUCKETS + 1];
+            for &x in self.touched.iter() {
+                counts[((x >> shift) as usize & (BUCKETS - 1)) + 1] += 1;
+            }
+            for i in 1..=BUCKETS {
+                counts[i] += counts[i - 1];
+            }
+            for &x in self.touched.iter() {
+                let d = (x >> shift) as usize & (BUCKETS - 1);
+                self.sort_buf[counts[d]] = x;
+                counts[d] += 1;
+            }
+            std::mem::swap(&mut self.touched, &mut self.sort_buf);
+            shift += BITS;
+        }
+        // Final pass: scatter `(id, value)` pairs into place.
+        let mut counts = [0usize; BUCKETS + 1];
+        for &x in self.touched.iter() {
+            counts[((x >> shift) as usize & (BUCKETS - 1)) + 1] += 1;
+        }
+        for i in 1..=BUCKETS {
+            counts[i] += counts[i - 1];
+        }
+        out.resize(len, (0, 0.0));
+        for (i, &x) in self.touched.iter().enumerate() {
+            if let Some(&ahead) = self.touched.get(i + PF_AHEAD) {
+                prsim_graph::mem::prefetch_read(&self.slots, ahead as usize);
+            }
+            let d = (x >> shift) as usize & (BUCKETS - 1);
+            out[counts[d]] = (x, self.slots[x as usize].value);
+            counts[d] += 1;
+        }
     }
 
     #[cfg(test)]
@@ -254,6 +435,13 @@ impl StampedFlags {
             self.epoch = 0;
         }
         self.epoch += 1;
+    }
+
+    /// Hints the CPU to pull `v`'s memo line toward L1 ahead of its
+    /// [`Self::get_or_insert_with`] probe (draw-free, result-free).
+    #[inline]
+    pub fn prefetch(&self, v: NodeId) {
+        prsim_graph::mem::prefetch_write(&self.slots, v as usize);
     }
 
     /// Returns the memoized verdict for `v`, computing it with `f` on the
@@ -432,6 +620,77 @@ mod tests {
         c.add_scaled_f32(&nodes, &narrow, 2.0);
         for v in 0..8 {
             assert_eq!(c.get(v), b.get(v), "f32 values widen exactly here");
+        }
+    }
+
+    #[test]
+    fn scatter_scaled_is_bit_identical_to_scalar_adds() {
+        // The branchless unrolled scatter must produce the exact bits of
+        // the naive add loop — same per-slot addition order — including
+        // duplicate ids inside one batch (lane N must see lane N−1's
+        // write) and re-touches across batches.
+        let nodes: Vec<NodeId> = (0..57u32)
+            .map(|i| (i.wrapping_mul(2654435761)) % 40)
+            .collect();
+        let wide: Vec<f64> = (0..57).map(|i| 0.125 * (i as f64) - 3.0).collect();
+        let narrow: Vec<f32> = wide.iter().map(|&x| x as f32).collect();
+        let mut a = DenseScratch::new();
+        let mut b = DenseScratch::new();
+        a.begin(64);
+        b.begin(64);
+        a.scatter_scaled(&nodes, &wide, 1.75);
+        for (&v, &x) in nodes.iter().zip(&wide) {
+            b.add(v, 1.75 * x);
+        }
+        // Second batch overlapping the first: stamps are already set.
+        a.scatter_scaled(&nodes[..16], &wide[..16], -0.5);
+        for (&v, &x) in nodes[..16].iter().zip(&wide[..16]) {
+            b.add(v, -0.5 * x);
+        }
+        assert_eq!(a.len(), b.len(), "touched dedup must match");
+        for v in 0..64 {
+            assert!(a.get(v).to_bits() == b.get(v).to_bits(), "slot {v}");
+        }
+        let mut c = DenseScratch::new();
+        c.begin(64);
+        c.scatter_scaled_f32(&nodes, &narrow, 1.75);
+        let mut d = DenseScratch::new();
+        d.begin(64);
+        for (&v, &x) in nodes.iter().zip(&narrow) {
+            d.add(v, 1.75 * f64::from(x));
+        }
+        for v in 0..64 {
+            assert!(c.get(v).to_bits() == d.get(v).to_bits(), "f32 slot {v}");
+        }
+    }
+
+    #[test]
+    fn drain_sorted_matches_sort_then_gather() {
+        // Small (insertion-sorted), medium and large (multi-pass radix
+        // with the fused gather in the last pass) touched sets.
+        for len in [5usize, 90, 97, 700, 6000] {
+            let mut a = DenseScratch::new();
+            let mut b = DenseScratch::new();
+            let n = 1 << 23; // ids above 2^22 exercise the shift bound
+            a.begin(n);
+            b.begin(n);
+            for i in 0..len {
+                let v = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 41) as NodeId;
+                let x = i as f64 * 0.25 - 1.0;
+                a.add(v, x);
+                b.add(v, x);
+            }
+            let mut fused = Vec::new();
+            a.drain_sorted_into(&mut fused);
+            b.sort_touched();
+            let plain: Vec<(NodeId, f64)> = b.iter().collect();
+            assert_eq!(fused, plain, "len {len}");
+            // The drain consumes the touched list but leaves the scratch
+            // reusable: the next begin must start clean.
+            a.begin(8);
+            assert!(a.is_empty());
+            a.add(3, 1.0);
+            assert_eq!(a.get(3), 1.0);
         }
     }
 

@@ -38,6 +38,38 @@ pub use sbm::{community_of, planted_partition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Errors produced by the synthetic graph generators.
+///
+/// The generators are mostly infallible for sane parameters; this type
+/// exists for the places where a size request can overflow host
+/// arithmetic before any allocation happens (e.g. the `n·(n−1)` edge
+/// count of a complete graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A requested size overflows `usize` arithmetic or exceeds the
+    /// graph substrate's node-id range (`u32::MAX - 1`).
+    SizeOverflow {
+        /// Which generator rejected the request.
+        generator: &'static str,
+        /// The offending size parameter.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::SizeOverflow { generator, n } => write!(
+                f,
+                "{generator}: size {n} overflows the generator's edge arithmetic \
+                 or the u32 node-id range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
 /// Creates the deterministic RNG used by every generator in this crate.
 pub(crate) fn rng_from_seed(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)

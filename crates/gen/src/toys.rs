@@ -32,8 +32,32 @@ pub fn star_out(n: usize) -> DiGraph {
 }
 
 /// Complete directed graph (all ordered pairs, no self loops).
+///
+/// Panics when the `n·(n−1)` edge count overflows `usize` or `n` exceeds
+/// the node-id range; use [`try_complete`] for a recoverable error.
 pub fn complete(n: usize) -> DiGraph {
-    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+    match try_complete(n) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`complete`].
+///
+/// Rejects any `n` whose edge count `n·(n−1)` overflows `usize` — the
+/// former `Vec::with_capacity(n * n.saturating_sub(1))` wrapped silently
+/// in release builds, handing the allocator a bogus small capacity — and
+/// any `n` that does not fit the `u32` node-id space.
+pub fn try_complete(n: usize) -> Result<DiGraph, crate::GenError> {
+    let overflow = crate::GenError::SizeOverflow {
+        generator: "complete",
+        n,
+    };
+    let cap = n.checked_mul(n.saturating_sub(1)).ok_or(overflow.clone())?;
+    if n >= u32::MAX as usize {
+        return Err(overflow);
+    }
+    let mut edges = Vec::with_capacity(cap);
     for u in 0..n as NodeId {
         for v in 0..n as NodeId {
             if u != v {
@@ -41,7 +65,7 @@ pub fn complete(n: usize) -> DiGraph {
             }
         }
     }
-    DiGraph::from_edges(n, &edges)
+    Ok(DiGraph::from_edges(n, &edges))
 }
 
 /// The paper's §3.4 gadget: nodes `w, v, x_1 … x_k` with edges
@@ -126,6 +150,29 @@ mod tests {
             assert_eq!(g.out_degree(u), 3);
             assert_eq!(g.in_degree(u), 3);
         }
+    }
+
+    #[test]
+    fn complete_boundaries() {
+        // n·(n−1) overflows usize: must be a clean error, not a wrapped
+        // capacity (the old with_capacity(n * n.saturating_sub(1)) bug).
+        assert_eq!(
+            try_complete(usize::MAX),
+            Err(crate::GenError::SizeOverflow {
+                generator: "complete",
+                n: usize::MAX
+            })
+        );
+        // n·(n−1) fits usize but n exceeds the u32 node-id space.
+        assert!(try_complete(u32::MAX as usize).is_err());
+        // Degenerate small sizes are fine.
+        assert_eq!(try_complete(0).unwrap().edge_count(), 0);
+        assert_eq!(try_complete(1).unwrap().edge_count(), 0);
+        // Fallible and panicking variants agree.
+        let a = try_complete(5).unwrap();
+        let b = complete(5);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.node_count(), b.node_count());
     }
 
     #[test]

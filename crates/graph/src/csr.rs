@@ -153,6 +153,88 @@ impl DiGraph {
         (&self.out_targets[s..e], &self.out_target_in_degs[s..e])
     }
 
+    /// Hints the CPU to pull `u`'s out-offset cache line toward L1. A
+    /// pure scheduling hint: no fault, no observable effect on results.
+    /// Backward walks issue this for every node pushed into the next
+    /// frontier, so the offset probe at the next level hits a warm line
+    /// instead of serializing a dependent miss per level.
+    #[inline]
+    #[allow(unsafe_code)] // non-faulting scheduling hint; see lib.rs
+    pub fn prefetch_out_offsets(&self, u: NodeId) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `u < n` is the caller contract everywhere in this type;
+        // prefetch of any address is non-faulting regardless.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = self.out_offsets.as_ptr().add(u as usize);
+            _mm_prefetch(p as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = u;
+    }
+
+    /// Hints the CPU to pull the head of `u`'s out-adjacency (targets and
+    /// the parallel in-degree stream) toward L1. Assumes the offset line
+    /// is already close (see [`Self::prefetch_out_offsets`]); reading it
+    /// here is what turns the two-level CSR dependency into one overlapped
+    /// level. Covers the first cache line of each array — the in-degree
+    /// sorted scans rarely read past the first dozen neighbors.
+    #[inline]
+    #[allow(unsafe_code)] // non-faulting scheduling hint; see lib.rs
+    pub fn prefetch_out_lists(&self, u: NodeId) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: offsets are `<= m`, and one-past-end pointers are valid
+        // to form; prefetch never faults.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let s = *self.out_offsets.get_unchecked(u as usize);
+            _mm_prefetch(self.out_targets.as_ptr().add(s) as *const i8, _MM_HINT_T0);
+            _mm_prefetch(
+                self.out_target_in_degs.as_ptr().add(s) as *const i8,
+                _MM_HINT_T0,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = u;
+    }
+
+    /// Hints the CPU to pull `u`'s in-offset cache line toward L1.
+    /// Same contract as [`Self::prefetch_out_offsets`], for the
+    /// in-adjacency that √c-walks traverse.
+    #[inline]
+    #[allow(unsafe_code)] // non-faulting scheduling hint; see lib.rs
+    pub fn prefetch_in_offsets(&self, u: NodeId) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `u < n` is the caller contract everywhere in this type;
+        // prefetch of any address is non-faulting regardless.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = self.in_offsets.as_ptr().add(u as usize);
+            _mm_prefetch(p as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = u;
+    }
+
+    /// Hints the CPU to pull the head of `u`'s in-adjacency toward L1.
+    /// Same contract as [`Self::prefetch_out_lists`]: assumes the offset
+    /// line is already close, covers the first cache line of the source
+    /// list — one uniform draw from it is the whole per-step read.
+    #[inline]
+    #[allow(unsafe_code)] // non-faulting scheduling hint; see lib.rs
+    pub fn prefetch_in_lists(&self, u: NodeId) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: offsets are `<= m`, and one-past-end pointers are valid
+        // to form; prefetch never faults.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let s = *self.in_offsets.get_unchecked(u as usize);
+            _mm_prefetch(self.in_sources.as_ptr().add(s) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = u;
+    }
+
     /// Out-degree of `u`.
     #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {

@@ -1,0 +1,56 @@
+//! Software-prefetch helpers for scatter/gather loops.
+//!
+//! The PRSim hot loops that are not bandwidth-bound are *latency*-bound:
+//! each iteration probes one random slot of a large array (a dense
+//! accumulator, a CSR offset table), and the hardware prefetcher cannot
+//! predict the next address. When the index stream itself is sequential
+//! — a postings run, a sorted touched list — the fix is to issue the
+//! random probe a fixed distance ahead, so by the time the demand load
+//! executes the line is in flight or resident.
+//!
+//! The helper is safe to call with any index: out-of-range lookahead
+//! (the tail of every prefetch-ahead loop) is a no-op, and prefetch
+//! itself never faults. On non-x86_64 targets it compiles to nothing.
+
+/// Hints the CPU to pull `slice[i]`'s cache line toward L1. No-op when
+/// `i` is out of range (lookahead tails) or off x86_64. Purely a
+/// scheduling hint: no fault, no observable effect on results.
+#[inline]
+#[allow(unsafe_code)] // non-faulting scheduling hint; see lib.rs
+pub fn prefetch_read<T>(slice: &[T], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(r) = slice.get(i) {
+        // SAFETY: `r` is a live reference; prefetch never faults and
+        // performs no access visible to the memory model.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                r as *const T as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, i);
+}
+
+/// [`prefetch_read`] with write intent (`ET0`): the line is requested
+/// in exclusive state, so a read-modify-write that follows skips the
+/// ownership upgrade. Same contract otherwise: out-of-range is a no-op,
+/// never faults, no observable effect on results.
+#[inline]
+#[allow(unsafe_code)] // non-faulting scheduling hint; see lib.rs
+pub fn prefetch_write<T>(slice: &[T], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(r) = slice.get(i) {
+        // SAFETY: `r` is a live reference; prefetch never faults and
+        // performs no access visible to the memory model.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                r as *const T as *const i8,
+                core::arch::x86_64::_MM_HINT_ET0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, i);
+}

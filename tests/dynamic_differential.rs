@@ -272,6 +272,92 @@ fn stream_that_empties_the_graph_entirely() {
     check_stream_with(config(), &base, &stream, params, 1, 3).unwrap();
 }
 
+/// Max |ŝ_fused − ŝ_reference| on the *same* engine and RNG stream. The
+/// two plans consume identical samples; the only permitted difference is
+/// the fused plan's final-level fold reassociation, which is ~1 ulp per
+/// entry — 1e-9 leaves seven orders of magnitude of headroom while still
+/// catching any real divergence (a skipped terminal, a double-counted
+/// posting, a stale accumulator slot).
+const PLAN_TOL: f64 = 1e-9;
+
+/// Replays `stream` on one incremental engine and, at every probe,
+/// answers each source under both query plans from identically seeded
+/// RNGs. Unlike the incremental-vs-fresh regimes above, this bound is
+/// numerical, not statistical.
+fn check_plan_differential(cfg: PrsimConfig, stream: &[EdgeUpdate], seed: u64) {
+    let base = prsim::gen::chung_lu_undirected(prsim::gen::ChungLuConfig::new(36, 4.0, 2.0, 13));
+    let params = DynamicParams {
+        drift_budget: 1e9,
+        ..Default::default()
+    };
+    let mut engine = DynamicPrsim::new(&base, cfg, UpdateMode::Incremental(params)).unwrap();
+    let probe = |engine: &mut DynamicPrsim, at: usize| {
+        let n = engine.node_count() as u32;
+        for &u in &[0u32, n / 2, n - 1] {
+            engine.set_query_plan(prsim::core::QueryPlan::Fused);
+            let (fused, fstats) = engine
+                .single_source(u, &mut StdRng::seed_from_u64(seed ^ u as u64))
+                .unwrap();
+            engine.set_query_plan(prsim::core::QueryPlan::Reference);
+            let (reference, rstats) = engine
+                .single_source(u, &mut StdRng::seed_from_u64(seed ^ u as u64))
+                .unwrap();
+            let diff = fused.max_abs_diff(&reference);
+            assert!(
+                diff <= PLAN_TOL,
+                "source {u} after update {at}: fused vs reference diff {diff} > {PLAN_TOL}\n\
+                 stream:\n{}",
+                render_stream(stream)
+            );
+            assert_eq!(fstats, rstats, "stats diverged at source {u}, update {at}");
+        }
+    };
+    for (i, &up) in stream.iter().enumerate() {
+        engine.apply(up).unwrap();
+        if (i + 1) % 4 == 0 {
+            probe(&mut engine, i + 1);
+        }
+    }
+    probe(&mut engine, stream.len());
+}
+
+/// Deterministic mixed stream shared by the plan-differential regimes.
+fn plan_stream() -> Vec<EdgeUpdate> {
+    (0..12u32)
+        .map(|i| {
+            if i % 3 == 2 {
+                EdgeUpdate::Delete(i % 36, (i * 5 + 2) % 36)
+            } else {
+                EdgeUpdate::Insert((i * 7) % 36, (i * 11 + 1) % 36)
+            }
+        })
+        .collect()
+}
+
+/// Fused vs reference across an update stream, f64 reserves, walk cache
+/// enabled (both plans consume cached draws identically).
+#[test]
+fn fused_matches_reference_across_updates_f64() {
+    let cfg = PrsimConfig {
+        reserve_precision: prsim::core::ReservePrecision::F64,
+        walk_cache_budget: 64,
+        ..config()
+    };
+    check_plan_differential(cfg, &plan_stream(), 0xF05ED);
+}
+
+/// Same regime over f32 reserves: quantization moves both plans by the
+/// same amount, so the plan-to-plan bound stays numerical.
+#[test]
+fn fused_matches_reference_across_updates_f32() {
+    let cfg = PrsimConfig {
+        reserve_precision: prsim::core::ReservePrecision::F32,
+        walk_cache_budget: 0,
+        ..config()
+    };
+    check_plan_differential(cfg, &plan_stream(), 0xF32);
+}
+
 #[test]
 fn rebuild_mode_is_differentially_correct_at_batch_boundaries() {
     // The paper's rebuild-on-batch contract: at a batch boundary the
