@@ -34,18 +34,27 @@
 //! * `--check PATH`: after running, compare against the committed JSON at
 //!   `PATH`; exit non-zero when the file is malformed, the fresh
 //!   single-source p50 regresses by more than 3x, the committed row lacks
-//!   the index-memory or walk-cache fields, the fresh f64 `size_bytes`
-//!   exceeds 1.1x its committed value, or the fresh walk-cache
+//!   the index-memory, walk-cache or paged fields, the fresh f64
+//!   `size_bytes` exceeds 1.1x its committed value, the fresh walk-cache
 //!   `resident_bytes` exceeds 1.1x its committed value (memory
-//!   guardrails).
+//!   guardrails), or the paged qps-vs-budget curve collapses against the
+//!   committed one. Every run (with or without `--check`) additionally
+//!   hard-asserts that the paged buffer pool's peak resident bytes stay
+//!   within the memory budget at every sweep point.
 
 use prsim_bench::hot::{hot_bench_config, percentile, HOT_C_MULT};
 use prsim_bench::json as mini_json;
-use prsim_core::{Prsim, PrsimConfig, QueryPlan, QueryWorkspace, ReservePrecision, SimRankScores};
+use prsim_core::pagerank::reverse_pagerank;
+use prsim_core::{
+    PagedOptions, Prsim, PrsimConfig, PrsimIndex, QueryPlan, QueryWorkspace, ReservePrecision,
+    SimRankScores,
+};
 use prsim_gen::{chung_lu_undirected, ChungLuConfig};
 use prsim_graph::NodeId;
+use prsim_server::FsStorage;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Latency tolerance of `--check`: fail when fresh p50 exceeds 3x the
@@ -57,6 +66,24 @@ const CHECK_TOLERANCE: f64 = 3.0;
 /// committed value (the build is seeded, so any real growth is a layout
 /// regression, not noise).
 const SIZE_TOLERANCE: f64 = 1.1;
+
+/// Page size of the out-of-core sweep. Small enough that even the 5k
+/// smoke arena spans hundreds of pages, so the sweep measures real
+/// pin/evict traffic, not a fully-pinned pool.
+const PAGED_PAGE_BYTES: u32 = 4096;
+
+/// Budget fractions of the paged sweep, as multiples of the postings
+/// blob size. `1.0` caches the whole arena (the paged ceiling); each
+/// halving doubles the eviction pressure.
+const PAGED_FRACS: &[f64] = &[1.0, 0.5, 0.25, 0.125];
+
+/// Curve tolerance of the paged `--check` gate: at each budget fraction
+/// the fresh qps, normalized by the same-run full-budget qps (cancels
+/// box drift), must stay within 3x of the committed normalized point —
+/// a collapse in the qps-vs-budget curve flags a replacer or pin-path
+/// regression. The budget itself is a hard gate: fresh peak resident
+/// bytes must never exceed the budget.
+const PAGED_CURVE_TOLERANCE: f64 = 3.0;
 
 /// Plan-regression tolerance of `--check`: fail when the fused plan's
 /// p50, *normalized by the same-run reference-plan p50* (the two plans
@@ -160,6 +187,20 @@ struct PlanRow {
     max_abs_diff: f64,
 }
 
+/// One budget point of the out-of-core sweep: the engine serving the
+/// same query set with its postings arena paged under a hard memory
+/// budget (`budget_frac` × blob bytes).
+struct PagedPoint {
+    budget_frac: f64,
+    budget_bytes: u64,
+    p50_us: f64,
+    qps: f64,
+    peak_resident_bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
 struct BenchRow {
     name: String,
     n: usize,
@@ -178,6 +219,7 @@ struct BenchRow {
     reference: PlanRow,
     cache: CacheRow,
     index: IndexRow,
+    paged: Vec<PagedPoint>,
     batch: Vec<BatchPoint>,
 }
 
@@ -277,6 +319,72 @@ fn paired_plan_latencies(engine: &mut Prsim, sources: &[NodeId], guard: &mut f64
     }
 }
 
+/// Out-of-core sweep: demote the engine's arena to a v4 page file once,
+/// then serve the same seeded query set with the buffer pool capped at
+/// each budget fraction of the blob size. All points (and the resident
+/// engine they are compared to) run the reference plan — the paged
+/// arena resolves `Auto` to reference, so pinning keeps the sweep
+/// apples-to-apples. The sweep asserts fault-free serving (local disk,
+/// no injection) and that the pool honors every budget.
+fn run_paged_sweep(engine: &Prsim, spec: &DatasetSpec, sources: &[NodeId]) -> Vec<PagedPoint> {
+    let dir = std::env::temp_dir().join(format!("prsim_query_hot_paged_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("{}.pages", spec.name));
+    engine
+        .index()
+        .write_paged(&FsStorage, &path, PAGED_PAGE_BYTES)
+        .expect("arena demotes");
+    let width = match engine.index().precision() {
+        ReservePrecision::F64 => 8u64,
+        ReservePrecision::F32 => 4,
+    };
+    let blob_bytes = engine.index().entry_count() as u64 * (4 + width);
+    let config = engine.config().clone();
+    let sorted = engine.graph().clone();
+    let pi = reverse_pagerank(&sorted, config.sqrt_c(), 1e-12, config.max_level);
+
+    let mut guard = 0.0;
+    let mut points = Vec::with_capacity(PAGED_FRACS.len());
+    for &frac in PAGED_FRACS {
+        let budget_bytes = (blob_bytes as f64 * frac) as u64;
+        let opts = PagedOptions {
+            page_bytes: PAGED_PAGE_BYTES,
+            memory_budget: budget_bytes,
+            hot_ranks: 0,
+        };
+        let index = PrsimIndex::open_paged(Arc::new(FsStorage), &path, sorted.node_count(), &opts)
+            .expect("budget fraction admits (meta tables outgrew the smallest fraction?)");
+        let mut paged = Prsim::from_parts(sorted.clone(), pi.clone(), index, config.clone())
+            .expect("paged engine builds");
+        paged.set_query_plan(QueryPlan::Reference);
+        let mut agg = CacheAgg::default();
+        let (lat_us, qps) = serial_latencies(&paged, sources, &mut guard, &mut agg);
+        let stats = paged.index().paging_stats().expect("engine is paged");
+        assert_eq!(stats.faults, 0, "local-disk sweep must be fault-free");
+        assert!(
+            stats.peak_resident_bytes <= budget_bytes,
+            "{}: pool peak {} B exceeds budget {} B (frac {})",
+            spec.name,
+            stats.peak_resident_bytes,
+            budget_bytes,
+            frac
+        );
+        points.push(PagedPoint {
+            budget_frac: frac,
+            budget_bytes,
+            p50_us: percentile(&lat_us, 0.50),
+            qps,
+            peak_resident_bytes: stats.peak_resident_bytes,
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+        });
+    }
+    assert!(guard.is_finite());
+    let _ = std::fs::remove_file(&path);
+    points
+}
+
 /// Resident-size estimate of the pre-arena nested layout for the same
 /// postings: `Vec<(u32, f64)>` stores 16 bytes per entry after padding,
 /// plus a 24-byte `Vec` header per (hub, level) list and per hub, plus
@@ -357,6 +465,12 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
         });
     }
 
+    // Out-of-core sweep: the same arena served through the paged buffer
+    // pool at shrinking hard budgets. Runs after every resident
+    // measurement so the paged engines cannot evict the resident
+    // working set mid-measurement.
+    let paged = run_paged_sweep(&engine, spec, &sources);
+
     // The same engine with the walk cache disabled: the committed
     // trajectory records both modes, and CI's smoke run therefore
     // exercises cached and uncached engines alike.
@@ -414,6 +528,7 @@ fn run_dataset(spec: &DatasetSpec, queries: usize) -> BenchRow {
             size_bytes_f32: engine_f32.index().stats().size_bytes,
             nested_f64_size_bytes: nested_layout_bytes(engine.index(), n),
         },
+        paged,
         batch,
     }
 }
@@ -485,6 +600,19 @@ fn render_json(rows: &[BenchRow], queries: usize, preserved: &[(&str, String)]) 
             ix.nested_f64_size_bytes,
             ix.size_bytes_f32 as f64 / ix.nested_f64_size_bytes.max(1) as f64
         ));
+        out.push_str(&format!(
+            "     \"paged\": {{\"plan\": \"reference\", \"page_bytes\": {PAGED_PAGE_BYTES}, \"points\": ["
+        ));
+        for (j, p) in r.paged.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"budget_frac\": {:.3}, \"budget_bytes\": {}, \"p50_us\": {:.1}, \"qps\": {:.1}, \"peak_resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+                p.budget_frac, p.budget_bytes, p.p50_us, p.qps, p.peak_resident_bytes, p.hits, p.misses, p.evictions
+            ));
+            if j + 1 < r.paged.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]},\n");
         out.push_str("     \"batch\": [");
         for (j, b) in r.batch.iter().enumerate() {
             out.push_str(&format!(
@@ -572,6 +700,12 @@ fn main() {
             row.cache.eta_hit_rate,
             row.cache.wavefront_peak_mean,
         );
+        for p in &row.paged {
+            eprintln!(
+                "  paged {:>5.3}x budget ({} B): p50 {:.0} us | {:.0} qps | peak {} B | {} hits / {} misses / {} evictions",
+                p.budget_frac, p.budget_bytes, p.p50_us, p.qps, p.peak_resident_bytes, p.hits, p.misses, p.evictions,
+            );
+        }
         rows.push(row);
     }
 
@@ -698,6 +832,77 @@ fn check_against_baseline(rows: &[BenchRow], path: &str) {
                     "OK: {} index {} B vs committed {:.0} B",
                     row.name, row.index.size_bytes_f64, base
                 );
+            }
+        }
+        // Out-of-core guardrails. The hard budget gate (fresh peak
+        // resident ≤ budget at every fraction) already ran inside
+        // `run_paged_sweep`; here the committed row must carry the paged
+        // block, and the fresh qps-vs-budget curve — each point
+        // normalized by the same-run full-budget point to cancel box
+        // drift — must not collapse against the committed curve.
+        let committed_paged = committed_row
+            .and_then(|r| r.get("paged"))
+            .and_then(|p| p.get("points"))
+            .and_then(mini_json::Value::as_array);
+        match committed_paged {
+            None => {
+                eprintln!(
+                    "FAIL: baseline has no paged.points entry for {} (regenerate BENCH_query.json)",
+                    row.name
+                );
+                failures += 1;
+            }
+            Some(committed_points) => {
+                let norm = |points: &[&PagedPoint]| -> Option<f64> {
+                    points.iter().find(|p| p.budget_frac == 1.0).map(|p| p.qps)
+                };
+                let fresh_refs: Vec<&PagedPoint> = row.paged.iter().collect();
+                let fresh_full = norm(&fresh_refs).unwrap_or(0.0);
+                let committed_point = |frac: f64, key: &str| -> Option<f64> {
+                    committed_points
+                        .iter()
+                        .find(|p| {
+                            p.get("budget_frac").and_then(mini_json::Value::as_f64) == Some(frac)
+                        })
+                        .and_then(|p| p.get(key))
+                        .and_then(mini_json::Value::as_f64)
+                };
+                let committed_full = committed_point(1.0, "qps").unwrap_or(0.0);
+                for p in &row.paged {
+                    if p.budget_frac == 1.0 {
+                        continue;
+                    }
+                    let Some(base_qps) = committed_point(p.budget_frac, "qps") else {
+                        eprintln!(
+                            "FAIL: baseline paged curve for {} lacks budget_frac {}",
+                            row.name, p.budget_frac
+                        );
+                        failures += 1;
+                        continue;
+                    };
+                    if fresh_full <= 0.0 || committed_full <= 0.0 {
+                        eprintln!(
+                            "FAIL: {} paged curve lacks a full-budget point to normalize by",
+                            row.name
+                        );
+                        failures += 1;
+                        break;
+                    }
+                    let fresh_norm = p.qps / fresh_full;
+                    let committed_norm = base_qps / committed_full;
+                    if fresh_norm * PAGED_CURVE_TOLERANCE < committed_norm {
+                        eprintln!(
+                            "FAIL: {} paged qps at {}x budget collapsed: normalized {:.3} vs committed {:.3} (> {PAGED_CURVE_TOLERANCE}x)",
+                            row.name, p.budget_frac, fresh_norm, committed_norm
+                        );
+                        failures += 1;
+                    } else {
+                        eprintln!(
+                            "OK: {} paged qps at {}x budget: normalized {:.3} vs committed {:.3}",
+                            row.name, p.budget_frac, fresh_norm, committed_norm
+                        );
+                    }
+                }
             }
         }
         // Walk-cache memory guardrail: the committed row must carry the

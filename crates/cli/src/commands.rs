@@ -31,14 +31,20 @@ USAGE:
   prsim convert IN OUT              (.bin = binary, else edge-list text)
   prsim stats GRAPH
   prsim build GRAPH --index FILE [--eps E] [--hubs N|sqrt] [--f32-reserves]
-      [--sorted-out FILE]
+      [--sorted-out FILE] [--paged-index FILE [--page-bytes N]]
       --f32-reserves stores index reserves quantized to f32 (arena ~2/3
       the size; quantization error is charged against eps)
+      --paged-index additionally writes the arena as a page-checksummed
+      v4 file servable out of core (see query --paged-index)
   prsim query GRAPH --source U [--index FILE] [--eps E] [--top K] [--seed N]
       [--walk-cache B] [--no-walk-cache]
+      [--paged-index FILE [--memory-budget B] [--page-hot R]]
       --walk-cache B pre-samples walk terminals/η verdicts for the top-B
       reverse-PageRank nodes (default 256; answers stay honest per query
       but are correlated across queries); --no-walk-cache disables it
+      --paged-index serves the arena out of core through a pin/unpin
+      buffer pool capped at --memory-budget bytes (default 64 MiB), with
+      the top --page-hot hub ranks pinned resident (default 64)
   prsim topk GRAPH --source U [--k K] [--eps E] [--seed N]
   prsim pair GRAPH --u A --v B [--samples N] [--seed N]
   prsim update GRAPH --stream FILE [--mode incremental|rebuild] [--batch K]
@@ -51,6 +57,12 @@ USAGE:
       [--queue-depth N] [--queue-bytes N] [--busy-timeout-ms N]
       [--client-timeout-ms N] [--fault-seed S] [--applier-delay-ms N]
       [--chaos-applier-panic-lsn L]
+      [--memory-budget B [--page-bytes N] [--page-hot R]]
+      --memory-budget B serves the postings arena out of core: the
+      recovered index is demoted to a paged arena file in DIR behind a
+      buffer pool hard-capped at B resident bytes; page faults degrade
+      the affected queries (they fall back to live backward walks and
+      report degraded=true) instead of crashing
       resident engine: queries over immutable epoch snapshots, updates
       through a durable fsync-on-commit WAL in DIR (replayed on restart).
       Speaks a line protocol (query/update/sync/stats/health/checkpoint/
@@ -87,8 +99,12 @@ fn save_graph(g: &DiGraph, path: &str) -> Result<(), String> {
 }
 
 /// Writes `bytes` to `path` via a same-directory temp file + fsync +
-/// rename, so readers only ever observe the old or the complete new
-/// content (the same discipline the server's WAL checkpoints use).
+/// rename + parent-directory fsync, so readers only ever observe the
+/// old or the complete new content and the rename itself survives a
+/// power cut (the same discipline the server's WAL checkpoints use —
+/// without the directory fsync, the kernel may persist the file data
+/// but lose the directory entry, resurrecting the old file after a
+/// crash).
 fn write_file_atomic(path: &str, bytes: &[u8]) -> Result<(), String> {
     use std::io::Write;
     let tmp = format!("{path}.tmp.{}", std::process::id());
@@ -98,6 +114,11 @@ fn write_file_atomic(path: &str, bytes: &[u8]) -> Result<(), String> {
         f.sync_all()?;
         drop(f);
         std::fs::rename(&tmp, path)?;
+        let parent = match Path::new(path).parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
         Ok(())
     })();
     if result.is_err() {
@@ -252,6 +273,15 @@ pub fn build(argv: &[String]) -> Result<(), String> {
     let elapsed = start.elapsed().as_secs_f64();
     write_file_atomic(index_path, &engine.index().to_bytes())
         .map_err(|e| format!("cannot write index {index_path}: {e}"))?;
+    if let Some(paged_path) = args.get("paged-index") {
+        let page_bytes: u32 =
+            args.get_parsed("page-bytes", prsim_core::PagedOptions::default().page_bytes)?;
+        engine
+            .index()
+            .write_paged(&prsim_server::FsStorage, Path::new(paged_path), page_bytes)
+            .map_err(|e| format!("cannot write paged index {paged_path}: {e}"))?;
+        println!("wrote paged index ({page_bytes}-byte pages) -> {paged_path}");
+    }
     if let Some(sorted_out) = args.get("sorted-out") {
         save_graph(engine.graph(), sorted_out)?;
     }
@@ -285,8 +315,11 @@ pub fn query(argv: &[String]) -> Result<(), String> {
     let config = config_from(&args)?;
 
     let mut g = load_graph(path)?;
-    let engine = match args.get("index") {
-        Some(index_path) => {
+    if args.get("index").is_some() && args.get("paged-index").is_some() {
+        return Err("--index and --paged-index are mutually exclusive".into());
+    }
+    let engine = match (args.get("index"), args.get("paged-index")) {
+        (Some(index_path), None) => {
             if !g.is_out_sorted_by_in_degree() {
                 prsim_graph::ordering::sort_out_by_in_degree(&mut g);
             }
@@ -297,7 +330,30 @@ pub fn query(argv: &[String]) -> Result<(), String> {
             let pi = reverse_pagerank(&g, config.sqrt_c(), 1e-12, config.max_level);
             Prsim::from_parts(g, pi, index, config).map_err(|e| e.to_string())?
         }
-        None => Prsim::build(g, config).map_err(|e| e.to_string())?,
+        (None, Some(paged_path)) => {
+            // Out-of-core serving: the arena stays in the page file
+            // behind a buffer pool whose resident bytes never exceed
+            // --memory-budget.
+            if !g.is_out_sorted_by_in_degree() {
+                prsim_graph::ordering::sort_out_by_in_degree(&mut g);
+            }
+            let defaults = prsim_core::PagedOptions::default();
+            let opts = prsim_core::PagedOptions {
+                page_bytes: defaults.page_bytes,
+                memory_budget: args.get_parsed("memory-budget", defaults.memory_budget)?,
+                hot_ranks: args.get_parsed("page-hot", defaults.hot_ranks)?,
+            };
+            let index = PrsimIndex::open_paged(
+                std::sync::Arc::new(prsim_server::FsStorage),
+                Path::new(paged_path),
+                g.node_count(),
+                &opts,
+            )
+            .map_err(|e| e.to_string())?;
+            let pi = reverse_pagerank(&g, config.sqrt_c(), 1e-12, config.max_level);
+            Prsim::from_parts(g, pi, index, config).map_err(|e| e.to_string())?
+        }
+        _ => Prsim::build(g, config).map_err(|e| e.to_string())?,
     };
 
     // One workspace reused across repeats: repeat > 1 measures the warm
@@ -314,6 +370,20 @@ pub fn query(argv: &[String]) -> Result<(), String> {
         "query node {source}: {:.4}s, {} walks ({} died, {} pair-met), {} backward walks",
         elapsed, stats.walks, stats.died, stats.pair_met, stats.backward_walks
     );
+    if let Some(p) = engine.index().paging_stats() {
+        println!(
+            "paging: resident {} bytes (peak {}), {} hits / {} misses / {} evictions, \
+             {} faults, {} fallbacks, degraded={}",
+            p.resident_bytes,
+            p.peak_resident_bytes,
+            p.hits,
+            p.misses,
+            p.evictions,
+            p.faults,
+            stats.page_fallbacks,
+            stats.degraded
+        );
+    }
     if repeat > 1 {
         let start = std::time::Instant::now();
         for i in 1..repeat {
@@ -550,6 +620,17 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     options.busy_timeout = std::time::Duration::from_millis(
         args.get_parsed("busy-timeout-ms", options.busy_timeout.as_millis() as u64)?,
     );
+    // Out-of-core serving: demote the recovered arena to a paged file
+    // in the WAL directory under a hard resident-byte ceiling.
+    options.memory_budget = match args.get("memory-budget") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value {v:?} for --memory-budget"))?,
+        ),
+        None => None,
+    };
+    options.page_bytes = args.get_parsed("page-bytes", options.page_bytes)?;
+    options.page_hot_ranks = args.get_parsed("page-hot", options.page_hot_ranks)?;
     // Chaos hooks, exposed so the CI smoke/chaos jobs can exercise the
     // overload and supervision paths through the real binary.
     options.applier_delay =

@@ -488,3 +488,80 @@ fn torn_tail_is_repaired_through_the_binary() {
     server.wait_with_output().expect("clean exit");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn sigkill_recovery_is_bit_identical_with_paging_enabled() {
+    let dir = tmpdir("sigkill_paged");
+    let graph = make_graph(&dir);
+    let wal_crash = dir.join("wal_crash");
+
+    // Every server in this test serves out-of-core: the postings arena
+    // is demoted to a page file under a hard memory budget. Small pages
+    // force real paging traffic on the 400-node graph.
+    const PAGED_FLAGS: &[&str] = &[
+        "--memory-budget",
+        "1048576",
+        "--page-bytes",
+        "256",
+        "--page-hot",
+        "4",
+    ];
+
+    // Phase 1: stream updates and SIGKILL the paged server mid-stream.
+    const SENT: usize = 40;
+    const ACKED: usize = 25;
+    let (mut server, addr) = spawn_tcp_server_with(&graph, &wal_crash, PAGED_FLAGS);
+    let mut client = ProtocolClient::connect(&addr);
+    for i in 0..SENT {
+        client.send(&update_line(i));
+        if i < ACKED {
+            let ack = client.recv();
+            assert_eq!(field(&ack, "lsn="), i as u64 + 1, "{ack}");
+        }
+    }
+    server.kill().expect("SIGKILL delivered");
+    server.wait().expect("reaped");
+
+    // Phase 2: restart paged over the crashed WAL (stale arena
+    // generations from the killed process are cleaned at boot).
+    let (server, addr) = spawn_tcp_server_with(&graph, &wal_crash, PAGED_FLAGS);
+    let mut client = ProtocolClient::connect(&addr);
+    let stats = client.request("stats");
+    let committed = field(&stats, "applied_lsn=");
+    assert!(
+        (ACKED as u64..=SENT as u64).contains(&committed),
+        "committed prefix {committed} outside [{ACKED}, {SENT}]: {stats}"
+    );
+    // The stats line must report the buffer pool, and the pool must
+    // honor the budget.
+    assert!(
+        field(&stats, "paged_peak_resident_bytes=") <= 1_048_576,
+        "budget overrun: {stats}"
+    );
+    assert_eq!(field(&stats, "page_unhealed="), 0, "{stats}");
+    assert_eq!(client.request("health"), "ok health=ok");
+    let recovered = fingerprint(&mut client);
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+
+    // Phase 3: an uninterrupted paged server fed exactly the committed
+    // prefix must serve bit-identical scores.
+    let wal_ref = dir.join("wal_ref");
+    let (server, addr) = spawn_tcp_server_with(&graph, &wal_ref, PAGED_FLAGS);
+    let mut client = ProtocolClient::connect(&addr);
+    for i in 0..committed as usize {
+        let ack = client.request(&update_line(i));
+        assert!(ack.starts_with("ok "), "{ack}");
+    }
+    let sync = client.request("sync");
+    assert_eq!(field(&sync, "applied_lsn="), committed);
+    let reference = fingerprint(&mut client);
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+
+    assert_eq!(
+        recovered, reference,
+        "paged crash recovery must serve bit-identical scores"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

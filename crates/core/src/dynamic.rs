@@ -460,6 +460,23 @@ impl DynamicPrsim {
         self.engine.as_ref()
     }
 
+    /// Demotes the engine's postings arena to a paged on-disk file under
+    /// a hard memory budget ([`Prsim::page_out_index`]). No-op when no
+    /// engine is built yet (rebuild mode before the first refresh); the
+    /// next rebuild produces a resident index the caller can demote
+    /// again.
+    pub fn page_out_index(
+        &mut self,
+        storage: std::sync::Arc<dyn prsim_storage::Storage>,
+        path: &std::path::Path,
+        opts: &crate::paging::PagedOptions,
+    ) -> Result<(), PrsimError> {
+        match self.engine.as_mut() {
+            Some(engine) => engine.page_out_index(storage, path, opts),
+            None => Ok(()),
+        }
+    }
+
     /// Overrides the query back-half plan for every engine this wrapper
     /// builds or has built — the dynamic analogue of
     /// [`Prsim::set_query_plan`]. Like it, this exists for measurement

@@ -55,10 +55,17 @@
 //! hub); [`PrsimIndex::build`] fans the searches out over
 //! `build_threads` workers.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use prsim_graph::{DiGraph, NodeId};
+use prsim_storage::Storage;
 
 use crate::backward::backward_search;
+use crate::paging::pagefile;
+use crate::paging::pool::BufferPool;
+use crate::paging::{PagedOptions, PagingStats, PostingsScratch};
 use crate::PrsimError;
 
 /// Magic bytes identifying the serialized index format, version 3
@@ -120,15 +127,6 @@ impl ReserveArena {
         match self {
             ReserveArena::F64(v) => v.push(psi),
             ReserveArena::F32(v) => v.push(psi as f32),
-        }
-    }
-
-    /// The reserve at `i`, widened to f64.
-    #[inline]
-    fn get(&self, i: usize) -> f64 {
-        match self {
-            ReserveArena::F64(v) => v[i],
-            ReserveArena::F32(v) => f64::from(v[i]),
         }
     }
 
@@ -348,6 +346,21 @@ impl HubTouchSets {
     }
 }
 
+/// Out-of-core state of a paged arena: entries `[0, base_entries)` live
+/// in a v4 page file behind a budgeted buffer pool; the index's `nodes`
+/// / `reserves` vectors hold only the *overlay* — runs appended by
+/// repairs after the demotion. `bounds` keeps a single global offset
+/// space across both regions, and a run never straddes them (repairs
+/// tombstone the old run wholesale and append fresh at the tail).
+#[derive(Clone, Debug)]
+struct PagedArena {
+    /// Shared page cache (clones of the index — e.g. epoch snapshots —
+    /// share one pool and therefore one memory budget).
+    pool: Arc<BufferPool>,
+    /// Number of postings entries served from the page file.
+    base_entries: u32,
+}
+
 /// The hub index: a flat postings arena behind a CSR offset table (see
 /// the module docs for the layout).
 #[derive(Clone, Debug)]
@@ -361,7 +374,8 @@ pub struct PrsimIndex {
     /// CSR offsets into the postings arrays; each hub owns a monotone run
     /// of `levels + 1` entries.
     bounds: Vec<u32>,
-    /// Postings: source node ids, grouped by (hub, level).
+    /// Postings: source node ids, grouped by (hub, level). For a paged
+    /// arena this is only the overlay (see [`PagedArena`]).
     nodes: Vec<NodeId>,
     /// Postings: parallel reserve values.
     reserves: ReserveArena,
@@ -371,12 +385,15 @@ pub struct PrsimIndex {
     dead_bounds: usize,
     /// Arena compactions performed.
     compactions: usize,
+    /// Present when the base arena lives out of core.
+    paged: Option<PagedArena>,
 }
 
 /// Equality is *logical*: same hubs, same node universe, same precision
-/// and the same per-(hub, level) postings — independent of tombstones and
-/// physical arena order, so a repaired index compares equal to a fresh
-/// build of the same searches.
+/// and the same per-(hub, level) postings — independent of tombstones,
+/// physical arena order, and of whether either side is paged (a paged
+/// index compares equal to the resident index it was demoted from; a
+/// page fault while comparing yields `false`).
 impl PartialEq for PrsimIndex {
     fn eq(&self, other: &Self) -> bool {
         if self.hubs != other.hubs
@@ -385,6 +402,8 @@ impl PartialEq for PrsimIndex {
         {
             return false;
         }
+        let mut sa = PostingsScratch::new();
+        let mut sb = PostingsScratch::new();
         (0..self.hubs.len()).all(|rank| {
             if self.level_count(rank) != other.level_count(rank) {
                 return false;
@@ -392,11 +411,22 @@ impl PartialEq for PrsimIndex {
             (0..self.level_count(rank)).all(|level| {
                 let (a0, a1) = self.range(rank, level);
                 let (b0, b1) = other.range(rank, level);
-                a1 - a0 == b1 - b0
-                    && self.nodes[a0..a1] == other.nodes[b0..b1]
-                    && (0..a1 - a0).all(|i| {
-                        self.reserves.get(a0 + i).to_bits() == other.reserves.get(b0 + i).to_bits()
-                    })
+                if a1 - a0 != b1 - b0 {
+                    return false;
+                }
+                if a1 == a0 {
+                    return true;
+                }
+                let (Ok(pa), Ok(pb)) =
+                    (self.run_at(a0, a1, &mut sa), other.run_at(b0, b1, &mut sb))
+                else {
+                    return false;
+                };
+                let same = pa
+                    .iter()
+                    .zip(pb.iter())
+                    .all(|((va, ra), (vb, rb))| va == vb && ra.to_bits() == rb.to_bits());
+                same
             })
         })
     }
@@ -487,6 +517,7 @@ impl PrsimIndex {
             dead_entries: 0,
             dead_bounds: 0,
             compactions: 0,
+            paged: None,
         };
         let mut touched = Vec::with_capacity(searched.len());
         for (lists, t) in searched {
@@ -503,19 +534,30 @@ impl PrsimIndex {
     fn append_run(&mut self, lists: &HubLists) -> HubSlot {
         let bounds_start =
             u32::try_from(self.bounds.len()).expect("offset table exceeds u32 range");
+        // Offsets are global: overlay entries of a paged arena start after
+        // the page file's base region.
+        let base = self.arena_base();
         let post = |len: usize| u32::try_from(len).expect("postings arena exceeds u32 range");
-        self.bounds.push(post(self.nodes.len()));
+        self.bounds.push(post(base + self.nodes.len()));
         for level in lists {
             for &(v, psi) in level {
                 self.nodes.push(v);
                 self.reserves.push(psi);
             }
-            self.bounds.push(post(self.nodes.len()));
+            self.bounds.push(post(base + self.nodes.len()));
         }
         HubSlot {
             bounds_start,
             levels: lists.len() as u32,
         }
+    }
+
+    /// Global arena offset where the resident (overlay) region starts:
+    /// 0 for a fully resident arena, the page file's entry count when
+    /// paged.
+    #[inline]
+    fn arena_base(&self) -> usize {
+        self.paged.as_ref().map_or(0, |p| p.base_entries as usize)
     }
 
     /// Runs the backward searches for `hubs` (any node list) over
@@ -620,6 +662,12 @@ impl PrsimIndex {
     /// Whether tombstones outnumber live data (the DeltaGraph-style
     /// amortized threshold).
     fn needs_compaction(&self) -> bool {
+        if self.paged.is_some() {
+            // Tombstoned base runs live on disk, not in `nodes`; compaction
+            // of a paged arena is a re-demote (`page_out`), decided by the
+            // owner, not an in-place rewrite.
+            return false;
+        }
         let live_entries = self.nodes.len() - self.dead_entries;
         let live_bounds = self.bounds.len() - self.dead_bounds;
         self.dead_entries >= COMPACT_MIN_DEAD.max(live_entries)
@@ -670,6 +718,7 @@ impl PrsimIndex {
             dead_entries: 0,
             dead_bounds: 0,
             compactions: 0,
+            paged: None,
         }
     }
 
@@ -691,15 +740,14 @@ impl PrsimIndex {
         self.reserves.precision()
     }
 
-    /// Whether the postings arena is fully memory-resident. Always true
-    /// today — the arena lives in `Vec`s — but the fused query plan's
-    /// `Auto` resolution ([`crate::Prsim::query_plan`]) keys off this so
-    /// the planned out-of-core buffer manager (ROADMAP) can flip paged
-    /// arenas back to the reference pipeline without touching the
-    /// engine.
+    /// Whether the postings arena is fully memory-resident. False for a
+    /// paged arena ([`Self::open_paged`]); the fused query plan's `Auto`
+    /// resolution ([`crate::Prsim::query_plan`]) keys off this to route
+    /// paged arenas through the reference pipeline, whose per-terminal
+    /// lookups tolerate page faults.
     #[inline]
     pub fn is_resident(&self) -> bool {
-        true
+        self.paged.is_none()
     }
 
     /// Hints the CPU to pull `w`'s hub-membership line toward L1 —
@@ -736,8 +784,21 @@ impl PrsimIndex {
     /// The postings slice `L_ℓ(w)`, or `None` when `w` is not a hub or
     /// has no entries at that level. One offset-table probe plus two
     /// offset reads; the returned slice scans sequentially.
+    ///
+    /// **Resident view only**: on a paged arena this resolves overlay
+    /// (repaired) runs but returns `None` for runs still in the page
+    /// file — callers that must see those use [`Self::postings_in`],
+    /// which can fault pages in (and can therefore fail).
     #[inline]
     pub fn postings(&self, w: NodeId, level: usize) -> Option<Postings<'_>> {
+        let (s, e) = self.lookup_range(w, level)?;
+        self.resident_slice(s, e)
+    }
+
+    /// Resolves `(w, level)` to its live global arena range, or `None`
+    /// when `w` is not a hub / the level is absent / the run is empty.
+    #[inline]
+    fn lookup_range(&self, w: NodeId, level: usize) -> Option<(usize, usize)> {
         let pos = *self.hub_pos.get(w as usize)?;
         if pos == NOT_A_HUB {
             return None;
@@ -750,6 +811,18 @@ impl PrsimIndex {
         if s == e {
             return None;
         }
+        Some((s, e))
+    }
+
+    /// Borrows global range `[s, e)` from the resident vectors, or `None`
+    /// when it lives in the page file.
+    #[inline]
+    fn resident_slice(&self, s: usize, e: usize) -> Option<Postings<'_>> {
+        let base = self.arena_base();
+        if s < base {
+            return None;
+        }
+        let (s, e) = (s - base, e - base);
         Some(match &self.reserves {
             ReserveArena::F64(r) => Postings::F64 {
                 nodes: &self.nodes[s..e],
@@ -762,9 +835,126 @@ impl PrsimIndex {
         })
     }
 
-    /// Total number of live `(v, ψ)` postings.
+    /// Reads global range `[s, e)` out of the page file into `scratch`,
+    /// verifying checksums page by page and validating the decoded run
+    /// exactly as [`Self::from_bytes`] would.
+    fn read_base_run<'a>(
+        &self,
+        s: usize,
+        e: usize,
+        scratch: &'a mut PostingsScratch,
+    ) -> Result<Postings<'a>, PrsimError> {
+        let paged = self
+            .paged
+            .as_ref()
+            .expect("read_base_run is only reached below arena_base");
+        let len = e - s;
+        let width = match self.reserves.precision() {
+            ReservePrecision::F64 => 8usize,
+            ReservePrecision::F32 => 4,
+        };
+        let n = self.hub_pos.len();
+        let base = paged.base_entries as usize;
+
+        paged
+            .pool
+            .read_span(s as u64 * 4, len * 4, &mut scratch.raw)?;
+        scratch.nodes.clear();
+        scratch.nodes.reserve(len);
+        for chunk in scratch.raw.chunks_exact(4) {
+            let v = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            if v as usize >= n {
+                return Err(PrsimError::PageFault(
+                    "paged posting node id out of range".to_string(),
+                ));
+            }
+            scratch.nodes.push(v);
+        }
+
+        let reserve_start = base as u64 * 4 + s as u64 * width as u64;
+        paged
+            .pool
+            .read_span(reserve_start, len * width, &mut scratch.raw)?;
+        let bad_reserve =
+            || PrsimError::PageFault("paged reserve not a finite nonnegative value".to_string());
+        match self.reserves.precision() {
+            ReservePrecision::F64 => {
+                scratch.r64.clear();
+                scratch.r64.reserve(len);
+                for chunk in scratch.raw.chunks_exact(8) {
+                    let mut le = [0u8; 8];
+                    le.copy_from_slice(chunk);
+                    let psi = f64::from_le_bytes(le);
+                    if !psi.is_finite() || psi < 0.0 {
+                        return Err(bad_reserve());
+                    }
+                    scratch.r64.push(psi);
+                }
+                Ok(Postings::F64 {
+                    nodes: &scratch.nodes,
+                    reserves: &scratch.r64,
+                })
+            }
+            ReservePrecision::F32 => {
+                scratch.r32.clear();
+                scratch.r32.reserve(len);
+                for chunk in scratch.raw.chunks_exact(4) {
+                    let psi = f32::from_bits(u32::from_le_bytes([
+                        chunk[0], chunk[1], chunk[2], chunk[3],
+                    ]));
+                    if !psi.is_finite() || psi < 0.0 {
+                        return Err(bad_reserve());
+                    }
+                    scratch.r32.push(psi);
+                }
+                Ok(Postings::F32 {
+                    nodes: &scratch.nodes,
+                    reserves: &scratch.r32,
+                })
+            }
+        }
+    }
+
+    /// Resolves global range `[s, e)` wherever it lives: a zero-copy
+    /// borrow of the resident vectors, or a checksum-verified page-file
+    /// read into `scratch`.
+    fn run_at<'a>(
+        &'a self,
+        s: usize,
+        e: usize,
+        scratch: &'a mut PostingsScratch,
+    ) -> Result<Postings<'a>, PrsimError> {
+        if s >= self.arena_base() {
+            Ok(self
+                .resident_slice(s, e)
+                .expect("ranges at or above arena_base are resident"))
+        } else {
+            self.read_base_run(s, e, scratch)
+        }
+    }
+
+    /// Fallible postings lookup that sees the *whole* arena, paged or
+    /// not: `Ok(None)` when `w` has no postings at `level`, `Ok(Some)`
+    /// with the run (borrowed from the arena, or staged in `scratch`
+    /// after a verified page read), or `Err(PageFault)` when the page
+    /// file could not produce the run within the retry budget. Resident
+    /// arenas never return `Err`.
+    pub fn postings_in<'a>(
+        &'a self,
+        w: NodeId,
+        level: usize,
+        scratch: &'a mut PostingsScratch,
+    ) -> Result<Option<Postings<'a>>, PrsimError> {
+        match self.lookup_range(w, level) {
+            None => Ok(None),
+            Some((s, e)) => self.run_at(s, e, scratch).map(Some),
+        }
+    }
+
+    /// Total number of live `(v, ψ)` postings (base region plus overlay,
+    /// minus tombstones).
     pub fn entry_count(&self) -> usize {
-        self.nodes.len() - self.dead_entries
+        self.arena_base() + self.nodes.len() - self.dead_entries
     }
 
     /// Memory/observability counters (benchmark output).
@@ -781,20 +971,38 @@ impl PrsimIndex {
 
     /// Resident size of the index payload in bytes: the postings arrays
     /// (including tombstones awaiting compaction), the offset table, and
-    /// the hub tables.
+    /// the hub tables. For a paged arena this counts only what is
+    /// actually in memory — the overlay vectors, the page-index table and
+    /// the buffer pool's current frames — not the page file.
     pub fn size_bytes(&self) -> usize {
+        let paged = self.paged.as_ref().map_or(0, |p| {
+            let s = p.pool.stats();
+            s.resident_bytes as usize + s.pages as usize * pagefile::PAGE_ENTRY_BYTES
+        });
         self.nodes.len() * 4
             + self.reserves.payload_bytes()
             + self.bounds.len() * 4
             + self.slots.len() * std::mem::size_of::<HubSlot>()
             + self.hubs.len() * 4
             + self.hub_pos.len() * 4
+            + paged
     }
 
     /// Serializes the live arena into a compact binary buffer (format v3;
     /// see the module docs). Deserialize with [`PrsimIndex::from_bytes`],
     /// passing the graph's node count.
+    ///
+    /// Infallible only for resident arenas; a paged arena must read its
+    /// base runs back through the buffer pool, which can fault — paged
+    /// callers (e.g. checkpoint writers) use [`Self::try_to_bytes`].
     pub fn to_bytes(&self) -> Bytes {
+        self.try_to_bytes()
+            .expect("resident index serialization cannot fail; use try_to_bytes for paged arenas")
+    }
+
+    /// Fallible [`Self::to_bytes`]: fails with [`PrsimError::PageFault`]
+    /// when a paged arena's base runs cannot be read and verified.
+    pub fn try_to_bytes(&self) -> Result<Bytes, PrsimError> {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         let flags = match self.reserves.precision() {
@@ -819,26 +1027,56 @@ impl PrsimIndex {
                 buf.put_u32_le(running);
             }
         }
-        for rank in 0..self.hubs.len() {
-            for level in 0..self.level_count(rank) {
-                let (s, e) = self.range(rank, level);
-                for i in s..e {
-                    buf.put_u32_le(self.nodes[i]);
-                }
-            }
-        }
-        for rank in 0..self.hubs.len() {
-            for level in 0..self.level_count(rank) {
-                let (s, e) = self.range(rank, level);
-                for i in s..e {
-                    match &self.reserves {
-                        ReserveArena::F64(r) => buf.put_f64_le(r[i]),
-                        ReserveArena::F32(r) => buf.put_u32_le(r[i].to_bits()),
+        let mut scratch = PostingsScratch::new();
+        self.for_each_live_run(
+            &mut scratch,
+            |buf, run| match run {
+                Postings::F64 { nodes, .. } | Postings::F32 { nodes, .. } => {
+                    for &v in nodes {
+                        buf.put_u32_le(v);
                     }
                 }
+            },
+            &mut buf,
+        )?;
+        self.for_each_live_run(
+            &mut scratch,
+            |buf, run| match run {
+                Postings::F64 { reserves, .. } => {
+                    for &psi in reserves {
+                        buf.put_f64_le(psi);
+                    }
+                }
+                Postings::F32 { reserves, .. } => {
+                    for &psi in reserves {
+                        buf.put_u32_le(psi.to_bits());
+                    }
+                }
+            },
+            &mut buf,
+        )?;
+        Ok(buf.freeze())
+    }
+
+    /// Visits every non-empty live run in rank/level order (the
+    /// serialization order), resolving paged runs through `scratch`.
+    fn for_each_live_run<T>(
+        &self,
+        scratch: &mut PostingsScratch,
+        mut visit: impl FnMut(&mut T, Postings<'_>),
+        ctx: &mut T,
+    ) -> Result<(), PrsimError> {
+        for rank in 0..self.hubs.len() {
+            for level in 0..self.level_count(rank) {
+                let (s, e) = self.range(rank, level);
+                if s == e {
+                    continue;
+                }
+                let run = self.run_at(s, e, scratch)?;
+                visit(ctx, run);
             }
         }
-        buf.freeze()
+        Ok(())
     }
 
     /// Deserializes an index produced by [`PrsimIndex::to_bytes`]; `n` is
@@ -974,7 +1212,210 @@ impl PrsimIndex {
             dead_entries: 0,
             dead_bounds: 0,
             compactions: 0,
+            paged: None,
         })
+    }
+
+    /// Writes the live arena as a v4 page file at `path` (atomic temp +
+    /// fsync + rename + directory sync). Works for resident and paged
+    /// arenas alike — the live view is streamed in rank order, so
+    /// tombstones are dropped and a paged arena's overlay is folded back
+    /// into the base region (this is the paged arena's compaction story).
+    pub fn write_paged(
+        &self,
+        storage: &dyn Storage,
+        path: &Path,
+        page_bytes: u32,
+    ) -> Result<(), PrsimError> {
+        let mut level_counts = Vec::with_capacity(self.hubs.len());
+        let mut offsets = Vec::with_capacity(self.bounds.len().max(1));
+        offsets.push(0u32);
+        let mut running = 0u32;
+        for rank in 0..self.hubs.len() {
+            level_counts.push(self.level_count(rank) as u32);
+            for level in 0..self.level_count(rank) {
+                let (s, e) = self.range(rank, level);
+                running += (e - s) as u32;
+                offsets.push(running);
+            }
+        }
+        let entries = running as usize;
+        let width = match self.reserves.precision() {
+            ReservePrecision::F64 => 8usize,
+            ReservePrecision::F32 => 4,
+        };
+        let mut blob = Vec::with_capacity(entries * (4 + width));
+        let mut scratch = PostingsScratch::new();
+        self.for_each_live_run(
+            &mut scratch,
+            |blob: &mut Vec<u8>, run| match run {
+                Postings::F64 { nodes, .. } | Postings::F32 { nodes, .. } => {
+                    for &v in nodes {
+                        blob.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            },
+            &mut blob,
+        )?;
+        self.for_each_live_run(
+            &mut scratch,
+            |blob: &mut Vec<u8>, run| match run {
+                Postings::F64 { reserves, .. } => {
+                    for &psi in reserves {
+                        blob.extend_from_slice(&psi.to_le_bytes());
+                    }
+                }
+                Postings::F32 { reserves, .. } => {
+                    for &psi in reserves {
+                        blob.extend_from_slice(&psi.to_bits().to_le_bytes());
+                    }
+                }
+            },
+            &mut blob,
+        )?;
+        pagefile::write(
+            storage,
+            path,
+            page_bytes,
+            self.reserves.precision(),
+            &self.hubs,
+            &level_counts,
+            &offsets,
+            &blob,
+        )
+    }
+
+    /// Opens a v4 page file as a paged index under a hard memory budget.
+    ///
+    /// Admission control: the resident tables (hub tables, CSR offsets,
+    /// page index) plus the permanently pinned hot set plus one working
+    /// frame must fit inside `opts.memory_budget`, else
+    /// [`PrsimError::InvalidConfig`] — the budget is refused up front
+    /// rather than silently overrun. The spare budget sizes the buffer
+    /// pool's hard frame ceiling.
+    ///
+    /// The hot set is the postings (node *and* reserve pages) of the
+    /// `opts.hot_ranks` top-reverse-PageRank hubs — hubs are stored in
+    /// rank order, so this is a prefix of the blob's two regions.
+    pub fn open_paged(
+        storage: Arc<dyn Storage>,
+        path: &Path,
+        n: usize,
+        opts: &PagedOptions,
+    ) -> Result<Self, PrsimError> {
+        let mut meta = pagefile::open(storage.as_ref(), path, n)?;
+        let hubs = std::mem::take(&mut meta.hubs);
+        let level_counts = std::mem::take(&mut meta.level_counts);
+        let offsets = std::mem::take(&mut meta.offsets);
+        let entries = meta.entries;
+        let precision = meta.precision;
+        let page_bytes = u64::from(meta.page_bytes);
+        let width = meta.reserve_width() as u64;
+
+        let mut hub_pos = vec![NOT_A_HUB; n];
+        for (rank, &h) in hubs.iter().enumerate() {
+            hub_pos[h as usize] = rank as u32;
+        }
+        let j0 = hubs.len();
+        let mut bounds = Vec::with_capacity(offsets.len() + j0);
+        let mut slots = Vec::with_capacity(j0);
+        let mut cursor = 0usize;
+        for &lc in &level_counts {
+            let lc = lc as usize;
+            let bounds_start = bounds.len() as u32;
+            bounds.extend_from_slice(&offsets[cursor..cursor + lc + 1]);
+            cursor += lc;
+            slots.push(HubSlot {
+                bounds_start,
+                levels: lc as u32,
+            });
+        }
+
+        // Hot set: every page touched by the top hubs' node span
+        // [0, 4·hot_entries) or reserve span [4E, 4E + w·hot_entries).
+        let hot_ranks = opts.hot_ranks.min(j0);
+        let hot_levels: usize = level_counts[..hot_ranks].iter().map(|&c| c as usize).sum();
+        let hot_entries = u64::from(offsets[hot_levels]);
+        let mut hot: Vec<usize> = Vec::new();
+        let add_span = |hot: &mut Vec<usize>, start: u64, len: u64| {
+            if len > 0 {
+                let first = (start / page_bytes) as usize;
+                let last = ((start + len - 1) / page_bytes) as usize;
+                hot.extend(first..=last);
+            }
+        };
+        add_span(&mut hot, 0, hot_entries * 4);
+        add_span(&mut hot, u64::from(entries) * 4, hot_entries * width);
+        hot.sort_unstable();
+        hot.dedup();
+
+        let meta_resident = meta.pages.len() * pagefile::PAGE_ENTRY_BYTES
+            + bounds.len() * 4
+            + slots.len() * std::mem::size_of::<HubSlot>()
+            + hubs.len() * 4
+            + hub_pos.len() * 4;
+        let hot_bytes: u64 = hot.iter().map(|&p| u64::from(meta.pages[p].len)).sum();
+        let working = if hot.len() < meta.pages.len() {
+            page_bytes
+        } else {
+            0
+        };
+        let need = meta_resident as u64 + hot_bytes + working;
+        if need > opts.memory_budget {
+            return Err(PrsimError::InvalidConfig(format!(
+                "memory budget {} B refused at admission: resident tables ({meta_resident} B) \
+                 + pinned hot set ({hot_bytes} B over {} pages) + one working frame ({working} B) \
+                 need {need} B — lower --page-hot or raise the budget",
+                opts.memory_budget,
+                hot.len(),
+            )));
+        }
+        let spare = opts.memory_budget - meta_resident as u64 - hot_bytes;
+        let frame_budget = hot.len() + (spare / page_bytes) as usize;
+        let pool = BufferPool::new(storage, path.to_path_buf(), meta, frame_budget, hot)?;
+
+        Ok(PrsimIndex {
+            hubs,
+            hub_pos,
+            slots,
+            bounds,
+            nodes: Vec::new(),
+            reserves: ReserveArena::with_capacity(precision, 0),
+            dead_entries: 0,
+            dead_bounds: 0,
+            compactions: 0,
+            paged: Some(PagedArena {
+                pool,
+                base_entries: entries,
+            }),
+        })
+    }
+
+    /// Demotes the live arena to a v4 page file at `path` and reopens it
+    /// paged under `opts`' budget, replacing `self`. On `Err` the index
+    /// is left unchanged and still serves from memory (the page-file
+    /// write is atomic, so a half-written file is never visible).
+    pub fn page_out(
+        &mut self,
+        storage: Arc<dyn Storage>,
+        path: &Path,
+        opts: &PagedOptions,
+    ) -> Result<(), PrsimError> {
+        self.write_paged(storage.as_ref(), path, opts.page_bytes)?;
+        *self = Self::open_paged(storage, path, self.hub_pos.len(), opts)?;
+        Ok(())
+    }
+
+    /// Buffer-pool counters, when the arena is paged.
+    pub fn paging_stats(&self) -> Option<PagingStats> {
+        self.paged.as_ref().map(|p| p.pool.stats())
+    }
+
+    /// Whether the paged arena's pool is carrying an unhealed per-page
+    /// fault streak (the serving host folds this into its degraded-mode
+    /// health). Always false for resident arenas.
+    pub fn paging_unhealthy(&self) -> bool {
+        self.paged.as_ref().is_some_and(|p| p.pool.unhealthy())
     }
 }
 

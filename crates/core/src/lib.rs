@@ -67,6 +67,7 @@ pub mod config;
 pub mod dynamic;
 pub mod index;
 pub mod pagerank;
+pub mod paging;
 pub mod query;
 pub mod scores;
 pub mod topk;
@@ -78,6 +79,7 @@ pub mod workspace;
 pub use config::{DynamicParams, HubCount, PrsimConfig, QueryParams, QueryPlan};
 pub use dynamic::{DynamicPrsim, DynamicTotals, UpdateMode, UpdateStats};
 pub use index::{HubTouchSets, IndexStats, Postings, PrsimIndex, ReservePrecision};
+pub use paging::{PagedOptions, PagingStats, PostingsScratch};
 pub use query::{Prsim, QueryStats};
 pub use scores::SimRankScores;
 pub use topk::{TopKParams, TopKResult};
@@ -98,6 +100,11 @@ pub enum PrsimError {
     },
     /// Index deserialization failed.
     CorruptIndex(String),
+    /// A paged-arena page could not be read and verified within the
+    /// bounded retry budget (I/O fault, checksum mismatch, or a full
+    /// frame table). Queries catch this and degrade to a live backward
+    /// walk; serialization and maintenance paths surface it.
+    PageFault(String),
 }
 
 impl std::fmt::Display for PrsimError {
@@ -108,6 +115,7 @@ impl std::fmt::Display for PrsimError {
                 write!(f, "node {node} out of range for graph with {n} nodes")
             }
             PrsimError::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
+            PrsimError::PageFault(msg) => write!(f, "page fault: {msg}"),
         }
     }
 }

@@ -1,0 +1,84 @@
+//! Out-of-core postings: the v4 page file and the pin/unpin buffer pool.
+//!
+//! The flat postings arena ([`crate::index`]) serializes as one
+//! contiguous blob (`nodes` bytes followed by `reserves` bytes). This
+//! module restructures that blob into **fixed-size pages** with
+//! per-page FNV-1a checksums (the v4 `PRSIMIX4` format, `pagefile`)
+//! and serves it through a [`pool::BufferPool`]: a hard-budgeted frame
+//! table with an LRU-K replacer (`replacer`) where the
+//! reverse-PageRank hot set is pinned resident at load and everything
+//! else faults in on demand through the injectable
+//! [`prsim_storage::Storage`] trait.
+//!
+//! ## Failure contract
+//!
+//! Every page fetch is verified against its checksum; a read error or a
+//! checksum mismatch (bit-rot) gets a bounded retry with backoff and
+//! then surfaces as [`crate::PrsimError::PageFault`] — never a panic.
+//! The query path catches the fault and falls back to a live backward
+//! walk for the affected hub terminal (`degraded=true`), and the pool
+//! tracks per-page unhealed-fault streaks so a host can trip its
+//! degraded-mode machinery when the same page keeps failing.
+//!
+//! ## Memory model
+//!
+//! The `--memory-budget` is a **hard ceiling** on the arena's resident
+//! bytes: page-table and offset metadata, the permanently pinned hot
+//! pages, and every pool frame are charged against it, and admission
+//! control refuses to open a file whose pinned set alone (plus one
+//! working frame) exceeds the budget. The pool never allocates a frame
+//! beyond the ceiling — when every frame is pinned, a miss degrades the
+//! query instead of growing the pool.
+
+pub(crate) mod pagefile;
+pub mod pool;
+pub(crate) mod replacer;
+
+pub use pool::{BufferPool, PagingStats};
+
+/// Knobs for opening (or demoting to) a paged arena.
+#[derive(Clone, Copy, Debug)]
+pub struct PagedOptions {
+    /// Page size in bytes (clamped to `[64, 2^30]` by validation).
+    pub page_bytes: u32,
+    /// Hard ceiling on the arena's resident bytes (metadata + pinned
+    /// hot set + pool frames).
+    pub memory_budget: u64,
+    /// Number of top-ranked hubs whose postings runs are pinned
+    /// resident at load (the harmonically-decayed hot set — hubs are
+    /// stored in descending reverse-PageRank order, so this is a prefix
+    /// of the arena).
+    pub hot_ranks: usize,
+}
+
+impl Default for PagedOptions {
+    fn default() -> Self {
+        PagedOptions {
+            page_bytes: 16 * 1024,
+            memory_budget: 64 * 1024 * 1024,
+            hot_ranks: 64,
+        }
+    }
+}
+
+/// Reusable decode buffers for postings served from the page pool. The
+/// query workspace owns one so per-terminal lookups allocate nothing in
+/// steady state.
+#[derive(Clone, Debug, Default)]
+pub struct PostingsScratch {
+    /// Raw bytes gathered from the pinned pages.
+    pub(crate) raw: Vec<u8>,
+    /// Decoded source node ids.
+    pub(crate) nodes: Vec<prsim_graph::NodeId>,
+    /// Decoded f64 reserves (when the arena is full precision).
+    pub(crate) r64: Vec<f64>,
+    /// Decoded f32 reserves (when the arena is quantized).
+    pub(crate) r32: Vec<f32>,
+}
+
+impl PostingsScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

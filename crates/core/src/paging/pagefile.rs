@@ -1,0 +1,380 @@
+//! The v4 page-oriented postings file format (`PRSIMIX4`).
+//!
+//! v3 ([`crate::index`]) serializes the arena as one unframed byte
+//! stream, which forces an all-or-nothing load. v4 keeps the same
+//! logical content but frames the postings blob into fixed-size pages
+//! so a buffer pool can fetch and verify any piece independently:
+//!
+//! ```text
+//! magic "PRSIMIX4"                     8 bytes
+//! flags (bit 0 = f32 reserves)         u32 le
+//! page_bytes                           u32 le
+//! j0 (hub count)                       u64 le
+//! total_levels (Σ level_counts)        u64 le
+//! entries (total postings E)           u64 le
+//! hubs                                 4·j0
+//! level_counts                         4·j0
+//! offsets (global, 0-based, monotone)  4·(total_levels+1)
+//! meta_checksum (FNV-1a of the above)  u64 le
+//! page_count                           u64 le
+//! page index: {offset u64, len u32, checksum u64} · page_count
+//! blob = nodes bytes (4E) ++ reserve bytes (8E or 4E),
+//!        split into page_bytes pages (last page short)
+//! ```
+//!
+//! The header, hub tables, offsets and page index stay resident (they
+//! are a fraction of a percent of the blob); only blob pages go through
+//! the pool. Every open-time table is validated exactly like v3 —
+//! monotone offsets, in-range hubs, page-index entries that match the
+//! computed layout, no trailing bytes — and every allocation is bounded
+//! by the file length, so corrupt input yields a structured error,
+//! never a panic or an attacker-sized allocation. Page *content*
+//! (node ids, reserve values) is validated at decode time by the index,
+//! since it is only read page-by-page.
+
+use std::path::Path;
+
+use prsim_graph::NodeId;
+use prsim_storage::Storage;
+
+use crate::index::ReservePrecision;
+use crate::PrsimError;
+
+/// Magic bytes of the paged format, version 4.
+pub(crate) const PAGE_MAGIC: &[u8; 8] = b"PRSIMIX4";
+
+/// Flag bit: reserves are f32.
+pub(crate) const FLAG_F32: u32 = 1;
+
+/// Smallest permitted page (a page must hold at least a few entries).
+pub(crate) const MIN_PAGE_BYTES: u32 = 64;
+
+/// Largest permitted page (1 GiB — beyond this "paging" is fiction).
+pub(crate) const MAX_PAGE_BYTES: u32 = 1 << 30;
+
+/// Fixed-size header length: magic + flags + page_bytes + j0 +
+/// total_levels + entries.
+const HEADER_BYTES: usize = 8 + 4 + 4 + 8 + 8 + 8;
+
+/// Bytes per page-index entry: offset + len + checksum.
+pub(crate) const PAGE_ENTRY_BYTES: usize = 8 + 4 + 8;
+
+/// FNV-1a over a sequence of chunks (the same function the WAL uses;
+/// kept local so core does not depend on the server crate).
+pub(crate) fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// One page-index entry: where the page lives in the file and what its
+/// bytes must hash to.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PageEntry {
+    /// Absolute file offset of the page's first byte.
+    pub offset: u64,
+    /// Page length in bytes (equal to `page_bytes` except the tail).
+    pub len: u32,
+    /// FNV-1a of the page bytes.
+    pub checksum: u64,
+}
+
+/// The resident metadata of an opened v4 file: everything except the
+/// blob pages themselves.
+#[derive(Clone, Debug)]
+pub(crate) struct PageFileMeta {
+    /// Reserve storage width of the blob.
+    pub precision: ReservePrecision,
+    /// Fixed page size in bytes.
+    pub page_bytes: u32,
+    /// Hub node ids in descending reverse-PageRank order.
+    pub hubs: Vec<NodeId>,
+    /// Per-hub stored level counts.
+    pub level_counts: Vec<u32>,
+    /// Global 0-based monotone entry offsets (one run per hub level).
+    pub offsets: Vec<u32>,
+    /// Total postings entries `E`.
+    pub entries: u32,
+    /// Validated page index.
+    pub pages: Vec<PageEntry>,
+}
+
+impl PageFileMeta {
+    /// Reserve width in bytes.
+    pub fn reserve_width(&self) -> usize {
+        match self.precision {
+            ReservePrecision::F64 => 8,
+            ReservePrecision::F32 => 4,
+        }
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> PrsimError {
+    PrsimError::CorruptIndex(msg.into())
+}
+
+/// Writes a v4 page file atomically (temp file + fsync + rename +
+/// directory sync — the WAL checkpoint discipline). `offsets` is the
+/// global monotone entry-offset table and `blob` the postings payload
+/// (`nodes` bytes then reserve bytes).
+#[allow(clippy::too_many_arguments)] // the args are the v4 header tables
+pub(crate) fn write(
+    storage: &dyn Storage,
+    path: &Path,
+    page_bytes: u32,
+    precision: ReservePrecision,
+    hubs: &[NodeId],
+    level_counts: &[u32],
+    offsets: &[u32],
+    blob: &[u8],
+) -> Result<(), PrsimError> {
+    if !(MIN_PAGE_BYTES..=MAX_PAGE_BYTES).contains(&page_bytes) {
+        return Err(PrsimError::InvalidConfig(format!(
+            "page size {page_bytes} outside [{MIN_PAGE_BYTES}, {MAX_PAGE_BYTES}]"
+        )));
+    }
+    let total_levels: u64 = level_counts.iter().map(|&c| u64::from(c)).sum();
+    let entries = u64::from(*offsets.last().expect("offsets always hold a 0 sentinel"));
+
+    let mut head = Vec::with_capacity(HEADER_BYTES + 8 * hubs.len() + 4 * offsets.len());
+    head.extend_from_slice(PAGE_MAGIC);
+    let flags = match precision {
+        ReservePrecision::F64 => 0,
+        ReservePrecision::F32 => FLAG_F32,
+    };
+    head.extend_from_slice(&flags.to_le_bytes());
+    head.extend_from_slice(&page_bytes.to_le_bytes());
+    head.extend_from_slice(&(hubs.len() as u64).to_le_bytes());
+    head.extend_from_slice(&total_levels.to_le_bytes());
+    head.extend_from_slice(&entries.to_le_bytes());
+    for &h in hubs {
+        head.extend_from_slice(&h.to_le_bytes());
+    }
+    for &c in level_counts {
+        head.extend_from_slice(&c.to_le_bytes());
+    }
+    for &o in offsets {
+        head.extend_from_slice(&o.to_le_bytes());
+    }
+    let meta_checksum = fnv1a64(&[&head]);
+
+    let page = page_bytes as usize;
+    let page_count = blob.len().div_ceil(page);
+    let blob_start = (head.len() + 8 + 8 + page_count * PAGE_ENTRY_BYTES) as u64;
+    let mut table = Vec::with_capacity(16 + page_count * PAGE_ENTRY_BYTES);
+    table.extend_from_slice(&meta_checksum.to_le_bytes());
+    table.extend_from_slice(&(page_count as u64).to_le_bytes());
+    for (i, chunk) in blob.chunks(page).enumerate() {
+        table.extend_from_slice(&(blob_start + (i * page) as u64).to_le_bytes());
+        table.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        table.extend_from_slice(&fnv1a64(&[chunk]).to_le_bytes());
+    }
+
+    let io_err = |e: std::io::Error| PrsimError::PageFault(format!("page file write: {e}"));
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let written = (|| -> std::io::Result<()> {
+        let mut f = storage.create(&tmp)?;
+        f.write_all(&head)?;
+        f.write_all(&table)?;
+        f.write_all(blob)?;
+        f.sync_all()
+    })();
+    if let Err(e) = written {
+        let _ = storage.remove_file(&tmp);
+        return Err(io_err(e));
+    }
+    storage.rename(&tmp, path).map_err(io_err)?;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Err(e) = storage.sync_dir(dir.unwrap_or(Path::new("."))) {
+        // Same discipline as a WAL checkpoint: an unsynced rename is not
+        // durable, so un-publish rather than report success.
+        let _ = storage.remove_file(path);
+        return Err(io_err(e));
+    }
+    Ok(())
+}
+
+/// Opens and validates a v4 file's resident metadata; `n` is the node
+/// count of the graph the index belongs to. Blob pages are *not* read —
+/// that is the buffer pool's job.
+pub(crate) fn open(
+    storage: &dyn Storage,
+    path: &Path,
+    n: usize,
+) -> Result<PageFileMeta, PrsimError> {
+    let io_err = |what: &str, e: std::io::Error| corrupt(format!("{what}: {e}"));
+    let file_len = storage
+        .file_len(path)
+        .map_err(|e| io_err("page file unreadable", e))?;
+    if (file_len as usize) < HEADER_BYTES {
+        return Err(corrupt("page file header truncated"));
+    }
+    let head = storage
+        .read_prefix(path, HEADER_BYTES)
+        .map_err(|e| io_err("page file header unreadable", e))?;
+    if &head[..8] != PAGE_MAGIC {
+        return Err(corrupt("bad page file magic"));
+    }
+    let flags = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+    if flags & !FLAG_F32 != 0 {
+        return Err(corrupt("unknown page file flags"));
+    }
+    let precision = if flags & FLAG_F32 != 0 {
+        ReservePrecision::F32
+    } else {
+        ReservePrecision::F64
+    };
+    let page_bytes = u32::from_le_bytes(head[12..16].try_into().expect("4 bytes"));
+    if !(MIN_PAGE_BYTES..=MAX_PAGE_BYTES).contains(&page_bytes) {
+        return Err(corrupt(format!("page size {page_bytes} out of range")));
+    }
+    let j0 = u64::from_le_bytes(head[16..24].try_into().expect("8 bytes")) as usize;
+    let total_levels = u64::from_le_bytes(head[24..32].try_into().expect("8 bytes")) as usize;
+    let entries64 = u64::from_le_bytes(head[32..40].try_into().expect("8 bytes"));
+    if j0 > n {
+        return Err(corrupt("hub count exceeds node count"));
+    }
+    let entries = u32::try_from(entries64).map_err(|_| corrupt("entry count exceeds u32"))?;
+
+    // The whole metadata region must fit in the file before we size any
+    // allocation from it.
+    let meta_len = j0
+        .checked_mul(8)
+        .and_then(|hl| total_levels.checked_add(1).map(|t| (hl, t)))
+        .and_then(|(hl, t)| t.checked_mul(4).map(|ob| hl + ob))
+        .ok_or_else(|| corrupt("metadata size overflows"))?;
+    let table_at = HEADER_BYTES
+        .checked_add(meta_len)
+        .ok_or_else(|| corrupt("metadata size overflows"))?;
+    if (table_at + 16) as u64 > file_len {
+        return Err(corrupt("metadata tables exceed file length"));
+    }
+    let meta = storage
+        .read_at(path, HEADER_BYTES as u64, meta_len)
+        .map_err(|e| io_err("page file metadata unreadable", e))?;
+
+    let mut hubs = Vec::with_capacity(j0);
+    let mut seen = vec![false; n];
+    for i in 0..j0 {
+        let h = u32::from_le_bytes(meta[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        if h as usize >= n || seen[h as usize] {
+            return Err(corrupt("hub id out of range or duplicated"));
+        }
+        seen[h as usize] = true;
+        hubs.push(h);
+    }
+    let mut level_counts = Vec::with_capacity(j0);
+    let mut level_sum = 0u64;
+    for i in 0..j0 {
+        let at = 4 * j0 + 4 * i;
+        let lc = u32::from_le_bytes(meta[at..at + 4].try_into().expect("4 bytes"));
+        level_sum += u64::from(lc);
+        level_counts.push(lc);
+    }
+    if level_sum != total_levels as u64 {
+        return Err(corrupt("level counts disagree with header"));
+    }
+    let mut offsets = Vec::with_capacity(total_levels + 1);
+    let mut prev = 0u32;
+    for i in 0..=total_levels {
+        let at = 8 * j0 + 4 * i;
+        let o = u32::from_le_bytes(meta[at..at + 4].try_into().expect("4 bytes"));
+        if (i == 0 && o != 0) || o < prev {
+            return Err(corrupt("offset table not monotone from 0"));
+        }
+        offsets.push(o);
+        prev = o;
+    }
+    if prev != entries {
+        return Err(corrupt("offset table total disagrees with header"));
+    }
+
+    let tail = storage
+        .read_at(path, table_at as u64, 16)
+        .map_err(|e| io_err("page file checksum unreadable", e))?;
+    let meta_checksum = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+    if fnv1a64(&[&head, &meta]) != meta_checksum {
+        return Err(corrupt("metadata checksum mismatch"));
+    }
+    let page_count64 = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+
+    let reserve_width = match precision {
+        ReservePrecision::F64 => 8u64,
+        ReservePrecision::F32 => 4,
+    };
+    let blob_len = entries64 * (4 + reserve_width);
+    let expect_pages = blob_len.div_ceil(u64::from(page_bytes));
+    if page_count64 != expect_pages {
+        return Err(corrupt(format!(
+            "page count {page_count64} disagrees with blob of {blob_len} bytes"
+        )));
+    }
+    let page_count = page_count64 as usize;
+    let blob_start = (table_at + 16 + page_count * PAGE_ENTRY_BYTES) as u64;
+    if blob_start
+        .checked_add(blob_len)
+        .is_none_or(|end| end != file_len)
+    {
+        return Err(corrupt(
+            "file length disagrees with page table (truncated blob or trailing bytes)",
+        ));
+    }
+    let table = storage
+        .read_at(path, (table_at + 16) as u64, page_count * PAGE_ENTRY_BYTES)
+        .map_err(|e| io_err("page index unreadable", e))?;
+    let mut pages = Vec::with_capacity(page_count);
+    for i in 0..page_count {
+        let at = i * PAGE_ENTRY_BYTES;
+        let offset = u64::from_le_bytes(table[at..at + 8].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(table[at + 8..at + 12].try_into().expect("4 bytes"));
+        let checksum = u64::from_le_bytes(table[at + 12..at + 20].try_into().expect("8 bytes"));
+        let want_offset = blob_start + (i as u64) * u64::from(page_bytes);
+        let want_len = u64::from(page_bytes).min(blob_len - (i as u64) * u64::from(page_bytes));
+        if offset != want_offset || u64::from(len) != want_len {
+            return Err(corrupt(format!(
+                "page-index entry {i} out of range (offset {offset}, len {len})"
+            )));
+        }
+        pages.push(PageEntry {
+            offset,
+            len,
+            checksum,
+        });
+    }
+
+    Ok(PageFileMeta {
+        precision,
+        page_bytes,
+        hubs,
+        level_counts,
+        offsets,
+        entries,
+        pages,
+    })
+}
+
+/// Reads and checksum-verifies one blob page. A read failure or a
+/// mismatch is a [`PrsimError::PageFault`] — the caller retries or
+/// degrades.
+pub(crate) fn read_page(
+    storage: &dyn Storage,
+    path: &Path,
+    meta: &PageFileMeta,
+    page: usize,
+) -> Result<Vec<u8>, PrsimError> {
+    let entry = meta.pages[page];
+    let buf = storage
+        .read_at(path, entry.offset, entry.len as usize)
+        .map_err(|e| PrsimError::PageFault(format!("page {page} read failed: {e}")))?;
+    if fnv1a64(&[&buf]) != entry.checksum {
+        return Err(PrsimError::PageFault(format!(
+            "page {page} checksum mismatch"
+        )));
+    }
+    Ok(buf)
+}

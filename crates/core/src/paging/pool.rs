@@ -1,0 +1,383 @@
+//! The pin/unpin buffer pool between the query path and disk.
+//!
+//! One pool serves one v4 page file. Frames are whole pages held as
+//! `Arc<Vec<u8>>`; [`BufferPool::pin`] returns a [`PinnedPage`] guard
+//! that keeps the frame unevictable until dropped. The frame count is a
+//! **hard ceiling** derived from the memory budget: on a miss with a
+//! full table the LRU-K replacer must yield an unpinned victim, and if
+//! every frame is pinned the miss fails (the query degrades) rather
+//! than allocating past the budget.
+//!
+//! The reverse-PageRank hot set is pinned *resident* at construction:
+//! those frames are read once, never enter the replacer, and never
+//! leave. All fetches go through [`prsim_storage::Storage::read_at`]
+//! and are checksum-verified; a fault is retried a bounded number of
+//! times with a short backoff, then surfaces as
+//! [`PrsimError::PageFault`]. Per-page consecutive-failure streaks feed
+//! the host's degraded-mode machinery ([`BufferPool::unhealthy`]); a
+//! later successful fetch heals the streak.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use prsim_storage::Storage;
+
+use super::pagefile::{self, PageFileMeta};
+use super::replacer::LruKReplacer;
+use crate::PrsimError;
+
+/// Fetch attempts per pin before the fault propagates.
+const PIN_ATTEMPTS: u32 = 3;
+
+/// Backoff between fetch attempts (doubled each retry).
+const RETRY_BACKOFF: Duration = Duration::from_micros(100);
+
+/// Consecutive failed pins of one page that flip the pool unhealthy.
+const UNHEALED_TRIP: u32 = 3;
+
+/// Live counters of one pool (observability + the bench's budget gate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Page size in bytes.
+    pub page_bytes: u32,
+    /// Total pages in the file.
+    pub pages: u64,
+    /// Permanently pinned hot pages.
+    pub hot_pages: u64,
+    /// Hard ceiling on simultaneously resident frames.
+    pub frame_budget: u64,
+    /// Frames currently resident (including hot pages).
+    pub resident_frames: u64,
+    /// Current resident bytes of the frame table.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` since construction.
+    pub peak_resident_bytes: u64,
+    /// Pins served from a resident frame.
+    pub hits: u64,
+    /// Pins that fetched from storage.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Pins that failed after bounded retries.
+    pub faults: u64,
+    /// Pages currently carrying an unhealed fault streak.
+    pub unhealed_pages: u64,
+}
+
+struct Frame {
+    data: Arc<Vec<u8>>,
+    pins: u32,
+    /// Hot frames are pinned at construction and never evicted.
+    hot: bool,
+}
+
+struct PoolInner {
+    frames: HashMap<usize, Frame>,
+    replacer: LruKReplacer,
+    /// Consecutive failed pin calls per page; cleared on success.
+    fail_streaks: HashMap<usize, u32>,
+    resident_bytes: u64,
+}
+
+/// A budgeted page cache over one v4 postings file.
+pub struct BufferPool {
+    storage: Arc<dyn Storage>,
+    path: PathBuf,
+    meta: PageFileMeta,
+    frame_budget: usize,
+    hot_pages: usize,
+    inner: Mutex<PoolInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    faults: AtomicU64,
+    peak_resident: AtomicU64,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BufferPool")
+            .field("path", &self.path)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+/// A pinned page: derefs to the page bytes; dropping it unpins.
+pub struct PinnedPage {
+    pool: Arc<BufferPool>,
+    page: usize,
+    data: Arc<Vec<u8>>,
+}
+
+impl std::ops::Deref for PinnedPage {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.pool.unpin(self.page);
+    }
+}
+
+impl BufferPool {
+    /// Builds a pool over an opened file with `frame_budget` total
+    /// frames, reading and permanently pinning the pages listed in
+    /// `hot` (sorted, deduplicated). The caller (admission control) has
+    /// already verified the budget covers the hot set plus at least one
+    /// working frame.
+    pub(crate) fn new(
+        storage: Arc<dyn Storage>,
+        path: PathBuf,
+        meta: PageFileMeta,
+        frame_budget: usize,
+        hot: Vec<usize>,
+    ) -> Result<Arc<Self>, PrsimError> {
+        debug_assert!(hot.iter().all(|&p| p < meta.pages.len()));
+        debug_assert!(frame_budget >= hot.len() + usize::from(hot.len() < meta.pages.len()));
+        let hot_pages = hot.len();
+        let pool = Arc::new(BufferPool {
+            storage,
+            path,
+            meta,
+            frame_budget,
+            hot_pages,
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                replacer: LruKReplacer::new(),
+                fail_streaks: HashMap::new(),
+                resident_bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
+        });
+        for page in hot {
+            let data = pool.fetch_with_retry(page)?;
+            let mut inner = pool.lock();
+            inner.resident_bytes += data.len() as u64;
+            inner.frames.insert(
+                page,
+                Frame {
+                    data: Arc::new(data),
+                    pins: 1,
+                    hot: true,
+                },
+            );
+            let resident = inner.resident_bytes;
+            drop(inner);
+            pool.peak_resident.fetch_max(resident, Ordering::Relaxed);
+        }
+        Ok(pool)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        // A frame table is never left torn: every mutation completes
+        // before the lock drops, so poisoning (a panicked peer) does not
+        // invalidate the state.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pins `page`, fetching and verifying it if not resident. Fails
+    /// with [`PrsimError::PageFault`] after bounded retries, or when the
+    /// frame table is full of pinned pages (the budget is a hard
+    /// ceiling — the pool never grows past it).
+    pub fn pin(self: &Arc<Self>, page: usize) -> Result<PinnedPage, PrsimError> {
+        if page >= self.meta.pages.len() {
+            return Err(PrsimError::PageFault(format!(
+                "page {page} out of range ({} pages)",
+                self.meta.pages.len()
+            )));
+        }
+        {
+            let mut inner = self.lock();
+            if let Some(frame) = inner.frames.get_mut(&page) {
+                frame.pins += 1;
+                let data = Arc::clone(&frame.data);
+                let hot = frame.hot;
+                if !hot {
+                    inner.replacer.record_access(page);
+                    inner.replacer.set_evictable(page, false);
+                }
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PinnedPage {
+                    pool: Arc::clone(self),
+                    page,
+                    data,
+                });
+            }
+            // Miss: make room *before* fetching so the budget ceiling
+            // holds even transiently.
+            if inner.frames.len() >= self.frame_budget {
+                match inner.replacer.evict() {
+                    Some(victim) => {
+                        if let Some(f) = inner.frames.remove(&victim) {
+                            inner.resident_bytes -= f.data.len() as u64;
+                        }
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        drop(inner);
+                        self.faults.fetch_add(1, Ordering::Relaxed);
+                        return Err(PrsimError::PageFault(format!(
+                            "page {page}: memory budget exhausted ({} frames, all pinned)",
+                            self.frame_budget
+                        )));
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match self.fetch_with_retry(page) {
+            Ok(data) => {
+                let data = Arc::new(data);
+                let mut inner = self.lock();
+                inner.fail_streaks.remove(&page);
+                // A concurrent miss may have refilled the table while the
+                // fetch ran; the ceiling is hard, so make room again (or
+                // fail) before inserting a new frame.
+                if !inner.frames.contains_key(&page) && inner.frames.len() >= self.frame_budget {
+                    match inner.replacer.evict() {
+                        Some(victim) => {
+                            if let Some(f) = inner.frames.remove(&victim) {
+                                inner.resident_bytes -= f.data.len() as u64;
+                            }
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            drop(inner);
+                            self.faults.fetch_add(1, Ordering::Relaxed);
+                            return Err(PrsimError::PageFault(format!(
+                                "page {page}: memory budget exhausted ({} frames, all pinned)",
+                                self.frame_budget
+                            )));
+                        }
+                    }
+                }
+                // A concurrent pin may have raced the fetch; reuse the
+                // resident frame in that case to keep accounting exact.
+                let frame = inner.frames.entry(page).or_insert_with(|| Frame {
+                    data: Arc::clone(&data),
+                    pins: 0,
+                    hot: false,
+                });
+                frame.pins += 1;
+                let data = Arc::clone(&frame.data);
+                inner.replacer.record_access(page);
+                inner.replacer.set_evictable(page, false);
+                let resident: u64 = inner.frames.values().map(|f| f.data.len() as u64).sum();
+                inner.resident_bytes = resident;
+                drop(inner);
+                self.peak_resident.fetch_max(resident, Ordering::Relaxed);
+                Ok(PinnedPage {
+                    pool: Arc::clone(self),
+                    page,
+                    data,
+                })
+            }
+            Err(e) => {
+                let mut inner = self.lock();
+                let streak = inner.fail_streaks.entry(page).or_insert(0);
+                *streak = streak.saturating_add(1);
+                drop(inner);
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn unpin(&self, page: usize) {
+        let mut inner = self.lock();
+        if let Some(frame) = inner.frames.get_mut(&page) {
+            frame.pins = frame.pins.saturating_sub(1);
+            if frame.pins == 0 && !frame.hot {
+                inner.replacer.set_evictable(page, true);
+            }
+        }
+    }
+
+    /// Fetches and verifies one page, retrying transient faults with a
+    /// short exponential backoff.
+    fn fetch_with_retry(&self, page: usize) -> Result<Vec<u8>, PrsimError> {
+        let mut backoff = RETRY_BACKOFF;
+        let mut last = None;
+        for attempt in 0..PIN_ATTEMPTS {
+            match pagefile::read_page(self.storage.as_ref(), &self.path, &self.meta, page) {
+                Ok(data) => return Ok(data),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < PIN_ATTEMPTS {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Copies blob bytes `[start, start + out_len)` (offsets relative to
+    /// the blob, not the file) into `out`, pinning each spanned page in
+    /// turn. `out` is cleared first.
+    pub(crate) fn read_span(
+        self: &Arc<Self>,
+        start: u64,
+        out_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), PrsimError> {
+        out.clear();
+        out.reserve(out_len);
+        let page_bytes = u64::from(self.meta.page_bytes);
+        let mut at = start;
+        let end = start + out_len as u64;
+        while at < end {
+            let page = (at / page_bytes) as usize;
+            let in_page = (at % page_bytes) as usize;
+            let pinned = self.pin(page)?;
+            let take = (pinned.len() - in_page).min((end - at) as usize);
+            out.extend_from_slice(&pinned[in_page..in_page + take]);
+            at += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Whether any page's consecutive-failure streak has crossed the
+    /// trip threshold — the signal a serving host folds into its
+    /// degraded-mode health.
+    pub fn unhealthy(&self) -> bool {
+        self.lock()
+            .fail_streaks
+            .values()
+            .any(|&s| s >= UNHEALED_TRIP)
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> PagingStats {
+        let inner = self.lock();
+        PagingStats {
+            page_bytes: self.meta.page_bytes,
+            pages: self.meta.pages.len() as u64,
+            hot_pages: self.hot_pages as u64,
+            frame_budget: self.frame_budget as u64,
+            resident_frames: inner.frames.len() as u64,
+            resident_bytes: inner.resident_bytes,
+            peak_resident_bytes: self.peak_resident.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            unhealed_pages: inner.fail_streaks.len() as u64,
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! LRU-K replacement policy for the buffer pool.
+//!
+//! Plain LRU is famously fooled by sequential floods — one arena scan
+//! evicts the whole hot set. LRU-K (K=2 here) ranks victims by their
+//! *backward K-distance*: the age of the K-th most recent access. Pages
+//! touched only once have infinite distance and are evicted first (a
+//! scan's pages never displace re-referenced ones); among the
+//! infinite-distance pages the oldest first access goes first, and ties
+//! break on page number so eviction order is fully deterministic.
+
+use std::collections::HashMap;
+
+/// How many historical access timestamps each page keeps.
+pub(crate) const LRU_K: usize = 2;
+
+#[derive(Clone, Debug)]
+struct PageHistory {
+    /// Last [`LRU_K`] access ticks, most recent last.
+    accesses: [u64; LRU_K],
+    /// How many of `accesses` are real (saturates at [`LRU_K`]).
+    count: usize,
+    /// Whether the pool currently allows eviction (pin count is zero).
+    evictable: bool,
+}
+
+impl PageHistory {
+    /// Tick of the K-th most recent access, or `None` (infinite
+    /// backward distance) with fewer than K accesses.
+    fn kth_recent(&self) -> Option<u64> {
+        (self.count >= LRU_K).then(|| self.accesses[0])
+    }
+
+    /// Tick of the earliest remembered access (the LRU-1 fallback used
+    /// to order the infinite-distance class).
+    fn earliest(&self) -> u64 {
+        self.accesses[LRU_K - self.count.max(1)]
+    }
+}
+
+/// The pool's eviction policy. Pin/unpin state lives in the pool's
+/// frame table; the replacer only sees access history and evictability.
+#[derive(Debug, Default)]
+pub(crate) struct LruKReplacer {
+    tick: u64,
+    pages: HashMap<usize, PageHistory>,
+}
+
+impl LruKReplacer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access to `page` (registering it if new; new pages
+    /// start non-evictable, matching the pool's pinned-on-fetch state).
+    pub fn record_access(&mut self, page: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        let h = self.pages.entry(page).or_insert(PageHistory {
+            accesses: [0; LRU_K],
+            count: 0,
+            evictable: false,
+        });
+        h.accesses.rotate_left(1);
+        h.accesses[LRU_K - 1] = tick;
+        h.count = (h.count + 1).min(LRU_K);
+    }
+
+    /// Marks `page` evictable (pin count hit zero) or not.
+    pub fn set_evictable(&mut self, page: usize, evictable: bool) {
+        if let Some(h) = self.pages.get_mut(&page) {
+            h.evictable = evictable;
+        }
+    }
+
+    /// Forgets `page` entirely (its frame was evicted or invalidated).
+    #[cfg(test)]
+    pub fn remove(&mut self, page: usize) {
+        self.pages.remove(&page);
+    }
+
+    /// Number of currently evictable pages.
+    #[cfg(test)]
+    pub fn evictable_len(&self) -> usize {
+        self.pages.values().filter(|h| h.evictable).count()
+    }
+
+    /// Picks, removes and returns the eviction victim: the evictable
+    /// page with the largest backward K-distance (infinite first, by
+    /// earliest access; then oldest K-th access), ties on page number.
+    pub fn evict(&mut self) -> Option<usize> {
+        let victim = self
+            .pages
+            .iter()
+            .filter(|(_, h)| h.evictable)
+            .map(|(&p, h)| {
+                // Order key: infinite-distance class strictly precedes the
+                // finite class; within a class, older marker ticks first.
+                let (class, marker) = match h.kth_recent() {
+                    None => (0u8, h.earliest()),
+                    Some(kth) => (1, kth),
+                };
+                (class, marker, p)
+            })
+            .min()?
+            .2;
+        self.pages.remove(&victim);
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(r: &mut LruKReplacer, page: usize, evictable: bool) {
+        r.record_access(page);
+        r.set_evictable(page, evictable);
+    }
+
+    #[test]
+    fn single_access_pages_evict_before_rereferenced_ones() {
+        let mut r = LruKReplacer::new();
+        touch(&mut r, 1, true); // tick 1
+        touch(&mut r, 2, true); // tick 2
+        r.record_access(1); // page 1 now has K=2 accesses
+                            // Page 2 has one access (infinite distance): it goes first even
+                            // though page 1's first access is older.
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), Some(1));
+        assert_eq!(r.evict(), None);
+    }
+
+    #[test]
+    fn infinite_class_orders_by_earliest_access() {
+        let mut r = LruKReplacer::new();
+        touch(&mut r, 7, true); // tick 1
+        touch(&mut r, 3, true); // tick 2
+        touch(&mut r, 9, true); // tick 3
+        assert_eq!(r.evict(), Some(7));
+        assert_eq!(r.evict(), Some(3));
+        assert_eq!(r.evict(), Some(9));
+    }
+
+    #[test]
+    fn finite_class_orders_by_kth_recent_access() {
+        let mut r = LruKReplacer::new();
+        touch(&mut r, 1, true); // tick 1
+        touch(&mut r, 2, true); // tick 2
+        r.record_access(1); // ticks: 1 -> {1,3}
+        r.record_access(2); // ticks: 2 -> {2,4}
+        r.record_access(1); // ticks: 1 -> {3,5}
+                            // K-th recent: page 1 at tick 3, page 2 at tick 2 -> 2 is older.
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), Some(1));
+    }
+
+    #[test]
+    fn pinned_pages_are_never_victims() {
+        let mut r = LruKReplacer::new();
+        touch(&mut r, 1, false);
+        touch(&mut r, 2, true);
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), None, "page 1 is pinned");
+        r.set_evictable(1, true);
+        assert_eq!(r.evict(), Some(1));
+    }
+
+    #[test]
+    fn remove_forgets_history() {
+        let mut r = LruKReplacer::new();
+        touch(&mut r, 5, true);
+        r.remove(5);
+        assert_eq!(r.evict(), None);
+        assert_eq!(r.evictable_len(), 0);
+    }
+}

@@ -128,9 +128,14 @@ pub struct QueryStats {
     pub cached_eta: usize,
     /// Largest wavefront frontier carried across a level in this query.
     pub wavefront_peak: usize,
-    /// Whether a per-request deadline cut the query short: the scores
-    /// are an unbiased estimate over the (fewer) samples actually drawn,
-    /// at correspondingly higher variance.
+    /// Hub terminals whose paged postings run could not be read (I/O
+    /// fault, bit-rot, or an exhausted memory budget) and were estimated
+    /// by a live backward walk instead. Always 0 on a resident arena.
+    pub page_fallbacks: usize,
+    /// Whether this query shed work: a per-request deadline cut sampling
+    /// short, or a paged postings run faulted and fell back to a live
+    /// backward walk (`page_fallbacks`). The scores remain an unbiased
+    /// estimate, at correspondingly higher variance.
     pub degraded: bool,
 }
 
@@ -301,6 +306,19 @@ impl Prsim {
     /// The hub index.
     pub fn index(&self) -> &PrsimIndex {
         &self.index
+    }
+
+    /// Demotes the hub index's postings arena to a v4 page file at
+    /// `path` and reopens it paged under `opts`' memory budget (see
+    /// [`PrsimIndex::page_out`]). On `Err` the engine is unchanged and
+    /// keeps serving the resident arena.
+    pub fn page_out_index(
+        &mut self,
+        storage: std::sync::Arc<dyn prsim_storage::Storage>,
+        path: &std::path::Path,
+        opts: &crate::paging::PagedOptions,
+    ) -> Result<(), PrsimError> {
+        self.index.page_out(storage, path, opts)
     }
 
     /// The engine configuration.
@@ -641,6 +659,7 @@ impl Prsim {
             pair_idx,
             pair_met,
             sample_buf,
+            pages,
             ..
         } = ws;
         let graph = &self.graph;
@@ -796,9 +815,31 @@ impl Prsim {
             if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                 continue;
             }
-            if let Some(postings) = index.postings(w, level as usize) {
-                stats.index_entries += postings.len();
-                postings.scatter_into(acc, ep / alpha2);
+            match index.postings_in(w, level as usize, pages) {
+                Ok(Some(postings)) => {
+                    stats.index_entries += postings.len();
+                    postings.scatter_into(acc, ep / alpha2);
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Page fault: estimate π_ℓ(·,w) live instead of
+                    // reading it — one VBBW scaled by the whole run's
+                    // η̂π keeps the estimator unbiased, at higher
+                    // variance. The response is flagged degraded.
+                    stats.degraded = true;
+                    stats.page_fallbacks += 1;
+                    stats.backward_walks += 1;
+                    let scale = ep / alpha2;
+                    stats.backward_cost += variance_bounded_backward_walk_fold_with_workspace(
+                        graph,
+                        sqrt_c,
+                        w,
+                        level as usize,
+                        backward,
+                        rng,
+                        |v, pi_hat| acc.add(v, pi_hat * scale),
+                    );
+                }
             }
         }
 
@@ -856,6 +897,7 @@ impl Prsim {
             pair_idx,
             pair_met,
             sample_buf,
+            pages,
         } = ws;
         let index = &self.index;
         let cache = self.cache.as_ref();
@@ -1067,27 +1109,59 @@ impl Prsim {
             if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                 continue;
             }
-            if let Some(postings) = index.postings(w, level as usize) {
-                stats.index_entries += postings.len();
-                let scale = ep / alpha2;
-                // One match per slice, then a monomorphic sequential scan
-                // of the arena run.
-                match (scatter, postings) {
-                    (true, Postings::F64 { nodes, reserves }) => {
-                        acc.add_scaled(nodes, reserves, scale)
-                    }
-                    (true, Postings::F32 { nodes, reserves }) => {
-                        acc.add_scaled_f32(nodes, reserves, scale)
-                    }
-                    (false, Postings::F64 { nodes, reserves }) => {
-                        for (&v, &psi) in nodes.iter().zip(reserves) {
-                            ix_buf.push((v, scale * psi));
+            let scale = ep / alpha2;
+            match index.postings_in(w, level as usize, pages) {
+                Ok(Some(postings)) => {
+                    stats.index_entries += postings.len();
+                    // One match per slice, then a monomorphic sequential
+                    // scan of the arena run.
+                    match (scatter, postings) {
+                        (true, Postings::F64 { nodes, reserves }) => {
+                            acc.add_scaled(nodes, reserves, scale)
+                        }
+                        (true, Postings::F32 { nodes, reserves }) => {
+                            acc.add_scaled_f32(nodes, reserves, scale)
+                        }
+                        (false, Postings::F64 { nodes, reserves }) => {
+                            for (&v, &psi) in nodes.iter().zip(reserves) {
+                                ix_buf.push((v, scale * psi));
+                            }
+                        }
+                        (false, Postings::F32 { nodes, reserves }) => {
+                            for (&v, &psi) in nodes.iter().zip(reserves) {
+                                ix_buf.push((v, scale * f64::from(psi)));
+                            }
                         }
                     }
-                    (false, Postings::F32 { nodes, reserves }) => {
-                        for (&v, &psi) in nodes.iter().zip(reserves) {
-                            ix_buf.push((v, scale * f64::from(psi)));
-                        }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Page fault: fall back to one live backward walk
+                    // scaled by the run's η̂π (unbiased, higher variance)
+                    // and flag the response degraded.
+                    stats.degraded = true;
+                    stats.page_fallbacks += 1;
+                    stats.backward_walks += 1;
+                    if scatter {
+                        stats.backward_cost += variance_bounded_backward_walk_fold_with_workspace(
+                            &self.graph,
+                            sqrt_c,
+                            w,
+                            level as usize,
+                            backward,
+                            rng,
+                            |v, pi_hat| acc.add(v, pi_hat * scale),
+                        );
+                    } else {
+                        stats.backward_cost += variance_bounded_backward_walk_fold_with_workspace(
+                            &self.graph,
+                            sqrt_c,
+                            w,
+                            level as usize,
+                            backward,
+                            rng,
+                            |v, pi_hat| ix_buf.push((v, pi_hat * scale)),
+                        );
                     }
                 }
             }
@@ -1156,6 +1230,7 @@ impl Prsim {
             bw_buf,
             cache_cursors,
             sample_buf,
+            pages,
             ..
         } = ws;
         let index = &self.index;
@@ -1303,27 +1378,46 @@ impl Prsim {
             if ep <= threshold || !hub_memo.get_or_insert_with(w, || index.contains(w)) {
                 continue;
             }
-            if let Some(postings) = index.postings(w, level as usize) {
-                stats.index_entries += postings.len();
-                let scale = ep / alpha2;
-                match postings {
-                    Postings::F64 { nodes, reserves } => {
-                        for (&v, &psi) in nodes.iter().zip(reserves) {
-                            ix_buf.push((v, scale * psi));
+            let scale = ep / alpha2;
+            match index.postings_in(w, level as usize, pages) {
+                Ok(Some(postings)) => {
+                    stats.index_entries += postings.len();
+                    match postings {
+                        Postings::F64 { nodes, reserves } => {
+                            for (&v, &psi) in nodes.iter().zip(reserves) {
+                                ix_buf.push((v, scale * psi));
+                            }
+                        }
+                        Postings::F32 { nodes, reserves } => {
+                            for (&v, &psi) in nodes.iter().zip(reserves) {
+                                ix_buf.push((v, scale * f64::from(psi)));
+                            }
                         }
                     }
-                    Postings::F32 { nodes, reserves } => {
-                        for (&v, &psi) in nodes.iter().zip(reserves) {
-                            ix_buf.push((v, scale * f64::from(psi)));
-                        }
-                    }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Page fault under a deadline: same live-backward-walk
+                    // fallback as the undeadlined plans.
+                    stats.degraded = true;
+                    stats.page_fallbacks += 1;
+                    stats.backward_walks += 1;
+                    stats.backward_cost += variance_bounded_backward_walk_fold_with_workspace(
+                        &self.graph,
+                        sqrt_c,
+                        w,
+                        level as usize,
+                        backward,
+                        rng,
+                        |v, pi_hat| ix_buf.push((v, pi_hat * scale)),
+                    );
                 }
             }
         }
         crate::workspace::radix_sort_pairs(ix_buf, ix_tmp);
         coalesce_sorted(ix_buf);
 
-        stats.degraded = cut;
+        stats.degraded = stats.degraded || cut;
         let mut entries = Vec::with_capacity(bw_buf.len() + ix_buf.len() + 1);
         merge_sorted_into(bw_buf.iter().copied(), ix_buf, &mut entries);
         let scores = SimRankScores::from_sorted_entries(u, n, entries);

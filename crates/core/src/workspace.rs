@@ -563,6 +563,10 @@ pub struct QueryWorkspace {
     /// One round's resolved `(w, ℓ, met)` samples — the walk phase's
     /// unified output across the interleaved and wavefront kernels.
     pub(crate) sample_buf: Vec<(NodeId, u32, bool)>,
+    /// Decode buffers for postings served out of a paged arena's buffer
+    /// pool ([`crate::PrsimIndex::postings_in`]); unused (and unsized)
+    /// while the arena is resident.
+    pub(crate) pages: crate::paging::PostingsScratch,
 }
 
 impl QueryWorkspace {

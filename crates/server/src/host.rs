@@ -35,13 +35,13 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use prsim_core::{DynamicPrsim, DynamicTotals, PrsimConfig, PrsimIndex};
+use prsim_core::{DynamicPrsim, DynamicTotals, PagedOptions, PagingStats, PrsimConfig, PrsimIndex};
 use prsim_graph::{DiGraph, EdgeUpdate};
 
 use crate::snapshot::{EpochSnapshot, SnapshotHandle};
@@ -109,6 +109,20 @@ pub struct HostOptions {
     /// this LSN, to exercise the supervision path end-to-end. `None` in
     /// production.
     pub applier_panic_at_lsn: Option<u64>,
+    /// Hard memory budget in bytes for the postings arena. `None`
+    /// (default) serves fully resident. `Some(budget)` demotes the
+    /// recovered index to a paged arena file (`arena-<lsn>.pages` in
+    /// the WAL directory) behind a pin/unpin buffer pool whose resident
+    /// bytes never exceed the budget; a budget too small for the page
+    /// index, the pinned hot set and one working frame fails `open`
+    /// with [`prsim_core::PrsimError::InvalidConfig`].
+    pub memory_budget: Option<u64>,
+    /// Page size of the paged arena file (ignored without
+    /// [`HostOptions::memory_budget`]).
+    pub page_bytes: u32,
+    /// Hub ranks (highest reverse PageRank first) whose postings pages
+    /// are pinned resident — the hot set exempt from eviction.
+    pub page_hot_ranks: usize,
 }
 
 impl HostOptions {
@@ -126,8 +140,26 @@ impl HostOptions {
             wal_retry_cap: Duration::from_secs(10),
             applier_delay: Duration::ZERO,
             applier_panic_at_lsn: None,
+            memory_budget: None,
+            page_bytes: PagedOptions::default().page_bytes,
+            page_hot_ranks: PagedOptions::default().hot_ranks,
         }
     }
+
+    /// The paged-arena knobs as core's [`PagedOptions`], or `None` when
+    /// the host serves fully resident.
+    fn paged_options(&self) -> Option<PagedOptions> {
+        self.memory_budget.map(|budget| PagedOptions {
+            page_bytes: self.page_bytes,
+            memory_budget: budget,
+            hot_ranks: self.page_hot_ranks,
+        })
+    }
+}
+
+/// Path of the paged arena generation demoted at `lsn`.
+fn arena_path(wal_dir: &Path, lsn: u64) -> PathBuf {
+    wal_dir.join(format!("arena-{lsn:020}.pages"))
 }
 
 /// What recovery found when the host opened its WAL directory.
@@ -217,12 +249,36 @@ pub struct ServerStats {
     pub recovery: RecoveryReport,
     /// Lifetime engine totals (repairs, rebuilds, compactions).
     pub totals: DynamicTotals,
+    /// Buffer-pool counters of the served snapshot's paged arena;
+    /// `None` when serving fully resident.
+    pub paging: Option<PagingStats>,
 }
 
 impl ServerStats {
     /// Renders the stats as one `key=value` line (the `stats` protocol
-    /// response payload).
+    /// response payload). Paging counters are appended only when the
+    /// host serves a paged arena, so resident deployments keep their
+    /// historical line format.
     pub fn render(&self) -> String {
+        let mut line = self.render_resident();
+        if let Some(p) = &self.paging {
+            line.push_str(&format!(
+                " paged_resident_bytes={} paged_peak_resident_bytes={} paged_budget_frames={} \
+                 page_hits={} page_misses={} page_evictions={} page_faults={} page_unhealed={}",
+                p.resident_bytes,
+                p.peak_resident_bytes,
+                p.frame_budget,
+                p.hits,
+                p.misses,
+                p.evictions,
+                p.faults,
+                p.unhealed_pages,
+            ));
+        }
+        line
+    }
+
+    fn render_resident(&self) -> String {
         format!(
             "epoch={} applied_lsn={} durable_lsn={} queue_depth={} nodes={} edges={} hubs={} \
              wal_bytes={} wal_segments={} wal_syncs={} checkpoints={} \
@@ -302,10 +358,20 @@ struct HealthState {
     wal_repair_failures: u32,
     /// Earliest instant the next repair attempt may run.
     wal_retry_at: Option<Instant>,
+    /// Why the paged arena could not be re-demoted after a drift
+    /// rebuild, if that happened (the host keeps serving the resident
+    /// rebuild — over budget, reported honestly — until a later
+    /// rebuild's re-demote succeeds).
+    paging_broken: Option<String>,
 }
 
 struct Shared {
     opts: HostOptions,
+    /// Storage backend, kept for demoting rebuilt indexes back out of
+    /// core.
+    storage: Arc<dyn Storage>,
+    /// WAL directory (paged arena generations live next to the log).
+    wal_dir: PathBuf,
     snapshot: SnapshotHandle,
     wal: Mutex<Wal>,
     queue: Mutex<QueueState>,
@@ -377,8 +443,12 @@ impl EngineHost {
             None => (base_graph.clone(), 0, None),
         };
         let mut dynamic = DynamicPrsim::new_incremental(&base, options.config.clone())?;
-        let (wal, outcome) =
-            Wal::open_with_storage(storage, wal_dir, options.segment_bytes, start_lsn)?;
+        let (wal, outcome) = Wal::open_with_storage(
+            Arc::clone(&storage),
+            wal_dir,
+            options.segment_bytes,
+            start_lsn,
+        )?;
         let mut applied_lsn = start_lsn;
         let mut replayed_updates = 0usize;
         for record in &outcome.records {
@@ -396,6 +466,18 @@ impl EngineHost {
             dropped_segments: outcome.dropped_segments,
         };
 
+        if let Some(paged) = options.paged_options() {
+            // Arena generations from previous incarnations are dead
+            // weight now that recovery rebuilt the index from the
+            // checkpoint + log; drop them before writing this boot's.
+            remove_stale_arenas(storage.as_ref(), wal_dir);
+            dynamic.page_out_index(
+                Arc::clone(&storage),
+                &arena_path(wal_dir, applied_lsn),
+                &paged,
+            )?;
+        }
+
         let engine = dynamic
             .engine()
             .expect("incremental engine is always built")
@@ -403,6 +485,8 @@ impl EngineHost {
         let totals = dynamic.totals();
         let shared = Arc::new(Shared {
             opts: options,
+            storage,
+            wal_dir: wal_dir.to_path_buf(),
             snapshot: SnapshotHandle::new(EpochSnapshot::new(1, applied_lsn, engine)),
             wal: Mutex::new(wal),
             queue: Mutex::new(QueueState {
@@ -428,6 +512,7 @@ impl EngineHost {
                 wal_broken: None,
                 wal_repair_failures: 0,
                 wal_retry_at: None,
+                paging_broken: None,
             }),
         });
         let applier_shared = Arc::clone(&shared);
@@ -452,20 +537,44 @@ impl EngineHost {
         self.shared.snapshot.current()
     }
 
-    /// Current serving health.
+    /// Current serving health. Besides the applier and WAL states this
+    /// folds in the paged arena's: a failed re-demote after a drift
+    /// rebuild, or a buffer pool whose retries stopped healing page
+    /// faults (bit-rot or a dying disk under the arena file), both
+    /// degrade the host while reads keep serving — exact where pages
+    /// still load, `degraded` per query where they do not.
     pub fn health(&self) -> Health {
-        let h = lock_recover(&self.shared.health);
-        if let Some(msg) = &h.applier_dead {
-            Health::Degraded {
-                reason: format!("applier dead: {msg}"),
+        {
+            let h = lock_recover(&self.shared.health);
+            if let Some(msg) = &h.applier_dead {
+                return Health::Degraded {
+                    reason: format!("applier dead: {msg}"),
+                };
             }
-        } else if let Some(msg) = &h.wal_broken {
-            Health::Degraded {
-                reason: format!("wal broken: {msg}"),
+            if let Some(msg) = &h.wal_broken {
+                return Health::Degraded {
+                    reason: format!("wal broken: {msg}"),
+                };
             }
-        } else {
-            Health::Ok
+            if let Some(msg) = &h.paging_broken {
+                return Health::Degraded {
+                    reason: format!("paging broken: {msg}"),
+                };
+            }
         }
+        if self
+            .shared
+            .snapshot
+            .current()
+            .engine()
+            .index()
+            .paging_unhealthy()
+        {
+            return Health::Degraded {
+                reason: "paging unhealthy: repeated unhealed page faults".into(),
+            };
+        }
+        Health::Ok
     }
 
     /// Appends one batch to the WAL, fsyncs it (the durability ack), and
@@ -680,6 +789,7 @@ impl EngineHost {
             checkpoints: progress.checkpoints,
             recovery: self.recovery,
             totals: progress.totals,
+            paging: snap.engine().index().paging_stats(),
         }
     }
 
@@ -787,6 +897,7 @@ fn applier_loop(shared: Arc<Shared>, mut dynamic: DynamicPrsim, mut applied_lsn:
                 }
                 Task::Checkpoint { done } => {
                     if dirty {
+                        redemote_if_resident(&shared, &mut dynamic, applied_lsn);
                         publish(&shared, &dynamic, applied_lsn);
                         dirty = false;
                     }
@@ -800,7 +911,54 @@ fn applier_loop(shared: Arc<Shared>, mut dynamic: DynamicPrsim, mut applied_lsn:
             }
         }
         if dirty {
+            redemote_if_resident(&shared, &mut dynamic, applied_lsn);
             publish(&shared, &dynamic, applied_lsn);
+        }
+    }
+}
+
+/// Re-demotes the engine's arena after a drift rebuild left it resident
+/// (incremental repair appends to the paged overlay in place; only a
+/// full rebuild replaces the index with a resident one). Demote failure
+/// keeps serving the resident rebuild — temporarily over budget — and
+/// reports `paging broken` through [`EngineHost::health`] until a later
+/// rebuild's demote succeeds.
+fn redemote_if_resident(shared: &Shared, dynamic: &mut DynamicPrsim, applied_lsn: u64) {
+    let Some(paged) = shared.opts.paged_options() else {
+        return;
+    };
+    let rebuilt_resident = dynamic.engine().is_some_and(|e| e.index().is_resident());
+    if !rebuilt_resident {
+        return;
+    }
+    let path = arena_path(&shared.wal_dir, applied_lsn);
+    match dynamic.page_out_index(Arc::clone(&shared.storage), &path, &paged) {
+        Ok(()) => {
+            let mut h = lock_recover(&shared.health);
+            h.paging_broken = None;
+        }
+        Err(err) => {
+            let mut h = lock_recover(&shared.health);
+            h.paging_broken = Some(format!("re-demote after rebuild failed: {err}"));
+        }
+    }
+}
+
+/// Removes paged arena generations left by previous incarnations of
+/// this host (recovery reconstitutes the index from the checkpoint and
+/// log, so old generations are dead weight). Best-effort: a file we
+/// cannot list or remove only wastes disk, it is never read again.
+fn remove_stale_arenas(storage: &dyn Storage, wal_dir: &Path) {
+    let Ok(paths) = storage.list(wal_dir) else {
+        return;
+    };
+    for path in paths {
+        let is_arena = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .is_some_and(|n| n.starts_with("arena-") && n.ends_with(".pages"));
+        if is_arena {
+            let _ = storage.remove_file(&path);
         }
     }
 }
@@ -849,7 +1007,13 @@ fn write_checkpoint(
     let engine = dynamic
         .engine()
         .expect("incremental engine is always built");
-    let index_bytes = engine.index().to_bytes();
+    // A paged arena streams its base runs back through the buffer pool
+    // here, so an unhealed page fault fails the checkpoint (with the
+    // previous checkpoint still in place) instead of poisoning it.
+    let index_bytes = engine
+        .index()
+        .try_to_bytes()
+        .map_err(|e| format!("checkpoint at lsn {applied_lsn}: serialize index: {e}"))?;
     let mut wal = lock_recover(&shared.wal);
     wal.write_checkpoint(applied_lsn, engine.graph(), &index_bytes)
         .map(|bytes| CheckpointInfo {

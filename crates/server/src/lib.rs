@@ -58,12 +58,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod fault;
 pub mod host;
 pub mod protocol;
 pub mod snapshot;
-pub mod storage;
 pub mod wal;
+
+// The storage traits and the fault injector moved to `prsim-storage` so
+// the core crate's buffer pool can share them; these aliases keep every
+// pre-existing `prsim_server::storage::…` / `prsim_server::fault::…`
+// path working.
+pub use prsim_storage as storage;
+pub use prsim_storage::fault;
 
 pub use fault::{FaultPlan, FaultyStorage};
 pub use host::{CheckpointInfo, EngineHost, Health, HostOptions, RecoveryReport, ServerStats};

@@ -506,7 +506,15 @@ impl Wal {
             return Err(err);
         }
         self.storage.rename(&tmp_path, &final_path)?;
-        self.storage.sync_dir(&self.dir);
+        if let Err(err) = self.storage.sync_dir(&self.dir) {
+            // The rename is not durable until the directory is synced: a
+            // crash could resurface the old directory state. Un-publish
+            // the image (remove_file is the reliable repair surface) so
+            // the visible-checkpoint set never depends on an unsynced
+            // rename, then report the failure for retry.
+            let _ = self.storage.remove_file(&final_path);
+            return Err(err);
+        }
         if let Err(err) = self.gc(lsn) {
             // The image is durable; deferred collection only costs disk.
             eprintln!("wal: checkpoint gc deferred: {err}");
@@ -549,7 +557,10 @@ impl Wal {
                 break;
             }
         }
-        self.storage.sync_dir(&self.dir);
+        // GC removals are advisory until synced; a failure here surfaces
+        // as a deferred-gc warning at the caller and is retried by the
+        // next checkpoint.
+        self.storage.sync_dir(&self.dir)?;
         Ok(())
     }
 
@@ -581,7 +592,10 @@ fn create_segment(
     file.write_all(&FORMAT_VERSION.to_le_bytes())?;
     file.write_all(&first_lsn.to_le_bytes())?;
     file.sync_all()?;
-    storage.sync_dir(dir);
+    // The segment's directory entry must be durable before any record in
+    // it is acknowledged; callers treat a failure like any other failed
+    // creation (rotate removes the half-registered segment and retries).
+    storage.sync_dir(dir)?;
     Ok((file, SEGMENT_HEADER as u64))
 }
 

@@ -387,3 +387,160 @@ fn broken_wal_heals_with_backoff() {
     host.shutdown().unwrap();
     fs::remove_dir_all(&dir).ok();
 }
+
+/// Host options for out-of-core serving. The plan is pinned to
+/// Reference on both sides of every comparison below: `Auto` resolves
+/// differently for resident (fused) and paged (reference) arenas, and
+/// the two plans agree only to ~1e-12, not bit-for-bit.
+fn paged_options(budget: u64) -> HostOptions {
+    let mut opts = options();
+    opts.config.plan = prsim_core::QueryPlan::Reference;
+    opts.memory_budget = Some(budget);
+    opts.page_bytes = 64;
+    opts.page_hot_ranks = 2;
+    opts
+}
+
+const PAGED_BUDGET: u64 = 1 << 20;
+
+#[test]
+fn paged_host_serves_bit_identical_to_resident() {
+    let g = test_graph();
+    let stream = batches(&g, 8);
+
+    let dir_resident = tmpdir("paged_ref_resident");
+    let mut resident_opts = options();
+    resident_opts.config.plan = prsim_core::QueryPlan::Reference;
+    let resident = EngineHost::open(&g, &dir_resident, resident_opts).unwrap();
+
+    let dir_paged = tmpdir("paged_ref_paged");
+    let paged = EngineHost::open(&g, &dir_paged, paged_options(PAGED_BUDGET)).unwrap();
+    let p = paged.stats().paging.expect("paged host reports pool stats");
+    assert!(p.pages > 1, "arena must actually be paged");
+    assert!(p.resident_bytes <= PAGED_BUDGET);
+
+    assert_eq!(
+        fingerprint(&paged),
+        fingerprint(&resident),
+        "paged boot state must serve bit-identically"
+    );
+
+    // Updates repair into the paged arena's overlay; serving stays
+    // paged and stays bit-identical to the resident host.
+    for batch in &stream {
+        resident.update(batch.clone()).unwrap();
+        paged.update(batch.clone()).unwrap();
+    }
+    resident.sync().unwrap();
+    paged.sync().unwrap();
+    assert_eq!(fingerprint(&paged), fingerprint(&resident));
+    assert!(
+        paged.stats().paging.is_some(),
+        "updates must not un-page the arena"
+    );
+    assert!(!paged.health().is_degraded());
+
+    let peak = paged.stats().paging.unwrap().peak_resident_bytes;
+    assert!(
+        peak <= PAGED_BUDGET,
+        "peak {peak} exceeds budget {PAGED_BUDGET}"
+    );
+
+    resident.shutdown().unwrap();
+    paged.shutdown().unwrap();
+    fs::remove_dir_all(&dir_resident).ok();
+    fs::remove_dir_all(&dir_paged).ok();
+}
+
+#[test]
+fn paged_host_checkpoints_and_recovers_bit_identically() {
+    let g = test_graph();
+    let stream = batches(&g, 6);
+    let dir = tmpdir("paged_ckpt");
+
+    {
+        let host = EngineHost::open(&g, &dir, paged_options(PAGED_BUDGET)).unwrap();
+        for batch in &stream[..4] {
+            host.update(batch.clone()).unwrap();
+        }
+        host.sync().unwrap();
+        // The checkpoint image streams the arena back through the
+        // buffer pool (try_to_bytes) — it must cover the paged base
+        // plus the repair overlay.
+        let info = host.checkpoint().unwrap();
+        assert_eq!(info.lsn, 4);
+        for batch in &stream[4..] {
+            host.update(batch.clone()).unwrap();
+        }
+        host.sync().unwrap();
+        host.shutdown().unwrap();
+    }
+
+    // Recovery rebuilds from the checkpoint graph and replays the WAL
+    // suffix; the contract (same as the resident host) is that this is
+    // deterministic, and that paging does not change the recovered
+    // state: a paged recovery serves bit-identically to a resident
+    // recovery of the same (checkpoint, WAL suffix).
+    let paged_fp = {
+        let host = EngineHost::open(&g, &dir, paged_options(PAGED_BUDGET)).unwrap();
+        assert_eq!(host.recovery().checkpoint_lsn, Some(4));
+        assert_eq!(host.recovery().replayed_records, 2);
+        assert!(host.stats().paging.is_some());
+        let peak = host.stats().paging.unwrap().peak_resident_bytes;
+        assert!(
+            peak <= PAGED_BUDGET,
+            "peak {peak} exceeds budget {PAGED_BUDGET}"
+        );
+        let f = fingerprint(&host);
+        host.shutdown().unwrap();
+        f
+    };
+    let resident_fp = {
+        let mut opts = options();
+        opts.config.plan = prsim_core::QueryPlan::Reference;
+        let host = EngineHost::open(&g, &dir, opts).unwrap();
+        assert!(host.stats().paging.is_none());
+        let f = fingerprint(&host);
+        host.shutdown().unwrap();
+        f
+    };
+    assert_eq!(paged_fp, resident_fp, "paging must not change recovery");
+
+    // Re-open paged once more: recovery is deterministic, and exactly
+    // one arena generation file remains (stale generations from the
+    // previous paged incarnations are cleaned at boot).
+    let host = EngineHost::open(&g, &dir, paged_options(PAGED_BUDGET)).unwrap();
+    assert_eq!(
+        fingerprint(&host),
+        paged_fp,
+        "paged recovery must be deterministic"
+    );
+    let arenas: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("arena-") && n.ends_with(".pages"))
+        .collect();
+    assert_eq!(
+        arenas.len(),
+        1,
+        "stale arena generations must be cleaned: {arenas:?}"
+    );
+    host.shutdown().unwrap();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn paged_host_rejects_infeasible_budget() {
+    let g = test_graph();
+    let dir = tmpdir("paged_tiny");
+    let err = EngineHost::open(&g, &dir, paged_options(128)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServerError::Engine(prsim_core::PrsimError::InvalidConfig(_))
+        ),
+        "got {err}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}

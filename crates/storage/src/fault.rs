@@ -2,11 +2,13 @@
 //!
 //! [`FaultyStorage`] wraps any [`Storage`] backend and fails a
 //! seed-scheduled fraction of its durability-relevant operations:
-//! fsyncs, writes (short/torn prefixes and disk-full), reads, renames
-//! and segment creation. The schedule is a pure function of the seed
-//! and a global operation counter, so a chaos test that performs the
-//! same operation sequence twice sees the same faults twice — shrunk
-//! proptest failures replay exactly.
+//! fsyncs, writes (short/torn prefixes and disk-full), reads, renames,
+//! directory syncs and segment creation — and can silently flip a bit
+//! in page reads ([`FaultPlan::bitrot_per_mille`]) so the buffer pool's
+//! per-page checksums are exercised end to end. The schedule is a pure
+//! function of the seed and a global operation counter, so a chaos test
+//! that performs the same operation sequence twice sees the same faults
+//! twice — shrunk proptest failures replay exactly.
 //!
 //! ## What is never faulted
 //!
@@ -18,16 +20,15 @@
 //! error, not a disk that refuses repair. Tests that want to exercise
 //! the unrepairable path (WAL broken → degraded serving → backoff
 //! retry) opt in via [`FaultPlan::truncate_per_mille`]. Metadata reads
-//! (`list`, `file_len`, `exists`) and directory syncs are also left
-//! reliable; their failure modes add noise without exercising any new
-//! recovery logic.
+//! (`list`, `file_len`, `exists`) are left reliable; their failure
+//! modes add noise without exercising any new recovery logic.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::storage::{Storage, WalFile};
+use crate::{Storage, WalFile};
 
 /// Per-operation fault probabilities, in permille (0 = never,
 /// 1000 = always), plus the seed that schedules them.
@@ -42,7 +43,7 @@ pub struct FaultPlan {
     pub short_write_per_mille: u16,
     /// Full write failures (disk-full: nothing is persisted).
     pub enospc_per_mille: u16,
-    /// Whole-file read failures.
+    /// Whole-file and positioned read failures.
     pub read_per_mille: u16,
     /// Rename failures (checkpoint publication).
     pub rename_per_mille: u16,
@@ -50,6 +51,13 @@ pub struct FaultPlan {
     pub create_per_mille: u16,
     /// Truncate failures — 0 by default; see the module docs.
     pub truncate_per_mille: u16,
+    /// Directory fsync failures: the rename/creation went through but
+    /// its durability is not guaranteed until a later sync succeeds.
+    pub dir_sync_per_mille: u16,
+    /// Silent corruption on positioned reads ([`Storage::read_at`]):
+    /// the read *succeeds* but one schedule-chosen bit is flipped.
+    /// Only page checksums can catch this.
+    pub bitrot_per_mille: u16,
 }
 
 impl FaultPlan {
@@ -66,6 +74,8 @@ impl FaultPlan {
             rename_per_mille: 80,
             create_per_mille: 80,
             truncate_per_mille: 0,
+            dir_sync_per_mille: 60,
+            bitrot_per_mille: 40,
         }
     }
 
@@ -80,6 +90,8 @@ impl FaultPlan {
             rename_per_mille: 0,
             create_per_mille: 0,
             truncate_per_mille: 0,
+            dir_sync_per_mille: 0,
+            bitrot_per_mille: 0,
         }
     }
 }
@@ -254,6 +266,22 @@ impl Storage for FaultyStorage {
         self.inner.read_prefix(path, n)
     }
 
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        if self.core.roll(self.core.plan.read_per_mille).is_some() {
+            return Err(injected("read", path));
+        }
+        let mut buf = self.inner.read_at(path, offset, len)?;
+        if let Some(h) = self.core.roll(self.core.plan.bitrot_per_mille) {
+            if !buf.is_empty() {
+                // Silent corruption: succeed, but flip one bit. Only the
+                // page checksum downstream can tell.
+                let bit = (h >> 16) as usize % (buf.len() * 8);
+                buf[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        Ok(buf)
+    }
+
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
         Ok(Box::new(FaultyFile {
             inner: self.inner.open_append(path)?,
@@ -310,7 +338,10 @@ impl Storage for FaultyStorage {
         self.inner.exists(path)
     }
 
-    fn sync_dir(&self, dir: &Path) {
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.core.roll(self.core.plan.dir_sync_per_mille).is_some() {
+            return Err(injected("dir-sync", dir));
+        }
         self.inner.sync_dir(dir)
     }
 }
@@ -318,7 +349,7 @@ impl Storage for FaultyStorage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::storage::FsStorage;
+    use crate::FsStorage;
 
     /// The schedule is a pure function of seed and operation order.
     #[test]
@@ -355,5 +386,44 @@ mod tests {
         }
         assert_eq!(s.faults_injected(), 0);
         assert_eq!(s.operations(), 50);
+    }
+
+    /// Bit-rot flips exactly one bit of a successful positioned read.
+    #[test]
+    fn bitrot_flips_exactly_one_bit() {
+        let dir = std::env::temp_dir().join(format!("prsim_fault_rot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("page");
+        let clean = vec![0u8; 256];
+        std::fs::write(&path, &clean).unwrap();
+        let s = FaultyStorage::new(
+            Arc::new(FsStorage),
+            FaultPlan {
+                bitrot_per_mille: 1000,
+                ..FaultPlan::none(9)
+            },
+        );
+        let rotten = s.read_at(&path, 0, 256).unwrap();
+        let flipped: u32 = rotten
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit flips per scheduled hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Directory syncs roll their own schedule once armed.
+    #[test]
+    fn dir_sync_faults_are_injected() {
+        let s = FaultyStorage::new(
+            Arc::new(FsStorage),
+            FaultPlan {
+                dir_sync_per_mille: 1000,
+                ..FaultPlan::none(11)
+            },
+        );
+        let err = s.sync_dir(&std::env::temp_dir()).unwrap_err();
+        assert!(err.to_string().contains("injected dir-sync fault"));
     }
 }

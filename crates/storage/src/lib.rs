@@ -1,22 +1,29 @@
-//! Injectable storage layer behind the write-ahead log.
+//! Injectable storage layer shared by the WAL and the paged arena.
 //!
-//! [`crate::wal`] performs every filesystem operation through the
-//! [`Storage`] and [`WalFile`] traits instead of calling `std::fs`
-//! directly. Production uses [`FsStorage`], a thin passthrough; tests
-//! swap in [`crate::fault::FaultyStorage`], which injects a
-//! deterministic, seed-scheduled mix of fsync failures, short writes,
-//! disk-full errors, read errors and rename failures — so the whole
-//! durability path (append → rotate → checkpoint → replay) can be
-//! driven through chaos schedules without touching a real disk's
-//! failure modes.
+//! `prsim-server`'s write-ahead log and `prsim-core`'s buffer pool
+//! perform every filesystem operation through the [`Storage`] and
+//! [`WalFile`] traits instead of calling `std::fs` directly. Production
+//! uses [`FsStorage`], a thin passthrough; tests swap in
+//! [`fault::FaultyStorage`], which injects a deterministic,
+//! seed-scheduled mix of fsync failures, short writes, disk-full
+//! errors, read errors, page bit-rot, directory-sync failures and
+//! rename failures — so the whole durability path (append → rotate →
+//! checkpoint → replay) *and* the out-of-core read path (pin → verify
+//! checksum → retry → degrade) can be driven through chaos schedules
+//! without touching a real disk's failure modes.
 //!
-//! The trait surface is exactly the set of operations the WAL needs,
-//! not a general filesystem: that keeps the fault matrix enumerable
-//! (every method is either faultable or documented as repair-path
-//! reliable — see `fault.rs`).
+//! The trait surface is exactly the set of operations those two
+//! subsystems need, not a general filesystem: that keeps the fault
+//! matrix enumerable (every method is either faultable or documented as
+//! repair-path reliable — see [`fault`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// An open, append-only log file handle.
@@ -34,7 +41,7 @@ pub trait WalFile: Send + Sync {
     fn sync_all(&mut self) -> io::Result<()>;
 }
 
-/// The filesystem surface the WAL runs on.
+/// The filesystem surface the WAL and the buffer pool run on.
 ///
 /// Methods that matter for durability can fail (and are fault-injected
 /// in tests); [`truncate`](Storage::truncate) and
@@ -50,6 +57,10 @@ pub trait Storage: Send + Sync {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Reads exactly the first `n` bytes of a file.
     fn read_prefix(&self, path: &Path, n: usize) -> io::Result<Vec<u8>>;
+    /// Reads exactly `len` bytes starting at byte `offset` — the buffer
+    /// pool's page-fetch primitive. A short file is an error, never a
+    /// short read.
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>>;
     /// Opens an existing file for appending.
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
     /// Creates a new file for appending; fails if it already exists.
@@ -66,8 +77,13 @@ pub trait Storage: Send + Sync {
     fn file_len(&self, path: &Path) -> io::Result<u64>;
     /// Whether the path exists.
     fn exists(&self, path: &Path) -> bool;
-    /// Best-effort directory fsync (ignored where unsupported).
-    fn sync_dir(&self, dir: &Path);
+    /// Fsyncs the directory itself, making renames and creations within
+    /// it durable. Platforms where directories cannot be opened for
+    /// syncing report success (there is nothing actionable to sync);
+    /// a directory that *can* be opened but fails to sync is an error
+    /// the caller must handle — a just-renamed checkpoint may not
+    /// survive a crash until this succeeds.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
 }
 
 /// The production backend: a direct passthrough to `std::fs`.
@@ -111,6 +127,14 @@ impl Storage for FsStorage {
         Ok(buf)
     }
 
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut f = File::open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
         Ok(Box::new(OpenOptions::new().append(true).open(path)?))
     }
@@ -150,9 +174,37 @@ impl Storage for FsStorage {
         path.exists()
     }
 
-    fn sync_dir(&self, dir: &Path) {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match File::open(dir) {
+            Ok(d) => d.sync_all(),
+            // Some platforms refuse to open directories; there is no
+            // directory fsync to issue there, so nothing was swallowed.
+            Err(_) => Ok(()),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_at_reads_exact_windows() {
+        let dir = std::env::temp_dir().join(format!("prsim_storage_rat_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob");
+        fs::write(&path, (0u8..64).collect::<Vec<u8>>()).unwrap();
+        let s = FsStorage;
+        assert_eq!(s.read_at(&path, 0, 4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(s.read_at(&path, 60, 4).unwrap(), vec![60, 61, 62, 63]);
+        // Reading past the end is an error, never a short read.
+        assert!(s.read_at(&path, 62, 4).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_dir_succeeds_on_real_directories() {
+        let dir = std::env::temp_dir();
+        FsStorage.sync_dir(&dir).unwrap();
     }
 }
