@@ -22,12 +22,18 @@
 //!   window, plus overload telemetry: `BUSY` rejections the writer
 //!   retried through, the deepest the applier queue got, and p99
 //!   single-query latency under contention.
+//! * **concurrent_clients**: `--clients N` real TCP clients querying
+//!   through the connection supervisor at once, with one additional
+//!   client connected but deliberately stalled for the whole window.
+//!   Per-client p99 round-trip latency goes into the JSON — a stalled
+//!   connection inflating any of them is a head-of-line-blocking
+//!   regression.
 //!
 //! Everything is seeded, so two runs on the same machine measure the same
 //! work — the JSON is machine-comparable, not machine-portable.
 //!
 //! ```text
-//! dynamic_hot [--smoke] [--out PATH] [--check PATH] [--updates N]
+//! dynamic_hot [--smoke] [--out PATH] [--check PATH] [--updates N] [--clients N]
 //! ```
 //!
 //! * default: run the full family (5k / 20k / 100k nodes) and write
@@ -107,6 +113,7 @@ struct BenchRow {
     reb_applied: usize,
     speedup: f64,
     serve: ServeRow,
+    concurrent: ClientsRow,
 }
 
 /// The `serve` scenario's measurements.
@@ -130,6 +137,110 @@ struct ServeRow {
     max_queue_depth: u64,
     /// p99 single-query latency during the contended window, ms.
     p99_query_ms: f64,
+}
+
+/// The `--clients N` TCP sweep: N concurrently querying clients through
+/// the connection supervisor, plus one deliberately stalled client that
+/// holds its slot open for the whole window (the no-head-of-line-
+/// blocking check — its presence must not inflate anyone's p99).
+struct ClientsRow {
+    /// Actively querying clients.
+    clients: usize,
+    /// Stalled byte-free connections held open during the window.
+    stalled: usize,
+    /// Per-client p99 round-trip latency, ms (one entry per client).
+    per_client_p99_ms: Vec<f64>,
+    /// Aggregate queries per second across all active clients.
+    qps_total: f64,
+}
+
+fn run_clients_sweep(
+    graph: &prsim_graph::DiGraph,
+    spec: &DatasetSpec,
+    clients: usize,
+    queries: usize,
+) -> ClientsRow {
+    use prsim_server::{conn, ConnOptions, EngineHost, HostOptions};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let wal_dir = std::env::temp_dir().join(format!(
+        "prsim_bench_clients_{}_{}",
+        spec.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let host = EngineHost::open(graph, &wal_dir, HostOptions::new(hot_bench_config()))
+        .expect("bench config is valid");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("bound address");
+    let stop = AtomicBool::new(false);
+    let opts = ConnOptions {
+        max_clients: clients + 1, // room for the staller
+        ..ConnOptions::default()
+    };
+    let n = graph.node_count() as NodeId;
+
+    let mut per_client_p99_ms = Vec::new();
+    let mut qps_total = 0.0;
+    std::thread::scope(|scope| {
+        let server =
+            scope.spawn(|| conn::serve_supervised(&host, listener, &opts, &stop).expect("serves"));
+        // The staller takes its slot first and never sends a byte.
+        let staller = TcpStream::connect(addr).expect("staller connects");
+        let t = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("client connects");
+                    let _ = stream.set_nodelay(true);
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xC11E ^ c as u64);
+                    let mut lat_ms = Vec::with_capacity(queries);
+                    let mut line = String::new();
+                    for i in 0..queries {
+                        let u = rng.gen_range(0..n);
+                        let tq = Instant::now();
+                        writeln!(
+                            writer,
+                            "query {u} top=8 seed={}",
+                            u64::from(u) ^ ((c as u64) << 32) ^ i as u64
+                        )
+                        .expect("request written");
+                        line.clear();
+                        reader.read_line(&mut line).expect("response read");
+                        lat_ms.push(tq.elapsed().as_secs_f64() * 1e3);
+                        assert!(line.starts_with("ok "), "query failed: {line}");
+                    }
+                    lat_ms
+                })
+            })
+            .collect();
+        let mut lats: Vec<Vec<f64>> = workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .collect();
+        let window_s = t.elapsed().as_secs_f64();
+        drop(staller);
+        stop.store(true, Ordering::Release);
+        server.join().expect("supervisor thread");
+        for lat in &mut lats {
+            lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            per_client_p99_ms.push(percentile(lat, 0.99));
+        }
+        qps_total = (clients * queries) as f64 / window_s.max(1e-12);
+    });
+    host.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    ClientsRow {
+        clients,
+        stalled: 1,
+        per_client_p99_ms,
+        qps_total,
+    }
 }
 
 /// Seeded single-edge update stream: alternating deletes of live edges
@@ -286,7 +397,7 @@ fn run_serve(
     }
 }
 
-fn run_dataset(spec: &DatasetSpec, updates: usize) -> BenchRow {
+fn run_dataset(spec: &DatasetSpec, updates: usize, clients: usize) -> BenchRow {
     let graph = chung_lu_undirected(ChungLuConfig::new(
         spec.n,
         spec.avg_degree,
@@ -370,6 +481,10 @@ fn run_dataset(spec: &DatasetSpec, updates: usize) -> BenchRow {
     // Phase 4: the serving host under concurrent updates.
     let serve = run_serve(&graph, edges, spec, updates.clamp(20, 60));
 
+    // Phase 5: concurrent TCP clients through the supervisor, with one
+    // stalled connection holding a slot the whole time.
+    let concurrent = run_clients_sweep(&graph, spec, clients, updates.clamp(20, 60));
+
     assert!(guard.is_finite());
     BenchRow {
         name: spec.name.to_string(),
@@ -389,6 +504,7 @@ fn run_dataset(spec: &DatasetSpec, updates: usize) -> BenchRow {
         reb_applied: spec.rebuild_updates,
         speedup: inc_updates_per_sec / reb_updates_per_sec,
         serve,
+        concurrent,
     }
 }
 
@@ -420,10 +536,18 @@ fn render_json(rows: &[BenchRow], updates: usize, pre_pr: Option<&str>) -> Strin
     }
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        // The serve block rides on the same row; --check ignores it, so
-        // adding it stays backward-compatible with committed baselines.
+        // The serve/concurrent blocks ride on the same row; --check
+        // ignores them, so adding them stays backward-compatible with
+        // committed baselines.
+        let per_client = r
+            .concurrent
+            .per_client_p99_ms
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"incremental\": {{\"updates_per_sec\": {:.2}, \"applied\": {}, \"mean_repair_fraction\": {:.4}, \"max_repair_fraction\": {:.4}, \"mean_pr_iterations\": {:.2}, \"rebuilds\": {}, \"compactions\": {}, \"freshness_p50_ms\": {:.2}, \"freshness_p95_ms\": {:.2}}}, \"rebuild\": {{\"updates_per_sec\": {:.3}, \"applied\": {}}}, \"speedup\": {:.1}, \"serve\": {{\"qps_idle\": {:.1}, \"qps_under_updates\": {:.1}, \"qps_retained\": {:.3}, \"epochs_published\": {}, \"updates_during\": {}, \"concurrent_updates_per_sec\": {:.1}, \"busy_rejects\": {}, \"max_queue_depth\": {}, \"p99_query_ms\": {:.2}}}}}",
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {:.2}, \"incremental\": {{\"updates_per_sec\": {:.2}, \"applied\": {}, \"mean_repair_fraction\": {:.4}, \"max_repair_fraction\": {:.4}, \"mean_pr_iterations\": {:.2}, \"rebuilds\": {}, \"compactions\": {}, \"freshness_p50_ms\": {:.2}, \"freshness_p95_ms\": {:.2}}}, \"rebuild\": {{\"updates_per_sec\": {:.3}, \"applied\": {}}}, \"speedup\": {:.1}, \"serve\": {{\"qps_idle\": {:.1}, \"qps_under_updates\": {:.1}, \"qps_retained\": {:.3}, \"epochs_published\": {}, \"updates_during\": {}, \"concurrent_updates_per_sec\": {:.1}, \"busy_rejects\": {}, \"max_queue_depth\": {}, \"p99_query_ms\": {:.2}}}, \"concurrent_clients\": {{\"clients\": {}, \"stalled_clients\": {}, \"per_client_p99_ms\": [{per_client}], \"qps_total\": {:.1}}}}}",
             r.name,
             r.n,
             r.m,
@@ -449,6 +573,9 @@ fn render_json(rows: &[BenchRow], updates: usize, pre_pr: Option<&str>) -> Strin
             r.serve.busy_rejects,
             r.serve.max_queue_depth,
             r.serve.p99_query_ms,
+            r.concurrent.clients,
+            r.concurrent.stalled,
+            r.concurrent.qps_total,
         ));
         if i + 1 < rows.len() {
             out.push(',');
@@ -473,6 +600,10 @@ fn main() {
     let updates: usize = arg_value(&args, "--updates")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 30 } else { 60 });
+    let clients: usize = arg_value(&args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
 
     let specs: Vec<&DatasetSpec> = if smoke {
         FAMILY.iter().take(1).collect()
@@ -483,7 +614,7 @@ fn main() {
     let mut rows = Vec::new();
     for spec in specs {
         eprintln!("running {} (n = {}) ...", spec.name, spec.n);
-        let row = run_dataset(spec, updates);
+        let row = run_dataset(spec, updates, clients);
         eprintln!(
             "  build {:.0} ms | incremental {:.1} u/s (repair {:.3} mean) | rebuild {:.2} u/s | speedup {:.1}x | freshness p50 {:.1} ms",
             row.build_ms,

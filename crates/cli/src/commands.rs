@@ -55,7 +55,10 @@ USAGE:
   prsim serve GRAPH --wal DIR [--listen ADDR] [--segment-bytes N]
       [--eps E] [--hubs N|sqrt] [--walk-cache B] [--no-walk-cache]
       [--queue-depth N] [--queue-bytes N] [--busy-timeout-ms N]
-      [--client-timeout-ms N] [--fault-seed S] [--applier-delay-ms N]
+      [--max-clients N] [--max-inflight-queries N] [--max-line-bytes N]
+      [--client-timeout-ms N] [--drain-timeout-ms N]
+      [--scrub-interval-ms N | --no-scrub]
+      [--fault-seed S] [--applier-delay-ms N]
       [--chaos-applier-panic-lsn L]
       [--memory-budget B [--page-bytes N] [--page-hot R]]
       --memory-budget B serves the postings arena out of core: the
@@ -67,12 +70,21 @@ USAGE:
       through a durable fsync-on-commit WAL in DIR (replayed on restart).
       Speaks a line protocol (query/update/sync/stats/health/checkpoint/
       shutdown) on stdin/stdout, or on ADDR with --listen (prints
-      `listening <addr>`). The applier queue is bounded (--queue-depth/
-      --queue-bytes); updates past the bound block --busy-timeout-ms then
-      fail `err retryable busy`. --client-timeout-ms drops TCP clients
-      that stall. --fault-seed runs the WAL over deterministic fault
-      injection; the remaining --chaos-* / --applier-delay-ms flags are
-      test hooks (see README, Failure model)
+      `listening <addr>`). TCP serving is concurrent: up to --max-clients
+      connections (excess shed with `err retryable overloaded`), at most
+      --max-inflight-queries queries executing at once (excess shed the
+      same way), --max-line-bytes per request line, --client-timeout-ms
+      drops clients that stall. SIGTERM/SIGINT drains gracefully: stop
+      accepting, finish in-flight work, final checkpoint, clean WAL
+      close, exit 0 — all within --drain-timeout-ms (default 5000).
+      A background scrubber re-verifies at-rest checksums every
+      --scrub-interval-ms (default 1000; --no-scrub disables), healing
+      rot where a redundant copy exists and degrading health otherwise.
+      The applier queue is bounded (--queue-depth/--queue-bytes);
+      updates past the bound block --busy-timeout-ms then fail
+      `err retryable busy`. --fault-seed runs the WAL over deterministic
+      fault injection; the remaining --chaos-* / --applier-delay-ms
+      flags are test hooks (see README, Failure model)
 ";
 
 fn load_graph(path: &str) -> Result<DiGraph, String> {
@@ -642,9 +654,29 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         ),
         None => None,
     };
+    if args.has_flag("no-scrub") && args.get("scrub-interval-ms").is_some() {
+        return Err("--scrub-interval-ms and --no-scrub are mutually exclusive".into());
+    }
+    options.scrub_interval = if args.has_flag("no-scrub") {
+        None
+    } else {
+        match args.get_parsed("scrub-interval-ms", 1000u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        }
+    };
     let client_timeout = match args.get_parsed("client-timeout-ms", 0u64)? {
         0 => None,
         ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    let conn_opts = prsim_server::ConnOptions {
+        max_clients: args.get_parsed("max-clients", 64usize)?,
+        max_inflight_queries: args.get_parsed("max-inflight-queries", 256usize)?,
+        read_timeout: client_timeout,
+        max_line_bytes: args.get_parsed("max-line-bytes", 1usize << 20)?,
+        drain_timeout: std::time::Duration::from_millis(
+            args.get_parsed("drain-timeout-ms", 5000u64)?,
+        ),
     };
 
     let g = load_graph(path)?;
@@ -700,8 +732,35 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             // Scripts (and the CI crash test) parse this line to learn the
             // ephemeral port when ADDR ends in :0.
             println!("listening {local}");
-            prsim_server::protocol::serve_tcp(&host, listener, client_timeout)
-                .map_err(|e| e.to_string())
+            // SIGTERM/SIGINT flip the stop flag; the supervisor notices
+            // within a poll tick and returns so the host can drain.
+            let stop = prsim_server::signal::install_term_handler();
+            let summary = prsim_server::conn::serve_supervised(&host, listener, &conn_opts, stop)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "served {} connections ({} shed at --max-clients, {} queries shed at \
+                 --max-inflight-queries)",
+                summary.connections, summary.overload_rejects, summary.gate_shed
+            );
+            if summary.shutdown_requested {
+                // The `shutdown` verb keeps its historical semantics: the
+                // queue is already drained by the applier's own stop path.
+                host.shutdown().map_err(|e| e.to_string())
+            } else {
+                // External signal: graceful drain — finish committed
+                // work, final checkpoint, clean close, exit 0.
+                let drained = host
+                    .drain(conn_opts.drain_timeout)
+                    .map_err(|e| e.to_string())?;
+                match drained {
+                    Some(info) => eprintln!(
+                        "drained: final checkpoint lsn={} bytes={}",
+                        info.lsn, info.bytes
+                    ),
+                    None => eprintln!("drained: no final checkpoint (timeout or degraded)"),
+                }
+                Ok(())
+            }
         }
         None => prsim_server::protocol::serve_stdio(&host).map_err(|e| e.to_string()),
     }

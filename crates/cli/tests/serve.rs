@@ -198,7 +198,11 @@ fn stdio_round_trip() {
         "ok checkpoint lsn=1 bytes=".to_string() + lines[4].rsplit('=').next().unwrap()
     );
     assert!(field(lines[4], "bytes=") > 0, "{}", lines[4]);
-    assert!(lines[5].starts_with("err unknown command"), "{}", lines[5]);
+    assert!(
+        lines[5].starts_with("err fatal parse unknown command"),
+        "{}",
+        lines[5]
+    );
     assert_eq!(lines[6], "ok bye");
 
     // The checkpoint must have landed in the WAL directory.
@@ -275,6 +279,121 @@ fn sigkill_recovery_is_bit_identical_to_uninterrupted_run() {
         recovered, reference,
         "crash recovery must serve bit-identical scores"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_drains_to_a_bit_identical_clean_state() {
+    let dir = tmpdir("sigterm");
+    let graph = make_graph(&dir);
+    let wal_drain = dir.join("wal_drain");
+
+    // Phase 1: stream updates, then SIGTERM. Unlike the SIGKILL gate,
+    // *everything* acked must survive: the drain finishes the committed
+    // queue, writes a final checkpoint and exits 0.
+    const SENT: usize = 20;
+    let (mut server, addr) = spawn_tcp_server(&graph, &wal_drain);
+    let mut client = ProtocolClient::connect(&addr);
+    for i in 0..SENT {
+        let ack = client.request(&update_line(i));
+        assert!(ack.starts_with("ok "), "{ack}");
+    }
+    drop(client);
+    let status = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "SIGTERM delivered");
+    let exit = server.wait().expect("reaped");
+    assert!(exit.success(), "graceful drain must exit 0, got {exit:?}");
+
+    // Phase 2: restart over the drained WAL. The final checkpoint
+    // covers every acked update, so replay is empty and nothing is
+    // lost.
+    let (server, addr) = spawn_tcp_server(&graph, &wal_drain);
+    let mut client = ProtocolClient::connect(&addr);
+    let stats = client.request("stats");
+    assert_eq!(field(&stats, "applied_lsn="), SENT as u64, "{stats}");
+    assert_eq!(
+        field(&stats, "replayed_records="),
+        0,
+        "drain checkpoint must cover all acked updates: {stats}"
+    );
+    let drained = fingerprint(&mut client);
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+
+    // Phase 3: the uninterrupted reference applies the same stream,
+    // checkpoints explicitly and shuts down via the protocol — then
+    // restarts. Both servers now boot from a checkpoint at the same
+    // LSN, and that rebuild is deterministic, so the drained server
+    // must serve the reference's exact bits.
+    let wal_ref = dir.join("wal_ref");
+    let (server, addr) = spawn_tcp_server(&graph, &wal_ref);
+    let mut client = ProtocolClient::connect(&addr);
+    for i in 0..SENT {
+        let ack = client.request(&update_line(i));
+        assert!(ack.starts_with("ok "), "{ack}");
+    }
+    let sync = client.request("sync");
+    assert_eq!(field(&sync, "applied_lsn="), SENT as u64);
+    let ckpt = client.request("checkpoint");
+    assert_eq!(field(&ckpt, "lsn="), SENT as u64, "{ckpt}");
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+    let (server, addr) = spawn_tcp_server(&graph, &wal_ref);
+    let mut client = ProtocolClient::connect(&addr);
+    let reference = fingerprint(&mut client);
+    assert_eq!(client.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
+
+    assert_eq!(
+        drained, reference,
+        "a drained server must be bit-identical to an uninterrupted clean shutdown"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_clients_through_the_binary_stay_deterministic() {
+    let dir = tmpdir("concurrent");
+    let graph = make_graph(&dir);
+    let wal = dir.join("wal");
+    let (server, addr) = spawn_tcp_server_with(&graph, &wal, &["--max-clients", "8"]);
+
+    // Settle some state, capture the sequential reference fingerprint.
+    let mut c0 = ProtocolClient::connect(&addr);
+    for i in 0..10 {
+        let ack = c0.request(&update_line(i));
+        assert!(ack.starts_with("ok "), "{ack}");
+    }
+    let sync = c0.request("sync");
+    assert_eq!(field(&sync, "applied_lsn="), 10);
+    let expected = fingerprint(&mut c0);
+
+    // One client connects and stalls for the whole test; it must not
+    // block the four concurrently querying clients.
+    let staller = TcpStream::connect(&addr).expect("staller connects");
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = ProtocolClient::connect(&addr);
+                fingerprint(&mut c)
+            })
+        })
+        .collect();
+    for w in workers {
+        assert_eq!(
+            w.join().expect("worker finishes"),
+            expected,
+            "concurrent replies must be byte-identical to sequential ones"
+        );
+    }
+    drop(staller);
+
+    assert_eq!(c0.request("shutdown"), "ok bye");
+    server.wait_with_output().expect("clean exit");
     std::fs::remove_dir_all(&dir).ok();
 }
 

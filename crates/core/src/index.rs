@@ -1417,6 +1417,14 @@ impl PrsimIndex {
     pub fn paging_unhealthy(&self) -> bool {
         self.paged.as_ref().is_some_and(|p| p.pool.unhealthy())
     }
+
+    /// The paged arena's buffer pool, when the arena is paged — the
+    /// integrity scrubber walks its pages ([`BufferPool::page_count`] /
+    /// [`BufferPool::scrub_page`]) to re-verify the at-rest file.
+    /// Clones of the index (epoch snapshots) share the same pool.
+    pub fn paged_pool(&self) -> Option<Arc<BufferPool>> {
+        self.paged.as_ref().map(|p| Arc::clone(&p.pool))
+    }
 }
 
 #[cfg(test)]

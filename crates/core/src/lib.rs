@@ -79,7 +79,7 @@ pub mod workspace;
 pub use config::{DynamicParams, HubCount, PrsimConfig, QueryParams, QueryPlan};
 pub use dynamic::{DynamicPrsim, DynamicTotals, UpdateMode, UpdateStats};
 pub use index::{HubTouchSets, IndexStats, Postings, PrsimIndex, ReservePrecision};
-pub use paging::{PagedOptions, PagingStats, PostingsScratch};
+pub use paging::{BufferPool, PageScrub, PagedOptions, PagingStats, PostingsScratch};
 pub use query::{Prsim, QueryStats};
 pub use scores::SimRankScores;
 pub use topk::{TopKParams, TopKResult};

@@ -34,7 +34,7 @@ pub(crate) mod pagefile;
 pub mod pool;
 pub(crate) mod replacer;
 
-pub use pool::{BufferPool, PagingStats};
+pub use pool::{BufferPool, PageScrub, PagingStats};
 
 /// Knobs for opening (or demoting to) a paged arena.
 #[derive(Clone, Copy, Debug)]

@@ -67,6 +67,34 @@ pub struct PagingStats {
     pub unhealed_pages: u64,
 }
 
+/// Outcome of scrubbing one on-disk page ([`BufferPool::scrub_page`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageScrub {
+    /// The on-disk bytes verified against the page checksum.
+    Clean {
+        /// Bytes read and verified.
+        bytes: u64,
+    },
+    /// The on-disk bytes were rotten; the page was rewritten from a
+    /// clean resident frame and re-verified from disk.
+    Healed {
+        /// Bytes rewritten and re-verified.
+        bytes: u64,
+    },
+    /// The on-disk bytes are rotten and no clean resident copy exists
+    /// (or the rewrite itself failed) — the host should degrade.
+    Unhealable {
+        /// Why the page could not be healed.
+        detail: String,
+    },
+    /// The page could not be read at all (transient I/O error) — skip
+    /// and retry next cycle.
+    Unreadable {
+        /// The read error.
+        detail: String,
+    },
+}
+
 struct Frame {
     data: Arc<Vec<u8>>,
     pins: u32,
@@ -350,6 +378,88 @@ impl BufferPool {
             at += take as u64;
         }
         Ok(())
+    }
+
+    /// The file this pool serves pages from.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Total pages in the file (the scrubber's iteration bound).
+    pub fn page_count(&self) -> usize {
+        self.meta.pages.len()
+    }
+
+    /// Re-verifies one page's **on-disk** bytes against its checksum,
+    /// bypassing resident frames, and heals detectable bit-rot in place.
+    ///
+    /// A checksum mismatch is double-checked with a second read before
+    /// it counts as at-rest rot (a transient in-flight flip does not
+    /// repeat; real rot does). Confirmed rot is healed by rewriting the
+    /// page from a clean resident frame via
+    /// [`prsim_storage::Storage::write_at`] and re-verifying from disk;
+    /// with no resident copy (the page is cold) or a failed rewrite the
+    /// page is [`PageScrub::Unhealable`] and the host should degrade.
+    pub fn scrub_page(&self, page: usize) -> PageScrub {
+        let Some(&entry) = self.meta.pages.get(page) else {
+            return PageScrub::Unhealable {
+                detail: format!("page {page} out of range ({} pages)", self.meta.pages.len()),
+            };
+        };
+        let verify_disk = || -> Result<bool, String> {
+            let buf = self
+                .storage
+                .read_at(&self.path, entry.offset, entry.len as usize)
+                .map_err(|e| format!("page {page} scrub read failed: {e}"))?;
+            Ok(pagefile::fnv1a64(&[&buf]) == entry.checksum)
+        };
+        match verify_disk() {
+            Ok(true) => {
+                return PageScrub::Clean {
+                    bytes: u64::from(entry.len),
+                }
+            }
+            Ok(false) => {}
+            Err(detail) => return PageScrub::Unreadable { detail },
+        }
+        // Mismatch: confirm it is at-rest rot, not a flipped read.
+        match verify_disk() {
+            Ok(true) => {
+                return PageScrub::Clean {
+                    bytes: u64::from(entry.len),
+                }
+            }
+            Ok(false) => {}
+            Err(detail) => return PageScrub::Unreadable { detail },
+        }
+        let resident = {
+            let inner = self.lock();
+            inner.frames.get(&page).map(|f| Arc::clone(&f.data))
+        };
+        let Some(frame) = resident else {
+            return PageScrub::Unhealable {
+                detail: format!("page {page}: rotten on disk with no resident copy"),
+            };
+        };
+        if pagefile::fnv1a64(&[&frame]) != entry.checksum {
+            return PageScrub::Unhealable {
+                detail: format!("page {page}: rotten on disk and resident frame disagrees"),
+            };
+        }
+        if let Err(e) = self.storage.write_at(&self.path, entry.offset, &frame) {
+            return PageScrub::Unhealable {
+                detail: format!("page {page}: heal rewrite failed: {e}"),
+            };
+        }
+        match verify_disk() {
+            Ok(true) => PageScrub::Healed {
+                bytes: u64::from(entry.len),
+            },
+            Ok(false) => PageScrub::Unhealable {
+                detail: format!("page {page}: rot persists after heal rewrite"),
+            },
+            Err(detail) => PageScrub::Unreadable { detail },
+        }
     }
 
     /// Whether any page's consecutive-failure streak has crossed the

@@ -36,7 +36,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,7 +64,7 @@ fn wait_recover<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'
 }
 
 /// [`Condvar::wait_timeout`] with the same poison recovery.
-fn wait_timeout_recover<'a, T>(
+pub(crate) fn wait_timeout_recover<'a, T>(
     cond: &Condvar,
     guard: MutexGuard<'a, T>,
     timeout: Duration,
@@ -123,6 +123,12 @@ pub struct HostOptions {
     /// Hub ranks (highest reverse PageRank first) whose postings pages
     /// are pinned resident — the hot set exempt from eviction.
     pub page_hot_ranks: usize,
+    /// Pause between background integrity-scrub cycles ([`crate::scrub`]).
+    /// `Some(interval)` starts the scrubber thread, which re-verifies
+    /// checksums across cold WAL segments, checkpoint images and paged
+    /// arena pages, healing what it can and degrading on what it
+    /// cannot. `None` (default) disables scrubbing.
+    pub scrub_interval: Option<Duration>,
 }
 
 impl HostOptions {
@@ -143,6 +149,7 @@ impl HostOptions {
             memory_budget: None,
             page_bytes: PagedOptions::default().page_bytes,
             page_hot_ranks: PagedOptions::default().hot_ranks,
+            scrub_interval: None,
         }
     }
 
@@ -252,6 +259,15 @@ pub struct ServerStats {
     /// Buffer-pool counters of the served snapshot's paged arena;
     /// `None` when serving fully resident.
     pub paging: Option<PagingStats>,
+    /// Completed integrity-scrub cycles.
+    pub scrub_cycles: u64,
+    /// Bytes re-verified at rest by the scrubber.
+    pub scrub_bytes_verified: u64,
+    /// At-rest integrity errors the scrubber found.
+    pub scrub_errors_found: u64,
+    /// Found errors healed in place (page rewrite, checkpoint refresh,
+    /// redundant-artifact removal).
+    pub scrub_errors_healed: u64,
 }
 
 impl ServerStats {
@@ -275,6 +291,13 @@ impl ServerStats {
                 p.unhealed_pages,
             ));
         }
+        line.push_str(&format!(
+            " scrub_cycles={} scrub_bytes_verified={} scrub_errors_found={} scrub_errors_healed={}",
+            self.scrub_cycles,
+            self.scrub_bytes_verified,
+            self.scrub_errors_found,
+            self.scrub_errors_healed,
+        ));
         line
     }
 
@@ -319,10 +342,12 @@ impl ServerStats {
 }
 
 /// Work items for the applier thread.
-enum Task {
+pub(crate) enum Task {
     /// A durable batch to apply (already fsynced under `lsn`).
     Batch {
+        /// The batch's WAL LSN.
         lsn: u64,
+        /// The batch, applied in order under that LSN.
         updates: Vec<EdgeUpdate>,
         /// WAL-encoded size, released from the inflight budget after
         /// the batch is applied.
@@ -330,13 +355,14 @@ enum Task {
     },
     /// Checkpoint the applied state and report back.
     Checkpoint {
+        /// Where the applier reports the result.
         done: mpsc::Sender<Result<CheckpointInfo, String>>,
     },
 }
 
 /// The bounded applier queue plus its admission-control accounting.
-struct QueueState {
-    tasks: VecDeque<Task>,
+pub(crate) struct QueueState {
+    pub(crate) tasks: VecDeque<Task>,
     /// Batches reserved but not yet applied (includes the batch the
     /// applier drained and is currently applying).
     inflight_batches: usize,
@@ -348,7 +374,7 @@ struct QueueState {
 }
 
 /// Degraded-mode bookkeeping: why, and when to retry the WAL.
-struct HealthState {
+pub(crate) struct HealthState {
     /// The applier's terminal error, if it died.
     applier_dead: Option<String>,
     /// The WAL's unrepaired-failure reason, if it is broken.
@@ -363,26 +389,42 @@ struct HealthState {
     /// rebuild — over budget, reported honestly — until a later
     /// rebuild's re-demote succeeds).
     paging_broken: Option<String>,
+    /// The first unhealable integrity error the scrubber's latest cycle
+    /// found, if any (cleared by a later clean cycle — a degraded state
+    /// the disk grew out of, e.g. a re-checkpoint finally covering a
+    /// rotten segment, exits on its own).
+    pub(crate) scrub_broken: Option<String>,
 }
 
-struct Shared {
-    opts: HostOptions,
+/// Lifetime counters of the integrity scrubber, folded into
+/// [`ServerStats`].
+#[derive(Debug, Default)]
+pub(crate) struct ScrubCounters {
+    pub(crate) cycles: AtomicU64,
+    pub(crate) bytes_verified: AtomicU64,
+    pub(crate) errors_found: AtomicU64,
+    pub(crate) errors_healed: AtomicU64,
+}
+
+pub(crate) struct Shared {
+    pub(crate) opts: HostOptions,
     /// Storage backend, kept for demoting rebuilt indexes back out of
-    /// core.
-    storage: Arc<dyn Storage>,
+    /// core (and for the scrubber's at-rest reads and heal rewrites).
+    pub(crate) storage: Arc<dyn Storage>,
     /// WAL directory (paged arena generations live next to the log).
-    wal_dir: PathBuf,
-    snapshot: SnapshotHandle,
-    wal: Mutex<Wal>,
-    queue: Mutex<QueueState>,
+    pub(crate) wal_dir: PathBuf,
+    pub(crate) snapshot: SnapshotHandle,
+    pub(crate) wal: Mutex<Wal>,
+    pub(crate) queue: Mutex<QueueState>,
     /// Wakes the applier when work arrives.
-    queue_cond: Condvar,
+    pub(crate) queue_cond: Condvar,
     /// Wakes blocked updaters when inflight space frees up.
     space_cond: Condvar,
     progress: Mutex<Progress>,
     progress_cond: Condvar,
-    shutdown: AtomicBool,
-    health: Mutex<HealthState>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) health: Mutex<HealthState>,
+    pub(crate) scrub: ScrubCounters,
 }
 
 /// Applier-published progress, waited on by `sync`/`checkpoint`.
@@ -398,6 +440,7 @@ struct Progress {
 pub struct EngineHost {
     shared: Arc<Shared>,
     applier: Mutex<Option<JoinHandle<()>>>,
+    scrubber: Mutex<Option<JoinHandle<()>>>,
     recovery: RecoveryReport,
 }
 
@@ -513,16 +556,31 @@ impl EngineHost {
                 wal_repair_failures: 0,
                 wal_retry_at: None,
                 paging_broken: None,
+                scrub_broken: None,
             }),
+            scrub: ScrubCounters::default(),
         });
         let applier_shared = Arc::clone(&shared);
         let applier = std::thread::Builder::new()
             .name("prsim-applier".into())
             .spawn(move || applier_loop(applier_shared, dynamic, applied_lsn))
             .map_err(ServerError::Io)?;
+        let scrubber = match shared.opts.scrub_interval {
+            Some(interval) => {
+                let scrub_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("prsim-scrub".into())
+                        .spawn(move || crate::scrub::scrub_loop(scrub_shared, interval))
+                        .map_err(ServerError::Io)?,
+                )
+            }
+            None => None,
+        };
         Ok(EngineHost {
             shared,
             applier: Mutex::new(Some(applier)),
+            scrubber: Mutex::new(scrubber),
             recovery,
         })
     }
@@ -559,6 +617,11 @@ impl EngineHost {
             if let Some(msg) = &h.paging_broken {
                 return Health::Degraded {
                     reason: format!("paging broken: {msg}"),
+                };
+            }
+            if let Some(msg) = &h.scrub_broken {
+                return Health::Degraded {
+                    reason: format!("scrub: {msg}"),
                 };
             }
         }
@@ -790,7 +853,48 @@ impl EngineHost {
             recovery: self.recovery,
             totals: progress.totals,
             paging: snap.engine().index().paging_stats(),
+            scrub_cycles: self.shared.scrub.cycles.load(Ordering::Relaxed),
+            scrub_bytes_verified: self.shared.scrub.bytes_verified.load(Ordering::Relaxed),
+            scrub_errors_found: self.shared.scrub.errors_found.load(Ordering::Relaxed),
+            scrub_errors_healed: self.shared.scrub.errors_healed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Graceful drain for SIGTERM/SIGINT: waits (up to `timeout`) for
+    /// the applier to finish every batch committed to the WAL, takes a
+    /// best-effort final checkpoint if time remains, then shuts down.
+    /// Returns the final checkpoint, if one was written. The drained
+    /// state is bit-identical to an uninterrupted run over the same
+    /// committed prefix — the e2e gate the CLI's drain path is held to.
+    pub fn drain(&self, timeout: Duration) -> Result<Option<CheckpointInfo>, ServerError> {
+        let deadline = Instant::now() + timeout;
+        let target = {
+            let wal = lock_recover(&self.shared.wal);
+            wal.stats().next_lsn.saturating_sub(1)
+        };
+        {
+            let mut progress = lock_recover(&self.shared.progress);
+            while progress.applied_lsn < target {
+                if self.check_applier().is_err() || Instant::now() >= deadline {
+                    break;
+                }
+                let (next, _) = wait_timeout_recover(
+                    &self.shared.progress_cond,
+                    progress,
+                    Duration::from_millis(100),
+                );
+                progress = next;
+            }
+        }
+        // Best effort: a failed or timed-out checkpoint only means the
+        // next boot replays more log, never that it loses anything.
+        let checkpoint = if Instant::now() < deadline && self.check_applier().is_ok() {
+            self.checkpoint().ok()
+        } else {
+            None
+        };
+        self.shutdown()?;
+        Ok(checkpoint)
     }
 
     /// Stops the applier (after it drains the queue) and joins it.
@@ -811,6 +915,13 @@ impl EngineHost {
                     h.applier_dead = Some("applier panicked outside supervision".into());
                 }
             }
+        }
+        // The scrubber polls the shutdown flag between (and inside) its
+        // sleep slices; joining after the applier keeps WAL teardown
+        // single-threaded.
+        let scrubber = lock_recover(&self.scrubber).take();
+        if let Some(handle) = scrubber {
+            let _ = handle.join();
         }
         Ok(())
     }

@@ -51,15 +51,26 @@
 //! [`protocol`] exposes the host over a single-line text protocol
 //! (`query` / `update` / `sync` / `stats` / `health` / `checkpoint` /
 //! `shutdown`) on stdin/stdout or TCP; `prsim serve` is the CLI entry
-//! point.
+//! point. The TCP front end is the supervised concurrent server in
+//! [`conn`]: a bounded worker pool with per-read deadlines, per-line
+//! byte budgets, an in-flight query admission gate, and graceful
+//! SIGTERM/SIGINT drain (see [`signal`]). [`scrub`] runs the background
+//! integrity scrubber that continuously re-verifies at-rest checksums
+//! (cold WAL segments, checkpoint images, paged-arena pages) and heals
+//! or degrades on bit-rot.
 //!
 //! [`DynamicPrsim`]: prsim_core::DynamicPrsim
 
-#![forbid(unsafe_code)]
+// `signal` needs two raw `extern` declarations (no libc dependency);
+// everything else stays `unsafe_code`-free, enforced per-module.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conn;
 pub mod host;
 pub mod protocol;
+pub mod scrub;
+pub mod signal;
 pub mod snapshot;
 pub mod wal;
 
@@ -70,6 +81,7 @@ pub mod wal;
 pub use prsim_storage as storage;
 pub use prsim_storage::fault;
 
+pub use conn::{ChaosClient, ChaosReport, ConnOptions, InflightGate, ServeSummary};
 pub use fault::{FaultPlan, FaultyStorage};
 pub use host::{CheckpointInfo, EngineHost, Health, HostOptions, RecoveryReport, ServerStats};
 pub use snapshot::{EpochSnapshot, SnapshotHandle};
@@ -100,15 +112,21 @@ pub enum ServerError {
     /// committed and can be retried (the host heals the log with
     /// exponential backoff).
     WalWrite(String),
+    /// The server shed this request under overload (connection or
+    /// in-flight query limits); retry after a short backoff.
+    Overloaded(String),
 }
 
 impl ServerError {
     /// Whether a client may retry the exact same call and reasonably
-    /// expect it to succeed. `Busy` and `WalWrite` are transient
-    /// (overload, healing I/O); everything else is fatal for the
-    /// request or the process.
+    /// expect it to succeed. `Busy`, `WalWrite` and `Overloaded` are
+    /// transient (overload, healing I/O); everything else is fatal for
+    /// the request or the process.
     pub fn retryable(&self) -> bool {
-        matches!(self, ServerError::Busy { .. } | ServerError::WalWrite(_))
+        matches!(
+            self,
+            ServerError::Busy { .. } | ServerError::WalWrite(_) | ServerError::Overloaded(_)
+        )
     }
 }
 
@@ -123,6 +141,7 @@ impl fmt::Display for ServerError {
                 write!(f, "busy: queue full after waiting {waited_ms} ms")
             }
             ServerError::WalWrite(msg) => write!(f, "wal write failed: {msg}"),
+            ServerError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
         }
     }
 }

@@ -17,9 +17,11 @@
 //!
 //! Server-side failures render as `err retryable <msg>` (transient —
 //! the same request may succeed if retried: a full applier queue, a
-//! healing WAL) or `err fatal <msg>` (it will not: unappliable update,
-//! dead applier). Malformed requests stay bare `err <msg>` — there is
-//! nothing to retry.
+//! healing WAL, a shed under overload) or `err fatal <msg>` (it will
+//! not: unappliable update, dead applier). Malformed requests render
+//! `err fatal parse <msg>`: retrying the same bytes can never succeed,
+//! and the `parse` marker lets clients and fuzzers distinguish protocol
+//! garbage from a server-side failure.
 //!
 //! `query` is seed-deterministic: the same `U`, `seed` and engine state
 //! produce the same response bytes (scores are printed with Rust's
@@ -32,18 +34,19 @@
 //! nothing, keeping their response bytes stable across versions).
 //!
 //! Transport is stdin/stdout by default or TCP with `--listen` (the
-//! server prints `listening <addr>` once the socket is bound;
-//! connections are served sequentially and the host outlives them — a
-//! client disconnect never tears down served state, and a client that
-//! stalls past the configured socket timeout is dropped with a logged
-//! warning rather than wedging the accept loop).
+//! server prints `listening <addr>` once the socket is bound). The TCP
+//! front end is the supervised concurrent server in [`crate::conn`]: a
+//! bounded worker pool where a client disconnect never tears down
+//! served state, a client that stalls past the per-read deadline is
+//! dropped, and excess connections or queries are shed with retryable
+//! errors.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::io::{self, BufRead, Write};
 use std::time::Duration;
 
 use prsim_graph::EdgeUpdate;
 
+use crate::conn::InflightGate;
 use crate::host::EngineHost;
 use crate::ServerError;
 
@@ -54,12 +57,12 @@ const DEFAULT_TOP: usize = 10;
 const DEFAULT_SEED_SALT: u64 = 0x5EED_CAFE;
 
 /// A handler's verdict, carrying enough structure to render the error
-/// taxonomy: protocol-level garbage is not retryable-or-fatal, it is
-/// just wrong.
+/// taxonomy: protocol-level garbage is always fatal for the request —
+/// retrying the same bytes cannot succeed.
 enum Reply {
     /// Rendered `ok …` line.
     Ok(String),
-    /// Malformed request: bare `err <msg>`.
+    /// Malformed request: `err fatal parse <msg>`.
     BadRequest(String),
     /// The host failed the request: `err retryable|fatal <msg>`.
     Failed(ServerError),
@@ -69,7 +72,7 @@ impl Reply {
     fn render(self) -> String {
         match self {
             Reply::Ok(line) => line,
-            Reply::BadRequest(msg) => format!("err {msg}"),
+            Reply::BadRequest(msg) => format!("err fatal parse {msg}"),
             Reply::Failed(e) => {
                 let class = if e.retryable() { "retryable" } else { "fatal" };
                 format!("err {class} {e}")
@@ -81,10 +84,40 @@ impl Reply {
 /// Handles one request line; the `bool` is true when the client asked
 /// the server to shut down.
 pub fn handle_line(host: &EngineHost, line: &str) -> (String, bool) {
+    handle_line_gated(host, line, None)
+}
+
+/// [`handle_line`] with an optional in-flight query admission gate: a
+/// `query` that cannot acquire a slot is shed with
+/// `err retryable overloaded …` instead of queueing unboundedly behind
+/// every other client's queries. Non-query verbs never contend for the
+/// gate (they are bounded by their own backpressure — the applier
+/// queue — or are O(1) reads).
+pub fn handle_line_gated(
+    host: &EngineHost,
+    line: &str,
+    gate: Option<&InflightGate>,
+) -> (String, bool) {
     let mut tokens = line.split_whitespace();
     let reply = match tokens.next() {
         None => return (String::new(), false), // blank line: no response
-        Some("query") => handle_query(host, tokens),
+        Some("query") => {
+            let _permit = match gate.map(InflightGate::try_acquire) {
+                Some(None) => {
+                    return (
+                        Reply::Failed(ServerError::Overloaded(format!(
+                            "query shed at {} in flight, retry later",
+                            gate.expect("checked above").limit()
+                        )))
+                        .render(),
+                        false,
+                    )
+                }
+                Some(permit @ Some(_)) => permit,
+                None => None,
+            };
+            handle_query(host, tokens)
+        }
         Some("update") => handle_update(host, tokens),
         Some("sync") => match host.sync() {
             Ok((applied_lsn, epoch)) => {
@@ -219,58 +252,5 @@ pub fn serve_stdio(host: &EngineHost) -> io::Result<()> {
     let stdin = io::stdin();
     let mut stdout = io::stdout().lock();
     serve_stream(host, stdin.lock(), &mut stdout)?;
-    host.shutdown().map_err(|e| io::Error::other(e.to_string()))
-}
-
-/// Whether a `serve_stream` error means *this client* timed out or went
-/// away (drop the connection, keep the server) as opposed to a server
-/// I/O failure worth propagating.
-fn is_client_error(err: &io::Error) -> bool {
-    matches!(
-        err.kind(),
-        io::ErrorKind::BrokenPipe
-            | io::ErrorKind::ConnectionReset
-            | io::ErrorKind::WouldBlock
-            | io::ErrorKind::TimedOut
-    )
-}
-
-/// Serves TCP connections sequentially until a client sends `shutdown`,
-/// then shuts the host down cleanly. The bound address is printed as
-/// `listening <addr>` by the CLI before this is called.
-///
-/// `client_timeout`, when set, becomes each accepted socket's read *and*
-/// write timeout: a connection that stalls past it (a client that
-/// connects and never sends a line, or stops draining responses) is
-/// dropped with a warning on stderr so the sequential accept loop can
-/// serve the next client instead of wedging.
-pub fn serve_tcp(
-    host: &EngineHost,
-    listener: TcpListener,
-    client_timeout: Option<Duration>,
-) -> io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = stream?;
-        if let Some(budget) = client_timeout {
-            stream.set_read_timeout(Some(budget))?;
-            stream.set_write_timeout(Some(budget))?;
-        }
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "<unknown>".into());
-        let mut writer = stream.try_clone()?;
-        let reader = BufReader::new(stream);
-        // A client that disconnects or stalls mid-line must not kill
-        // the server.
-        match serve_stream(host, reader, &mut writer) {
-            Ok(true) => break,
-            Ok(false) => {}
-            Err(err) if is_client_error(&err) => {
-                eprintln!("prsim serve: dropping client {peer}: {err}");
-            }
-            Err(err) => return Err(err),
-        }
-    }
     host.shutdown().map_err(|e| io::Error::other(e.to_string()))
 }

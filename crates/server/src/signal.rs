@@ -1,0 +1,65 @@
+//! Minimal SIGTERM/SIGINT latch without a libc dependency.
+//!
+//! The graceful-drain path needs exactly one bit: "a termination signal
+//! arrived". Installing a handler requires `signal(2)`, which Rust's
+//! std does not expose — and this workspace vendors no libc crate — so
+//! this module declares the two C symbols it needs directly. The
+//! handler body is async-signal-safe by construction: it performs a
+//! single relaxed store to a static [`AtomicBool`] and returns.
+//!
+//! On non-Unix targets [`install_term_handler`] degrades to a flag that
+//! never flips; the server then only stops via the `shutdown` verb,
+//! which is the portable behavior it always had.
+
+use std::sync::atomic::AtomicBool;
+
+/// Set once a SIGTERM or SIGINT has been delivered.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    /// `SIGINT` on every Unix this builds for.
+    const SIGINT: i32 = 2;
+    /// `SIGTERM` on every Unix this builds for.
+    const SIGTERM: i32 = 15;
+
+    unsafe extern "C" {
+        /// `signal(2)`: installs `handler` for `signum`, returning the
+        /// previous disposition (or `SIG_ERR`, ignored here — failing
+        /// to install leaves the default die-on-signal behavior, which
+        /// is safe, just not graceful).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The installed handler: one atomic store, nothing else — the only
+    /// kind of work that is legal in async-signal context.
+    extern "C" fn on_signal(_signum: i32) {
+        super::TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` is the C library's signal(2); the handler we
+        // register only stores to an atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent) and returns the
+/// flag it flips. The serve loop polls this as its external stop bit
+/// and runs a graceful drain when it goes high.
+pub fn install_term_handler() -> &'static AtomicBool {
+    imp::install();
+    &TERM_REQUESTED
+}

@@ -175,6 +175,9 @@ pub struct ReplayOutcome {
     pub truncated_bytes: u64,
     /// Whole later segments discarded after a mid-log corruption.
     pub dropped_segments: usize,
+    /// Stale temp files (a crash between create and rename) swept from
+    /// the log directory at open.
+    pub swept_tmp_files: usize,
 }
 
 /// Live statistics of one [`Wal`] (folded into `ServerStats`).
@@ -228,16 +231,16 @@ impl std::fmt::Debug for Wal {
     }
 }
 
-fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("wal-{seq:010}.log"))
 }
 
-fn checkpoint_path(dir: &Path, lsn: u64) -> PathBuf {
+pub(crate) fn checkpoint_path(dir: &Path, lsn: u64) -> PathBuf {
     dir.join(format!("ckpt-{lsn:015}.snap"))
 }
 
 /// Sorted `(seq, path)` list of the directory's segment files.
-fn list_segments(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_segments(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     for path in storage.list(dir)? {
         let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
@@ -256,7 +259,10 @@ fn list_segments(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, Path
 }
 
 /// Sorted `(lsn, path)` list of the directory's checkpoint files.
-fn list_checkpoints(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_checkpoints(
+    storage: &dyn Storage,
+    dir: &Path,
+) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     for path in storage.list(dir)? {
         let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
@@ -304,8 +310,19 @@ impl Wal {
     ) -> io::Result<(Wal, ReplayOutcome)> {
         let dir = dir.into();
         storage.create_dir_all(&dir)?;
-        let segments = list_segments(storage.as_ref(), &dir)?;
         let mut outcome = ReplayOutcome::default();
+        // Sweep temp debris left by a crash between create and rename
+        // (checkpoint images are written as `*.tmp.<pid>` first). An
+        // unrenamed temp can never be loaded, but it squats on disk
+        // forever and a PID-reusing successor could collide with it.
+        for path in storage.list(&dir)? {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if name.is_some_and(|n| n.contains(".tmp.")) {
+                storage.remove_file(&path)?;
+                outcome.swept_tmp_files += 1;
+            }
+        }
+        let segments = list_segments(storage.as_ref(), &dir)?;
         let mut next_lsn: u64 = start_lsn + 1;
         let mut poisoned = false;
 
@@ -564,6 +581,14 @@ impl Wal {
         Ok(())
     }
 
+    /// The live (append) segment's sequence number and known-good byte
+    /// length — the scrubber's boundary between cold, fully-sealed
+    /// bytes it may verify at rest and the tail this process is still
+    /// appending to.
+    pub(crate) fn live_segment(&self) -> (u64, u64) {
+        (self.segment_seq, self.segment_len)
+    }
+
     /// Live log statistics.
     pub fn stats(&self) -> WalStats {
         WalStats {
@@ -600,7 +625,7 @@ fn create_segment(
 }
 
 /// Reads a segment's `first_lsn` header field.
-fn read_segment_first_lsn(storage: &dyn Storage, path: &Path) -> io::Result<u64> {
+pub(crate) fn read_segment_first_lsn(storage: &dyn Storage, path: &Path) -> io::Result<u64> {
     let header = storage.read_prefix(path, SEGMENT_HEADER)?;
     if &header[..8] != SEGMENT_MAGIC {
         return Err(corrupt(format!(
@@ -672,6 +697,66 @@ fn replay_segment(
     }
 }
 
+/// Scrub-verifies `upto` bytes of a sealed segment: header magic and
+/// version, then every record's framing, checksum and intra-segment LSN
+/// contiguity. Contiguity is anchored at the *first record's* LSN, not
+/// the header `first_lsn` — a truncate repair can legitimately leave a
+/// header whose `first_lsn` names a record that no longer exists.
+/// Returns the bytes verified; `Err` describes the first rot found. The
+/// segment is clean only if every byte up to `upto` parses (a cold
+/// segment has no torn tail to excuse).
+pub(crate) fn verify_segment_bytes(data: &[u8], upto: usize) -> Result<u64, String> {
+    let data = data.get(..upto).ok_or_else(|| {
+        format!(
+            "segment shorter ({}) than expected {upto} bytes",
+            data.len()
+        )
+    })?;
+    if data.len() < SEGMENT_HEADER {
+        return Err(format!(
+            "segment header truncated ({} of {SEGMENT_HEADER} bytes)",
+            data.len()
+        ));
+    }
+    if &data[..8] != SEGMENT_MAGIC {
+        return Err("bad segment magic".into());
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(format!("unsupported segment version {version}"));
+    }
+    let mut pos = SEGMENT_HEADER;
+    let mut expect_lsn: Option<u64> = None;
+    while pos < data.len() {
+        let Some(header) = data.get(pos..pos + RECORD_HEADER) else {
+            return Err(format!("record header torn at byte {pos}"));
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD_BODY {
+            return Err(format!("record at byte {pos} has corrupt length {len}"));
+        }
+        let lsn = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let Some(body) = data.get(pos + RECORD_HEADER..pos + RECORD_HEADER + len) else {
+            return Err(format!("record body torn at byte {pos}"));
+        };
+        if fnv1a64(&[&lsn.to_le_bytes(), body]) != checksum {
+            return Err(format!("checksum mismatch at byte {pos} (lsn {lsn})"));
+        }
+        if let Err(e) = decode_body(body) {
+            return Err(format!("undecodable body at byte {pos} (lsn {lsn}): {e}"));
+        }
+        if let Some(expect) = expect_lsn {
+            if lsn != expect {
+                return Err(format!("lsn gap at byte {pos}: found {lsn}, want {expect}"));
+            }
+        }
+        expect_lsn = Some(lsn + 1);
+        pos += RECORD_HEADER + len;
+    }
+    Ok(pos as u64)
+}
+
 /// A recovered checkpoint image.
 #[derive(Debug)]
 pub struct Checkpoint {
@@ -715,7 +800,7 @@ pub fn latest_checkpoint_with_storage(
     Ok(None)
 }
 
-fn read_checkpoint(storage: &dyn Storage, path: &Path) -> io::Result<Checkpoint> {
+pub(crate) fn read_checkpoint(storage: &dyn Storage, path: &Path) -> io::Result<Checkpoint> {
     let data = storage.read(path)?;
     if data.len() < 8 + 4 + 8 || &data[..8] != CHECKPOINT_MAGIC {
         return Err(corrupt("bad checkpoint magic or truncated header"));
@@ -947,6 +1032,60 @@ mod tests {
         let ckpt = latest_checkpoint(&dir).unwrap().expect("fallback image");
         assert_eq!(ckpt.lsn, 0);
         assert_eq!(ckpt.graph, g1);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_at_open() {
+        let dir = tmpdir("tmp_sweep");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1 << 20, 0).unwrap();
+            wal.append(&[Insert(0, 1)]).unwrap();
+        }
+        // Debris a crash between create and rename would leave behind —
+        // one with this process's pid, one from a hypothetical earlier
+        // incarnation.
+        let mine = dir.join(format!("ckpt-000000000000009.tmp.{}", std::process::id()));
+        let theirs = dir.join("ckpt-000000000000004.tmp.12345");
+        fs::write(&mine, b"half a checkpoint").unwrap();
+        fs::write(&theirs, b"older half").unwrap();
+
+        let (_, outcome) = Wal::open(&dir, 1 << 20, 0).unwrap();
+        assert_eq!(outcome.swept_tmp_files, 2);
+        assert_eq!(outcome.records.len(), 1, "real log untouched");
+        assert!(!mine.exists() && !theirs.exists());
+    }
+
+    #[test]
+    fn verify_segment_bytes_accepts_clean_and_pinpoints_rot() {
+        let dir = tmpdir("scrub_verify");
+        {
+            let (mut wal, _) = Wal::open(&dir, 1 << 20, 0).unwrap();
+            for batch in batches() {
+                wal.append(&batch).unwrap();
+            }
+        }
+        let seg = segment_path(&dir, 0);
+        let clean = fs::read(&seg).unwrap();
+        assert_eq!(
+            verify_segment_bytes(&clean, clean.len()).unwrap(),
+            clean.len() as u64
+        );
+        // A shorter prefix cut at a record boundary also verifies.
+        let first_len = u32::from_le_bytes(
+            clean[SEGMENT_HEADER..SEGMENT_HEADER + 4]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let boundary = SEGMENT_HEADER + RECORD_HEADER + first_len;
+        assert!(verify_segment_bytes(&clean, boundary).is_ok());
+        // ... but a cut inside a record is rot for a sealed segment.
+        assert!(verify_segment_bytes(&clean, boundary - 1).is_err());
+        // Flip one body byte: the checksum walk must name the spot.
+        let mut rotten = clean.clone();
+        let at = rotten.len() - 1;
+        rotten[at] ^= 0x40;
+        let err = verify_segment_bytes(&rotten, rotten.len()).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Integration tests for the connection supervisor: concurrent clients
+//! get byte-identical replies, a stalled client cannot block the rest,
+//! overload is shed with retryable errors, oversized frames are fatal,
+//! and seeded chaos clients never corrupt the server.
+
+use prsim_core::{HubCount, PrsimConfig, QueryParams};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use prsim_graph::DiGraph;
+use prsim_server::protocol::{handle_line, handle_line_gated};
+use prsim_server::{conn, ConnOptions, EngineHost, HostOptions, InflightGate};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prsim_conn_test_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_graph() -> DiGraph {
+    chung_lu_undirected(ChungLuConfig::new(300, 6.0, 2.0, 42))
+}
+
+fn options() -> HostOptions {
+    let mut options = HostOptions::new(PrsimConfig {
+        eps: 0.2,
+        hubs: HubCount::Fixed(12),
+        query: QueryParams::Practical { c_mult: 1.0 },
+        walk_cache_budget: 32,
+        build_threads: 2,
+        ..Default::default()
+    });
+    options.segment_bytes = 4096;
+    options
+}
+
+/// Binds an ephemeral listener and returns it with its address.
+fn listener() -> (TcpListener, String) {
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = l.local_addr().unwrap().to_string();
+    (l, addr)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("request written");
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response read");
+        line.trim_end().to_string()
+    }
+
+    /// Reads until EOF, returning whatever arrived.
+    fn drain_to_eof(&mut self) -> String {
+        let mut rest = String::new();
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return rest,
+                Ok(_) => rest.push_str(&line),
+                Err(e) => panic!("read failed before EOF: {e}"),
+            }
+        }
+    }
+}
+
+/// Sets the stop flag on drop so a panicking assertion inside a
+/// `thread::scope` closure cannot deadlock the scope joining a server
+/// thread that would otherwise never be told to stop.
+struct StopGuard<'a>(&'a AtomicBool);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// Query-only per-client script: read-only requests commute, so every
+/// interleaving must produce replies byte-identical to the sequential
+/// server's.
+fn script(client_id: u32) -> Vec<String> {
+    (0..6u32)
+        .map(|i| {
+            let u = (client_id * 53 + i * 17) % 300;
+            format!(
+                "query {u} top=6 seed={}",
+                0xACE0 + u64::from(client_id * 100 + i)
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_replies() {
+    let dir = tmpdir("determinism");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let (l, addr) = listener();
+    let stop = AtomicBool::new(false);
+    let opts = ConnOptions::default();
+
+    let summary = std::thread::scope(|s| {
+        let _stop_on_panic = StopGuard(&stop);
+        let server = s.spawn(|| conn::serve_supervised(&host, l, &opts, &stop).unwrap());
+        let clients: Vec<_> = (0..4u32)
+            .map(|id| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(&addr);
+                    script(id)
+                        .iter()
+                        .map(|line| c.request(line))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let got: Vec<Vec<String>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        stop.store(true, Ordering::Release);
+        let summary = server.join().unwrap();
+
+        // The sequential reference: the same script through the bare
+        // protocol handler on the same host.
+        for (id, replies) in got.iter().enumerate() {
+            let expected: Vec<String> = script(id as u32)
+                .iter()
+                .map(|line| handle_line(&host, line).0)
+                .collect();
+            assert_eq!(replies, &expected, "client {id} diverged");
+        }
+        summary
+    });
+    assert_eq!(summary.connections, 4);
+    assert_eq!(summary.overload_rejects, 0);
+    host.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stalled_client_does_not_block_others() {
+    let dir = tmpdir("stall");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let (l, addr) = listener();
+    let stop = AtomicBool::new(false);
+    let opts = ConnOptions {
+        max_clients: 8,
+        ..ConnOptions::default()
+    };
+
+    std::thread::scope(|s| {
+        let _stop_on_panic = StopGuard(&stop);
+        let server = s.spawn(|| conn::serve_supervised(&host, l, &opts, &stop).unwrap());
+        // The staller connects first and sends nothing.
+        let staller = TcpStream::connect(&addr).unwrap();
+        // Three active clients must finish promptly while the staller
+        // holds its slot open.
+        let start = Instant::now();
+        for id in 0..3u32 {
+            let mut c = Client::connect(&addr);
+            for line in script(id) {
+                let reply = c.request(&line);
+                assert!(reply.starts_with("ok "), "{reply}");
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "active clients starved behind a stalled one: {:?}",
+            start.elapsed()
+        );
+        drop(staller);
+        stop.store(true, Ordering::Release);
+        server.join().unwrap();
+    });
+    host.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overload_is_shed_with_a_retryable_error() {
+    let dir = tmpdir("overload");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let (l, addr) = listener();
+    let stop = AtomicBool::new(false);
+    let opts = ConnOptions {
+        max_clients: 2,
+        ..ConnOptions::default()
+    };
+
+    std::thread::scope(|s| {
+        let _stop_on_panic = StopGuard(&stop);
+        let server = s.spawn(|| conn::serve_supervised(&host, l, &opts, &stop).unwrap());
+        // Two clients occupy both slots (a request each proves they are
+        // being served, not just queued in the accept backlog).
+        let mut a = Client::connect(&addr);
+        let mut b = Client::connect(&addr);
+        assert!(a.request("health").starts_with("ok health=ok"));
+        assert!(b.request("health").starts_with("ok health=ok"));
+        // The third is shed with a retryable error and a clean close.
+        let mut c = Client::connect(&addr);
+        let shed = c.recv();
+        assert!(
+            shed.starts_with("err retryable overloaded"),
+            "expected overload shed, got {shed:?}"
+        );
+        assert_eq!(c.drain_to_eof(), "", "shed connection must close");
+        // Freeing a slot readmits.
+        drop(a);
+        std::thread::sleep(Duration::from_millis(300));
+        let mut d = Client::connect(&addr);
+        assert!(d.request("health").starts_with("ok health=ok"));
+        drop(b);
+        drop(d);
+        stop.store(true, Ordering::Release);
+        let summary = server.join().unwrap();
+        assert!(summary.overload_rejects >= 1, "{summary:?}");
+    });
+    host.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inflight_gate_sheds_queries_at_the_limit() {
+    let dir = tmpdir("gate");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let gate = InflightGate::new(1);
+
+    // With the single permit held, a gated query is shed retryably.
+    let permit = gate.try_acquire().expect("first permit");
+    let (reply, _) = handle_line_gated(&host, "query 5 top=3 seed=7", Some(&gate));
+    assert!(
+        reply.starts_with("err retryable overloaded"),
+        "expected gate shed, got {reply:?}"
+    );
+    assert_eq!(gate.shed(), 1);
+    // Non-query verbs pass the gate untouched.
+    let (reply, _) = handle_line_gated(&host, "health", Some(&gate));
+    assert!(reply.starts_with("ok health=ok"), "{reply}");
+    // Releasing the permit reopens the gate, and the reply is
+    // byte-identical to the ungated path.
+    drop(permit);
+    let (gated, _) = handle_line_gated(&host, "query 5 top=3 seed=7", Some(&gate));
+    let (ungated, _) = handle_line(&host, "query 5 top=3 seed=7");
+    assert_eq!(gated, ungated);
+    assert_eq!(gate.in_flight(), 0);
+    host.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_line_is_fatal_and_closes_the_connection() {
+    let dir = tmpdir("oversized");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let (l, addr) = listener();
+    let stop = AtomicBool::new(false);
+    let opts = ConnOptions {
+        max_line_bytes: 64,
+        ..ConnOptions::default()
+    };
+
+    std::thread::scope(|s| {
+        let _stop_on_panic = StopGuard(&stop);
+        let server = s.spawn(|| conn::serve_supervised(&host, l, &opts, &stop).unwrap());
+        let mut c = Client::connect(&addr);
+        let huge = "query ".to_string() + &"9".repeat(200);
+        writeln!(c.writer, "{huge}").unwrap();
+        let reply = c.recv();
+        assert!(
+            reply.starts_with("err fatal parse line exceeds"),
+            "expected oversized-frame error, got {reply:?}"
+        );
+        assert_eq!(c.drain_to_eof(), "", "oversized frame must close");
+        stop.store(true, Ordering::Release);
+        server.join().unwrap();
+    });
+    host.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_clients_never_corrupt_the_server() {
+    let dir = tmpdir("chaos");
+    let g = test_graph();
+    let host = EngineHost::open(&g, &dir, options()).unwrap();
+    let (l, addr) = listener();
+    let stop = AtomicBool::new(false);
+    let opts = ConnOptions {
+        max_clients: 8,
+        ..ConnOptions::default()
+    };
+
+    std::thread::scope(|s| {
+        let _stop_on_panic = StopGuard(&stop);
+        let server = s.spawn(|| conn::serve_supervised(&host, l, &opts, &stop).unwrap());
+        // Three seeded chaos clients in parallel: garbage frames,
+        // half-writes with stalls, mid-query disconnects.
+        let reports: Vec<_> = [11u64, 23, 37]
+            .into_iter()
+            .map(|seed| {
+                let addr = addr.clone();
+                s.spawn(move || conn::ChaosClient::new(addr, seed).run(40, 300))
+            })
+            .collect();
+        for r in reports {
+            let report = r.join().unwrap();
+            assert_eq!(report.actions, 40, "{report:?}");
+        }
+        // After the storm, a clean client still gets the exact
+        // sequential replies and the host reports healthy.
+        let mut c = Client::connect(&addr);
+        for line in script(9) {
+            let expected = handle_line(&host, &line).0;
+            assert_eq!(c.request(&line), expected);
+        }
+        assert!(c.request("health").starts_with("ok health=ok"));
+        stop.store(true, Ordering::Release);
+        server.join().unwrap();
+    });
+    host.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,125 @@
+//! Protocol fuzz: arbitrary byte streams through the request handler
+//! never panic and always produce a structured reply — garbage parses
+//! to `err fatal parse …`, never to silence, a crash, or a wrong `ok`.
+//!
+//! Two layers are fuzzed. Raw byte lines go through the same lossy
+//! UTF-8 decoding the TCP supervisor applies before [`handle_line`];
+//! printable token soup goes through [`serve_stream`] end to end, so
+//! the framing loop is exercised too. A deterministic case feeds a
+//! 100 MB token through the parser to pin down the oversized-argument
+//! path (the TCP path bounds lines far earlier via `max_line_bytes`).
+
+use proptest::prelude::*;
+use prsim_core::{HubCount, PrsimConfig, QueryParams};
+use prsim_gen::{chung_lu_undirected, ChungLuConfig};
+use prsim_server::protocol::{handle_line, serve_stream};
+use prsim_server::{EngineHost, HostOptions};
+use std::io::Cursor;
+use std::sync::OnceLock;
+
+/// One shared host for every fuzz case: building the engine dominates
+/// the test otherwise, and the protocol layer under test is stateless
+/// apart from the updates a lucky case might legitimately apply.
+fn host() -> &'static EngineHost {
+    static HOST: OnceLock<EngineHost> = OnceLock::new();
+    HOST.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("prsim_fuzz_host_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = chung_lu_undirected(ChungLuConfig::new(120, 5.0, 2.0, 7));
+        let options = HostOptions::new(PrsimConfig {
+            eps: 0.25,
+            hubs: HubCount::Fixed(8),
+            query: QueryParams::Practical { c_mult: 1.0 },
+            walk_cache_budget: 16,
+            build_threads: 2,
+            ..Default::default()
+        });
+        EngineHost::open(&g, &dir, options).unwrap()
+    })
+}
+
+/// The supervisor's line decoding: lossy UTF-8, trailing `\r` stripped.
+fn decode(bytes: &[u8]) -> String {
+    let mut line = String::from_utf8_lossy(bytes).into_owned();
+    if line.ends_with('\r') {
+        line.pop();
+    }
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes — NULs, invalid UTF-8, control characters —
+    /// split on newlines and decoded the way the TCP path decodes them:
+    /// every non-blank line must yield exactly one structured reply.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_always_answer(
+        raw in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..2048),
+    ) {
+        let host = host();
+        for chunk in raw.split(|&b| b == b'\n') {
+            let line = decode(chunk);
+            let (reply, _) = handle_line(host, &line);
+            if line.split_whitespace().next().is_none() {
+                prop_assert!(reply.is_empty(), "blank line answered: {reply:?}");
+            } else {
+                prop_assert!(
+                    reply.starts_with("ok") || reply.starts_with("err"),
+                    "unstructured reply {reply:?} to {line:?}"
+                );
+            }
+        }
+    }
+
+    /// Token soup through the full stream loop: pathological but
+    /// newline-framed input produces one `ok`/`err` line per request
+    /// until (at most) a lucky `shutdown` token ends the stream, and
+    /// the loop itself returns cleanly.
+    #[test]
+    fn token_soup_through_serve_stream_stays_structured(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(
+                // Printable-ASCII tokens, 0–12 chars each.
+                proptest::collection::vec((0x20u16..0x7F).prop_map(|b| b as u8), 0..12)
+                    .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII")),
+                0..6,
+            )
+            .prop_map(|t| t.join(" ")),
+            0..20,
+        ),
+    ) {
+        let host = host();
+        let input = lines.join("\n") + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        let outcome = serve_stream(host, Cursor::new(input.into_bytes()), &mut out);
+        prop_assert!(outcome.is_ok(), "stream loop failed: {outcome:?}");
+        let rendered = String::from_utf8(out).expect("replies are UTF-8");
+        let replies: Vec<&str> = rendered.lines().collect();
+        let requests = lines.iter().filter(|l| !l.trim().is_empty()).count();
+        prop_assert!(replies.len() <= requests, "more replies than requests");
+        for reply in replies {
+            prop_assert!(
+                reply.starts_with("ok") || reply.starts_with("err"),
+                "unstructured reply {reply:?}"
+            );
+        }
+    }
+}
+
+/// A 100 MB argument token must come back as a parse error, not a
+/// panic, an allocation blowup in the reply, or a stall.
+#[test]
+fn hundred_megabyte_token_is_a_parse_error() {
+    let host = host();
+    let line = format!("query {}", "9".repeat(100 * 1024 * 1024));
+    let (reply, quit) = handle_line(host, &line);
+    assert!(
+        reply.starts_with("err fatal parse"),
+        "expected parse error, got {:?}…",
+        &reply[..reply.len().min(80)]
+    );
+    assert!(!quit, "a bad request must not end the session");
+    assert!(reply.len() < 4096, "reply echoes the oversized input");
+}

@@ -58,6 +58,11 @@ pub struct FaultPlan {
     /// the read *succeeds* but one schedule-chosen bit is flipped.
     /// Only page checksums can catch this.
     pub bitrot_per_mille: u16,
+    /// Positioned heal-rewrite ([`Storage::write_at`]) failures — 0 by
+    /// default: like truncate, `write_at` is a repair surface (the
+    /// scrubber rewriting a rotten page from a clean frame), and tests
+    /// that want unhealable rot opt in explicitly.
+    pub write_at_per_mille: u16,
 }
 
 impl FaultPlan {
@@ -76,6 +81,7 @@ impl FaultPlan {
             truncate_per_mille: 0,
             dir_sync_per_mille: 60,
             bitrot_per_mille: 40,
+            write_at_per_mille: 0,
         }
     }
 
@@ -92,6 +98,7 @@ impl FaultPlan {
             truncate_per_mille: 0,
             dir_sync_per_mille: 0,
             bitrot_per_mille: 0,
+            write_at_per_mille: 0,
         }
     }
 }
@@ -280,6 +287,13 @@ impl Storage for FaultyStorage {
             }
         }
         Ok(buf)
+    }
+
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        if self.core.roll(self.core.plan.write_at_per_mille).is_some() {
+            return Err(injected("write-at", path));
+        }
+        self.inner.write_at(path, offset, data)
     }
 
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {

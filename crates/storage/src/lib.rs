@@ -61,6 +61,11 @@ pub trait Storage: Send + Sync {
     /// pool's page-fetch primitive. A short file is an error, never a
     /// short read.
     fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+    /// Overwrites `data.len()` bytes in place starting at byte `offset`
+    /// and syncs the file — the integrity scrubber's heal primitive for
+    /// rewriting a rotten page from a clean resident frame. Never
+    /// extends the file: writing past the end is an error.
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()>;
     /// Opens an existing file for appending.
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
     /// Creates a new file for appending; fails if it already exists.
@@ -135,6 +140,22 @@ impl Storage for FsStorage {
         Ok(buf)
     }
 
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        let len = fs::metadata(path)?.len();
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or_else(|| io::Error::other("write_at range overflows"))?;
+        if end > len {
+            return Err(io::Error::other(format!(
+                "write_at [{offset}, {end}) exceeds file length {len}"
+            )));
+        }
+        let mut f = OpenOptions::new().write(true).open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        Write::write_all(&mut f, data)?;
+        f.sync_data()
+    }
+
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
         Ok(Box::new(OpenOptions::new().append(true).open(path)?))
     }
@@ -199,6 +220,25 @@ mod tests {
         assert_eq!(s.read_at(&path, 60, 4).unwrap(), vec![60, 61, 62, 63]);
         // Reading past the end is an error, never a short read.
         assert!(s.read_at(&path, 62, 4).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_at_overwrites_in_place_and_never_extends() {
+        let dir = std::env::temp_dir().join(format!("prsim_storage_wat_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob");
+        fs::write(&path, vec![0u8; 16]).unwrap();
+        let s = FsStorage;
+        s.write_at(&path, 4, &[1, 2, 3, 4]).unwrap();
+        let got = fs::read(&path).unwrap();
+        assert_eq!(got.len(), 16);
+        assert_eq!(&got[4..8], &[1, 2, 3, 4]);
+        assert!(got[..4].iter().all(|&b| b == 0));
+        assert!(got[8..].iter().all(|&b| b == 0));
+        // A heal rewrite must never grow the artifact.
+        assert!(s.write_at(&path, 14, &[9, 9, 9]).is_err());
+        assert_eq!(fs::metadata(&path).unwrap().len(), 16);
         fs::remove_dir_all(&dir).ok();
     }
 
